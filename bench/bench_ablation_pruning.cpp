@@ -1,0 +1,103 @@
+// Ablation of the two §4 pruning devices on a layer small enough to verify
+// against unpruned search:
+//   1. power-of-two middle bounds vs exhaustive integer bounds — the pruned
+//      search must find the same optimal throughput (the §4 optimality
+//      argument: throughput is monotone in s, BRAM rounds up to pow2);
+//   2. the c_s utilization floor (Eq. 12) — design-space size and best
+//      design quality as c_s varies.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dse.h"
+#include "core/mapping.h"
+#include "loopnest/conv_nest.h"
+#include "loopnest/reuse.h"
+#include "nn/network.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Ablation - DSE pruning devices",
+                      "DAC'17 §4 (Eq. 12 and power-of-two reuse pruning)");
+
+  const ConvLayerDesc layer = make_conv("abl", 32, 24, 12, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  const FpgaDevice device = tiny_test_device();
+
+  // Part 1: pow2 vs brute-force reuse search, per shape.
+  std::printf("Part 1: reuse-strategy search, pow2 pruning vs brute force\n");
+  AsciiTable part1;
+  part1.row()
+      .cell("shape")
+      .cell("pow2 best Gops")
+      .cell("pow2 evals")
+      .cell("brute best Gops")
+      .cell("brute evals")
+      .cell("optimum kept");
+  const SystolicMapping mapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+  for (const ArrayShape shape :
+       {ArrayShape{4, 4, 4}, ArrayShape{6, 3, 2}, ArrayShape{8, 2, 4}}) {
+    DseOptions pow2;
+    pow2.min_dsp_util = 0.0;
+    DseOptions brute = pow2;
+    brute.pow2_middle = false;
+    const DesignSpaceExplorer e_pow2(device, DataType::kFloat32, pow2);
+    const DesignSpaceExplorer e_brute(device, DataType::kFloat32, brute);
+    DesignPoint d_pow2;
+    DesignPoint d_brute;
+    DseStats s_pow2;
+    DseStats s_brute;
+    if (!e_pow2.best_reuse_strategy(nest, mapping, shape, &d_pow2, &s_pow2) ||
+        !e_brute.best_reuse_strategy(nest, mapping, shape, &d_brute,
+                                     &s_brute)) {
+      continue;
+    }
+    const double t_pow2 =
+        estimate_performance(nest, d_pow2, device, DataType::kFloat32, 280.0)
+            .throughput_gops;
+    const double t_brute =
+        estimate_performance(nest, d_brute, device, DataType::kFloat32, 280.0)
+            .throughput_gops;
+    part1.row()
+        .cell(shape.to_string())
+        .cell(t_pow2, 2)
+        .cell(s_pow2.reuse_evaluated)
+        .cell(t_brute, 2)
+        .cell(s_brute.reuse_evaluated)
+        .cell(t_pow2 >= t_brute - 1e-6 ? "yes" : "NO");
+  }
+  part1.print();
+
+  // Part 2: c_s sweep.
+  std::printf("\nPart 2: Eq. 12 utilization floor c_s\n");
+  AsciiTable part2;
+  part2.row()
+      .cell("c_s")
+      .cell("shapes kept")
+      .cell("candidates")
+      .cell("best est Gops")
+      .cell("phase1 s");
+  for (const double cs : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    DseOptions options;
+    options.min_dsp_util = cs;
+    options.max_rows = 16;
+    options.max_cols = 16;
+    options.max_vec = 8;
+    const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
+    DseStats stats;
+    const std::vector<DseCandidate> all =
+        explorer.enumerate_phase1(nest, &stats);
+    part2.row()
+        .cell(cs, 2)
+        .cell(stats.shapes_after_prune)
+        .cell(static_cast<std::int64_t>(all.size()))
+        .cell(all.empty() ? 0.0 : all.front().estimated_gops(), 2)
+        .cell(stats.phase1_seconds, 3);
+  }
+  part2.print();
+  bench::print_note(
+      "pow2 pruning keeps the optimum at a fraction of the evaluations; "
+      "raising c_s cuts the space further without losing the best design "
+      "until it excludes the optimum's utilization band.");
+  return 0;
+}

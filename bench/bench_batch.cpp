@@ -1,0 +1,52 @@
+// Batch-size ablation: latency-vs-throughput of the pipelined accelerator.
+//
+// The paper quotes per-image latency and aggregate throughput; they coincide
+// only once the block pipeline is warm. This bench shows the throughput
+// curve versus batch size for the AlexNet conv5 design and the batch needed
+// to reach 90/99% of the steady-state rate.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/batch.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Batch pipelining ablation",
+                      "latency/throughput decomposition of the Table 3 numbers");
+
+  const ConvLayerDesc layer = alexnet_conv5();
+  const LoopNest nest = build_conv_nest(layer);
+  const DesignPoint design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3});
+  const BatchAnalysis analysis(nest, design, layer, arria10_gt1150(),
+                               DataType::kFloat32, 250.0);
+  std::printf("%s\n\n", analysis.summary().c_str());
+
+  AsciiTable table;
+  table.row().cell("batch").cell("total ms").cell("ms/image").cell("Gops")
+      .cell("of asymptote");
+  for (const std::int64_t images : {1LL, 2LL, 4LL, 8LL, 16LL, 64LL, 256LL}) {
+    table.row()
+        .cell(images)
+        .cell(analysis.batch_latency_ms(images), 3)
+        .cell(analysis.batch_latency_ms(images) / static_cast<double>(images),
+              3)
+        .cell(analysis.batch_throughput_gops(images), 1)
+        .percent(analysis.batch_throughput_gops(images) /
+                     analysis.steady_throughput_gops(),
+                 1);
+  }
+  table.print();
+  std::printf("\nbatch for 90%% of steady state: %lld; for 99%%: %lld\n",
+              static_cast<long long>(analysis.batch_for_fraction(0.90)),
+              static_cast<long long>(analysis.batch_for_fraction(0.99)));
+  bench::print_note(
+      "the cold-start cost is one block load; single-image latency is "
+      "within a few percent of the steady state for this layer, which is "
+      "why the paper can quote per-image latency.");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Device-portability sweep: the same push-button DSE retargeted at every
+// device in the catalog (the framework is parameterized by the device
+// description — "no hardware-related, low-level considerations are necessary
+// for end users", §1).
+//
+// Runs the AlexNet conv5 single-layer DSE per device and reports the chosen
+// design, realized clock, and throughput — showing how the optimum shifts
+// with DSP count, BRAM and bandwidth.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dse.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Device portability sweep",
+                      "framework retargeting (DAC'17 §1 push-button claim)");
+
+  const ConvLayerDesc layer = alexnet_conv5();
+  const LoopNest nest = build_conv_nest(layer);
+
+  AsciiTable table;
+  table.row()
+      .cell("device")
+      .cell("DSP blocks")
+      .cell("BW GB/s")
+      .cell("design")
+      .cell("lanes")
+      .cell("P&R MHz")
+      .cell("Gops")
+      .cell("bound");
+  for (const FpgaDevice& device :
+       {arria10_gt1150(), arria10_gx1150(), xilinx_ku060(), xilinx_vc709(),
+        stratix_v(), tiny_test_device()}) {
+    DseOptions options;
+    options.min_dsp_util = 0.70;
+    options.max_rows = 64;
+    options.max_cols = 64;
+    const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
+    const DseResult result = explorer.explore(nest);
+    if (result.empty()) {
+      table.row().cell(device.name).cell(device.dsp_blocks).cell(
+          device.bw_total_gbs, 1);
+      continue;
+    }
+    const DseCandidate* best = result.best();
+    table.row()
+        .cell(device.name)
+        .cell(device.dsp_blocks)
+        .cell(device.bw_total_gbs, 1)
+        .cell(best->design.shape().to_string())
+        .cell(best->design.num_lanes())
+        .cell(best->realized_freq_mhz, 1)
+        .cell(best->realized_gops(), 1)
+        .cell(best->realized.memory_bound ? "memory" : "compute");
+  }
+  table.print();
+  bench::print_note(
+      "the chosen design tracks each part's fp32 MAC yield and clock "
+      "(hardened-FP Arria10 leads; DSP48 parts pay the soft-float tax) - "
+      "device-aware DSE, no per-device hand tuning.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The paper's motivating claim (§1-2): direct-connected (broadcast) PE
+// arrays cannot scale to the latest devices because interconnect fan-out
+// collapses their clock, while the systolic array's local, short,
+// peer-to-peer wiring keeps frequency high "even in the case of massive
+// parallelization with over a thousand PEs".
+//
+// This bench sweeps the PE count and compares the two interconnect styles'
+// modeled clocks and resulting peak throughputs (fp32, one MAC per PE-lane,
+// SIMD 8) — reproducing the crossover that justifies the architecture.
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "fpga/freq_model.h"
+#include "util/strings.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Fan-out motivation - systolic vs broadcast scaling",
+                      "DAC'17 §1-2 (why a systolic array at all)");
+
+  const FpgaDevice device = arria10_gt1150();
+  constexpr std::int64_t kVec = 8;
+
+  AsciiTable table;
+  table.row()
+      .cell("PEs")
+      .cell("MAC lanes")
+      .cell("broadcast MHz")
+      .cell("systolic MHz")
+      .cell("broadcast Gops")
+      .cell("systolic Gops")
+      .cell("systolic gain");
+  CsvWriter csv;
+  csv.header({"pes", "lanes", "broadcast_mhz", "systolic_mhz",
+              "broadcast_gops", "systolic_gops"});
+  for (const std::int64_t pes : {9LL, 16LL, 36LL, 64LL, 100LL, 144LL, 190LL}) {
+    const std::int64_t lanes = pes * kVec;
+    if (lanes > device.dsp_blocks) break;
+
+    ResourceReport report;
+    report.dsp_util =
+        static_cast<double>(lanes) / static_cast<double>(device.dsp_blocks);
+    report.bram_util = 0.4;
+    report.logic_util = 0.3 + 0.4 * report.dsp_util;
+    report.ff_util = report.logic_util / 2.0;
+
+    const double f_sys = frequency_trend_mhz(device, report);
+    const double f_bcast = broadcast_frequency_mhz(device, pes * kVec);
+    const double g_sys = 2.0 * static_cast<double>(lanes) * f_sys * 1e-3;
+    const double g_bcast = 2.0 * static_cast<double>(lanes) * f_bcast * 1e-3;
+    table.row()
+        .cell(pes)
+        .cell(lanes)
+        .cell(f_bcast, 1)
+        .cell(f_sys, 1)
+        .cell(g_bcast, 1)
+        .cell(g_sys, 1)
+        .cell(strformat("%.2fx", g_sys / g_bcast));
+    csv.row()
+        .cell(pes)
+        .cell(lanes)
+        .cell(f_bcast, 2)
+        .cell(f_sys, 2)
+        .cell(g_bcast, 2)
+        .cell(g_sys, 2);
+  }
+  table.print();
+  csv.write_file("fanout_motivation.csv");
+  bench::print_note(
+      "small arrays: interconnect style barely matters. At the ~1.5K-lane "
+      "scale of an Arria 10, the broadcast clock collapses toward 100 MHz "
+      "(the 120-200 MHz designs in the comparison table) while the systolic "
+      "clock stays near 280 MHz - the paper's reason to exist.");
+  return 0;
+}

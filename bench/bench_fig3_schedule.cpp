@@ -1,0 +1,53 @@
+// Fig. 3: cycle-level scheduling of a 3x3 systolic array — the wavefront
+// ramp-up. The cycle-accurate simulator records how many PEs are active at
+// each cycle of the first block; the paper's figure shows all nine PEs
+// active "after five cycles".
+#include <cstdio>
+
+#include "bench_util.h"
+#include "loopnest/conv_nest.h"
+#include "nn/reference.h"
+#include "sim/systolic_array.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Fig. 3 - Cycle-level schedule of a 3x3 array",
+                      "DAC'17 Fig. 3 wavefront example");
+
+  const ConvLayerDesc layer = make_conv("fig3", 4, 3, 4, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  const DesignPoint design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{3, 3, 2}, {1, 2, 2, 4, 2, 2});
+
+  Rng rng(1);
+  const ConvData data = make_random_conv_data(layer, rng);
+  SimOptions options;
+  options.record_first_block_activity = true;
+  const SimResult result = simulate_systolic(nest, design, layer, data, options);
+
+  const Tensor ref = reference_conv(layer, data);
+  const float err = Tensor::max_abs_diff(result.output, ref);
+  std::printf("functional check vs reference conv: max |err| = %.2g (%s)\n\n",
+              static_cast<double>(err), err < 1e-3F ? "PASS" : "FAIL");
+
+  std::printf("cycle | active PEs (of 9) | wavefront picture\n");
+  std::printf("------+-------------------+------------------\n");
+  for (std::size_t t = 0; t < result.first_block_active_pes.size(); ++t) {
+    const std::int64_t active = result.first_block_active_pes[t];
+    std::printf("%5zu | %17lld | ", t, static_cast<long long>(active));
+    for (std::int64_t i = 0; i < active; ++i) std::putchar('#');
+    std::putchar('\n');
+    if (t > 12) {
+      std::printf("  ... (steady state until the block drains)\n");
+      break;
+    }
+  }
+  std::printf("\n%s\n", result.summary().c_str());
+  bench::print_note(
+      "all 9 PEs are active from cycle 4 (the fifth cycle) onward - exactly "
+      "the Fig. 3 ramp; the trailing cycles mirror the ramp as the last "
+      "wavefronts drain.");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 7(b): analytical-model accuracy. The top-14 phase-1 designs are run
+// through pseudo-P&R for their true clock and through the block-pipeline
+// performance simulator ("on-board run"); the figure compares three series:
+//   estimated (assumed 280 MHz clock), model @ realized clock, board.
+// Paper result: model @ real clock matches the board within <2% on average.
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/dse.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "sim/perf_sim.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Fig. 7(b) - Analytical model vs on-board results",
+                      "DAC'17 Fig. 7(b), AlexNet conv5 fp32, top-14 designs");
+
+  const ConvLayerDesc layer = alexnet_conv5();
+  const LoopNest nest = build_conv_nest(layer);
+  const FpgaDevice device = arria10_gt1150();
+  DseOptions options;
+  options.assumed_freq_mhz = 280.0;
+  options.min_dsp_util = 0.70;
+  options.top_k = 14;
+  const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
+  const DseResult result = explorer.explore(nest);
+
+  AsciiTable table;
+  table.row()
+      .cell("#")
+      .cell("shape")
+      .cell("est@280 Gops")
+      .cell("P&R MHz")
+      .cell("model Gops")
+      .cell("board Gops")
+      .cell("error");
+  CsvWriter csv;
+  csv.header({"rank", "shape", "estimated_gops", "realized_mhz", "model_gops",
+              "board_gops", "error_pct"});
+  double total_err = 0.0;
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    const DseCandidate& c = result.top[i];
+    PerfSimOptions board_options;
+    board_options.freq_mhz = c.realized_freq_mhz;
+    const PerfSimResult board = simulate_performance(
+        nest, c.design, device, DataType::kFloat32, board_options);
+    const double err =
+        std::fabs(c.realized_gops() - board.achieved_gops) /
+        board.achieved_gops * 100.0;
+    total_err += err;
+    table.row()
+        .cell(static_cast<std::int64_t>(i + 1))
+        .cell(c.design.shape().to_string())
+        .cell(c.estimated_gops(), 1)
+        .cell(c.realized_freq_mhz, 1)
+        .cell(c.realized_gops(), 1)
+        .cell(board.achieved_gops, 1)
+        .cell(strformat("%.2f%%", err));
+    csv.row()
+        .cell(static_cast<std::int64_t>(i + 1))
+        .cell(c.design.shape().to_string())
+        .cell(c.estimated_gops(), 2)
+        .cell(c.realized_freq_mhz, 2)
+        .cell(c.realized_gops(), 2)
+        .cell(board.achieved_gops, 2)
+        .cell(err, 3);
+  }
+  table.print();
+  csv.write_file("fig7b_model_accuracy.csv");
+  std::printf("\naverage model-vs-board error: %.2f%% (paper: <2%%)\n",
+              total_err / static_cast<double>(result.top.size()));
+  bench::print_note(
+      "shape agreement: designs with equal estimated throughput spread in "
+      "realized clock (the phase-2 rationale); model at the true clock "
+      "tracks the board within ~2%.");
+  return 0;
+}

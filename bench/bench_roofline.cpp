@@ -1,0 +1,94 @@
+// Roofline ablation: where the reuse strategies of §2.3 sit on the roofline,
+// and where the compute/memory crossover falls as bandwidth varies.
+//
+// Reproduces the quantitative story behind the paper's bad-tiling example
+// (Tile(2,2,2,2,2,2) needs ~67 GB/s; at 19 GB/s it achieves ~160 GFlops)
+// and connects the model to the roofline methodology of [6] that the paper
+// positions itself against.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/roofline.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Roofline ablation - reuse strategy vs bandwidth",
+                      "DAC'17 §2.3 bad-tiling example / §3.4 MT model");
+
+  const ConvLayerDesc layer = alexnet_conv5();
+  const LoopNest nest = build_conv_nest(layer);
+  const FpgaDevice device = arria10_gt1150();
+  const SystolicMapping mapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+  const ArrayShape sys1{11, 13, 8};
+
+  struct Strategy {
+    const char* name;
+    std::vector<std::int64_t> middle;
+  };
+  const std::vector<Strategy> strategies{
+      {"paper tile (4,4,13,1,3,3)", {4, 4, 1, 13, 3, 3}},
+      {"medium tile", {2, 2, 1, 8, 3, 3}},
+      {"small tile", {1, 1, 1, 4, 1, 1}},
+      {"tiny tile (paper's bad ex.)", {1, 1, 1, 2, 1, 1}},
+  };
+
+  AsciiTable table;
+  table.row()
+      .cell("reuse strategy")
+      .cell("ops/byte")
+      .cell("compute roof")
+      .cell("memory roof")
+      .cell("attainable")
+      .cell("bound")
+      .cell("BW needed for peak");
+  for (const Strategy& strategy : strategies) {
+    const DesignPoint design(nest, mapping, sys1,
+                             std::vector<std::int64_t>(strategy.middle));
+    const RooflinePoint point =
+        roofline_point(nest, design, device, DataType::kFloat32, 280.0);
+    const double bw_needed =
+        point.compute_roof_gops / point.operational_intensity;
+    table.row()
+        .cell(strategy.name)
+        .cell(point.operational_intensity, 1)
+        .cell(point.compute_roof_gops, 1)
+        .cell(point.memory_roof_gops, 1)
+        .cell(point.attainable_gops, 1)
+        .cell(point.memory_bound ? "memory" : "compute")
+        .cell(strformat("%.1f GB/s", bw_needed));
+  }
+  table.print();
+
+  // Bandwidth sweep for the paper tile: where the crossover falls.
+  const DesignPoint good(nest, mapping, sys1, {4, 4, 1, 13, 3, 3});
+  const std::vector<double> bws{1, 2, 4, 6, 8, 12, 16, 19.2, 24, 32, 48, 64};
+  const auto sweep =
+      sweep_bandwidth(nest, good, device, DataType::kFloat32, 280.0, bws);
+  std::printf("\nBandwidth sweep (paper tile):\n");
+  CsvWriter csv;
+  csv.header({"bandwidth_gbs", "throughput_gops", "memory_bound"});
+  AsciiTable sweep_table;
+  sweep_table.row().cell("BW GB/s").cell("Gops").cell("bound");
+  for (const BandwidthSweepSample& s : sweep) {
+    sweep_table.row()
+        .cell(s.bandwidth_gbs, 1)
+        .cell(s.throughput_gops, 1)
+        .cell(s.memory_bound ? "memory" : "compute");
+    csv.row()
+        .cell(s.bandwidth_gbs, 1)
+        .cell(s.throughput_gops, 2)
+        .cell(static_cast<std::int64_t>(s.memory_bound ? 1 : 0));
+  }
+  sweep_table.print();
+  csv.write_file("roofline_bandwidth_sweep.csv");
+  bench::print_note(
+      "the tiny tile needs several times the device's 19.2 GB/s to reach its "
+      "compute roof - the paper's ~67 GB/s observation; the chosen tile "
+      "saturates compute well below the device bandwidth.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 1: impact of the systolic array shape on DSP utilization, DSP
+// efficiency and peak throughput (AlexNet conv5, fp32, 280 MHz).
+//
+// Paper values: sys1 (11,13,8): 71.5% util, 96.97% eff, 621 GFlops.
+//               sys2 (16,10,8): 80.0% util, 60.00% eff (*), 466 GFlops.
+// (*) The printed 60.00% is inconsistent with the same row's 466-GFlops peak
+// (= 65.0% x 2 x 1280 x 280 MHz); our model reports the consistent 65.0%.
+// The utilization column uses the paper's 1600-unit denominator alongside
+// the 1518 physical DSP blocks of the GT1150.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/perf_model.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Table 1 - Impact of Systolic Array Shape",
+                      "DAC'17 Table 1 (AlexNet conv5, fp32, 280 MHz)");
+
+  const ConvLayerDesc layer = alexnet_conv5();
+  const LoopNest nest = build_conv_nest(layer);
+  const FpgaDevice device = arria10_gt1150();
+  const SystolicMapping mapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+
+  struct Config {
+    const char* name;
+    ArrayShape shape;
+    std::vector<std::int64_t> middle;
+    double paper_util;
+    double paper_eff;
+    double paper_gflops;
+  };
+  const std::vector<Config> configs{
+      {"sys1", ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3}, 71.5, 96.97, 621.0},
+      {"sys2", ArrayShape{16, 10, 8}, {1, 4, 2, 13, 3, 3}, 80.0, 60.00, 466.0},
+  };
+
+  AsciiTable table;
+  table.row()
+      .cell("config")
+      .cell("ROW")
+      .cell("COL")
+      .cell("VEC")
+      .cell("util/1600")
+      .cell("util/1518")
+      .cell("DSP eff")
+      .cell("peak Gflops")
+      .cell("paper eff")
+      .cell("paper Gflops");
+  for (const Config& config : configs) {
+    const DesignPoint design(nest, mapping, config.shape,
+                             std::vector<std::int64_t>(config.middle));
+    const PerfEstimate perf = estimate_performance(
+        nest, design, device, DataType::kFloat32, 280.0);
+    table.row()
+        .cell(config.name)
+        .cell(config.shape.rows)
+        .cell(config.shape.cols)
+        .cell(config.shape.vec)
+        .percent(static_cast<double>(design.num_lanes()) / 1600.0, 1)
+        .percent(static_cast<double>(design.num_lanes()) / 1518.0, 1)
+        .percent(perf.eff, 2)
+        .cell(perf.pt_gops, 1)
+        .cell(sasynth::strformat("%.2f%%", config.paper_eff))
+        .cell(config.paper_gflops, 0);
+  }
+  table.print();
+  bench::print_note(
+      "sys1 beats sys2 despite lower utilization because its shape matches "
+      "the mapped trip counts (128, 13, 192) - the paper's Table 1 point.");
+  bench::print_note(
+      "paper prints sys2 eff 60.00%, inconsistent with its own 466-GFlops "
+      "peak; our 65.0% matches the peak column (see EXPERIMENTS.md).");
+  return 0;
+}

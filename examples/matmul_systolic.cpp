@@ -1,0 +1,107 @@
+// Systolic matrix multiplication — the classic application (paper §1 cites
+// Kung's original arrays and the FPGA matmul kernel of [15]) — through the
+// same generic machinery: build the three-loop nest, enumerate its feasible
+// mappings, explore the design space, and run the cycle-accurate array.
+//
+// Demonstrates that the framework is not hard-wired to convolution: the
+// reuse analysis, the models, the DSE and the simulator all operate on the
+// loop-nest IR.
+#include <cstdio>
+
+#include "core/dse.h"
+#include "core/mapping.h"
+#include "loopnest/reuse.h"
+#include "sim/systolic_array.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sasynth;
+
+/// C[i][j] += A[i][k] * B[k][j].
+LoopNest build_matmul_nest(std::int64_t m, std::int64_t n, std::int64_t k) {
+  LoopNest nest;
+  nest.add_loop("i", m);
+  nest.add_loop("j", n);
+  nest.add_loop("k", k);
+  AccessFunction c;
+  c.array = "Cm";
+  c.indices.push_back(AffineExpr::term(3, 0));
+  c.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{c, AccessRole::kReduce});
+  AccessFunction a;
+  a.array = "A";
+  a.indices.push_back(AffineExpr::term(3, 0));
+  a.indices.push_back(AffineExpr::term(3, 2));
+  nest.add_access(ArrayAccess{a, AccessRole::kRead});
+  AccessFunction b;
+  b.array = "B";
+  b.indices.push_back(AffineExpr::term(3, 2));
+  b.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{b, AccessRole::kRead});
+  return nest;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t M = 24;
+  const std::int64_t N = 16;
+  const std::int64_t K = 32;
+  const LoopNest nest = build_matmul_nest(M, N, K);
+  std::printf("matrix multiply C[%lld][%lld] += A[.][%lld] * B[.][.]\n\n",
+              static_cast<long long>(M), static_cast<long long>(N),
+              static_cast<long long>(K));
+  std::printf("loop nest:\n%s\n", nest.to_string().c_str());
+
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  std::printf("reuse matrix:\n%s\n", reuse_report(nest, reuse).c_str());
+  const std::vector<SystolicMapping> mappings =
+      enumerate_feasible_mappings(nest, reuse);
+  std::printf("%zu feasible mappings:\n", mappings.size());
+  for (const SystolicMapping& mapping : mappings) {
+    std::printf("  %s\n", mapping.to_string(nest).c_str());
+  }
+
+  // DSE on the tiny device.
+  DseOptions options;
+  options.min_dsp_util = 0.5;
+  options.max_rows = 8;
+  options.max_cols = 8;
+  options.max_vec = 8;
+  const DesignSpaceExplorer explorer(tiny_test_device(), DataType::kFloat32,
+                                     options);
+  const DseResult result = explorer.explore(nest);
+  if (result.empty()) {
+    std::printf("no valid design\n");
+    return 1;
+  }
+  const DesignPoint& design = result.best()->design;
+  std::printf("\nchosen design: %s -> %.1f Gops @ %.1f MHz\n",
+              design.to_string(nest).c_str(), result.best()->realized_gops(),
+              result.best()->realized_freq_mhz);
+
+  // Run it on the cycle-accurate array and verify against a plain matmul.
+  Rng rng(99);
+  Tensor a({M, K});
+  Tensor b({K, N});
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Tensor c({M, N});
+  std::vector<const Tensor*> operands{nullptr, &a, &b};
+  const SimResult sim = simulate_systolic_nest(nest, design, operands, &c);
+
+  Tensor ref({M, N});
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < K; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      ref.at(i, j) = acc;
+    }
+  }
+  const float err = Tensor::max_abs_diff(sim.output, ref);
+  std::printf("systolic run: %s\n", sim.summary().c_str());
+  std::printf("vs reference matmul: max|err| = %.2g  [%s]\n",
+              static_cast<double>(err), err < 1e-3F ? "PASS" : "FAIL");
+  return err < 1e-3F ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Quickstart: explore the systolic design space for one convolutional layer
+// and print the best design — the 60-second tour of the library.
+//
+// Reproduces the paper's running example: AlexNet conv5,
+// (I,O,R,C,P,Q) = (192,128,13,13,3,3) on an Arria 10 GT1150 in fp32.
+#include <cstdio>
+
+#include "core/dse.h"
+#include "fpga/device.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+int main() {
+  using namespace sasynth;
+
+  // 1. Describe the workload: one conv layer (the paper's §2.3 example).
+  const ConvLayerDesc layer = alexnet_conv5();
+  std::printf("Layer:  %s\n", layer.summary().c_str());
+
+  // 2. Pick a device and numeric type.
+  const FpgaDevice device = arria10_gt1150();
+  std::printf("Device: %s\n\n", device.summary().c_str());
+
+  // 3. Run the two-phase design space exploration.
+  DseOptions options;
+  options.assumed_freq_mhz = 280.0;  // phase-1 clock assumption
+  options.min_dsp_util = 0.70;       // Eq. 12 pruning constant c_s
+  options.top_k = 14;                // candidates carried into pseudo-P&R
+  const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
+  const DseResult result = explorer.explore_layer(layer);
+
+  std::printf("DSE:    %s\n\n", result.stats.summary().c_str());
+
+  // 4. Inspect the winners.
+  const LoopNest nest = build_conv_nest(layer);
+  std::printf("%-4s %-22s %-12s %10s %9s %10s %14s\n", "#", "mapping", "shape",
+              "est Gops", "eff", "P&R MHz", "realized Gops");
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    const DseCandidate& c = result.top[i];
+    std::printf("%-4zu %-22s %-12s %10.1f %8.2f%% %10.1f %14.1f\n", i + 1,
+                c.design.mapping().to_string(nest).c_str(),
+                c.design.shape().to_string().c_str(), c.estimated_gops(),
+                c.estimate.eff * 100.0, c.realized_freq_mhz,
+                c.realized_gops());
+  }
+
+  const DseCandidate* best = result.best();
+  if (best == nullptr) {
+    std::printf("\nNo valid design found.\n");
+    return 1;
+  }
+  std::printf("\nBest design: %s\n", best->design.to_string(nest).c_str());
+  std::printf("  %s\n", best->realized.summary().c_str());
+  std::printf("  %s\n", best->resources.report.summary().c_str());
+  return 0;
+}

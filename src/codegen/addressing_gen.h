@@ -1,0 +1,35 @@
+// Generation of the kernel's addressing header.
+//
+// The systolic kernel needs, besides the shape/tile constants, the concrete
+// address arithmetic that the paper's template framework instantiates per
+// design: how a (block, wavefront, PE coordinate, SIMD lane) tuple maps to
+// DDR addresses of the streamed operands, to the per-PE output register
+// index, and to the drain addresses. This module emits that arithmetic as
+// plain C (shared between the OpenCL kernel and the host), derived from the
+// same schedule math the cycle-accurate simulator executes — and tests
+// compile the emitted header with the system C compiler and cross-check it
+// against BlockSchedule.
+#pragma once
+
+#include <string>
+
+#include "core/design_point.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+struct AddressingInfo {
+  std::string header;     ///< the generated addressing.h text
+  bool in_is_vertical = true;  ///< orientation: IN shifts down (else W does)
+  std::int64_t out_regs_per_pe = 0;
+  std::int64_t num_blocks = 0;
+};
+
+/// Generates the addressing header for a conv design. The nest must be the
+/// canonical conv nest (arrays OUT/W/IN).
+AddressingInfo generate_addressing(const LoopNest& nest,
+                                   const DesignPoint& design,
+                                   const ConvLayerDesc& layer);
+
+}  // namespace sasynth

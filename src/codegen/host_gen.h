@@ -1,0 +1,23 @@
+// Host-program generation: the C/C++ side of the push-button flow (Fig. 6).
+//
+// Produces a self-contained OpenCL host source that allocates the layer's
+// buffers, programs the device with the generated kernel binary, launches
+// the feeder/PE/drain pipeline block by block, and verifies the result
+// against a software reference — mirroring the host template the paper's
+// framework instantiates.
+#pragma once
+
+#include <string>
+
+#include "core/design_point.h"
+#include "fpga/datatype.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+std::string generate_host_program(const LoopNest& nest,
+                                  const DesignPoint& design,
+                                  const ConvLayerDesc& layer, DataType dtype);
+
+}  // namespace sasynth

@@ -1,0 +1,34 @@
+// Source-to-source generation of the systolic OpenCL kernel (paper Fig. 6).
+//
+// Instantiates the design point into an Intel-FPGA-OpenCL-style kernel file:
+// feeder kernels stream the IB/WB contents through channels, an autorun PE
+// grid shifts operands between neighbours, and a drain kernel collects the
+// output shift chain. The generated text is what the paper hands to the
+// Intel SDK; here it is a verifiable artifact (tests parse the parameters
+// back out and check design consistency).
+#pragma once
+
+#include <string>
+
+#include "core/design_point.h"
+#include "fpga/datatype.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+struct KernelSources {
+  std::string kernel_cl;     ///< device code (OpenCL)
+  std::string params_h;      ///< shared parameter header
+  std::string addressing_h;  ///< generated address arithmetic (plain C)
+};
+
+/// Generates the kernel for one layer/design pair. The nest provides loop
+/// names and trip counts; the design provides the mapping, array shape and
+/// tile sizes embedded in the parameter header.
+KernelSources generate_opencl_kernel(const LoopNest& nest,
+                                     const DesignPoint& design,
+                                     const ConvLayerDesc& layer,
+                                     DataType dtype);
+
+}  // namespace sasynth

@@ -1,0 +1,88 @@
+#include "codegen/report_gen.h"
+
+#include "core/roofline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace sasynth {
+
+std::string generate_design_report(const LoopNest& nest,
+                                   const DseCandidate& candidate,
+                                   const ConvLayerDesc& layer,
+                                   const FpgaDevice& device, DataType dtype) {
+  const DesignPoint& design = candidate.design;
+  std::string out;
+  out += "# Systolic Array Design Report\n\n";
+  out += "* Layer: `" + layer.summary() + "`\n";
+  out += "* Device: " + device.summary() + "\n";
+  out += "* Data type: " + data_type_name(dtype) + "\n\n";
+  out += "## Architecture\n\n";
+  out += "* Mapping: `" + design.mapping().to_string(nest) + "`\n";
+  out += "* PE array shape: `" + design.shape().to_string() + "` (" +
+         std::to_string(design.shape().num_pes()) + " PEs, " +
+         std::to_string(design.num_lanes()) + " MAC lanes)\n";
+  out += "* Tiling: `" + design.tiling().to_string() + "`\n\n";
+  out += "## Resources\n\n";
+  out += "* " + candidate.resources.report.summary() + "\n\n";
+  out += "## Performance\n\n";
+  out += "* Estimated (assumed clock): " + candidate.estimate.summary() + "\n";
+  if (candidate.realized_freq_mhz > 0.0) {
+    out += "* Realized (pseudo-P&R clock): " + candidate.realized.summary() +
+           "\n";
+  }
+  out += strformat("* Layer latency: %.3f ms (all %lld groups)\n",
+                   layer_latency_ms(layer, candidate.realized_freq_mhz > 0.0
+                                               ? candidate.realized
+                                               : candidate.estimate),
+                   static_cast<long long>(layer.groups));
+  const RooflinePoint roofline = roofline_point(
+      nest, candidate.design, device, dtype,
+      candidate.realized_freq_mhz > 0.0 ? candidate.realized_freq_mhz
+                                        : candidate.estimate.freq_mhz);
+  out += "* Roofline: " + roofline.summary() + "\n";
+  return out;
+}
+
+std::string generate_dse_report(const LoopNest& nest, const DseResult& result,
+                                const ConvLayerDesc& layer,
+                                const FpgaDevice& device, DataType dtype) {
+  std::string out;
+  out += "# Design Space Exploration Report\n\n";
+  out += "* Layer: `" + layer.summary() + "`\n";
+  out += "* Device: " + device.summary() + "\n";
+  out += "* Data type: " + data_type_name(dtype) + "\n";
+  out += "* " + result.stats.summary() + "\n\n";
+  out += "## Top candidates\n\n";
+
+  AsciiTable table;
+  table.row()
+      .cell("#")
+      .cell("mapping")
+      .cell("shape")
+      .cell("est Gops")
+      .cell("DSP eff")
+      .cell("BRAM")
+      .cell("P&R MHz")
+      .cell("realized Gops");
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    const DseCandidate& c = result.top[i];
+    table.row()
+        .cell(static_cast<std::int64_t>(i + 1))
+        .cell(c.design.mapping().to_string(nest))
+        .cell(c.design.shape().to_string())
+        .cell(c.estimated_gops(), 1)
+        .percent(c.estimate.eff, 2)
+        .cell(c.resources.bram_blocks)
+        .cell(c.realized_freq_mhz, 1)
+        .cell(c.realized_gops(), 1);
+  }
+  out += "```\n" + table.render() + "```\n";
+  if (const DseCandidate* best = result.best()) {
+    out += "\nBest realized design: `" + best->design.to_string(nest) + "` -> " +
+           strformat("%.1f Gops @ %.1f MHz\n", best->realized_gops(),
+                     best->realized_freq_mhz);
+  }
+  return out;
+}
+
+}  // namespace sasynth

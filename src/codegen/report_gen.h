@@ -1,0 +1,26 @@
+// Markdown design-report generation: the human-readable artifact the
+// automation flow emits next to the kernel/host sources.
+#pragma once
+
+#include <string>
+
+#include "core/dse.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+/// One-design report: mapping, shape, tiles, resources, performance.
+std::string generate_design_report(const LoopNest& nest,
+                                   const DseCandidate& candidate,
+                                   const ConvLayerDesc& layer,
+                                   const FpgaDevice& device, DataType dtype);
+
+/// DSE summary report: statistics plus the top-K candidate table.
+std::string generate_dse_report(const LoopNest& nest, const DseResult& result,
+                                const ConvLayerDesc& layer,
+                                const FpgaDevice& device, DataType dtype);
+
+}  // namespace sasynth

@@ -1,0 +1,75 @@
+#include "codegen/template_engine.h"
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+TemplateEngine& TemplateEngine::bind(const std::string& key,
+                                     const std::string& value) {
+  values_[key] = value;
+  return *this;
+}
+
+TemplateEngine& TemplateEngine::bind(const std::string& key, long long value) {
+  values_[key] = std::to_string(value);
+  return *this;
+}
+
+TemplateEngine& TemplateEngine::bind(const std::string& key, double value,
+                                     int decimals) {
+  values_[key] = strformat("%.*f", decimals, value);
+  return *this;
+}
+
+TemplateEngine& TemplateEngine::bind_section(const std::string& key,
+                                             bool enabled) {
+  sections_[key] = enabled;
+  return *this;
+}
+
+std::string TemplateEngine::render(const std::string& text) const {
+  error_.clear();
+  std::string out;
+  std::size_t pos = 0;
+  // Section suppression depth: when > 0 we are inside a disabled section.
+  int suppressed = 0;
+  while (pos < text.size()) {
+    const std::size_t open = text.find("{{", pos);
+    if (open == std::string::npos) {
+      if (suppressed == 0) out.append(text.substr(pos));
+      break;
+    }
+    if (suppressed == 0) out.append(text.substr(pos, open - pos));
+    const std::size_t close = text.find("}}", open + 2);
+    if (close == std::string::npos) {
+      error_ = "unterminated {{ at offset " + std::to_string(open);
+      return "";
+    }
+    const std::string token = text.substr(open + 2, close - open - 2);
+    pos = close + 2;
+    if (!token.empty() && token.front() == '#') {
+      const std::string key = token.substr(1);
+      const auto it = sections_.find(key);
+      if (it == sections_.end()) {
+        error_ = "unbound section '" + key + "'";
+        return "";
+      }
+      if (suppressed > 0 || !it->second) ++suppressed;
+      continue;
+    }
+    if (!token.empty() && token.front() == '/') {
+      if (suppressed > 0) --suppressed;
+      continue;
+    }
+    if (suppressed > 0) continue;
+    const auto it = values_.find(token);
+    if (it == values_.end()) {
+      error_ = "unbound key '" + token + "'";
+      return "";
+    }
+    out.append(it->second);
+  }
+  return out;
+}
+
+}  // namespace sasynth

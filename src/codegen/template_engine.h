@@ -1,0 +1,39 @@
+// Minimal text-template engine for the source-to-source generators.
+//
+// Supports {{key}} substitution and {{#key}}...{{/key}} conditional sections
+// (kept if the key is bound to a truthy value). Unbound {{key}} references
+// are an error, so stale templates fail loudly instead of emitting broken
+// kernels.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace sasynth {
+
+class TemplateEngine {
+ public:
+  TemplateEngine() = default;
+
+  /// Binds a replacement value.
+  TemplateEngine& bind(const std::string& key, const std::string& value);
+  TemplateEngine& bind(const std::string& key, long long value);
+  TemplateEngine& bind(const std::string& key, double value, int decimals = 4);
+
+  /// Binds a section flag: {{#key}}...{{/key}} is kept iff true.
+  TemplateEngine& bind_section(const std::string& key, bool enabled);
+
+  /// Renders `text`, substituting all bindings.
+  /// On error (unbound key, unterminated section) returns an empty string and
+  /// sets error().
+  std::string render(const std::string& text) const;
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> sections_;
+  mutable std::string error_;
+};
+
+}  // namespace sasynth

@@ -1,0 +1,113 @@
+#include "core/design_io.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+constexpr const char* kMagic = "sasynth-design v1";
+}
+
+std::string save_design_text(const DesignPoint& design) {
+  std::string out = std::string(kMagic) + "\n";
+  out += strformat("mapping row=%zu col=%zu vec=%zu\n",
+                   design.mapping().row_loop, design.mapping().col_loop,
+                   design.mapping().vec_loop);
+  out += strformat("shape %lld %lld %lld\n",
+                   static_cast<long long>(design.shape().rows),
+                   static_cast<long long>(design.shape().cols),
+                   static_cast<long long>(design.shape().vec));
+  out += "middle";
+  for (std::size_t l = 0; l < design.tiling().num_loops(); ++l) {
+    out += " " + std::to_string(design.tiling().middle(l));
+  }
+  out += "\n";
+  return out;
+}
+
+DesignLoadResult load_design_text(const std::string& text,
+                                  const LoopNest& nest) {
+  DesignLoadResult result;
+  auto fail = [&](const std::string& msg) {
+    result.error = msg;
+    return result;
+  };
+
+  const std::vector<std::string> lines = split(text, '\n');
+  std::size_t i = 0;
+  auto next_line = [&]() -> std::string {
+    while (i < lines.size()) {
+      const std::string line = trim(lines[i++]);
+      if (!line.empty()) return line;
+    }
+    return "";
+  };
+
+  if (next_line() != kMagic) return fail("missing 'sasynth-design v1' header");
+
+  // mapping row=.. col=.. vec=..
+  const std::vector<std::string> mapping_parts = split_ws(next_line());
+  if (mapping_parts.size() != 4 || mapping_parts[0] != "mapping") {
+    return fail("malformed mapping line");
+  }
+  SystolicMapping mapping;
+  auto parse_role = [&](const std::string& part, const char* key,
+                        std::size_t* out) {
+    const std::string prefix = std::string(key) + "=";
+    if (!starts_with(part, prefix)) return false;
+    char* end = nullptr;
+    const long v = std::strtol(part.c_str() + prefix.size(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+  };
+  if (!parse_role(mapping_parts[1], "row", &mapping.row_loop) ||
+      !parse_role(mapping_parts[2], "col", &mapping.col_loop) ||
+      !parse_role(mapping_parts[3], "vec", &mapping.vec_loop)) {
+    return fail("malformed mapping roles");
+  }
+  if (mapping.row_loop >= nest.num_loops() ||
+      mapping.col_loop >= nest.num_loops() ||
+      mapping.vec_loop >= nest.num_loops()) {
+    return fail("mapping loop index out of range for this nest");
+  }
+
+  // shape r c v
+  const std::vector<std::string> shape_parts = split_ws(next_line());
+  if (shape_parts.size() != 4 || shape_parts[0] != "shape") {
+    return fail("malformed shape line");
+  }
+  ArrayShape shape;
+  shape.rows = std::atoll(shape_parts[1].c_str());
+  shape.cols = std::atoll(shape_parts[2].c_str());
+  shape.vec = std::atoll(shape_parts[3].c_str());
+  if (shape.rows < 1 || shape.cols < 1 || shape.vec < 1) {
+    return fail("shape extents must be >= 1");
+  }
+
+  // middle s...
+  const std::vector<std::string> middle_parts = split_ws(next_line());
+  if (middle_parts.empty() || middle_parts[0] != "middle") {
+    return fail("malformed middle line");
+  }
+  if (middle_parts.size() != nest.num_loops() + 1) {
+    return fail("middle bounds count does not match the nest");
+  }
+  std::vector<std::int64_t> middle;
+  for (std::size_t p = 1; p < middle_parts.size(); ++p) {
+    const std::int64_t v = std::atoll(middle_parts[p].c_str());
+    if (v < 1) return fail("middle bounds must be >= 1");
+    middle.push_back(v);
+  }
+
+  DesignPoint design(nest, mapping, shape, std::move(middle));
+  const std::string validation = design.validate(nest);
+  if (!validation.empty()) return fail("invalid design: " + validation);
+  result.design = std::move(design);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,37 @@
+// Textual save/load of design points.
+//
+// The two-phase flow naturally splits across tool invocations (phase 1
+// emits candidates, phase 2's synthesis runs elsewhere, §4/Fig. 5), so
+// design points need a stable on-disk form. The format is a line-oriented
+// text block:
+//
+//   sasynth-design v1
+//   mapping row=<loop> col=<loop> vec=<loop>
+//   shape <rows> <cols> <vec>
+//   middle <s_0> <s_1> ... <s_n-1>
+//
+// Loads are validated against the target nest; malformed input produces an
+// error message, never a partially initialized design.
+#pragma once
+
+#include <string>
+
+#include "core/design_point.h"
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+/// Serializes a design point.
+std::string save_design_text(const DesignPoint& design);
+
+struct DesignLoadResult {
+  bool ok = false;
+  std::string error;
+  DesignPoint design;
+};
+
+/// Parses and validates against `nest` (loop count, bounds).
+DesignLoadResult load_design_text(const std::string& text,
+                                  const LoopNest& nest);
+
+}  // namespace sasynth

@@ -1,0 +1,67 @@
+#include "core/design_point.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::string ArrayShape::to_string() const {
+  return strformat("(%lld,%lld,%lld)", static_cast<long long>(rows),
+                   static_cast<long long>(cols), static_cast<long long>(vec));
+}
+
+bool ArrayShape::operator==(const ArrayShape& other) const {
+  return rows == other.rows && cols == other.cols && vec == other.vec;
+}
+
+DesignPoint::DesignPoint(const LoopNest& nest, SystolicMapping mapping,
+                         ArrayShape shape, std::vector<std::int64_t> middle)
+    : mapping_(mapping), shape_(shape) {
+  assert(middle.size() == nest.num_loops());
+  std::vector<std::int64_t> inner(nest.num_loops(), 1);
+  inner[mapping.row_loop] = shape.rows;
+  inner[mapping.col_loop] = shape.cols;
+  inner[mapping.vec_loop] = shape.vec;
+  tiling_ = TilingSpec(std::move(middle), std::move(inner));
+}
+
+void DesignPoint::set_middle_bounds(std::vector<std::int64_t> middle) {
+  assert(middle.size() == tiling_.num_loops());
+  tiling_ = TilingSpec(std::move(middle),
+                       std::vector<std::int64_t>(tiling_.inner_bounds()));
+}
+
+std::string DesignPoint::signature() const {
+  std::string sig = mapping_.signature() + "_t" + shape_.to_string() + "_s(";
+  for (std::size_t l = 0; l < tiling_.num_loops(); ++l) {
+    if (l > 0) sig += ",";
+    sig += std::to_string(tiling_.middle(l));
+  }
+  sig += ")";
+  return sig;
+}
+
+std::string DesignPoint::to_string(const LoopNest& nest) const {
+  return mapping_.to_string(nest) + " shape=" + shape_.to_string() + " " +
+         tiling_.to_string();
+}
+
+std::string DesignPoint::validate(const LoopNest& nest) const {
+  if (mapping_.row_loop >= nest.num_loops() ||
+      mapping_.col_loop >= nest.num_loops() ||
+      mapping_.vec_loop >= nest.num_loops()) {
+    return "mapping loop out of range";
+  }
+  if (shape_.rows < 1 || shape_.cols < 1 || shape_.vec < 1) {
+    return "array shape extents must be >= 1";
+  }
+  return tiling_.validate(nest);
+}
+
+bool DesignPoint::operator==(const DesignPoint& other) const {
+  return mapping_ == other.mapping_ && shape_ == other.shape_ &&
+         tiling_ == other.tiling_;
+}
+
+}  // namespace sasynth

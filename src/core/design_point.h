@@ -1,0 +1,70 @@
+// A complete systolic design point: the answer the DSE produces.
+//
+// A DesignPoint fixes the three architecture decisions of §2.3:
+//  1. the feasible mapping (which loop drives PE rows / cols / SIMD lanes),
+//  2. the PE array shape  (inner-loop bounds t of the Fig. 4 representation),
+//  3. the data-reuse strategy (middle-loop bounds s, i.e. tile sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/mapping.h"
+#include "loopnest/loop_nest.h"
+#include "loopnest/tiling.h"
+
+namespace sasynth {
+
+/// The PE array's three parallel extents.
+struct ArrayShape {
+  std::int64_t rows = 1;
+  std::int64_t cols = 1;
+  std::int64_t vec = 1;
+
+  std::int64_t num_pes() const { return rows * cols; }
+  std::int64_t num_lanes() const { return rows * cols * vec; }
+
+  /// "(11,14,8)" as printed in the paper's tables.
+  std::string to_string() const;
+
+  bool operator==(const ArrayShape& other) const;
+};
+
+class DesignPoint {
+ public:
+  DesignPoint() = default;
+
+  /// Builds a design for `nest` from a mapping, a shape, and middle bounds.
+  /// The tiling's inner bounds are derived from (mapping, shape); every
+  /// unmapped loop gets t = 1. `middle` must have one entry per nest loop.
+  DesignPoint(const LoopNest& nest, SystolicMapping mapping, ArrayShape shape,
+              std::vector<std::int64_t> middle);
+
+  const SystolicMapping& mapping() const { return mapping_; }
+  const ArrayShape& shape() const { return shape_; }
+  const TilingSpec& tiling() const { return tiling_; }
+
+  /// Replaces middle bounds (reuse strategy) keeping mapping/shape.
+  void set_middle_bounds(std::vector<std::int64_t> middle);
+
+  /// Total MAC lanes = rows * cols * vec = prod(t).
+  std::int64_t num_lanes() const { return shape_.num_lanes(); }
+
+  /// Stable textual identity for hashing (pseudo-P&R jitter) and logs.
+  std::string signature() const;
+
+  /// "(row=o,col=c,vec=i) shape=(11,13,8) s=(...)".
+  std::string to_string(const LoopNest& nest) const;
+
+  /// Validates against the nest. Empty string when valid.
+  std::string validate(const LoopNest& nest) const;
+
+  bool operator==(const DesignPoint& other) const;
+
+ private:
+  SystolicMapping mapping_;
+  ArrayShape shape_;
+  TilingSpec tiling_;
+};
+
+}  // namespace sasynth

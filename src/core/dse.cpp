@@ -1,0 +1,395 @@
+#include "core/dse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "core/mapping.h"
+#include "fpga/freq_model.h"
+#include "loopnest/conv_nest.h"
+#include "loopnest/reuse.h"
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Flattened, allocation-free evaluator for the DSE inner loop. All model
+/// semantics are identical to resource_model/perf_model; tests assert the
+/// equivalence.
+class LeanModel {
+ public:
+  LeanModel(const LoopNest& nest, const FpgaDevice& device, DataType dtype,
+            double freq_mhz)
+      : device_(device), freq_ghz_(freq_mhz * 1e-3) {
+    num_loops_ = nest.num_loops();
+    trips_ = nest.trip_counts();
+    total_iters_ = nest.total_iterations();
+    for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+      AccessInfo info;
+      const AccessFunction& f = nest.accesses()[a].access;
+      for (const AffineExpr& dim : f.indices) {
+        std::vector<std::int64_t> coeffs(num_loops_);
+        for (std::size_t l = 0; l < num_loops_; ++l) coeffs[l] = dim.coeff(l);
+        info.dims.push_back(std::move(coeffs));
+      }
+      info.bytes_per_elem = bytes_per_element(dtype, nest, a);
+      accesses_.push_back(std::move(info));
+    }
+  }
+
+  struct Eval {
+    double eff = 0.0;
+    std::int64_t bram_blocks = 0;
+    double pt_gops = 0.0;
+    double mt_gops = 0.0;
+    double throughput_gops = 0.0;
+    double dram_traffic_bytes = 0.0;  ///< total off-chip bytes, all blocks
+  };
+
+  /// DSP efficiency for inner bounds t (Eq. 1; middle loops clip, so only
+  /// the array-shape quantization wastes computation). Constant across the
+  /// reuse search for a fixed shape.
+  double efficiency(const std::vector<std::int64_t>& inner) const {
+    double executed = 1.0;
+    for (std::size_t l = 0; l < num_loops_; ++l) {
+      executed *= static_cast<double>(ceil_div(trips_[l], inner[l]) * inner[l]);
+    }
+    return static_cast<double>(total_iters_) / executed;
+  }
+
+  /// Evaluates the full model at block trips b_l = s_l * t_l with the
+  /// precomputed efficiency. `lanes` is prod(t), `num_pes` is rows*cols.
+  Eval evaluate(const std::vector<std::int64_t>& block, double eff,
+                std::int64_t lanes, std::int64_t num_pes) const {
+    Eval out;
+    out.eff = eff;
+    double macs_per_block = 1.0;
+    double num_blocks = 1.0;
+    for (std::size_t l = 0; l < num_loops_; ++l) {
+      macs_per_block *= static_cast<double>(block[l]);
+      num_blocks *= static_cast<double>(ceil_div(trips_[l], block[l]));
+    }
+
+    // Eq. 5/6.
+    double total_bytes = 0.0;
+    double min_port_gops = 1e300;
+    const double eff_ops_per_block = out.eff * 2.0 * macs_per_block;
+    std::int64_t bram = 0;
+    for (const AccessInfo& info : accesses_) {
+      std::int64_t footprint = 1;
+      for (const auto& coeffs : info.dims) {
+        std::int64_t range = 1;
+        for (std::size_t l = 0; l < num_loops_; ++l) {
+          range += coeffs[l] * (block[l] - 1);
+        }
+        footprint *= range;
+      }
+      const double bytes =
+          2.0 * static_cast<double>(round_up_pow2(footprint)) *
+          info.bytes_per_elem;
+      bram += static_cast<std::int64_t>(
+                  std::ceil(bytes / static_cast<double>(device_.bram_bytes()))) +
+              device_.bram_const_per_buffer;
+      const double stream_bytes =
+          static_cast<double>(footprint) * info.bytes_per_elem;
+      total_bytes += stream_bytes;
+      min_port_gops = std::min(
+          min_port_gops,
+          eff_ops_per_block * device_.bw_port_gbs / stream_bytes);
+    }
+    bram += static_cast<std::int64_t>(
+        std::ceil(device_.bram_per_pe * static_cast<double>(num_pes)));
+    out.bram_blocks = bram;
+
+    // Eqs. 7-10.
+    out.pt_gops = out.eff * static_cast<double>(lanes) * 2.0 * freq_ghz_;
+    out.mt_gops = std::min(eff_ops_per_block * device_.bw_total_gbs / total_bytes,
+                           min_port_gops);
+    out.throughput_gops = std::min(out.pt_gops, out.mt_gops);
+    out.dram_traffic_bytes = num_blocks * total_bytes;
+    return out;
+  }
+
+  const std::vector<std::int64_t>& trips() const { return trips_; }
+
+ private:
+  struct AccessInfo {
+    std::vector<std::vector<std::int64_t>> dims;  ///< coeff per (dim, loop)
+    double bytes_per_elem = 0.0;
+  };
+
+  const FpgaDevice& device_;
+  double freq_ghz_;
+  std::size_t num_loops_ = 0;
+  std::vector<std::int64_t> trips_;
+  std::int64_t total_iters_ = 0;
+  std::vector<AccessInfo> accesses_;
+};
+
+/// Candidate middle bounds for one loop: powers of two covering
+/// ceil(trip / t) (or all integers when pow2 pruning is disabled).
+std::vector<std::int64_t> middle_candidates(std::int64_t trip, std::int64_t t,
+                                            bool pow2_only) {
+  const std::int64_t cap = ceil_div(trip, t);
+  if (pow2_only) return pow2_candidates_covering(cap);
+  std::vector<std::int64_t> all(static_cast<std::size_t>(cap));
+  for (std::int64_t v = 1; v <= cap; ++v) all[static_cast<std::size_t>(v - 1)] = v;
+  return all;
+}
+
+}  // namespace
+
+std::string DseStats::summary() const {
+  return strformat(
+      "mappings %lld/%lld feasible; shapes %lld -> %lld after Eq.12 prune; "
+      "reuse evaluated %lld (pow2 space %lld, brute-force space %lld); "
+      "phase1 %.2fs phase2 %.2fs",
+      static_cast<long long>(mappings_feasible),
+      static_cast<long long>(mappings_candidates),
+      static_cast<long long>(shapes_considered),
+      static_cast<long long>(shapes_after_prune),
+      static_cast<long long>(reuse_evaluated),
+      static_cast<long long>(reuse_space_pow2),
+      static_cast<long long>(reuse_space_bruteforce), phase1_seconds,
+      phase2_seconds);
+}
+
+const DseCandidate* DseResult::best() const {
+  const DseCandidate* best = nullptr;
+  for (const DseCandidate& c : top) {
+    if (best == nullptr || c.realized_gops() > best->realized_gops()) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(FpgaDevice device, DataType dtype,
+                                         DseOptions options)
+    : device_(std::move(device)), dtype_(dtype), options_(options) {}
+
+std::vector<ArrayShape> enumerate_shapes(const LoopNest& nest,
+                                         const SystolicMapping& mapping,
+                                         const FpgaDevice& device,
+                                         DataType dtype,
+                                         const DseOptions& options,
+                                         std::int64_t* considered) {
+  const std::int64_t capacity = device_mac_capacity(device, dtype);
+  const std::int64_t min_lanes = static_cast<std::int64_t>(
+      std::ceil(options.min_dsp_util * static_cast<double>(capacity)));
+
+  // An inner extent beyond the next power of two above the trip count only
+  // adds pure waste, so cap each dimension there (and at the global caps).
+  auto dim_cap = [&](std::size_t loop, std::int64_t global_cap) {
+    return std::min(global_cap, round_up_pow2(nest.loop(loop).trip));
+  };
+  const std::int64_t row_cap = dim_cap(mapping.row_loop, options.max_rows);
+  const std::int64_t col_cap = dim_cap(mapping.col_loop, options.max_cols);
+  const std::int64_t vec_cap = dim_cap(mapping.vec_loop, options.max_vec);
+
+  std::vector<std::int64_t> vec_values;
+  if (options.pow2_vec_only) {
+    vec_values = pow2_candidates(vec_cap);
+  } else {
+    for (std::int64_t v = 1; v <= vec_cap; ++v) vec_values.push_back(v);
+  }
+
+  std::vector<ArrayShape> shapes;
+  std::int64_t considered_count = 0;
+  for (std::int64_t rows = 1; rows <= row_cap; ++rows) {
+    for (std::int64_t cols = 1; cols <= col_cap; ++cols) {
+      for (const std::int64_t vec : vec_values) {
+        const std::int64_t lanes = rows * cols * vec;
+        if (lanes > capacity) continue;
+        ++considered_count;
+        if (lanes < min_lanes) continue;  // Eq. 12
+        shapes.push_back(ArrayShape{rows, cols, vec});
+      }
+    }
+  }
+  if (considered != nullptr) *considered += considered_count;
+  return shapes;
+}
+
+bool DesignSpaceExplorer::best_reuse_strategy(const LoopNest& nest,
+                                              const SystolicMapping& mapping,
+                                              const ArrayShape& shape,
+                                              DesignPoint* out,
+                                              DseStats* stats) const {
+  const std::size_t n = nest.num_loops();
+  std::vector<std::int64_t> inner(n, 1);
+  inner[mapping.row_loop] = shape.rows;
+  inner[mapping.col_loop] = shape.cols;
+  inner[mapping.vec_loop] = shape.vec;
+
+  std::vector<std::vector<std::int64_t>> candidates(n);
+  std::int64_t pow2_space = 1;
+  std::int64_t brute_space = 1;
+  for (std::size_t l = 0; l < n; ++l) {
+    candidates[l] =
+        middle_candidates(nest.loop(l).trip, inner[l], options_.pow2_middle);
+    pow2_space *= static_cast<std::int64_t>(
+        pow2_candidates_covering(ceil_div(nest.loop(l).trip, inner[l])).size());
+    brute_space *= ceil_div(nest.loop(l).trip, inner[l]);
+  }
+  if (stats != nullptr) {
+    stats->reuse_space_pow2 += pow2_space;
+    stats->reuse_space_bruteforce += brute_space;
+  }
+
+  const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
+  const std::int64_t lanes = shape.num_lanes();
+  const std::int64_t num_pes = shape.num_pes();
+  const std::int64_t bram_budget = static_cast<std::int64_t>(
+      options_.max_bram_util * static_cast<double>(device_.bram_blocks));
+
+  std::vector<std::int64_t> block(n, 0);
+  std::vector<std::int64_t> best_s;
+  const double eff = model.efficiency(inner);
+  double best_gops = -1.0;
+  double best_traffic = 0.0;
+  std::int64_t best_bram = 0;
+  std::int64_t evaluated = 0;
+
+  // DFS over middle bounds. BRAM is monotone non-decreasing in every s_l, so
+  // once a prefix with all-minimal suffix exceeds the budget, every larger
+  // choice at the current level can be skipped.
+  std::vector<std::int64_t> current(n, 1);
+  auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == n) {
+      for (std::size_t l = 0; l < n; ++l) block[l] = current[l] * inner[l];
+      const LeanModel::Eval eval = model.evaluate(block, eff, lanes, num_pes);
+      ++evaluated;
+      if (eval.bram_blocks > bram_budget) return;
+      // Maximize throughput; among ties, prefer the reuse strategy with the
+      // least total off-chip traffic ("balance data reuse and memory
+      // bandwidth", §2.3), then the smaller buffers.
+      const bool better =
+          best_s.empty() || eval.throughput_gops > best_gops + 1e-12 ||
+          (eval.throughput_gops > best_gops - 1e-12 &&
+           (eval.dram_traffic_bytes < best_traffic * (1.0 - 1e-12) ||
+            (eval.dram_traffic_bytes <= best_traffic * (1.0 + 1e-12) &&
+             eval.bram_blocks < best_bram)));
+      if (better) {
+        best_gops = eval.throughput_gops;
+        best_traffic = eval.dram_traffic_bytes;
+        best_bram = eval.bram_blocks;
+        best_s = current;
+      }
+      return;
+    }
+    for (const std::int64_t s : candidates[depth]) {
+      current[depth] = s;
+      // Prune: lower-bound BRAM with minimal suffix.
+      for (std::size_t l = 0; l < n; ++l) {
+        block[l] = (l <= depth ? current[l] : 1) * inner[l];
+      }
+      const LeanModel::Eval lb = model.evaluate(block, eff, lanes, num_pes);
+      if (lb.bram_blocks > bram_budget) break;  // candidates are ascending
+      self(self, depth + 1);
+    }
+    current[depth] = 1;
+  };
+  dfs(dfs, 0);
+
+  if (stats != nullptr) stats->reuse_evaluated += evaluated;
+  if (best_s.empty()) return false;
+  *out = DesignPoint(nest, mapping, shape, std::move(best_s));
+  return true;
+}
+
+std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
+    const LoopNest& nest, DseStats* stats) const {
+  const auto start = Clock::now();
+  DseStats local;
+  DseStats* st = stats != nullptr ? stats : &local;
+
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  st->mappings_candidates += num_candidate_mappings(nest);
+  const std::vector<SystolicMapping> mappings =
+      enumerate_feasible_mappings(nest, reuse);
+  st->mappings_feasible += static_cast<std::int64_t>(mappings.size());
+
+  std::vector<DseCandidate> candidates;
+  for (const SystolicMapping& mapping : mappings) {
+    const std::vector<ArrayShape> shapes = enumerate_shapes(
+        nest, mapping, device_, dtype_, options_, &st->shapes_considered);
+    st->shapes_after_prune += static_cast<std::int64_t>(shapes.size());
+    for (const ArrayShape& shape : shapes) {
+      DesignPoint design;
+      if (!best_reuse_strategy(nest, mapping, shape, &design, st)) continue;
+      DseCandidate candidate;
+      candidate.design = design;
+      candidate.estimate = estimate_performance(nest, design, device_, dtype_,
+                                                options_.assumed_freq_mhz);
+      candidate.resources = model_resources(nest, design, device_, dtype_);
+      if (options_.enforce_soft_logic && !candidate.resources.report.fits()) {
+        continue;
+      }
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const DseCandidate& a, const DseCandidate& b) {
+              if (a.estimated_gops() != b.estimated_gops()) {
+                return a.estimated_gops() > b.estimated_gops();
+              }
+              return a.resources.bram_blocks < b.resources.bram_blocks;
+            });
+  st->phase1_seconds += seconds_since(start);
+  return candidates;
+}
+
+void DesignSpaceExplorer::run_phase2(const LoopNest& nest,
+                                     std::vector<DseCandidate>& candidates)
+    const {
+  for (DseCandidate& candidate : candidates) {
+    candidate.realized_freq_mhz = pseudo_pnr_frequency_mhz(
+        device_, candidate.resources.report, candidate.design.signature());
+    candidate.realized = estimate_performance(
+        nest, candidate.design, device_, dtype_, candidate.realized_freq_mhz);
+  }
+}
+
+DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
+  DseResult result;
+  std::vector<DseCandidate> all = enumerate_phase1(nest, &result.stats);
+  if (all.empty() && options_.auto_relax_util && options_.min_dsp_util > 0.0) {
+    // The utilization floor excluded every feasible shape (tiny layer or
+    // tight device); relax c_s and retry — the paper's phase 1 rerun knob.
+    DseOptions relaxed = options_;
+    while (all.empty() && relaxed.min_dsp_util > 1e-3) {
+      relaxed.min_dsp_util /= 2.0;
+      const DesignSpaceExplorer retry(device_, dtype_, relaxed);
+      all = retry.enumerate_phase1(nest, &result.stats);
+    }
+    if (all.empty()) {
+      relaxed.min_dsp_util = 0.0;
+      const DesignSpaceExplorer retry(device_, dtype_, relaxed);
+      all = retry.enumerate_phase1(nest, &result.stats);
+    }
+  }
+  const std::size_t keep =
+      std::min<std::size_t>(all.size(), static_cast<std::size_t>(options_.top_k));
+  result.top.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep));
+
+  const auto start = Clock::now();
+  run_phase2(nest, result.top);
+  result.stats.phase2_seconds += seconds_since(start);
+  return result;
+}
+
+DseResult DesignSpaceExplorer::explore_layer(const ConvLayerDesc& layer) const {
+  return explore(build_conv_nest(layer));
+}
+
+}  // namespace sasynth

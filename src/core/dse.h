@@ -1,0 +1,151 @@
+// Two-phase design space exploration (paper §4, Fig. 5).
+//
+// Phase 1 (architectural): enumerate feasible mappings, prune PE array shapes
+// by the DSP-utilization floor (Eq. 12, constant c_s), prune the data-reuse
+// space to power-of-two middle bounds (valid because throughput is monotone
+// non-decreasing in s and BRAM allocation rounds depths up to powers of two),
+// then exhaustively search the remaining space with the analytical models at
+// an assumed clock frequency. Phase 2 (hardware): run the top-K candidates
+// through the pseudo-P&R frequency model and re-rank by realized throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.h"
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+struct DseOptions {
+  /// Clock assumed during phase 1 (the paper uses 280 MHz for Fig. 7a).
+  double assumed_freq_mhz = 280.0;
+
+  /// c_s of Eq. 12: minimum DSP (MAC-capacity) utilization for a shape to
+  /// survive the architectural prune.
+  double min_dsp_util = 0.80;
+
+  /// Restrict middle bounds to powers of two (§4's 17.5x prune). Disabling
+  /// this gives the brute-force reuse search the paper compares against.
+  bool pow2_middle = true;
+
+  /// Candidates carried into phase 2 (the paper carries 14 into P&R).
+  int top_k = 14;
+
+  /// Shape enumeration caps.
+  std::int64_t max_rows = 64;
+  std::int64_t max_cols = 64;
+  std::int64_t max_vec = 16;
+
+  /// SIMD vector restricted to powers of two (DSP accumulation chain, §2.2).
+  bool pow2_vec_only = true;
+
+  /// Upper bound on BRAM utilization for a valid design.
+  double max_bram_util = 1.0;
+
+  /// Also reject designs whose estimated soft logic (LUT/FF) exceeds the
+  /// device. The paper's Problem 2 bounds only DSP and BRAM because its
+  /// designs never approached the ALM limit; on small parts the check
+  /// matters.
+  bool enforce_soft_logic = true;
+
+  /// When phase 1 finds nothing at min_dsp_util (too aggressive a c_s for
+  /// this layer/device), halve the floor and retry until a design appears or
+  /// the floor reaches zero. Keeps the push-button flow push-button.
+  bool auto_relax_util = true;
+};
+
+/// One explored design with its phase-1 estimate and (after phase 2) its
+/// realized clock and throughput.
+struct DseCandidate {
+  DesignPoint design;
+  PerfEstimate estimate;        ///< at the assumed clock
+  ResourceUsage resources;
+  double realized_freq_mhz = 0.0;  ///< 0 until phase 2 runs
+  PerfEstimate realized;           ///< at the realized clock
+
+  double estimated_gops() const { return estimate.throughput_gops; }
+  double realized_gops() const { return realized.throughput_gops; }
+};
+
+/// Search-space statistics (the quantities behind the paper's §4 claims).
+struct DseStats {
+  std::int64_t mappings_candidates = 0;  ///< ordered loop triples examined
+  std::int64_t mappings_feasible = 0;
+  std::int64_t shapes_considered = 0;    ///< (mapping, t) within DSP capacity
+  std::int64_t shapes_after_prune = 0;   ///< after Eq. 12
+  std::int64_t reuse_evaluated = 0;      ///< s-vectors actually evaluated
+  /// Size of the unpruned (all-integer s) reuse space for the surviving
+  /// shapes — computed analytically, not enumerated.
+  std::int64_t reuse_space_bruteforce = 0;
+  /// Size of the pow2-restricted reuse space before BRAM pruning.
+  std::int64_t reuse_space_pow2 = 0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+
+  std::string summary() const;
+};
+
+struct DseResult {
+  /// Top candidates sorted by estimated throughput (desc), each with phase-2
+  /// realized numbers filled in.
+  std::vector<DseCandidate> top;
+  DseStats stats;
+
+  /// Highest realized throughput (empty result if nothing valid was found).
+  const DseCandidate* best() const;
+  bool empty() const { return top.empty(); }
+};
+
+class DesignSpaceExplorer {
+ public:
+  DesignSpaceExplorer(FpgaDevice device, DataType dtype, DseOptions options);
+
+  /// Full two-phase DSE for one loop nest (one layer, one group).
+  DseResult explore(const LoopNest& nest) const;
+
+  /// Convenience: builds the conv nest and explores it.
+  DseResult explore_layer(const ConvLayerDesc& layer) const;
+
+  /// Phase-1 only: all valid candidates (design + estimate) without the
+  /// top-K cut; used by the Fig. 7(a) design-space dump. `per_shape_best`
+  /// keeps only the best reuse strategy per (mapping, shape).
+  std::vector<DseCandidate> enumerate_phase1(const LoopNest& nest,
+                                             DseStats* stats) const;
+
+  /// Optimal middle bounds for a fixed (mapping, shape) — Problem 2 of §3.5.
+  /// Returns false if no reuse strategy fits the BRAM budget.
+  bool best_reuse_strategy(const LoopNest& nest, const SystolicMapping& mapping,
+                           const ArrayShape& shape, DesignPoint* out,
+                           DseStats* stats) const;
+
+  /// Runs phase 2 on candidates (pseudo-P&R + re-estimate), in place.
+  void run_phase2(const LoopNest& nest, std::vector<DseCandidate>& candidates)
+      const;
+
+  const FpgaDevice& device() const { return device_; }
+  DataType dtype() const { return dtype_; }
+  const DseOptions& options() const { return options_; }
+
+ private:
+  FpgaDevice device_;
+  DataType dtype_;
+  DseOptions options_;
+};
+
+/// All PE-array shapes for `mapping` that pass the capacity and Eq. 12
+/// utilization constraints. `considered` (optional) counts pre-prune shapes.
+std::vector<ArrayShape> enumerate_shapes(const LoopNest& nest,
+                                         const SystolicMapping& mapping,
+                                         const FpgaDevice& device,
+                                         DataType dtype,
+                                         const DseOptions& options,
+                                         std::int64_t* considered = nullptr);
+
+}  // namespace sasynth

@@ -1,0 +1,147 @@
+#include "core/mapping.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::string SystolicMapping::to_string(const LoopNest& nest) const {
+  return strformat("(row=%s, col=%s, vec=%s)",
+                   nest.loop(row_loop).name.c_str(),
+                   nest.loop(col_loop).name.c_str(),
+                   nest.loop(vec_loop).name.c_str());
+}
+
+std::string SystolicMapping::signature() const {
+  return strformat("m%zu_%zu_%zu", row_loop, col_loop, vec_loop);
+}
+
+bool SystolicMapping::operator==(const SystolicMapping& other) const {
+  return row_loop == other.row_loop && col_loop == other.col_loop &&
+         vec_loop == other.vec_loop;
+}
+
+namespace {
+
+bool loops_distinct(const SystolicMapping& m) {
+  return m.row_loop != m.col_loop && m.row_loop != m.vec_loop &&
+         m.col_loop != m.vec_loop;
+}
+
+/// Indices of the read accesses and the reduce access in the nest.
+struct AccessRoles {
+  std::size_t reduce = LoopNest::npos;
+  std::vector<std::size_t> reads;
+};
+
+AccessRoles classify_accesses(const LoopNest& nest) {
+  AccessRoles roles;
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    if (nest.accesses()[a].role == AccessRole::kReduce) roles.reduce = a;
+    else roles.reads.push_back(a);
+  }
+  return roles;
+}
+
+}  // namespace
+
+bool satisfies_reuse_condition(const LoopNest& nest, const ReuseMatrix& reuse,
+                               const SystolicMapping& mapping) {
+  if (!loops_distinct(mapping)) return false;
+  if (mapping.row_loop >= nest.num_loops() ||
+      mapping.col_loop >= nest.num_loops() ||
+      mapping.vec_loop >= nest.num_loops()) {
+    return false;
+  }
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    const bool covered = reuse.carries_reuse(a, mapping.row_loop) ||
+                         reuse.carries_reuse(a, mapping.col_loop) ||
+                         reuse.carries_reuse(a, mapping.vec_loop);
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_feasible_mapping(const LoopNest& nest, const ReuseMatrix& reuse,
+                         const SystolicMapping& mapping, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (!loops_distinct(mapping)) return fail("mapped loops must be distinct");
+  if (mapping.row_loop >= nest.num_loops() ||
+      mapping.col_loop >= nest.num_loops() ||
+      mapping.vec_loop >= nest.num_loops()) {
+    return fail("mapped loop index out of range");
+  }
+
+  const AccessRoles roles = classify_accesses(nest);
+  assert(roles.reduce != LoopNest::npos);
+  if (roles.reads.size() != 2) {
+    return fail("systolic mapping requires exactly two operand arrays");
+  }
+
+  // SIMD lanes combine partial sums through the accumulation chain, so the
+  // vec loop must carry the reduction array's reuse (every lane writes the
+  // same output element).
+  if (!reuse.carries_reuse(roles.reduce, mapping.vec_loop)) {
+    return fail("vec loop does not carry reuse of the reduction array");
+  }
+
+  // The array shifted vertically (down PE rows) is shared by all PEs of a
+  // column, so the row loop must carry its reuse; symmetrically for the
+  // horizontally shifted array and the col loop. Either operand may take
+  // either direction.
+  const std::size_t a0 = roles.reads[0];
+  const std::size_t a1 = roles.reads[1];
+  const bool orient0 = reuse.carries_reuse(a0, mapping.row_loop) &&
+                       reuse.carries_reuse(a1, mapping.col_loop);
+  const bool orient1 = reuse.carries_reuse(a1, mapping.row_loop) &&
+                       reuse.carries_reuse(a0, mapping.col_loop);
+  if (!orient0 && !orient1) {
+    return fail(
+        "row/col loops do not carry the reuse of the two shifted operand "
+        "arrays");
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+std::vector<SystolicMapping> enumerate_reuse_condition_mappings(
+    const LoopNest& nest, const ReuseMatrix& reuse) {
+  std::vector<SystolicMapping> out;
+  const std::size_t n = nest.num_loops();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const SystolicMapping m{r, c, v};
+        if (satisfies_reuse_condition(nest, reuse, m)) out.push_back(m);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SystolicMapping> enumerate_feasible_mappings(
+    const LoopNest& nest, const ReuseMatrix& reuse) {
+  std::vector<SystolicMapping> out;
+  const std::size_t n = nest.num_loops();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const SystolicMapping m{r, c, v};
+        if (is_feasible_mapping(nest, reuse, m)) out.push_back(m);
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t num_candidate_mappings(const LoopNest& nest) {
+  const auto n = static_cast<std::int64_t>(nest.num_loops());
+  if (n < 3) return 0;
+  return n * (n - 1) * (n - 2);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,71 @@
+// Loop-to-architecture mapping and its feasibility condition (paper §3.2).
+//
+// A systolic mapping selects three loops of the nest and assigns them to the
+// three parallel hardware dimensions:
+//   row : the vertical PE dimension  — input pixels (IN) shift down it
+//   col : the horizontal PE dimension — weights (W) shift right along it
+//   vec : the SIMD lanes inside a PE  — partial sums accumulate across them
+//
+// Feasibility (Eq. 2 + architecture): each of the three arrays must have
+// fine-grained reuse carried by one of the chosen loops; specifically the
+// loop mapped to a shift direction must carry the reuse of the array shifted
+// across that direction (so neighbouring PEs can share the value by local
+// shifting), and the vec loop must carry the reuse of the reduction array
+// (so lanes can combine through the DSP accumulation chain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loopnest/loop_nest.h"
+#include "loopnest/reuse.h"
+
+namespace sasynth {
+
+struct SystolicMapping {
+  std::size_t row_loop = 0;
+  std::size_t col_loop = 0;
+  std::size_t vec_loop = 0;
+
+  bool uses_loop(std::size_t loop) const {
+    return loop == row_loop || loop == col_loop || loop == vec_loop;
+  }
+
+  /// "(row=o, col=c, vec=i)" given the nest's iterator names.
+  std::string to_string(const LoopNest& nest) const;
+
+  /// Stable signature used for hashing/deduplication.
+  std::string signature() const;
+
+  bool operator==(const SystolicMapping& other) const;
+};
+
+/// The paper's published condition (Eq. 2 / Problem 1): three distinct loops
+/// such that every array has fine-grained reuse on at least one of them.
+/// Direction-agnostic — it accepts permutations the architecture cannot use.
+bool satisfies_reuse_condition(const LoopNest& nest, const ReuseMatrix& reuse,
+                               const SystolicMapping& mapping);
+
+/// The architectural condition actually required by the array of Figs. 1-2
+/// (see header comment). Implies satisfies_reuse_condition.
+/// If `why` is non-null it receives a diagnostic on failure.
+bool is_feasible_mapping(const LoopNest& nest, const ReuseMatrix& reuse,
+                         const SystolicMapping& mapping,
+                         std::string* why = nullptr);
+
+/// All ordered loop triples satisfying the weak reuse condition (Eq. 2).
+std::vector<SystolicMapping> enumerate_reuse_condition_mappings(
+    const LoopNest& nest, const ReuseMatrix& reuse);
+
+/// All ordered triples feasible for the architecture. For the convolution
+/// nest of Code 1 this yields 12 mappings (vec in {i,p,q}; {row,col} an
+/// ordered pair of the o-loop and one of {c,r}).
+std::vector<SystolicMapping> enumerate_feasible_mappings(
+    const LoopNest& nest, const ReuseMatrix& reuse);
+
+/// Number of ordered loop triples examined by the enumerators
+/// (n * (n-1) * (n-2)); exposed for the DSE statistics.
+std::int64_t num_candidate_mappings(const LoopNest& nest);
+
+}  // namespace sasynth

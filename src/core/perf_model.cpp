@@ -1,0 +1,86 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+double dsp_efficiency(const LoopNest& nest, const DesignPoint& design) {
+  return design.tiling().efficiency(nest);
+}
+
+PerfEstimate estimate_performance(const LoopNest& nest,
+                                  const DesignPoint& design,
+                                  const FpgaDevice& device, DataType dtype,
+                                  double freq_mhz) {
+  PerfEstimate perf;
+  const TilingSpec& tiling = design.tiling();
+  perf.freq_mhz = freq_mhz;
+  perf.eff = tiling.efficiency(nest);
+
+  // Eq. 8: every lane completes one multiply + one accumulate per cycle.
+  const double lanes = static_cast<double>(design.num_lanes());
+  const double freq_ghz = freq_mhz * 1e-3;
+  perf.pt_gops = perf.eff * lanes * 2.0 * freq_ghz;
+
+  // Eq. 10: effective ops per block over that block's transfer time.
+  const double eff_ops_per_block =
+      perf.eff * 2.0 * static_cast<double>(tiling.macs_per_block());
+  double total_bytes = 0.0;
+  perf.mt_port_gops.clear();
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    const double bytes =
+        static_cast<double>(tiling.footprint_elems(nest.accesses()[a].access)) *
+        bytes_per_element(dtype, nest, a);
+    total_bytes += bytes;
+    // Port time in ns = bytes / (GB/s); rate in Gops = ops / ns.
+    const double port_time_ns = bytes / device.bw_port_gbs;
+    perf.mt_port_gops.push_back(eff_ops_per_block / port_time_ns);
+  }
+  const double total_time_ns = total_bytes / device.bw_total_gbs;
+  perf.mt_total_gops = eff_ops_per_block / total_time_ns;
+
+  // Eq. 9.
+  perf.mt_gops = perf.mt_total_gops;
+  for (const double port : perf.mt_port_gops) {
+    perf.mt_gops = std::min(perf.mt_gops, port);
+  }
+
+  // Eq. 7.
+  perf.throughput_gops = std::min(perf.pt_gops, perf.mt_gops);
+  perf.memory_bound = perf.mt_gops < perf.pt_gops;
+
+  perf.num_blocks = tiling.num_blocks(nest);
+  perf.cycles_per_block = tiling.cycles_per_block();
+  perf.fill_drain_cycles = design.shape().rows + design.shape().cols - 2;
+  return perf;
+}
+
+double layer_latency_ms(const ConvLayerDesc& layer, const PerfEstimate& perf) {
+  assert(perf.throughput_gops > 0.0);
+  const double ops = static_cast<double>(layer.total_ops());
+  return ops / (perf.throughput_gops * 1e9) * 1e3;
+}
+
+std::int64_t modeled_compute_cycles(const LoopNest& nest,
+                                    const DesignPoint& design) {
+  const TilingSpec& tiling = design.tiling();
+  // Boundary blocks clip their middle loops, so the steady-state cycle count
+  // is the total wavefront count, not blocks * full-block wavefronts.
+  const std::int64_t steady = tiling.total_wavefronts(nest);
+  const std::int64_t skew = design.shape().rows + design.shape().cols - 2;
+  return steady + skew;
+}
+
+std::string PerfEstimate::summary() const {
+  return strformat(
+      "T=%.1f Gops (PT=%.1f, MT=%.1f%s) eff=%.2f%% @%.1f MHz, %lld blocks x "
+      "%lld cycles",
+      throughput_gops, pt_gops, mt_gops, memory_bound ? ", memory-bound" : "",
+      eff * 100.0, freq_mhz, static_cast<long long>(num_blocks),
+      static_cast<long long>(cycles_per_block));
+}
+
+}  // namespace sasynth

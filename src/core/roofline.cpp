@@ -1,0 +1,63 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+RooflinePoint roofline_point(const LoopNest& nest, const DesignPoint& design,
+                             const FpgaDevice& device, DataType dtype,
+                             double freq_mhz) {
+  RooflinePoint point;
+  const TilingSpec& tiling = design.tiling();
+  const double eff = tiling.efficiency(nest);
+
+  double block_bytes = 0.0;
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    block_bytes +=
+        static_cast<double>(tiling.footprint_elems(nest.accesses()[a].access)) *
+        bytes_per_element(dtype, nest, a);
+  }
+  const double eff_ops_per_block =
+      eff * 2.0 * static_cast<double>(tiling.macs_per_block());
+
+  point.operational_intensity = eff_ops_per_block / block_bytes;
+  point.compute_roof_gops =
+      eff * static_cast<double>(design.num_lanes()) * 2.0 * freq_mhz * 1e-3;
+  point.memory_roof_gops = point.operational_intensity * device.bw_total_gbs;
+  point.attainable_gops =
+      std::min(point.compute_roof_gops, point.memory_roof_gops);
+  point.ridge_intensity = point.compute_roof_gops / device.bw_total_gbs;
+  point.memory_bound = point.memory_roof_gops < point.compute_roof_gops;
+  return point;
+}
+
+std::vector<BandwidthSweepSample> sweep_bandwidth(
+    const LoopNest& nest, const DesignPoint& design, const FpgaDevice& device,
+    DataType dtype, double freq_mhz, const std::vector<double>& bandwidths) {
+  std::vector<BandwidthSweepSample> samples;
+  samples.reserve(bandwidths.size());
+  for (const double bw : bandwidths) {
+    FpgaDevice d = device;
+    d.bw_total_gbs = bw;
+    d.bw_port_gbs = std::min(device.bw_port_gbs, bw);
+    const PerfEstimate perf =
+        estimate_performance(nest, design, d, dtype, freq_mhz);
+    samples.push_back(
+        BandwidthSweepSample{bw, perf.throughput_gops, perf.memory_bound});
+  }
+  return samples;
+}
+
+std::string RooflinePoint::summary() const {
+  return strformat(
+      "intensity %.1f ops/B; roofs: compute %.1f, memory %.1f Gops -> "
+      "attainable %.1f Gops (%s-bound; ridge at %.1f ops/B)",
+      operational_intensity, compute_roof_gops, memory_roof_gops,
+      attainable_gops, memory_bound ? "memory" : "compute", ridge_intensity);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,58 @@
+// Roofline analysis of systolic designs.
+//
+// The paper positions its model against roofline-based DSE ([6], Zhang et
+// al. FPGA'15): a design's attainable throughput is
+//   min(peak_compute, operational_intensity * bandwidth).
+// This module computes the roofline coordinates of a design point — its
+// operational intensity (effective ops per DRAM byte, a function of the
+// reuse strategy) and the two roofs — so the ablation benches can show where
+// each reuse strategy sits and where the compute/memory crossover falls.
+// It is exactly Eqs. 7-10 re-expressed in roofline form; tests assert the
+// equivalence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+struct RooflinePoint {
+  /// Effective operations per byte moved to/from DRAM (per block; identical
+  /// in steady state).
+  double operational_intensity = 0.0;
+  /// Compute roof at the given clock: Eff * lanes * 2 * F (Gops).
+  double compute_roof_gops = 0.0;
+  /// Memory roof: intensity * BW_total (Gops).
+  double memory_roof_gops = 0.0;
+  /// min of the roofs — equals Eq. 7's T up to the per-port refinement.
+  double attainable_gops = 0.0;
+  /// Intensity at which the roofs cross for this design's compute roof.
+  double ridge_intensity = 0.0;
+  bool memory_bound = false;
+
+  std::string summary() const;
+};
+
+RooflinePoint roofline_point(const LoopNest& nest, const DesignPoint& design,
+                             const FpgaDevice& device, DataType dtype,
+                             double freq_mhz);
+
+/// Intensity/throughput samples for a bandwidth sweep of one design: the
+/// crossover bandwidth below which the design turns memory-bound.
+struct BandwidthSweepSample {
+  double bandwidth_gbs = 0.0;
+  double throughput_gops = 0.0;
+  bool memory_bound = false;
+};
+
+std::vector<BandwidthSweepSample> sweep_bandwidth(
+    const LoopNest& nest, const DesignPoint& design, const FpgaDevice& device,
+    DataType dtype, double freq_mhz, const std::vector<double>& bandwidths);
+
+}  // namespace sasynth

@@ -1,0 +1,280 @@
+#include "core/unified.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/mapping.h"
+#include "fpga/freq_model.h"
+#include "loopnest/conv_nest.h"
+#include "loopnest/reuse.h"
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+/// Builds a synthetic nest whose trip counts are the per-position maxima over
+/// all layers — the envelope used for shape caps and reuse-candidate bounds.
+LoopNest envelope_nest(const std::vector<LoopNest>& nests) {
+  assert(!nests.empty());
+  LoopNest env;
+  for (std::size_t l = 0; l < nests.front().num_loops(); ++l) {
+    std::int64_t trip = 1;
+    for (const LoopNest& nest : nests) trip = std::max(trip, nest.loop(l).trip);
+    env.add_loop(nests.front().loop(l).name, trip);
+  }
+  for (const ArrayAccess& a : nests.front().accesses()) env.add_access(a);
+  return env;
+}
+
+/// Aggregate over layers for one fully specified design.
+struct AggregateEval {
+  double total_latency_ms = 0.0;
+  double aggregate_gops = 0.0;
+  double dram_traffic_bytes = 0.0;
+  std::int64_t max_bram = 0;
+  bool valid = false;
+};
+
+AggregateEval evaluate_aggregate(const Network& net,
+                                 const std::vector<LoopNest>& nests,
+                                 const DesignPoint& design,
+                                 const FpgaDevice& device, DataType dtype,
+                                 double freq_mhz, std::int64_t bram_budget) {
+  AggregateEval out;
+  double latency_ms = 0.0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const PerfEstimate perf =
+        estimate_performance(nests[i], design, device, dtype, freq_mhz);
+    if (perf.throughput_gops <= 0.0) return out;
+    latency_ms += layer_latency_ms(net.layers[i], perf);
+    out.max_bram = std::max(
+        out.max_bram, bram_usage_blocks(nests[i], design, device, dtype));
+    double block_bytes = 0.0;
+    for (std::size_t a = 0; a < nests[i].num_accesses(); ++a) {
+      block_bytes += static_cast<double>(design.tiling().footprint_elems(
+                         nests[i].accesses()[a].access)) *
+                     bytes_per_element(dtype, nests[i], a);
+    }
+    out.dram_traffic_bytes +=
+        block_bytes * static_cast<double>(design.tiling().num_blocks(nests[i])) *
+        static_cast<double>(net.layers[i].groups);
+  }
+  if (out.max_bram > bram_budget) return out;
+  out.total_latency_ms = latency_ms;
+  out.aggregate_gops =
+      static_cast<double>(net.total_ops()) / (latency_ms * 1e-3) * 1e-9;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+UnifiedDesign evaluate_unified_design(const Network& net,
+                                      const DesignPoint& design,
+                                      const FpgaDevice& device, DataType dtype,
+                                      double freq_mhz) {
+  UnifiedDesign result;
+  result.design = design;
+  result.realized_freq_mhz = freq_mhz;
+  double latency_ms = 0.0;
+  std::int64_t max_bram = 0;
+  std::size_t worst_layer = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LoopNest nest = build_conv_nest(net.layers[i]);
+    LayerPerf lp;
+    lp.layer = net.layers[i].name;
+    lp.perf = estimate_performance(nest, design, device, dtype, freq_mhz);
+    lp.latency_ms = layer_latency_ms(net.layers[i], lp.perf);
+    latency_ms += lp.latency_ms;
+    const std::int64_t bram = bram_usage_blocks(nest, design, device, dtype);
+    if (bram > max_bram) {
+      max_bram = bram;
+      worst_layer = i;
+    }
+    result.per_layer.push_back(std::move(lp));
+  }
+  const LoopNest worst_nest = build_conv_nest(net.layers[worst_layer]);
+  result.resources = model_resources(worst_nest, design, device, dtype);
+  result.total_latency_ms = latency_ms;
+  result.aggregate_gops =
+      static_cast<double>(net.total_ops()) / (latency_ms * 1e-3) * 1e-9;
+  result.valid = true;
+  return result;
+}
+
+UnifiedDesign select_unified_design(const Network& net,
+                                    const FpgaDevice& device, DataType dtype,
+                                    const UnifiedOptions& options) {
+  UnifiedDesign failure;
+  if (net.layers.empty()) return failure;
+
+  std::vector<LoopNest> nests;
+  nests.reserve(net.layers.size());
+  for (const ConvLayerDesc& layer : net.layers) {
+    nests.push_back(build_conv_nest(layer));
+  }
+  const LoopNest env = envelope_nest(nests);
+  const ReuseMatrix reuse = analyze_reuse(env);
+  const std::vector<SystolicMapping> mappings =
+      enumerate_feasible_mappings(env, reuse);
+
+  const DseOptions& dse = options.dse;
+  const double freq = dse.assumed_freq_mhz;
+
+  // Stage 1: shortlist (mapping, shape) pairs by the compute-bound score
+  // (sum of per-layer latencies assuming s = 1 efficiency — an optimistic
+  // but shape-faithful proxy).
+  struct Scored {
+    SystolicMapping mapping;
+    ArrayShape shape;
+    double score;  ///< aggregate compute-bound Gops
+  };
+  std::vector<Scored> scored;
+  for (const SystolicMapping& mapping : mappings) {
+    const std::vector<ArrayShape> shapes =
+        enumerate_shapes(env, mapping, device, dtype, dse, nullptr);
+    for (const ArrayShape& shape : shapes) {
+      double latency_s = 0.0;
+      for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
+        const DesignPoint probe(nests[i], mapping, shape, std::move(ones));
+        const double eff = dsp_efficiency(nests[i], probe);
+        const double gops = eff * static_cast<double>(shape.num_lanes()) *
+                            2.0 * freq * 1e-3;
+        latency_s +=
+            static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
+      }
+      scored.push_back(Scored{
+          mapping, shape,
+          static_cast<double>(net.total_ops()) / latency_s * 1e-9});
+    }
+  }
+  if (scored.empty()) return failure;
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  const std::size_t shortlist = std::min<std::size_t>(
+      scored.size(), static_cast<std::size_t>(options.shape_shortlist));
+
+  // Stage 2: unified reuse-strategy search for each shortlisted pair.
+  const std::int64_t bram_budget = static_cast<std::int64_t>(
+      dse.max_bram_util * static_cast<double>(device.bram_blocks));
+
+  struct UnifiedCandidate {
+    DesignPoint design;
+    double est_gops = 0.0;
+    double traffic = 0.0;
+    std::int64_t max_bram = 0;
+  };
+  std::vector<UnifiedCandidate> candidates;
+  for (std::size_t idx = 0; idx < shortlist; ++idx) {
+    const SystolicMapping& mapping = scored[idx].mapping;
+    const ArrayShape& shape = scored[idx].shape;
+    const std::size_t n = env.num_loops();
+    std::vector<std::int64_t> inner(n, 1);
+    inner[mapping.row_loop] = shape.rows;
+    inner[mapping.col_loop] = shape.cols;
+    inner[mapping.vec_loop] = shape.vec;
+
+    std::vector<std::vector<std::int64_t>> cand(n);
+    for (std::size_t l = 0; l < n; ++l) {
+      cand[l] = dse.pow2_middle
+                    ? pow2_candidates_covering(ceil_div(env.loop(l).trip, inner[l]))
+                    : [&] {
+                        std::vector<std::int64_t> all;
+                        for (std::int64_t v = 1;
+                             v <= ceil_div(env.loop(l).trip, inner[l]); ++v) {
+                          all.push_back(v);
+                        }
+                        return all;
+                      }();
+    }
+
+    std::vector<std::int64_t> current(n, 1);
+    UnifiedCandidate best;
+    bool found = false;
+    auto dfs = [&](auto&& self, std::size_t depth) -> void {
+      if (depth == n) {
+        const DesignPoint design(nests.front(), mapping, shape,
+                                 std::vector<std::int64_t>(current));
+        const AggregateEval eval = evaluate_aggregate(
+            net, nests, design, device, dtype, freq, bram_budget);
+        if (!eval.valid) return;
+        const bool better =
+            !found || eval.aggregate_gops > best.est_gops + 1e-12 ||
+            (eval.aggregate_gops > best.est_gops - 1e-12 &&
+             (eval.dram_traffic_bytes < best.traffic * (1.0 - 1e-12) ||
+              (eval.dram_traffic_bytes <= best.traffic * (1.0 + 1e-12) &&
+               eval.max_bram < best.max_bram)));
+        if (better) {
+          best = UnifiedCandidate{design, eval.aggregate_gops,
+                                  eval.dram_traffic_bytes, eval.max_bram};
+          found = true;
+        }
+        return;
+      }
+      for (const std::int64_t s : cand[depth]) {
+        current[depth] = s;
+        // Monotone BRAM prune: minimal suffix on the first layer's nest.
+        std::vector<std::int64_t> mids(n, 1);
+        for (std::size_t l = 0; l <= depth; ++l) mids[l] = current[l];
+        const DesignPoint probe(nests.front(), mapping, shape, std::move(mids));
+        if (bram_usage_blocks(nests.front(), probe, device, dtype) >
+            bram_budget) {
+          break;
+        }
+        self(self, depth + 1);
+      }
+      current[depth] = 1;
+    };
+    dfs(dfs, 0);
+    if (found) candidates.push_back(std::move(best));
+  }
+  if (candidates.empty()) return failure;
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const UnifiedCandidate& a, const UnifiedCandidate& b) {
+              if (a.est_gops != b.est_gops) return a.est_gops > b.est_gops;
+              return a.max_bram < b.max_bram;
+            });
+
+  // Stage 3 (phase 2 of Fig. 5): pseudo-P&R the top-K, pick best realized.
+  const std::size_t keep = std::min<std::size_t>(
+      candidates.size(), static_cast<std::size_t>(dse.top_k));
+  UnifiedDesign best_result;
+  for (std::size_t i = 0; i < keep; ++i) {
+    const DesignPoint& design = candidates[i].design;
+    // Resource report from the worst-case layer for the frequency model.
+    UnifiedDesign eval =
+        evaluate_unified_design(net, design, device, dtype, freq);
+    if (dse.enforce_soft_logic && !eval.resources.report.fits()) continue;
+    const double realized = pseudo_pnr_frequency_mhz(
+        device, eval.resources.report, design.signature());
+    UnifiedDesign realized_eval =
+        evaluate_unified_design(net, design, device, dtype, realized);
+    if (!best_result.valid ||
+        realized_eval.aggregate_gops > best_result.aggregate_gops) {
+      best_result = std::move(realized_eval);
+    }
+  }
+  return best_result;
+}
+
+std::string UnifiedDesign::summary(const Network& net) const {
+  std::string out = strformat(
+      "%s unified design: shape=%s @%.1f MHz -> %.1f Gops, %.2f ms/image\n",
+      net.name.c_str(), design.shape().to_string().c_str(), realized_freq_mhz,
+      aggregate_gops, total_latency_ms);
+  out += "  " + resources.report.summary() + "\n";
+  for (const LayerPerf& lp : per_layer) {
+    out += strformat("  %-10s %8.1f Gops  eff %6.2f%%  %8.3f ms%s\n",
+                     lp.layer.c_str(), lp.perf.throughput_gops,
+                     lp.perf.eff * 100.0, lp.latency_ms,
+                     lp.perf.memory_bound ? "  [memory-bound]" : "");
+  }
+  return out;
+}
+
+}  // namespace sasynth

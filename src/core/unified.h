@@ -1,0 +1,70 @@
+// Cross-layer unified design selection (paper §5.3).
+//
+// Reprogramming the FPGA between layers is too expensive, so one systolic
+// configuration (mapping, shape, reuse strategy) must serve every conv layer
+// of the network. The selector maximizes aggregate throughput
+// total_ops / sum_l (ops_l / T_l(design)) over the same pruned space the
+// single-layer DSE uses, then picks the final design through the phase-2
+// pseudo-P&R refinement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.h"
+#include "core/dse.h"
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "nn/network.h"
+
+namespace sasynth {
+
+struct UnifiedOptions {
+  DseOptions dse;
+  /// (mapping, shape) pairs shortlisted by the compute-bound score before the
+  /// expensive unified reuse search runs on them.
+  int shape_shortlist = 48;
+};
+
+/// Per-layer outcome of a unified design.
+struct LayerPerf {
+  std::string layer;
+  PerfEstimate perf;
+  double latency_ms = 0.0;
+
+  double throughput_gops() const { return perf.throughput_gops; }
+  double eff() const { return perf.eff; }
+};
+
+struct UnifiedDesign {
+  DesignPoint design;
+  double realized_freq_mhz = 0.0;
+  ResourceUsage resources;          ///< worst case across layers
+  std::vector<LayerPerf> per_layer;
+  double total_latency_ms = 0.0;    ///< one image through all conv layers
+  double aggregate_gops = 0.0;      ///< total ops / total latency
+  bool valid = false;
+
+  std::string summary(const Network& net) const;
+};
+
+/// Evaluates a given design on every layer of the network at `freq_mhz`
+/// (the evaluation half of the selector; also used to score the paper's
+/// published configurations in the benches).
+UnifiedDesign evaluate_unified_design(const Network& net,
+                                      const DesignPoint& design,
+                                      const FpgaDevice& device, DataType dtype,
+                                      double freq_mhz);
+
+/// Full selection: shortlist (mapping, shape) pairs, search the unified reuse
+/// strategy for each, carry the top-K through pseudo-P&R, return the design
+/// with the best realized aggregate throughput. `valid == false` when the
+/// network/space admits no design.
+UnifiedDesign select_unified_design(const Network& net,
+                                    const FpgaDevice& device, DataType dtype,
+                                    const UnifiedOptions& options = {});
+
+}  // namespace sasynth

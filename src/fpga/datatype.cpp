@@ -1,0 +1,71 @@
+#include "fpga/datatype.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace sasynth {
+
+namespace {
+
+constexpr DataTypeInfo kFloat32Info{
+    /*name=*/"float32",
+    /*weight_bits=*/32,
+    /*pixel_bits=*/32,
+    /*accum_bits=*/32,
+    /*macs_per_dsp_block=*/1.0,
+    /*luts_per_lane=*/120,
+    /*ffs_per_lane=*/180,
+};
+
+constexpr DataTypeInfo kFixed816Info{
+    /*name=*/"fixed8_16",
+    /*weight_bits=*/8,
+    /*pixel_bits=*/16,
+    /*accum_bits=*/32,
+    /*macs_per_dsp_block=*/2.0,
+    /*luts_per_lane=*/60,
+    /*ffs_per_lane=*/110,
+};
+
+}  // namespace
+
+const DataTypeInfo& data_type_info(DataType type) {
+  switch (type) {
+    case DataType::kFloat32:
+      return kFloat32Info;
+    case DataType::kFixed8_16:
+      return kFixed816Info;
+  }
+  assert(false);
+  return kFloat32Info;
+}
+
+std::string data_type_name(DataType type) { return data_type_info(type).name; }
+
+bool parse_data_type(const std::string& name, DataType* out) {
+  if (name == "float32" || name == "float" || name == "fp32") {
+    *out = DataType::kFloat32;
+    return true;
+  }
+  if (name == "fixed8_16" || name == "fixed" || name == "int8_16") {
+    *out = DataType::kFixed8_16;
+    return true;
+  }
+  return false;
+}
+
+std::int64_t dsp_blocks_for_macs(DataType type, std::int64_t macs) {
+  const double per_block = data_type_info(type).macs_per_dsp_block;
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(macs) / per_block));
+}
+
+std::int64_t mac_capacity(DataType type, std::int64_t dsp_blocks) {
+  const double per_block = data_type_info(type).macs_per_dsp_block;
+  return static_cast<std::int64_t>(
+      std::floor(static_cast<double>(dsp_blocks) * per_block));
+}
+
+}  // namespace sasynth

@@ -1,0 +1,54 @@
+// Numeric data types evaluated by the paper (§5.2): 32-bit floating point and
+// a fixed-point mode with 8-bit weights and 16-bit pixels.
+//
+// The type determines the per-MAC DSP cost and the storage width of each
+// array, which feed the resource model (Eqs. 4, 6) and the bandwidth model
+// (Eqs. 9-10):
+//   * Arria 10 hardened floating-point DSP blocks implement one fp32
+//     multiply-accumulate per block.
+//   * In fixed mode one DSP block provides two 18x19 multipliers, so one
+//     block sustains two 8x16 MACs (the paper's fixed design instantiates
+//     1500 MAC units at 49% DSP block usage on a 1518-block device).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sasynth {
+
+enum class DataType {
+  kFloat32,   ///< 32-bit IEEE float weights, pixels and accumulators
+  kFixed8_16, ///< 8-bit weights, 16-bit pixels, 32-bit accumulators
+};
+
+struct DataTypeInfo {
+  const char* name;
+  int weight_bits;
+  int pixel_bits;
+  int accum_bits;
+  /// MAC units implementable per DSP block.
+  double macs_per_dsp_block;
+  /// Relative soft-logic cost of one PE lane (LUTs), on top of the DSP.
+  std::int64_t luts_per_lane;
+  std::int64_t ffs_per_lane;
+
+  double weight_bytes() const { return weight_bits / 8.0; }
+  double pixel_bytes() const { return pixel_bits / 8.0; }
+  double accum_bytes() const { return accum_bits / 8.0; }
+};
+
+const DataTypeInfo& data_type_info(DataType type);
+
+/// "float32" / "fixed8_16".
+std::string data_type_name(DataType type);
+
+/// Parses the names above; returns false on unknown name.
+bool parse_data_type(const std::string& name, DataType* out);
+
+/// Number of DSP blocks needed for `macs` MAC units of this type.
+std::int64_t dsp_blocks_for_macs(DataType type, std::int64_t macs);
+
+/// Number of MAC units a device with `dsp_blocks` blocks can host.
+std::int64_t mac_capacity(DataType type, std::int64_t dsp_blocks);
+
+}  // namespace sasynth

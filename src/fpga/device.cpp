@@ -1,0 +1,99 @@
+#include "fpga/device.h"
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::string FpgaDevice::summary() const {
+  return strformat(
+      "%s: %lld DSP, %lld BRAM(%lldKb), %lldK logic, BW %.1f GB/s (port %.1f), "
+      "fmax %.0f MHz",
+      name.c_str(), static_cast<long long>(dsp_blocks),
+      static_cast<long long>(bram_blocks), static_cast<long long>(bram_kbits),
+      static_cast<long long>(logic_cells / 1000), bw_total_gbs, bw_port_gbs,
+      fmax_mhz);
+}
+
+FpgaDevice arria10_gt1150() {
+  FpgaDevice d;
+  d.name = "Arria10 GT1150";
+  d.dsp_blocks = 1518;
+  d.bram_blocks = 2713;
+  d.bram_kbits = 20;
+  d.logic_cells = 427200;
+  d.flipflops = 1708800;
+  d.bw_total_gbs = 19.2;  // DDR4 on the dev kit, paper quotes 19 GB/s
+  d.bw_port_gbs = 12.8;
+  d.fmax_mhz = 312.0;
+  return d;
+}
+
+FpgaDevice arria10_gx1150() {
+  FpgaDevice d = arria10_gt1150();
+  d.name = "Arria10 GX1150";
+  return d;
+}
+
+FpgaDevice xilinx_ku060() {
+  FpgaDevice d;
+  d.name = "Xilinx KU060";
+  d.macs_per_dsp_fp32 = 0.4;   // ~2.5 DSP48E2 + fabric per fp32 MAC
+  d.macs_per_dsp_fixed = 1.0;  // one 16-bit MAC per slice
+  d.dsp_blocks = 2760;
+  d.bram_blocks = 2160;  // 1080 BRAM36 counted as 18Kb halves
+  d.bram_kbits = 18;
+  d.logic_cells = 331680;
+  d.flipflops = 663360;
+  d.bw_total_gbs = 19.2;
+  d.bw_port_gbs = 12.8;
+  d.fmax_mhz = 250.0;
+  return d;
+}
+
+FpgaDevice xilinx_vc709() {
+  FpgaDevice d;
+  d.name = "Xilinx VC709";
+  d.macs_per_dsp_fp32 = 0.4;
+  d.macs_per_dsp_fixed = 1.0;
+  d.dsp_blocks = 3600;
+  d.bram_blocks = 2940;
+  d.bram_kbits = 18;
+  d.logic_cells = 433200;
+  d.flipflops = 866400;
+  d.bw_total_gbs = 21.3;
+  d.bw_port_gbs = 12.8;
+  d.fmax_mhz = 220.0;
+  return d;
+}
+
+FpgaDevice stratix_v() {
+  FpgaDevice d;
+  d.name = "Stratix-V GSD8";
+  d.macs_per_dsp_fp32 = 0.5;   // no hardened float on Stratix V
+  d.macs_per_dsp_fixed = 2.0;
+  d.dsp_blocks = 1963;
+  d.bram_blocks = 2567;
+  d.bram_kbits = 20;
+  d.logic_cells = 262400;
+  d.flipflops = 1049600;
+  d.bw_total_gbs = 12.8;
+  d.bw_port_gbs = 12.8;
+  d.fmax_mhz = 200.0;
+  return d;
+}
+
+FpgaDevice tiny_test_device() {
+  FpgaDevice d;
+  d.name = "TinyTestDevice";
+  d.dsp_blocks = 64;
+  d.bram_blocks = 128;
+  d.bram_kbits = 20;
+  d.logic_cells = 150000;   // must at least fit the I/O shell
+  d.flipflops = 300000;
+  d.bw_total_gbs = 4.0;
+  d.bw_port_gbs = 2.0;
+  d.fmax_mhz = 300.0;
+  return d;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,66 @@
+// FPGA device descriptions.
+//
+// The paper evaluates on Intel's Arria 10 GT 1150 (1518 hardened floating-
+// point DSP blocks, 2713 M20K BRAM blocks, 427K ALMs, ~19 GB/s DDR). The
+// comparison table also references other parts; their headline capacities are
+// captured here so the comparison bench can report utilization percentages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sasynth {
+
+struct FpgaDevice {
+  std::string name;
+
+  std::int64_t dsp_blocks = 0;   ///< hardened DSP blocks
+  std::int64_t bram_blocks = 0;  ///< on-chip RAM blocks (M20K / BRAM36 ...)
+  std::int64_t bram_kbits = 20;  ///< capacity of one RAM block in Kbits
+  std::int64_t logic_cells = 0;  ///< ALMs (Intel) or LUT-FF pairs (Xilinx)
+  std::int64_t flipflops = 0;
+
+  double bw_total_gbs = 0.0;  ///< aggregate off-chip bandwidth (GB/s)
+  double bw_port_gbs = 0.0;   ///< per-memory-port bandwidth (GB/s)
+
+  /// Peak clock a small systolic design closes timing at on this device; the
+  /// pseudo-P&R model derates from here as utilization grows.
+  double fmax_mhz = 0.0;
+
+  /// BRAM model constants of Eq. 6: fixed cost per reuse buffer (c_b) and
+  /// per-PE block cost (c_p, covers the output shift registers / MLAB spill).
+  std::int64_t bram_const_per_buffer = 2;  ///< c_b
+  double bram_per_pe = 0.25;               ///< c_p
+
+  /// MAC units one DSP block sustains, per numeric mode. Arria 10's hardened
+  /// floating-point DSPs do one fp32 MAC each and two 18x19 fixed MACs;
+  /// Xilinx DSP48 slices have no hardened float (several slices + fabric per
+  /// fp32 MAC) but one 16-bit MAC each.
+  double macs_per_dsp_fp32 = 1.0;
+  double macs_per_dsp_fixed = 2.0;
+
+  /// Bytes of one RAM block.
+  std::int64_t bram_bytes() const { return bram_kbits * 1024 / 8; }
+
+  std::string summary() const;
+};
+
+/// The paper's evaluation device: Arria 10 GT 1150.
+FpgaDevice arria10_gt1150();
+
+/// Arria 10 GX 1150 (used by [11], [17], [26] in the comparison table).
+FpgaDevice arria10_gx1150();
+
+/// Xilinx Kintex UltraScale KU060 (Caffeine [10]).
+FpgaDevice xilinx_ku060();
+
+/// Xilinx Virtex-7 VC709 (Caffeine [10]).
+FpgaDevice xilinx_vc709();
+
+/// Altera Stratix-V GSD8 ([9]).
+FpgaDevice stratix_v();
+
+/// A deliberately small device for tests (fast DSE, tight constraints).
+FpgaDevice tiny_test_device();
+
+}  // namespace sasynth

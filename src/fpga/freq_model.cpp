@@ -1,0 +1,48 @@
+#include "fpga/freq_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sasynth {
+
+namespace {
+
+double derate(double util, double knee, double slope) {
+  const double excess = std::max(0.0, util - knee);
+  return std::max(0.25, 1.0 - slope * excess / (1.0 - knee));
+}
+
+}  // namespace
+
+double frequency_trend_mhz(const FpgaDevice& device,
+                           const ResourceReport& report,
+                           const FreqModelParams& params) {
+  double f = device.fmax_mhz;
+  f *= derate(report.dsp_util, params.dsp_knee, params.dsp_derate);
+  f *= derate(report.bram_util, params.bram_knee, params.bram_derate);
+  f *= derate(report.logic_util, params.logic_knee, params.logic_derate);
+  return f;
+}
+
+double broadcast_frequency_mhz(const FpgaDevice& device, std::int64_t num_pes,
+                               double fanout_coeff, double fanout_exp) {
+  const double penalty =
+      fanout_coeff * std::pow(static_cast<double>(num_pes), fanout_exp);
+  return device.fmax_mhz / (1.0 + penalty);
+}
+
+double pseudo_pnr_frequency_mhz(const FpgaDevice& device,
+                                const ResourceReport& report,
+                                const std::string& design_signature,
+                                const FreqModelParams& params) {
+  const double trend = frequency_trend_mhz(device, report, params);
+  const std::uint64_t h = splitmix64(fnv1a64(design_signature));
+  const double unit =
+      static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+  const double jitter = 1.0 + params.jitter_span * (unit - 0.5);
+  return trend * jitter;
+}
+
+}  // namespace sasynth

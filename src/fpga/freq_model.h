@@ -1,0 +1,66 @@
+// Deterministic pseudo-P&R clock-frequency model.
+//
+// The paper's phase-2 DSE runs each top candidate through the Intel OpenCL
+// SDK's place-and-route to obtain its true working frequency (§4, Fig. 5),
+// observing that designs with identical estimated throughput differ in
+// realized frequency in ways "hard to be predicted in advance". We replace
+// the tool with a model that has exactly those properties:
+//
+//   F = fmax * derate(dsp_util) * derate(bram_util) * derate(logic_util)
+//            * jitter(design_signature)
+//
+// The derates capture congestion-driven slowdown at high utilization; the
+// jitter term (a hash of the design's textual signature, +-5%) reproduces the
+// design-dependent scatter that makes phase 2 necessary. Everything is
+// deterministic, so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.h"
+#include "fpga/synth.h"
+
+namespace sasynth {
+
+struct FreqModelParams {
+  double dsp_derate = 0.25;    ///< slope beyond the DSP knee
+  double dsp_knee = 0.50;
+  double bram_derate = 0.20;
+  double bram_knee = 0.70;
+  double logic_derate = 0.15;
+  double logic_knee = 0.70;
+  double jitter_span = 0.10;   ///< jitter multiplier in [1-span/2, 1+span/2]
+};
+
+/// Deterministic realized frequency (MHz) for a design whose resource report
+/// is `report` and whose identity is `design_signature` (any stable textual
+/// encoding of the design point; equal designs get equal frequencies).
+double pseudo_pnr_frequency_mhz(const FpgaDevice& device,
+                                const ResourceReport& report,
+                                const std::string& design_signature,
+                                const FreqModelParams& params = {});
+
+/// The derate-only part (no jitter), exposed for tests and for plotting the
+/// frequency/utilization trend.
+double frequency_trend_mhz(const FpgaDevice& device,
+                           const ResourceReport& report,
+                           const FreqModelParams& params = {});
+
+/// Clock model of a *direct-connected* (broadcast) PE array — the paper's
+/// §1-2 motivation. Connecting every PE straight to the on-chip memories
+/// creates (1) high-fan-out operand nets, (2) chip-spanning wires, and
+/// (3) wide output-collection multiplexers, all of which grow with the PE
+/// count, so the achievable clock collapses as the array scales:
+///
+///   F = fmax / (1 + k * num_pes^p)
+///
+/// calibrated so a few-hundred-PE broadcast design closes around 150-250 MHz
+/// (the FPGA'15/16-era results in the paper's Table 3) and a thousand-PE one
+/// falls near 100 MHz. The systolic model (frequency_trend_mhz) has no such
+/// PE-count term — that difference is the paper's core argument.
+double broadcast_frequency_mhz(const FpgaDevice& device, std::int64_t num_pes,
+                               double fanout_coeff = 0.004,
+                               double fanout_exp = 0.9);
+
+}  // namespace sasynth

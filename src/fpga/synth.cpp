@@ -1,0 +1,82 @@
+#include "fpga/synth.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+// Soft-logic cost constants (calibrated against the paper's reported designs:
+// AlexNet (11,14,8) fp32 -> 57% ALMs; VGG fixed -> 73% with 1500 lanes).
+constexpr std::int64_t kLutsPerPeControl = 220;   // shift/valid control per PE
+constexpr std::int64_t kFfsPerPeControl = 380;
+constexpr std::int64_t kLutsPerBuffer = 900;      // IB/WB/OB addressing
+constexpr std::int64_t kFfsPerBuffer = 1200;
+constexpr std::int64_t kLutsShell = 60000;        // DDR/PCIe/OpenCL shell
+constexpr std::int64_t kFfsShell = 90000;
+
+}  // namespace
+
+bool ResourceReport::fits() const {
+  return dsp_util <= 1.0 && bram_util <= 1.0 && logic_util <= 1.0 &&
+         ff_util <= 1.0;
+}
+
+std::string ResourceReport::summary() const {
+  return strformat(
+      "DSP %lld (%.0f%%), BRAM %lld (%.0f%%), LUT %lldK (%.0f%%), FF %lldK "
+      "(%.0f%%)",
+      static_cast<long long>(dsp_blocks), dsp_util * 100.0,
+      static_cast<long long>(bram_blocks), bram_util * 100.0,
+      static_cast<long long>(luts / 1000), logic_util * 100.0,
+      static_cast<long long>(ffs / 1000), ff_util * 100.0);
+}
+
+double device_macs_per_dsp(const FpgaDevice& device, DataType dtype) {
+  return dtype == DataType::kFloat32 ? device.macs_per_dsp_fp32
+                                     : device.macs_per_dsp_fixed;
+}
+
+std::int64_t device_mac_capacity(const FpgaDevice& device, DataType dtype) {
+  return static_cast<std::int64_t>(
+      std::floor(static_cast<double>(device.dsp_blocks) *
+                 device_macs_per_dsp(device, dtype)));
+}
+
+std::int64_t device_dsp_blocks_for_macs(const FpgaDevice& device,
+                                        DataType dtype, std::int64_t macs) {
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(macs) / device_macs_per_dsp(device, dtype)));
+}
+
+ResourceReport estimate_resources(const SynthInput& input,
+                                  const FpgaDevice& device) {
+  const DataTypeInfo& info = data_type_info(input.dtype);
+  ResourceReport report;
+
+  report.dsp_blocks =
+      device_dsp_blocks_for_macs(device, input.dtype, input.num_lanes());
+  report.bram_blocks = input.bram_blocks;
+
+  // One IB per PE column, one WB per PE row, one OB per PE column.
+  const std::int64_t num_buffers = 2 * input.pe_cols + input.pe_rows;
+  report.luts = kLutsShell + input.num_lanes() * info.luts_per_lane +
+                input.num_pes() * kLutsPerPeControl +
+                num_buffers * kLutsPerBuffer;
+  report.ffs = kFfsShell + input.num_lanes() * info.ffs_per_lane +
+               input.num_pes() * kFfsPerPeControl + num_buffers * kFfsPerBuffer;
+
+  report.dsp_util =
+      static_cast<double>(report.dsp_blocks) / static_cast<double>(device.dsp_blocks);
+  report.bram_util = static_cast<double>(report.bram_blocks) /
+                     static_cast<double>(device.bram_blocks);
+  report.logic_util =
+      static_cast<double>(report.luts) / static_cast<double>(device.logic_cells);
+  report.ff_util =
+      static_cast<double>(report.ffs) / static_cast<double>(device.flipflops);
+  return report;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,59 @@
+// Post-synthesis resource report — the substitute for the Intel OpenCL SDK's
+// area results.
+//
+// The DSE needs LUT/FF/DSP/BRAM totals for a candidate design. DSP and BRAM
+// come from the paper's analytical model (computed in core/); the soft-logic
+// estimate here uses calibrated per-PE and per-buffer costs so the reported
+// logic utilizations land in the range the paper reports for its designs
+// (57-83% on Arria 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+
+namespace sasynth {
+
+/// Raw design quantities the synthesis estimate is computed from.
+struct SynthInput {
+  std::int64_t pe_rows = 0;
+  std::int64_t pe_cols = 0;
+  std::int64_t simd_vec = 0;
+  std::int64_t bram_blocks = 0;  ///< from the Eq. 6 model
+  DataType dtype = DataType::kFloat32;
+
+  std::int64_t num_pes() const { return pe_rows * pe_cols; }
+  std::int64_t num_lanes() const { return num_pes() * simd_vec; }
+};
+
+struct ResourceReport {
+  std::int64_t dsp_blocks = 0;
+  std::int64_t bram_blocks = 0;
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+
+  double dsp_util = 0.0;
+  double bram_util = 0.0;
+  double logic_util = 0.0;
+  double ff_util = 0.0;
+
+  /// True if every resource fits the device.
+  bool fits() const;
+
+  std::string summary() const;
+};
+
+/// Estimates the full report for a design on a device.
+ResourceReport estimate_resources(const SynthInput& input,
+                                  const FpgaDevice& device);
+
+/// Device-aware MAC/DSP accounting (the device's per-block MAC yield differs
+/// between Intel hardened-FP DSPs and Xilinx DSP48 slices).
+double device_macs_per_dsp(const FpgaDevice& device, DataType dtype);
+std::int64_t device_mac_capacity(const FpgaDevice& device, DataType dtype);
+std::int64_t device_dsp_blocks_for_macs(const FpgaDevice& device,
+                                        DataType dtype, std::int64_t macs);
+
+}  // namespace sasynth

@@ -1,0 +1,132 @@
+#include "frontend/conv_extract.h"
+
+#include <vector>
+
+namespace sasynth {
+
+namespace {
+
+/// If `expr` is exactly 1 * iterator with no constant, returns the iterator;
+/// otherwise npos.
+std::size_t single_iter(const AffineExpr& expr) {
+  if (expr.constant() != 0) return LoopNest::npos;
+  std::size_t found = LoopNest::npos;
+  for (std::size_t l = 0; l < expr.num_loops(); ++l) {
+    if (expr.coeff(l) == 0) continue;
+    if (expr.coeff(l) != 1 || found != LoopNest::npos) return LoopNest::npos;
+    found = l;
+  }
+  return found;
+}
+
+/// True if `expr` is exactly stride*spatial + kernel (stride >= 1, no
+/// constant, no other iterators), for the two already-identified loops.
+/// Fills `stride` on success.
+bool matches_strided(const AffineExpr& expr, std::size_t spatial,
+                     std::size_t kernel, std::int64_t* stride) {
+  if (expr.constant() != 0) return false;
+  if (expr.coeff(kernel) != 1) return false;
+  const std::int64_t s = expr.coeff(spatial);
+  if (s < 1) return false;
+  for (std::size_t l = 0; l < expr.num_loops(); ++l) {
+    if (l != spatial && l != kernel && expr.coeff(l) != 0) return false;
+  }
+  *stride = s;
+  return true;
+}
+
+}  // namespace
+
+ConvExtraction extract_conv_layer(const LoopNest& nest) {
+  ConvExtraction out;
+  auto fail = [&](const std::string& msg) {
+    out.error = msg;
+    return out;
+  };
+
+  if (nest.num_loops() != 6) return fail("convolution requires 6 loops");
+  if (nest.num_accesses() != 3) return fail("convolution requires 3 arrays");
+
+  const ArrayAccess* reduce = nullptr;
+  std::vector<const ArrayAccess*> reads;
+  for (const ArrayAccess& a : nest.accesses()) {
+    if (a.role == AccessRole::kReduce) reduce = &a;
+    else reads.push_back(&a);
+  }
+  if (reduce == nullptr || reads.size() != 2) {
+    return fail("expected one reduction array and two operands");
+  }
+  if (reduce->access.rank() != 3) return fail("output array must be rank 3");
+
+  // Identify W (rank 4) and IN (rank 3) among the operands.
+  const ArrayAccess* w = nullptr;
+  const ArrayAccess* in = nullptr;
+  for (const ArrayAccess* r : reads) {
+    if (r->access.rank() == 4) w = r;
+    if (r->access.rank() == 3) in = r;
+  }
+  if (w == nullptr || in == nullptr) {
+    return fail("operands must be the rank-4 weights and rank-3 input");
+  }
+
+  // OUT[o][r][c]
+  out.loop_o = single_iter(reduce->access.indices[0]);
+  out.loop_r = single_iter(reduce->access.indices[1]);
+  out.loop_c = single_iter(reduce->access.indices[2]);
+  if (out.loop_o == LoopNest::npos || out.loop_r == LoopNest::npos ||
+      out.loop_c == LoopNest::npos) {
+    return fail("output access must be OUT[o][r][c]");
+  }
+
+  // W[o][i][p][q]
+  if (single_iter(w->access.indices[0]) != out.loop_o) {
+    return fail("weight dim 0 must be the output-map loop");
+  }
+  out.loop_i = single_iter(w->access.indices[1]);
+  out.loop_p = single_iter(w->access.indices[2]);
+  out.loop_q = single_iter(w->access.indices[3]);
+  if (out.loop_i == LoopNest::npos || out.loop_p == LoopNest::npos ||
+      out.loop_q == LoopNest::npos) {
+    return fail("weight access must be W[o][i][p][q]");
+  }
+
+  // IN[i][s*r+p][s*c+q]
+  if (single_iter(in->access.indices[0]) != out.loop_i) {
+    return fail("input dim 0 must be the input-map loop");
+  }
+  std::int64_t stride_r = 0, stride_c = 0;
+  if (!matches_strided(in->access.indices[1], out.loop_r, out.loop_p,
+                       &stride_r)) {
+    return fail("input dim 1 must be stride*r + p");
+  }
+  if (!matches_strided(in->access.indices[2], out.loop_c, out.loop_q,
+                       &stride_c)) {
+    return fail("input dim 2 must be stride*c + q");
+  }
+  if (stride_r != stride_c) return fail("row/column strides must match");
+  if (nest.loop(out.loop_p).trip != nest.loop(out.loop_q).trip) {
+    return fail("kernel must be square (equal p and q trip counts)");
+  }
+
+  // Distinctness of the six roles.
+  const std::size_t roles[6] = {out.loop_o, out.loop_i, out.loop_c,
+                                out.loop_r, out.loop_p, out.loop_q};
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      if (roles[a] == roles[b]) return fail("loop roles must be distinct");
+    }
+  }
+
+  out.layer.name = "parsed_conv";
+  out.layer.out_maps = nest.loop(out.loop_o).trip;
+  out.layer.in_maps = nest.loop(out.loop_i).trip;
+  out.layer.out_rows = nest.loop(out.loop_r).trip;
+  out.layer.out_cols = nest.loop(out.loop_c).trip;
+  out.layer.kernel = nest.loop(out.loop_p).trip;
+  out.layer.stride = stride_r;
+  out.layer.groups = 1;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,32 @@
+// Recognizes the convolution pattern in a parsed LoopNest and recovers the
+// ConvLayerDesc — the bridge from the generic front end to the CNN-specific
+// generators and simulators.
+//
+// The pattern (paper Code 1, any loop order, any identifier names):
+//   reduce array  OUT[o][r][c]
+//   read array    W[o][i][p][q]
+//   read array    IN[i][s*r + p][s*c + q]      (s = stride >= 1)
+// Loop roles are inferred from the access structure, not from names.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+struct ConvExtraction {
+  bool ok = false;
+  std::string error;
+  ConvLayerDesc layer;
+
+  /// Loop positions (indices into the nest) of the recovered roles.
+  std::size_t loop_o = 0, loop_i = 0, loop_c = 0, loop_r = 0, loop_p = 0,
+              loop_q = 0;
+};
+
+ConvExtraction extract_conv_layer(const LoopNest& nest);
+
+}  // namespace sasynth

@@ -1,0 +1,80 @@
+#include "frontend/flow.h"
+
+#include "codegen/host_gen.h"
+#include "codegen/report_gen.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+FlowResult run_automation_flow(const std::string& source,
+                               const FlowOptions& options) {
+  FlowResult result;
+
+  // 1. Front end: parse and validate.
+  result.parse = parse_loop_nest(source);
+  if (!result.parse.ok) {
+    result.error = "parse error: " + result.parse.error;
+    return result;
+  }
+  if (options.require_pragma && !result.parse.has_pragma_word("systolic")) {
+    result.error = "input is not annotated with '#pragma ... systolic'";
+    return result;
+  }
+
+  // 2. Pattern analysis: recover the convolution descriptor.
+  result.conv = extract_conv_layer(result.parse.nest);
+  if (!result.conv.ok) {
+    result.error = "unsupported loop nest: " + result.conv.error;
+    return result;
+  }
+
+  // 3. Design space exploration (two phases, §4).
+  const DesignSpaceExplorer explorer(options.device, options.dtype,
+                                     options.dse);
+  result.dse = explorer.explore(result.parse.nest);
+  if (result.dse.empty()) {
+    result.error =
+        "design space exploration found no valid design (constraints too "
+        "tight for this device)";
+    return result;
+  }
+  result.best = *result.dse.best();
+
+  // 4. Template instantiation: kernel + host + report.
+  result.kernel = generate_opencl_kernel(result.parse.nest, result.best.design,
+                                         result.conv.layer, options.dtype);
+  result.host_program = generate_host_program(
+      result.parse.nest, result.best.design, result.conv.layer, options.dtype);
+  result.report = generate_dse_report(result.parse.nest, result.dse,
+                                      result.conv.layer, options.device,
+                                      options.dtype);
+  result.ok = true;
+  return result;
+}
+
+std::string render_conv_source(const ConvLayerDesc& layer) {
+  std::string out = "#pragma sasynth systolic\n";
+  auto emit_for = [&out](int depth, const char* var, std::int64_t bound) {
+    out += std::string(static_cast<std::size_t>(2 * depth), ' ') +
+           strformat("for (%s = 0; %s < %lld; %s++)\n", var, var,
+                     static_cast<long long>(bound), var);
+  };
+  emit_for(0, "o", layer.out_maps);
+  emit_for(1, "i", layer.in_maps);
+  emit_for(2, "c", layer.out_cols);
+  emit_for(3, "r", layer.out_rows);
+  emit_for(4, "p", layer.kernel);
+  emit_for(5, "q", layer.kernel);
+  if (layer.stride == 1) {
+    out += "            OUT[o][r][c] += W[o][i][p][q] * IN[i][r + p][c + q];\n";
+  } else {
+    out += strformat(
+        "            OUT[o][r][c] += W[o][i][p][q] * IN[i][%lld*r + p][%lld*c "
+        "+ q];\n",
+        static_cast<long long>(layer.stride),
+        static_cast<long long>(layer.stride));
+  }
+  return out;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,52 @@
+// End-to-end push-button automation flow (paper §5.1, Fig. 6):
+//   C source -> front end (parse + analysis) -> design space exploration
+//   -> template instantiation (OpenCL kernel + host) -> design report.
+//
+// Users write the annotated loop nest; everything else is derived. The
+// hardware synthesis step is replaced by the pseudo-P&R model inside the DSE
+// (phase 2).
+#pragma once
+
+#include <string>
+
+#include "codegen/opencl_gen.h"
+#include "core/dse.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "frontend/conv_extract.h"
+#include "frontend/parser.h"
+
+namespace sasynth {
+
+struct FlowOptions {
+  FpgaDevice device;
+  DataType dtype = DataType::kFloat32;
+  DseOptions dse;
+  /// Require a "#pragma ... systolic" annotation on the input (the paper's
+  /// opt-in marker). Disabled by default for programmatic use.
+  bool require_pragma = false;
+};
+
+struct FlowResult {
+  bool ok = false;
+  std::string error;
+
+  ParseResult parse;
+  ConvExtraction conv;
+  DseResult dse;
+  DseCandidate best;        ///< the design that will be built
+
+  KernelSources kernel;
+  std::string host_program;
+  std::string report;
+};
+
+/// Runs the complete flow on a source string.
+FlowResult run_automation_flow(const std::string& source,
+                               const FlowOptions& options);
+
+/// Renders the canonical annotated C source for a layer — what a user of the
+/// paper's framework would write (also used to round-trip-test the parser).
+std::string render_conv_source(const ConvLayerDesc& layer);
+
+}  // namespace sasynth

@@ -1,0 +1,38 @@
+// Tokenizer for the pragma-annotated C loop-nest input (paper Fig. 6, left).
+//
+// The accepted language is the restricted C subset the paper's users write:
+// perfectly nested counted for-loops around one multiply-accumulate
+// statement, optionally preceded by a `#pragma` line. This replaces the ROSE
+// front end of the original flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+enum class TokenKind {
+  kIdent,      ///< identifiers and keywords (for, int, ...)
+  kNumber,     ///< decimal integer literal
+  kPunct,      ///< one of ( ) [ ] { } ; < = + * and the digraphs ++ +=
+  kPragma,     ///< a whole "#pragma ..." line (text without the '#')
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t value = 0;  ///< for kNumber
+  int line = 0;
+
+  bool is_ident(const char* s) const;
+  bool is_punct(const char* s) const;
+};
+
+/// Tokenizes `source`. On lexical error returns false and sets `error`
+/// ("line N: message"). Line comments (//...) are skipped.
+bool lex(const std::string& source, std::vector<Token>* tokens,
+         std::string* error);
+
+}  // namespace sasynth

@@ -1,0 +1,222 @@
+#include "frontend/parser.h"
+
+#include <cassert>
+
+#include "frontend/lexer.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+bool ParseResult::has_pragma_word(const std::string& word) const {
+  for (const std::string& pragma : pragmas) {
+    for (const std::string& token : split_ws(pragma)) {
+      if (token == word) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    while (peek().kind == TokenKind::kPragma) {
+      result.pragmas.push_back(next().text);
+    }
+    if (!parse_loop(&result.nest)) {
+      result.error = error_;
+      return result;
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      result.error = err_here("trailing tokens after the loop nest");
+      return result;
+    }
+    const std::string nest_error = result.nest.validate();
+    if (!nest_error.empty()) {
+      result.error = "line 1: " + nest_error;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  std::string err_here(const std::string& msg) const {
+    return "line " + std::to_string(peek().line) + ": " + msg;
+  }
+  bool fail(const std::string& msg) {
+    if (error_.empty()) error_ = err_here(msg);
+    return false;
+  }
+  bool expect_punct(const char* p) {
+    if (!peek().is_punct(p)) {
+      return fail(std::string("expected '") + p + "', got '" + peek().text + "'");
+    }
+    next();
+    return true;
+  }
+
+  std::size_t find_loop_var(const std::string& name) const {
+    for (std::size_t l = 0; l < loop_vars_.size(); ++l) {
+      if (loop_vars_[l] == name) return l;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  bool parse_loop(LoopNest* nest) {
+    if (!peek().is_ident("for")) return fail("expected 'for'");
+    next();
+    if (!expect_punct("(")) return false;
+    if (peek().is_ident("int")) next();
+    if (peek().kind != TokenKind::kIdent) return fail("expected loop variable");
+    const std::string var = next().text;
+    if (find_loop_var(var) != static_cast<std::size_t>(-1)) {
+      return fail("loop variable '" + var + "' shadows an enclosing loop");
+    }
+    if (!expect_punct("=")) return false;
+    if (peek().kind != TokenKind::kNumber || peek().value != 0) {
+      return fail("loops must start at 0");
+    }
+    next();
+    if (!expect_punct(";")) return false;
+    if (peek().kind != TokenKind::kIdent || peek().text != var) {
+      return fail("condition must test the loop variable '" + var + "'");
+    }
+    next();
+    if (!expect_punct("<")) return false;
+    if (peek().kind != TokenKind::kNumber) return fail("expected loop bound");
+    const std::int64_t bound = next().value;
+    if (bound < 1) return fail("loop bound must be >= 1");
+    if (!expect_punct(";")) return false;
+    if (peek().kind != TokenKind::kIdent || peek().text != var) {
+      return fail("increment must use the loop variable '" + var + "'");
+    }
+    next();
+    if (!expect_punct("++")) return false;
+    if (!expect_punct(")")) return false;
+
+    nest->add_loop(var, bound);
+    loop_vars_.push_back(var);
+
+    const bool braced = peek().is_punct("{");
+    if (braced) next();
+    bool ok;
+    if (peek().is_ident("for")) {
+      ok = parse_loop(nest);
+    } else {
+      ok = parse_statement(nest);
+    }
+    if (!ok) return false;
+    if (braced && !expect_punct("}")) return false;
+    loop_vars_.pop_back();
+    return true;
+  }
+
+  bool parse_statement(LoopNest* nest) {
+    AccessFunction lhs;
+    if (!parse_access(&lhs)) return false;
+    if (!expect_punct("+=")) return false;
+    AccessFunction a;
+    if (!parse_access(&a)) return false;
+    if (!expect_punct("*")) return false;
+    AccessFunction b;
+    if (!parse_access(&b)) return false;
+    if (!expect_punct(";")) return false;
+    nest->add_access(ArrayAccess{std::move(lhs), AccessRole::kReduce});
+    nest->add_access(ArrayAccess{std::move(a), AccessRole::kRead});
+    nest->add_access(ArrayAccess{std::move(b), AccessRole::kRead});
+    return true;
+  }
+
+  bool parse_access(AccessFunction* access) {
+    if (peek().kind != TokenKind::kIdent) return fail("expected array name");
+    access->array = next().text;
+    if (!peek().is_punct("[")) return fail("expected '[' after array name");
+    while (peek().is_punct("[")) {
+      next();
+      AffineExpr expr;
+      if (!parse_expr(&expr)) return false;
+      access->indices.push_back(std::move(expr));
+      if (!expect_punct("]")) return false;
+    }
+    return true;
+  }
+
+  bool parse_expr(AffineExpr* expr) {
+    *expr = AffineExpr(loop_vars_.size());
+    if (!parse_term(expr)) return false;
+    while (peek().is_punct("+")) {
+      next();
+      if (!parse_term(expr)) return false;
+    }
+    return true;
+  }
+
+  bool parse_term(AffineExpr* expr) {
+    if (peek().kind == TokenKind::kNumber) {
+      const std::int64_t value = next().value;
+      if (peek().is_punct("*")) {
+        next();
+        if (peek().kind != TokenKind::kIdent) {
+          return fail("expected iterator after '*'");
+        }
+        return add_iter_term(expr, next().text, value);
+      }
+      expr->set_constant(expr->constant() + value);
+      return true;
+    }
+    if (peek().kind == TokenKind::kIdent) {
+      const std::string name = next().text;
+      if (peek().is_punct("*")) {
+        next();
+        if (peek().kind != TokenKind::kNumber) {
+          return fail("expected coefficient after '*'");
+        }
+        return add_iter_term(expr, name, next().value);
+      }
+      return add_iter_term(expr, name, 1);
+    }
+    return fail("expected index term");
+  }
+
+  bool add_iter_term(AffineExpr* expr, const std::string& name,
+                     std::int64_t coeff) {
+    const std::size_t loop = find_loop_var(name);
+    if (loop == static_cast<std::size_t>(-1)) {
+      return fail("'" + name + "' is not an enclosing loop variable");
+    }
+    expr->add_term(loop, coeff);
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> loop_vars_;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse_loop_nest(const std::string& source) {
+  ParseResult result;
+  std::vector<Token> tokens;
+  std::string lex_error;
+  if (!lex(source, &tokens, &lex_error)) {
+    result.error = lex_error;
+    return result;
+  }
+  Parser parser(std::move(tokens));
+  return parser.run();
+}
+
+}  // namespace sasynth

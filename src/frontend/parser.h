@@ -1,0 +1,37 @@
+// Recursive-descent parser: pragma-annotated perfect loop nest -> LoopNest IR.
+//
+// Grammar (C subset of paper Fig. 6):
+//   program := pragma* loop
+//   loop    := 'for' '(' ['int'] id '=' NUM ';' id '<' NUM ';' id '++' ')'
+//              ( '{' inner '}' | inner )
+//   inner   := loop | stmt
+//   stmt    := access '+=' access '*' access ';'
+//   access  := id ('[' expr ']')+
+//   expr    := term ('+' term)*
+//   term    := NUM '*' id | id '*' NUM | id | NUM
+//
+// The loop variable must match in all three header positions; index
+// expressions may only reference enclosing loop variables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;                ///< "line N: message" when !ok
+  std::vector<std::string> pragmas; ///< text of leading #pragma lines
+  LoopNest nest;
+
+  /// True if any pragma mentions the given word (e.g. "systolic").
+  bool has_pragma_word(const std::string& word) const;
+};
+
+/// Parses a source string into a LoopNest.
+ParseResult parse_loop_nest(const std::string& source);
+
+}  // namespace sasynth

@@ -1,0 +1,113 @@
+#include "loopnest/affine.h"
+
+#include <cassert>
+
+namespace sasynth {
+
+AffineExpr::AffineExpr(std::size_t num_loops) : coeffs_(num_loops, 0) {}
+
+AffineExpr AffineExpr::term(std::size_t num_loops, std::size_t loop,
+                            std::int64_t coeff, std::int64_t constant) {
+  AffineExpr e(num_loops);
+  e.set_coeff(loop, coeff);
+  e.set_constant(constant);
+  return e;
+}
+
+std::int64_t AffineExpr::coeff(std::size_t loop) const {
+  assert(loop < coeffs_.size());
+  return coeffs_[loop];
+}
+
+AffineExpr& AffineExpr::set_coeff(std::size_t loop, std::int64_t value) {
+  assert(loop < coeffs_.size());
+  coeffs_[loop] = value;
+  return *this;
+}
+
+AffineExpr& AffineExpr::set_constant(std::int64_t value) {
+  constant_ = value;
+  return *this;
+}
+
+AffineExpr& AffineExpr::add_term(std::size_t loop, std::int64_t coeff) {
+  assert(loop < coeffs_.size());
+  coeffs_[loop] += coeff;
+  return *this;
+}
+
+std::int64_t AffineExpr::eval(const std::vector<std::int64_t>& iters) const {
+  assert(iters.size() == coeffs_.size());
+  std::int64_t v = constant_;
+  for (std::size_t l = 0; l < coeffs_.size(); ++l) v += coeffs_[l] * iters[l];
+  return v;
+}
+
+bool AffineExpr::invariant_in(std::size_t loop) const {
+  assert(loop < coeffs_.size());
+  return coeffs_[loop] == 0;
+}
+
+bool AffineExpr::is_constant() const {
+  for (const std::int64_t c : coeffs_) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& other) const {
+  assert(coeffs_.size() == other.coeffs_.size());
+  AffineExpr out(coeffs_.size());
+  for (std::size_t l = 0; l < coeffs_.size(); ++l) {
+    out.coeffs_[l] = coeffs_[l] + other.coeffs_[l];
+  }
+  out.constant_ = constant_ + other.constant_;
+  return out;
+}
+
+std::string AffineExpr::to_string(
+    const std::vector<std::string>& iter_names) const {
+  assert(iter_names.size() == coeffs_.size());
+  std::string out;
+  for (std::size_t l = 0; l < coeffs_.size(); ++l) {
+    if (coeffs_[l] == 0) continue;
+    if (!out.empty()) out += " + ";
+    if (coeffs_[l] != 1) out += std::to_string(coeffs_[l]) + "*";
+    out += iter_names[l];
+  }
+  if (constant_ != 0 || out.empty()) {
+    if (!out.empty()) out += " + ";
+    out += std::to_string(constant_);
+  }
+  return out;
+}
+
+bool AffineExpr::operator==(const AffineExpr& other) const {
+  return coeffs_ == other.coeffs_ && constant_ == other.constant_;
+}
+
+std::vector<std::int64_t> AccessFunction::eval(
+    const std::vector<std::int64_t>& iters) const {
+  std::vector<std::int64_t> out;
+  out.reserve(indices.size());
+  for (const AffineExpr& e : indices) out.push_back(e.eval(iters));
+  return out;
+}
+
+bool AccessFunction::invariant_in(std::size_t loop) const {
+  for (const AffineExpr& e : indices) {
+    if (!e.invariant_in(loop)) return false;
+  }
+  return true;
+}
+
+std::string AccessFunction::to_string(
+    const std::vector<std::string>& iter_names) const {
+  std::string out = array;
+  for (const AffineExpr& e : indices) {
+    out += "[" + e.to_string(iter_names) + "]";
+  }
+  return out;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,63 @@
+#include "loopnest/conv_nest.h"
+
+#include <cassert>
+
+namespace sasynth {
+
+const char* ConvLoops::name(std::size_t loop) {
+  switch (loop) {
+    case kO: return "o";
+    case kI: return "i";
+    case kC: return "c";
+    case kR: return "r";
+    case kP: return "p";
+    case kQ: return "q";
+    default: assert(false); return "?";
+  }
+}
+
+LoopNest build_conv_nest(const ConvLayerDesc& layer) {
+  assert(layer.validate().empty());
+  LoopNest nest;
+  nest.add_loop("o", layer.out_maps);   // L1
+  nest.add_loop("i", layer.in_maps);    // L2
+  nest.add_loop("c", layer.out_cols);   // L3
+  nest.add_loop("r", layer.out_rows);   // L4
+  nest.add_loop("p", layer.kernel);     // L5
+  nest.add_loop("q", layer.kernel);     // L6
+  constexpr std::size_t n = ConvLoops::kCount;
+
+  // OUT[o][r][c] (reduction target)
+  AccessFunction out;
+  out.array = kOutArray;
+  out.indices.push_back(AffineExpr::term(n, ConvLoops::kO));
+  out.indices.push_back(AffineExpr::term(n, ConvLoops::kR));
+  out.indices.push_back(AffineExpr::term(n, ConvLoops::kC));
+  nest.add_access(ArrayAccess{std::move(out), AccessRole::kReduce});
+
+  // W[o][i][p][q]
+  AccessFunction w;
+  w.array = kWeightArray;
+  w.indices.push_back(AffineExpr::term(n, ConvLoops::kO));
+  w.indices.push_back(AffineExpr::term(n, ConvLoops::kI));
+  w.indices.push_back(AffineExpr::term(n, ConvLoops::kP));
+  w.indices.push_back(AffineExpr::term(n, ConvLoops::kQ));
+  nest.add_access(ArrayAccess{std::move(w), AccessRole::kRead});
+
+  // IN[i][stride*r + p][stride*c + q]
+  AccessFunction in;
+  in.array = kInArray;
+  in.indices.push_back(AffineExpr::term(n, ConvLoops::kI));
+  AffineExpr row(n);
+  row.set_coeff(ConvLoops::kR, layer.stride).add_term(ConvLoops::kP, 1);
+  in.indices.push_back(row);
+  AffineExpr col(n);
+  col.set_coeff(ConvLoops::kC, layer.stride).add_term(ConvLoops::kQ, 1);
+  in.indices.push_back(col);
+  nest.add_access(ArrayAccess{std::move(in), AccessRole::kRead});
+
+  assert(nest.validate().empty());
+  return nest;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,39 @@
+// Builds the paper's Code 1 loop nest from a ConvLayerDesc.
+//
+// Loop order and naming follow Code 1:
+//   L1 o (output maps), L2 i (input maps), L3 c (columns), L4 r (rows),
+//   L5 p (kernel rows), L6 q (kernel cols)
+// Statement: OUT[o][r][c] += W[o][i][p][q] * IN[i][stride*r+p][stride*c+q].
+#pragma once
+
+#include <cstddef>
+
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+/// Positions of the six convolution loops inside the nest built by
+/// `build_conv_nest` (stable contract used across the framework).
+struct ConvLoops {
+  static constexpr std::size_t kO = 0;  ///< L1
+  static constexpr std::size_t kI = 1;  ///< L2
+  static constexpr std::size_t kC = 2;  ///< L3
+  static constexpr std::size_t kR = 3;  ///< L4
+  static constexpr std::size_t kP = 4;  ///< L5
+  static constexpr std::size_t kQ = 5;  ///< L6
+  static constexpr std::size_t kCount = 6;
+
+  /// Short name for a loop position: "o", "i", "c", "r", "p", "q".
+  static const char* name(std::size_t loop);
+};
+
+/// Canonical array names used by the conv nest.
+inline constexpr const char* kOutArray = "OUT";
+inline constexpr const char* kWeightArray = "W";
+inline constexpr const char* kInArray = "IN";
+
+/// Builds the six-loop nest for one group of `layer`.
+LoopNest build_conv_nest(const ConvLayerDesc& layer);
+
+}  // namespace sasynth

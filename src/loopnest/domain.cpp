@@ -1,0 +1,78 @@
+#include "loopnest/domain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sasynth {
+
+RectDomain::RectDomain(std::vector<std::int64_t> extents)
+    : extents_(std::move(extents)) {
+  for (const std::int64_t e : extents_) {
+    assert(e >= 1);
+    (void)e;
+  }
+}
+
+std::int64_t RectDomain::extent(std::size_t axis) const {
+  assert(axis < extents_.size());
+  return extents_[axis];
+}
+
+std::int64_t RectDomain::size() const {
+  std::int64_t total = 1;
+  for (const std::int64_t e : extents_) total *= e;
+  return total;
+}
+
+void RectDomain::for_each(
+    const std::function<void(const std::vector<std::int64_t>&)>& fn) const {
+  std::vector<std::int64_t> point(extents_.size(), 0);
+  if (extents_.empty()) {
+    fn(point);
+    return;
+  }
+  while (true) {
+    fn(point);
+    // Odometer increment, last axis fastest.
+    std::size_t axis = extents_.size();
+    while (axis-- > 0) {
+      if (++point[axis] < extents_[axis]) break;
+      point[axis] = 0;
+      if (axis == 0) return;
+    }
+  }
+}
+
+std::int64_t exact_footprint(const AccessFunction& access,
+                             const RectDomain& domain) {
+  std::set<std::vector<std::int64_t>> addresses;
+  domain.for_each([&](const std::vector<std::int64_t>& point) {
+    addresses.insert(access.eval(point));
+  });
+  return static_cast<std::int64_t>(addresses.size());
+}
+
+std::int64_t dim_range_size(const AffineExpr& expr, const RectDomain& domain) {
+  assert(expr.num_loops() == domain.rank());
+  std::int64_t lo = expr.constant();
+  std::int64_t hi = expr.constant();
+  for (std::size_t l = 0; l < domain.rank(); ++l) {
+    const std::int64_t c = expr.coeff(l);
+    const std::int64_t span = c * (domain.extent(l) - 1);
+    if (span >= 0) hi += span;
+    else lo += span;
+  }
+  return hi - lo + 1;
+}
+
+std::int64_t closed_form_footprint(const AccessFunction& access,
+                                   const RectDomain& domain) {
+  std::int64_t total = 1;
+  for (const AffineExpr& expr : access.indices) {
+    total *= dim_range_size(expr, domain);
+  }
+  return total;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,58 @@
+// Rectangular iteration domains and exact address-set counting.
+//
+// The paper counts data footprints (Eq. 5) with a polyhedral library in the
+// general case but notes CNN access patterns admit a closed form. This module
+// provides the *exact* enumeration — used to validate the closed form in
+// tests and by the simulator's block scheduler — over rectangular domains
+// (all CNN middle/inner loop blocks are rectangles).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "loopnest/affine.h"
+
+namespace sasynth {
+
+/// A rectangular domain: iterator l ranges over [0, extent_l).
+class RectDomain {
+ public:
+  RectDomain() = default;
+  explicit RectDomain(std::vector<std::int64_t> extents);
+
+  std::size_t rank() const { return extents_.size(); }
+  std::int64_t extent(std::size_t axis) const;
+  const std::vector<std::int64_t>& extents() const { return extents_; }
+
+  /// Number of points (product of extents).
+  std::int64_t size() const;
+
+  /// Calls `fn` for every point in lexicographic order.
+  void for_each(const std::function<void(const std::vector<std::int64_t>&)>& fn)
+      const;
+
+ private:
+  std::vector<std::int64_t> extents_;
+};
+
+/// |{ a | a = F(i), i in D }| computed by exact enumeration of the domain and
+/// deduplication of the produced addresses. Exponential in domain size — use
+/// only on small/block domains (tests, simulator setup).
+std::int64_t exact_footprint(const AccessFunction& access,
+                             const RectDomain& domain);
+
+/// Closed-form footprint for CNN-style accesses: the address range of each
+/// array dimension is computed independently and the footprint is the product
+/// of the per-dimension range sizes (paper §3.3). Exact whenever each array
+/// dimension's expression has non-negative coefficients and distinct array
+/// dimensions use disjoint iterator sets — true for all CNN accesses.
+std::int64_t closed_form_footprint(const AccessFunction& access,
+                                   const RectDomain& domain);
+
+/// Per-dimension address-range size used by the closed form:
+/// for expr = c0 + sum coeff_l * i_l with i_l in [0, e_l):
+/// range = sum coeff_l * (e_l - 1) + 1 (non-negative coefficients).
+std::int64_t dim_range_size(const AffineExpr& expr, const RectDomain& domain);
+
+}  // namespace sasynth

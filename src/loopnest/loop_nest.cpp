@@ -1,0 +1,103 @@
+#include "loopnest/loop_nest.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::size_t LoopNest::add_loop(std::string name, std::int64_t trip) {
+  loops_.push_back(Loop{std::move(name), trip});
+  return loops_.size() - 1;
+}
+
+void LoopNest::add_access(ArrayAccess access) {
+  accesses_.push_back(std::move(access));
+}
+
+const Loop& LoopNest::loop(std::size_t l) const {
+  assert(l < loops_.size());
+  return loops_[l];
+}
+
+std::size_t LoopNest::find_loop(const std::string& name) const {
+  for (std::size_t l = 0; l < loops_.size(); ++l) {
+    if (loops_[l].name == name) return l;
+  }
+  return npos;
+}
+
+std::size_t LoopNest::find_access(const std::string& array) const {
+  for (std::size_t a = 0; a < accesses_.size(); ++a) {
+    if (accesses_[a].access.array == array) return a;
+  }
+  return npos;
+}
+
+std::vector<std::int64_t> LoopNest::trip_counts() const {
+  std::vector<std::int64_t> trips;
+  trips.reserve(loops_.size());
+  for (const Loop& l : loops_) trips.push_back(l.trip);
+  return trips;
+}
+
+std::int64_t LoopNest::total_iterations() const {
+  std::int64_t total = 1;
+  for (const Loop& l : loops_) total *= l.trip;
+  return total;
+}
+
+std::vector<std::string> LoopNest::iter_names() const {
+  std::vector<std::string> names;
+  names.reserve(loops_.size());
+  for (const Loop& l : loops_) names.push_back(l.name);
+  return names;
+}
+
+std::string LoopNest::validate() const {
+  if (loops_.empty()) return "loop nest has no loops";
+  for (const Loop& l : loops_) {
+    if (l.trip < 1) return "loop '" + l.name + "' has non-positive trip count";
+    if (l.name.empty()) return "loop with empty name";
+  }
+  if (accesses_.empty()) return "loop nest has no array accesses";
+  std::size_t reduce_count = 0;
+  for (const ArrayAccess& a : accesses_) {
+    if (a.access.indices.empty()) {
+      return "access to '" + a.access.array + "' has rank 0";
+    }
+    for (const AffineExpr& e : a.access.indices) {
+      if (e.num_loops() != loops_.size()) {
+        return "access to '" + a.access.array +
+               "' built for a different loop count";
+      }
+    }
+    if (a.role == AccessRole::kReduce) ++reduce_count;
+  }
+  if (reduce_count != 1) return "loop nest must have exactly one reduction access";
+  return "";
+}
+
+std::string LoopNest::to_string() const {
+  const std::vector<std::string> names = iter_names();
+  std::string out;
+  for (std::size_t l = 0; l < loops_.size(); ++l) {
+    out += std::string(2 * l, ' ') +
+           strformat("for (%s = 0; %s < %lld; %s++)\n", loops_[l].name.c_str(),
+                     loops_[l].name.c_str(),
+                     static_cast<long long>(loops_[l].trip),
+                     loops_[l].name.c_str());
+  }
+  std::string stmt;
+  std::string reduce;
+  std::vector<std::string> reads;
+  for (const ArrayAccess& a : accesses_) {
+    if (a.role == AccessRole::kReduce) reduce = a.access.to_string(names);
+    else reads.push_back(a.access.to_string(names));
+  }
+  stmt = reduce + " += " + join(reads, " * ") + ";";
+  out += std::string(2 * loops_.size(), ' ') + stmt + "\n";
+  return out;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,78 @@
+// Loop-nest intermediate representation (the program form of paper Fig. 4
+// before tiling): a perfect nest of counted loops around one multiply-
+// accumulate statement with affine array accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loopnest/affine.h"
+
+namespace sasynth {
+
+/// One counted loop: `for (name = 0; name < trip; ++name)`.
+struct Loop {
+  std::string name;
+  std::int64_t trip = 0;
+};
+
+/// How the statement uses an array.
+enum class AccessRole {
+  kRead,       ///< operand (W, IN)
+  kReduce,     ///< read-modify-write accumulation target (OUT)
+};
+
+struct ArrayAccess {
+  AccessFunction access;
+  AccessRole role = AccessRole::kRead;
+};
+
+/// A perfect loop nest around a single MAC-style statement:
+///   reduce_array[...] += read_array0[...] * read_array1[...].
+class LoopNest {
+ public:
+  LoopNest() = default;
+
+  /// Appends a loop; returns its index.
+  std::size_t add_loop(std::string name, std::int64_t trip);
+
+  /// Registers an array access of the statement.
+  void add_access(ArrayAccess access);
+
+  std::size_t num_loops() const { return loops_.size(); }
+  const Loop& loop(std::size_t l) const;
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Index of the loop with the given name, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_loop(const std::string& name) const;
+
+  const std::vector<ArrayAccess>& accesses() const { return accesses_; }
+  std::size_t num_accesses() const { return accesses_.size(); }
+
+  /// Index of the access for the given array name, or npos.
+  std::size_t find_access(const std::string& array) const;
+
+  /// Trip counts as a vector (one per loop).
+  std::vector<std::int64_t> trip_counts() const;
+
+  /// Total iteration count (product of trips).
+  std::int64_t total_iterations() const;
+
+  /// Iterator names (one per loop), used for rendering.
+  std::vector<std::string> iter_names() const;
+
+  /// Validates the nest: positive trips, access ranks consistent with the
+  /// number of loops, exactly one kReduce access. Returns "" when valid.
+  std::string validate() const;
+
+  /// Multi-line rendering of the nest as C-like pseudocode.
+  std::string to_string() const;
+
+ private:
+  std::vector<Loop> loops_;
+  std::vector<ArrayAccess> accesses_;
+};
+
+}  // namespace sasynth

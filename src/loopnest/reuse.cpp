@@ -1,0 +1,89 @@
+#include "loopnest/reuse.h"
+
+#include <cassert>
+
+#include "loopnest/domain.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+ReuseMatrix::ReuseMatrix(std::size_t num_accesses, std::size_t num_loops)
+    : rows_(num_accesses, std::vector<bool>(num_loops, false)) {}
+
+bool ReuseMatrix::carries_reuse(std::size_t access, std::size_t loop) const {
+  assert(access < rows_.size());
+  assert(loop < rows_[access].size());
+  return rows_[access][loop];
+}
+
+void ReuseMatrix::set(std::size_t access, std::size_t loop, bool value) {
+  assert(access < rows_.size());
+  assert(loop < rows_[access].size());
+  rows_[access][loop] = value;
+}
+
+std::vector<std::size_t> ReuseMatrix::reuse_loops(std::size_t access) const {
+  std::vector<std::size_t> loops;
+  for (std::size_t l = 0; l < num_loops(); ++l) {
+    if (carries_reuse(access, l)) loops.push_back(l);
+  }
+  return loops;
+}
+
+std::vector<std::size_t> ReuseMatrix::reused_accesses(std::size_t loop) const {
+  std::vector<std::size_t> accesses;
+  for (std::size_t a = 0; a < num_accesses(); ++a) {
+    if (carries_reuse(a, loop)) accesses.push_back(a);
+  }
+  return accesses;
+}
+
+ReuseMatrix analyze_reuse(const LoopNest& nest) {
+  ReuseMatrix matrix(nest.num_accesses(), nest.num_loops());
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+      matrix.set(a, l, nest.accesses()[a].access.invariant_in(l));
+    }
+  }
+  return matrix;
+}
+
+ReuseMatrix analyze_reuse_exhaustive(const LoopNest& nest) {
+  ReuseMatrix matrix(nest.num_accesses(), nest.num_loops());
+  const RectDomain domain(nest.trip_counts());
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    const AccessFunction& f = nest.accesses()[a].access;
+    for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+      // Eq. 3: equal addresses at i_l and i_l + 1 for all domain points where
+      // both are defined. Trip-1 loops carry reuse trivially (the condition
+      // is vacuous and the access is invariant across the loop).
+      bool reuse = true;
+      domain.for_each([&](const std::vector<std::int64_t>& point) {
+        if (!reuse) return;
+        if (point[l] + 1 >= nest.loop(l).trip) return;
+        std::vector<std::int64_t> next = point;
+        ++next[l];
+        if (f.eval(point) != f.eval(next)) reuse = false;
+      });
+      matrix.set(a, l, reuse);
+    }
+  }
+  return matrix;
+}
+
+std::string reuse_report(const LoopNest& nest, const ReuseMatrix& matrix) {
+  const std::vector<std::string> names = nest.iter_names();
+  std::string out = "array";
+  for (const std::string& n : names) out += "\t" + n;
+  out += "\n";
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    out += nest.accesses()[a].access.array;
+    for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+      out += matrix.carries_reuse(a, l) ? "\t1" : "\t0";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,55 @@
+// Fine-grained data-reuse analysis (paper §3.2, Eq. 3).
+//
+// An array r has fine-grained reuse carried by loop l when consecutive
+// iterations of l access the same element: F_r(..., i_l, ...) ==
+// F_r(..., i_l + 1, ...) for every point of the domain. For affine accesses
+// this is exactly coefficient-of-l == 0 in every array dimension. The result
+// is the binary matrix c_rl the feasible-mapping condition (Eq. 2) is built
+// from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+/// c_rl for a loop nest: reuse_[access][loop].
+class ReuseMatrix {
+ public:
+  ReuseMatrix() = default;
+  ReuseMatrix(std::size_t num_accesses, std::size_t num_loops);
+
+  bool carries_reuse(std::size_t access, std::size_t loop) const;
+  void set(std::size_t access, std::size_t loop, bool value);
+
+  std::size_t num_accesses() const { return rows_.size(); }
+  std::size_t num_loops() const {
+    return rows_.empty() ? 0 : rows_.front().size();
+  }
+
+  /// Loops carrying reuse of the given access.
+  std::vector<std::size_t> reuse_loops(std::size_t access) const;
+
+  /// Accesses whose reuse is carried by the given loop.
+  std::vector<std::size_t> reused_accesses(std::size_t loop) const;
+
+ private:
+  std::vector<std::vector<bool>> rows_;
+};
+
+/// Computes c_rl by access-function invariance (closed form for affine
+/// accesses).
+ReuseMatrix analyze_reuse(const LoopNest& nest);
+
+/// Brute-force verification of Eq. 3 by enumerating the domain and comparing
+/// F_r at i_l and i_l + 1. Used in tests to validate `analyze_reuse` on small
+/// nests. O(domain size) per (access, loop).
+ReuseMatrix analyze_reuse_exhaustive(const LoopNest& nest);
+
+/// Human-readable c_rl table.
+std::string reuse_report(const LoopNest& nest, const ReuseMatrix& matrix);
+
+}  // namespace sasynth

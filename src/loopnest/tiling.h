@@ -1,0 +1,101 @@
+// Loop tiling specification — the program form of paper Fig. 4.
+//
+// Every loop l of the nest (trip N_l) is split into three levels:
+//   outer loop  : ceil(N_l / (s_l * t_l)) block iterations (off-chip blocking)
+//   middle loop : s_l iterations (feeding the PE array from on-chip buffers)
+//   inner loop  : t_l iterations (parallel hardware: PE row/col/SIMD vector)
+// Unmapped loops have t_l = 1; loops kept entirely off-chip have s_l = 1.
+// The bounds need not divide N_l; boundary blocks are padded (computation is
+// wasted), which the DSP-efficiency model (Eq. 1) charges for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loopnest/domain.h"
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+class TilingSpec {
+ public:
+  TilingSpec() = default;
+
+  /// Identity tiling (all s = t = 1) for a nest with `num_loops` loops.
+  explicit TilingSpec(std::size_t num_loops);
+
+  /// Builds from explicit vectors (sizes must match and be >= 1).
+  TilingSpec(std::vector<std::int64_t> middle, std::vector<std::int64_t> inner);
+
+  std::size_t num_loops() const { return middle_.size(); }
+
+  std::int64_t middle(std::size_t l) const;  ///< s_l
+  std::int64_t inner(std::size_t l) const;   ///< t_l
+  TilingSpec& set_middle(std::size_t l, std::int64_t s);
+  TilingSpec& set_inner(std::size_t l, std::int64_t t);
+
+  const std::vector<std::int64_t>& middle_bounds() const { return middle_; }
+  const std::vector<std::int64_t>& inner_bounds() const { return inner_; }
+
+  /// Block trip of loop l: b_l = s_l * t_l.
+  std::int64_t block_trip(std::size_t l) const;
+
+  /// All block trips.
+  std::vector<std::int64_t> block_trips() const;
+
+  /// Number of blocks along loop l for the given nest: ceil(N_l / b_l).
+  std::int64_t outer_trip(const LoopNest& nest, std::size_t l) const;
+
+  /// Total number of blocks (product over loops).
+  std::int64_t num_blocks(const LoopNest& nest) const;
+
+  /// Inner-granules along loop l: ceil(N_l / t_l). The sequential middle
+  /// loops clip on boundary blocks (the feeders simply stop early), but the
+  /// hardware array cannot clip below t_l, so granules are the unit of
+  /// executed work.
+  std::int64_t granules(const LoopNest& nest, std::size_t l) const;
+
+  /// Total wavefronts across all blocks: prod_l granules_l. Each wavefront
+  /// occupies the full PE array for one cycle in steady state.
+  std::int64_t total_wavefronts(const LoopNest& nest) const;
+
+  /// Executed (padded) iterations: prod_l granules_l * t_l — only the inner
+  /// (array-shape) quantization wastes computation; middle loops clip.
+  std::int64_t executed_iterations(const LoopNest& nest) const;
+
+  /// DSP efficiency, Eq. 1 via the quantization interpretation:
+  /// effective iterations / executed iterations. Depends only on the inner
+  /// bounds t, which is what makes throughput monotone non-decreasing in s
+  /// (the property §4's power-of-two pruning relies on).
+  double efficiency(const LoopNest& nest) const;
+
+  /// MACs executed per block: prod_l b_l.
+  std::int64_t macs_per_block() const;
+
+  /// Array-feeding cycles per block: prod_l s_l (the PE array consumes
+  /// prod_l t_l MACs per cycle when fully pipelined).
+  std::int64_t cycles_per_block() const;
+
+  /// The block's iteration domain (extent b_l per loop) for footprint
+  /// computations.
+  RectDomain block_domain() const;
+
+  /// Data footprint (elements) of one access over one block, Eq. 5 computed
+  /// by the closed-form per-dimension range product.
+  std::int64_t footprint_elems(const AccessFunction& access) const;
+
+  /// Validates against a nest: size match, s/t >= 1, block <= padded trip.
+  std::string validate(const LoopNest& nest) const;
+
+  /// "s=(4,4,13,1,3,3) t=(11,13,1,1,1,8)" style rendering.
+  std::string to_string() const;
+
+  bool operator==(const TilingSpec& other) const;
+
+ private:
+  std::vector<std::int64_t> middle_;
+  std::vector<std::int64_t> inner_;
+};
+
+}  // namespace sasynth

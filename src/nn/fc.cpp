@@ -1,0 +1,71 @@
+#include "nn/fc.h"
+
+#include <cassert>
+
+namespace sasynth {
+
+std::string FcLayerDesc::validate() const {
+  if (in_features < 1) return "in_features must be >= 1";
+  if (out_features < 1) return "out_features must be >= 1";
+  return "";
+}
+
+ConvLayerDesc fc_as_conv(const FcLayerDesc& fc, std::int64_t in_maps,
+                         std::int64_t map_size) {
+  assert(fc.validate().empty());
+  assert(in_maps * map_size * map_size == fc.in_features);
+  ConvLayerDesc conv;
+  conv.name = fc.name + "_as_conv";
+  conv.in_maps = in_maps;
+  conv.out_maps = fc.out_features;
+  conv.out_rows = 1;
+  conv.out_cols = 1;
+  conv.kernel = map_size;
+  conv.stride = 1;
+  conv.groups = 1;
+  assert(conv.total_macs() == fc.total_macs());
+  return conv;
+}
+
+ConvLayerDesc fc_as_conv(const FcLayerDesc& fc) {
+  return fc_as_conv(fc, fc.in_features, 1);
+}
+
+Tensor fc_forward(const FcLayerDesc& fc, const Tensor& input,
+                  const Tensor& weights) {
+  assert(input.shape() == (std::vector<std::int64_t>{fc.in_features}));
+  assert(weights.shape() ==
+         (std::vector<std::int64_t>{fc.out_features, fc.in_features}));
+  Tensor out({fc.out_features});
+  for (std::int64_t o = 0; o < fc.out_features; ++o) {
+    float acc = 0.0F;
+    for (std::int64_t i = 0; i < fc.in_features; ++i) {
+      acc += weights.at(o, i) * input.at(i);
+    }
+    out.at(o) = acc;
+  }
+  return out;
+}
+
+Tensor fc_weights_as_conv(const FcLayerDesc& fc, const Tensor& weights,
+                          std::int64_t in_maps, std::int64_t map_size) {
+  assert(in_maps * map_size * map_size == fc.in_features);
+  Tensor conv_w({fc.out_features, in_maps, map_size, map_size});
+  for (std::int64_t o = 0; o < fc.out_features; ++o) {
+    for (std::int64_t c = 0; c < in_maps; ++c) {
+      for (std::int64_t h = 0; h < map_size; ++h) {
+        for (std::int64_t w = 0; w < map_size; ++w) {
+          conv_w.at(o, c, h, w) =
+              weights.at(o, (c * map_size + h) * map_size + w);
+        }
+      }
+    }
+  }
+  return conv_w;
+}
+
+FcLayerDesc alexnet_fc6() { return FcLayerDesc{"fc6", 256 * 6 * 6, 4096}; }
+FcLayerDesc alexnet_fc7() { return FcLayerDesc{"fc7", 4096, 4096}; }
+FcLayerDesc alexnet_fc8() { return FcLayerDesc{"fc8", 4096, 1000}; }
+
+}  // namespace sasynth

@@ -1,0 +1,53 @@
+// Fully connected layers and their conversion to convolutions (paper §2.1:
+// "fully connected layers can be converted into convolutional layers [10]").
+//
+// The conversion lets the same systolic array run the FC tail of AlexNet /
+// VGG: an FC layer consuming a [C][H][W] feature volume is exactly a
+// convolution with kernel H(=W), unit output size and O = out_features; an
+// FC-on-FC layer is a 1x1 convolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+struct FcLayerDesc {
+  std::string name;
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+
+  std::int64_t total_macs() const { return in_features * out_features; }
+  std::string validate() const;
+};
+
+/// FC over a flattened square feature volume [in_maps][map_size][map_size]:
+/// the equivalent convolution has I = in_maps, K = map_size, R = C = 1,
+/// O = out_features. Precondition: in_maps * map_size^2 == fc.in_features.
+ConvLayerDesc fc_as_conv(const FcLayerDesc& fc, std::int64_t in_maps,
+                         std::int64_t map_size);
+
+/// FC whose input is already a vector (previous layer was FC): a 1x1 conv
+/// with I = in_features.
+ConvLayerDesc fc_as_conv(const FcLayerDesc& fc);
+
+/// Reference FC forward: out[o] = sum_i w[o][i] * in[i].
+/// `input` is rank-1 [in_features]; `weights` rank-2 [out][in].
+Tensor fc_forward(const FcLayerDesc& fc, const Tensor& input,
+                  const Tensor& weights);
+
+/// Reshapes FC weights [out][in_maps*map^2] into the converted conv's
+/// [O][I][K][K] layout (row-major flattening i = (c * map + h) * map + w
+/// ... i.e. channel-major, matching a [C][H][W] activation volume).
+Tensor fc_weights_as_conv(const FcLayerDesc& fc, const Tensor& weights,
+                          std::int64_t in_maps, std::int64_t map_size);
+
+/// AlexNet's three FC layers (fc6: 256x6x6 -> 4096, fc7, fc8 -> 1000).
+FcLayerDesc alexnet_fc6();
+FcLayerDesc alexnet_fc7();
+FcLayerDesc alexnet_fc8();
+
+}  // namespace sasynth

@@ -1,0 +1,165 @@
+#include "nn/fft_conv.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+using Cvec = std::vector<std::complex<double>>;
+
+/// 2-D FFT over a row-major h x w grid (both powers of two).
+void fft2d(Cvec& grid, std::int64_t h, std::int64_t w, bool inverse,
+           std::int64_t* mult_counter) {
+  Cvec line;
+  // Rows.
+  line.resize(static_cast<std::size_t>(w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      line[static_cast<std::size_t>(c)] =
+          grid[static_cast<std::size_t>(r * w + c)];
+    }
+    fft1d(line, inverse);
+    for (std::int64_t c = 0; c < w; ++c) {
+      grid[static_cast<std::size_t>(r * w + c)] =
+          line[static_cast<std::size_t>(c)];
+    }
+  }
+  // Columns.
+  line.resize(static_cast<std::size_t>(h));
+  for (std::int64_t c = 0; c < w; ++c) {
+    for (std::int64_t r = 0; r < h; ++r) {
+      line[static_cast<std::size_t>(r)] =
+          grid[static_cast<std::size_t>(r * w + c)];
+    }
+    fft1d(line, inverse);
+    for (std::int64_t r = 0; r < h; ++r) {
+      grid[static_cast<std::size_t>(r * w + c)] =
+          line[static_cast<std::size_t>(r)];
+    }
+  }
+  if (mult_counter != nullptr) {
+    // Each length-n FFT performs (n/2) log2(n) complex butterflies, one
+    // complex multiply each (4 real multiplies).
+    const std::int64_t row_mults = h * (w / 2) * floor_log2(w);
+    const std::int64_t col_mults = w * (h / 2) * floor_log2(h);
+    *mult_counter += 4 * (row_mults + col_mults);
+  }
+}
+
+}  // namespace
+
+void fft1d(Cvec& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(n > 0 && (n & (n - 1)) == 0);
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (std::complex<double>& x : data) x /= static_cast<double>(n);
+  }
+}
+
+Tensor fft_conv(const ConvLayerDesc& layer, const ConvData& data,
+                FftConvStats* stats) {
+  assert(layer.validate().empty());
+  const std::int64_t in_rows = layer.in_rows();
+  const std::int64_t in_cols = layer.in_cols();
+  // Full linear convolution needs in + K - 1 points per axis.
+  const std::int64_t fft_h = round_up_pow2(in_rows + layer.kernel - 1);
+  const std::int64_t fft_w = round_up_pow2(in_cols + layer.kernel - 1);
+  const std::int64_t n = fft_h * fft_w;
+
+  std::int64_t mults = 0;
+  std::int64_t offline_mults = 0;
+
+  // Transform every input map once.
+  std::vector<Cvec> in_hat(static_cast<std::size_t>(layer.in_maps));
+  for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+    Cvec grid(static_cast<std::size_t>(n), {0.0, 0.0});
+    for (std::int64_t r = 0; r < in_rows; ++r) {
+      for (std::int64_t c = 0; c < in_cols; ++c) {
+        grid[static_cast<std::size_t>(r * fft_w + c)] = data.input.at(i, r, c);
+      }
+    }
+    fft2d(grid, fft_h, fft_w, /*inverse=*/false, &mults);
+    in_hat[static_cast<std::size_t>(i)] = std::move(grid);
+  }
+
+  Tensor out({layer.out_maps, layer.out_rows, layer.out_cols});
+  Cvec acc;
+  Cvec kernel_grid;
+  for (std::int64_t o = 0; o < layer.out_maps; ++o) {
+    acc.assign(static_cast<std::size_t>(n), {0.0, 0.0});
+    for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+      // Correlation = convolution with the flipped kernel: place W reversed.
+      kernel_grid.assign(static_cast<std::size_t>(n), {0.0, 0.0});
+      for (std::int64_t p = 0; p < layer.kernel; ++p) {
+        for (std::int64_t q = 0; q < layer.kernel; ++q) {
+          kernel_grid[static_cast<std::size_t>(
+              (layer.kernel - 1 - p) * fft_w + (layer.kernel - 1 - q))] =
+              data.weights.at(o, i, p, q);
+        }
+      }
+      fft2d(kernel_grid, fft_h, fft_w, /*inverse=*/false, &offline_mults);
+      const Cvec& x = in_hat[static_cast<std::size_t>(i)];
+      for (std::int64_t k = 0; k < n; ++k) {
+        acc[static_cast<std::size_t>(k)] +=
+            x[static_cast<std::size_t>(k)] * kernel_grid[static_cast<std::size_t>(k)];
+      }
+      mults += 4 * n;  // pointwise complex multiplies
+    }
+    fft2d(acc, fft_h, fft_w, /*inverse=*/true, &mults);
+    // Valid-correlation region starts at (K-1, K-1); stride subsamples.
+    for (std::int64_t r = 0; r < layer.out_rows; ++r) {
+      for (std::int64_t c = 0; c < layer.out_cols; ++c) {
+        const std::int64_t rr = layer.kernel - 1 + r * layer.stride;
+        const std::int64_t cc = layer.kernel - 1 + c * layer.stride;
+        out.at(o, r, c) = static_cast<float>(
+            acc[static_cast<std::size_t>(rr * fft_w + cc)].real());
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->real_mults = mults;
+    stats->offline_mults = offline_mults;
+    stats->direct_mults = layer.macs_per_group();
+  }
+  return out;
+}
+
+std::string FftConvStats::summary() const {
+  return strformat(
+      "fft conv: %lld runtime real multiplies (+%lld offline) vs %lld direct "
+      "(%.2fx reduction)",
+      static_cast<long long>(real_mults),
+      static_cast<long long>(offline_mults),
+      static_cast<long long>(direct_mults), mult_reduction());
+}
+
+}  // namespace sasynth

@@ -1,0 +1,56 @@
+// Frequency-domain convolution — the second §6 future-work item (the paper
+// cites [28], Zhang & Prasanna's FPGA'17 CPU-FPGA FFT convolution, next to
+// Winograd).
+//
+// conv(IN, W) is computed per (output map, input map) pair as a pointwise
+// product in the frequency domain: both operands are zero-padded to a
+// power-of-two tile, transformed with a radix-2 2-D FFT, multiplied,
+// accumulated over input maps, and inverse-transformed once per output map.
+// The valid-correlation region is then extracted (and subsampled for strided
+// layers).
+//
+// The implementation counts its multiplies so the fast-algorithms ablation
+// can compare measured arithmetic against direct convolution and Winograd:
+// FFT amortizes best for large kernels (AlexNet's 11x11), Winograd for 3x3 —
+// the standard trade-off the paper's future work would navigate.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/reference.h"
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+/// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform and the 1/N scaling.
+void fft1d(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Arithmetic counters of one fft_conv run (real-multiply equivalents:
+/// one complex multiply = 4 real multiplies). Kernel transforms are counted
+/// separately: weights are constant across inference, so their FFTs are
+/// performed once offline (exactly like Winograd's U = G g G^T).
+struct FftConvStats {
+  std::int64_t real_mults = 0;     ///< runtime: input FFTs + pointwise + inverse
+  std::int64_t offline_mults = 0;  ///< one-time kernel transforms
+  std::int64_t direct_mults = 0;   ///< I*O*R*C*K^2 for comparison
+
+  double mult_reduction() const {
+    return real_mults > 0
+               ? static_cast<double>(direct_mults) /
+                     static_cast<double>(real_mults)
+               : 0.0;
+  }
+  std::string summary() const;
+};
+
+/// Frequency-domain convolution of one group; bit-compatible (up to float
+/// rounding) with reference_conv. Any kernel size and stride.
+Tensor fft_conv(const ConvLayerDesc& layer, const ConvData& data,
+                FftConvStats* stats = nullptr);
+
+}  // namespace sasynth

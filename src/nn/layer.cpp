@@ -1,0 +1,93 @@
+#include "nn/layer.h"
+
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::int64_t ConvLayerDesc::in_rows() const {
+  return (out_rows - 1) * stride + kernel;
+}
+
+std::int64_t ConvLayerDesc::in_cols() const {
+  return (out_cols - 1) * stride + kernel;
+}
+
+std::int64_t ConvLayerDesc::macs_per_group() const {
+  return in_maps * out_maps * out_rows * out_cols * kernel * kernel;
+}
+
+std::int64_t ConvLayerDesc::total_macs() const {
+  return macs_per_group() * groups;
+}
+
+std::int64_t ConvLayerDesc::total_ops() const { return 2 * total_macs(); }
+
+std::int64_t ConvLayerDesc::weight_elems() const {
+  return out_maps * in_maps * kernel * kernel;
+}
+
+std::int64_t ConvLayerDesc::input_elems() const {
+  return in_maps * in_rows() * in_cols();
+}
+
+std::int64_t ConvLayerDesc::output_elems() const {
+  return out_maps * out_rows * out_cols;
+}
+
+std::string ConvLayerDesc::validate() const {
+  if (in_maps < 1) return "in_maps must be >= 1";
+  if (out_maps < 1) return "out_maps must be >= 1";
+  if (out_rows < 1) return "out_rows must be >= 1";
+  if (out_cols < 1) return "out_cols must be >= 1";
+  if (kernel < 1) return "kernel must be >= 1";
+  if (stride < 1) return "stride must be >= 1";
+  if (groups < 1) return "groups must be >= 1";
+  return "";
+}
+
+std::string ConvLayerDesc::summary() const {
+  return strformat("%s: (I,O,R,C,K)=(%lld,%lld,%lld,%lld,%lld) s%lld g%lld",
+                   name.c_str(), static_cast<long long>(in_maps),
+                   static_cast<long long>(out_maps),
+                   static_cast<long long>(out_rows),
+                   static_cast<long long>(out_cols),
+                   static_cast<long long>(kernel),
+                   static_cast<long long>(stride),
+                   static_cast<long long>(groups));
+}
+
+bool ConvLayerDesc::operator==(const ConvLayerDesc& other) const {
+  return name == other.name && in_maps == other.in_maps &&
+         out_maps == other.out_maps && out_rows == other.out_rows &&
+         out_cols == other.out_cols && kernel == other.kernel &&
+         stride == other.stride && groups == other.groups;
+}
+
+ConvLayerDesc make_conv(std::string name, std::int64_t in_maps,
+                        std::int64_t out_maps, std::int64_t out_size,
+                        std::int64_t kernel, std::int64_t stride,
+                        std::int64_t groups) {
+  ConvLayerDesc layer;
+  layer.name = std::move(name);
+  layer.in_maps = in_maps;
+  layer.out_maps = out_maps;
+  layer.out_rows = out_size;
+  layer.out_cols = out_size;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.groups = groups;
+  return layer;
+}
+
+ConvLayerDesc fold_strided_layer(const ConvLayerDesc& layer) {
+  if (layer.stride == 1) return layer;
+  ConvLayerDesc folded = layer;
+  folded.name = layer.name + "_folded";
+  folded.in_maps = layer.in_maps * layer.stride * layer.stride;
+  folded.kernel = ceil_div(layer.kernel, layer.stride);
+  folded.stride = 1;
+  return folded;
+}
+
+}  // namespace sasynth

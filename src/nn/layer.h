@@ -1,0 +1,77 @@
+// Convolutional layer descriptor — the workload unit of the whole framework.
+//
+// Dimensions follow the paper's Code 1 naming:
+//   O = output feature maps (loop L1)
+//   I = input feature maps  (loop L2)
+//   C = output feature columns (loop L3)
+//   R = output feature rows    (loop L4)
+//   K = kernel size (loops L5 = p, L6 = q)
+//
+// Grouped convolutions (AlexNet conv2/4/5) are described by their per-group
+// dimensions plus a `groups` replication count, matching how the paper quotes
+// AlexNet layer 5 as (I,O,R,C,P,Q) = (192,128,13,13,3,3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+struct ConvLayerDesc {
+  std::string name;
+  std::int64_t in_maps = 0;   ///< I — input feature maps (per group)
+  std::int64_t out_maps = 0;  ///< O — output feature maps (per group)
+  std::int64_t out_rows = 0;  ///< R
+  std::int64_t out_cols = 0;  ///< C
+  std::int64_t kernel = 0;    ///< K (square kernels, P = Q = K)
+  std::int64_t stride = 1;
+  std::int64_t groups = 1;    ///< replication count; groups run sequentially
+
+  /// Rows/cols of the (already padded) input feature map required to produce
+  /// the R x C output with a valid convolution: (R-1)*stride + K.
+  std::int64_t in_rows() const;
+  std::int64_t in_cols() const;
+
+  /// MAC count for one group: I*O*R*C*K*K.
+  std::int64_t macs_per_group() const;
+
+  /// Total MACs including group replication.
+  std::int64_t total_macs() const;
+
+  /// Total arithmetic operations (2 per MAC: multiply + accumulate), the unit
+  /// of all GFlops/Gops numbers in the paper.
+  std::int64_t total_ops() const;
+
+  /// Element counts for one group's arrays.
+  std::int64_t weight_elems() const;  ///< O*I*K*K
+  std::int64_t input_elems() const;   ///< I*in_rows*in_cols
+  std::int64_t output_elems() const;  ///< O*R*C
+
+  /// Validates all extents (>=1, stride>=1). Returns an error message or "".
+  std::string validate() const;
+
+  /// "conv3: (I,O,R,C,K)=(256,384,13,13,3) s1 g1" style summary.
+  std::string summary() const;
+
+  bool operator==(const ConvLayerDesc& other) const;
+};
+
+/// Convenience factory for square-output stride-1 layers.
+ConvLayerDesc make_conv(std::string name, std::int64_t in_maps,
+                        std::int64_t out_maps, std::int64_t out_size,
+                        std::int64_t kernel, std::int64_t stride = 1,
+                        std::int64_t groups = 1);
+
+/// Folds a large-kernel strided layer into an equivalent stride-1 layer with
+/// more, smaller input feature maps (the paper folds AlexNet conv1 this way
+/// so one unified array design fits all layers, §5.3).
+///
+/// The fold moves the stride*stride spatial phases of the input into the
+/// channel dimension: I' = I * stride * stride, K' = ceil(K / stride),
+/// stride' = 1, R/C/O unchanged. The op count grows by the kernel padding
+/// ratio (I'*K'^2 >= I*K^2), which the paper reports as reduced DSP
+/// efficiency on that layer.
+ConvLayerDesc fold_strided_layer(const ConvLayerDesc& layer);
+
+}  // namespace sasynth

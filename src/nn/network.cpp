@@ -1,0 +1,117 @@
+#include "nn/network.h"
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+std::int64_t Network::total_ops() const {
+  std::int64_t total = 0;
+  for (const ConvLayerDesc& layer : layers) total += layer.total_ops();
+  return total;
+}
+
+const ConvLayerDesc* Network::find_layer(const std::string& layer_name) const {
+  for (const ConvLayerDesc& layer : layers) {
+    if (layer.name == layer_name) return &layer;
+  }
+  return nullptr;
+}
+
+std::string Network::summary() const {
+  std::string out = name + " (" + std::to_string(layers.size()) + " conv layers, " +
+                    format_trimmed(static_cast<double>(total_ops()) * 1e-9, 3) +
+                    " Gops/image)\n";
+  for (const ConvLayerDesc& layer : layers) {
+    out += "  " + layer.summary() + "\n";
+  }
+  return out;
+}
+
+Network make_alexnet(bool fold_conv1) {
+  Network net;
+  net.name = "AlexNet";
+  // conv1: 3 -> 96, 55x55 output, 11x11 kernel, stride 4, no groups.
+  ConvLayerDesc conv1 = make_conv("conv1", 3, 96, 55, 11, /*stride=*/4);
+  net.layers.push_back(fold_conv1 ? fold_strided_layer(conv1) : conv1);
+  // conv2: 96 -> 256, 27x27, 5x5, groups 2 => per-group 48 -> 128.
+  net.layers.push_back(make_conv("conv2", 48, 128, 27, 5, 1, /*groups=*/2));
+  // conv3: 256 -> 384, 13x13, 3x3, no groups.
+  net.layers.push_back(make_conv("conv3", 256, 384, 13, 3));
+  // conv4: 384 -> 384, 13x13, 3x3, groups 2 => per-group 192 -> 192.
+  net.layers.push_back(make_conv("conv4", 192, 192, 13, 3, 1, /*groups=*/2));
+  // conv5: 384 -> 256, 13x13, 3x3, groups 2 => per-group 192 -> 128.
+  net.layers.push_back(make_conv("conv5", 192, 128, 13, 3, 1, /*groups=*/2));
+  return net;
+}
+
+ConvLayerDesc alexnet_conv5() {
+  ConvLayerDesc layer = make_conv("alexnet_conv5", 192, 128, 13, 3);
+  return layer;
+}
+
+Network make_vgg16() {
+  Network net;
+  net.name = "VGG16";
+  net.layers.push_back(make_conv("conv1_1", 3, 64, 224, 3));
+  net.layers.push_back(make_conv("conv1_2", 64, 64, 224, 3));
+  net.layers.push_back(make_conv("conv2_1", 64, 128, 112, 3));
+  net.layers.push_back(make_conv("conv2_2", 128, 128, 112, 3));
+  net.layers.push_back(make_conv("conv3_1", 128, 256, 56, 3));
+  net.layers.push_back(make_conv("conv3_2", 256, 256, 56, 3));
+  net.layers.push_back(make_conv("conv3_3", 256, 256, 56, 3));
+  net.layers.push_back(make_conv("conv4_1", 256, 512, 28, 3));
+  net.layers.push_back(make_conv("conv4_2", 512, 512, 28, 3));
+  net.layers.push_back(make_conv("conv4_3", 512, 512, 28, 3));
+  net.layers.push_back(make_conv("conv5_1", 512, 512, 14, 3));
+  net.layers.push_back(make_conv("conv5_2", 512, 512, 14, 3));
+  net.layers.push_back(make_conv("conv5_3", 512, 512, 14, 3));
+  return net;
+}
+
+Network make_googlenet() {
+  Network net;
+  net.name = "GoogLeNet";
+  // Stem.
+  net.layers.push_back(make_conv("conv1_7x7", 3, 64, 112, 7, /*stride=*/2));
+  net.layers.push_back(make_conv("conv2_red", 64, 64, 56, 1));
+  net.layers.push_back(make_conv("conv2_3x3", 64, 192, 56, 3));
+
+  // One inception module: six convolutions.
+  struct Inception {
+    const char* name;
+    std::int64_t in, b1, r3, b3, r5, b5, pool;
+    std::int64_t size;
+  };
+  const Inception modules[] = {
+      {"3a", 192, 64, 96, 128, 16, 32, 32, 28},
+      {"3b", 256, 128, 128, 192, 32, 96, 64, 28},
+      {"4a", 480, 192, 96, 208, 16, 48, 64, 14},
+      {"4b", 512, 160, 112, 224, 24, 64, 64, 14},
+      {"4c", 512, 128, 128, 256, 24, 64, 64, 14},
+      {"4d", 512, 112, 144, 288, 32, 64, 64, 14},
+      {"4e", 528, 256, 160, 320, 32, 128, 128, 14},
+      {"5a", 832, 256, 160, 320, 32, 128, 128, 7},
+      {"5b", 832, 384, 192, 384, 48, 128, 128, 7},
+  };
+  for (const Inception& m : modules) {
+    const std::string prefix = std::string("inc") + m.name;
+    net.layers.push_back(make_conv(prefix + "_1x1", m.in, m.b1, m.size, 1));
+    net.layers.push_back(make_conv(prefix + "_3x3r", m.in, m.r3, m.size, 1));
+    net.layers.push_back(make_conv(prefix + "_3x3", m.r3, m.b3, m.size, 3));
+    net.layers.push_back(make_conv(prefix + "_5x5r", m.in, m.r5, m.size, 1));
+    net.layers.push_back(make_conv(prefix + "_5x5", m.r5, m.b5, m.size, 5));
+    net.layers.push_back(make_conv(prefix + "_pool", m.in, m.pool, m.size, 1));
+  }
+  return net;
+}
+
+Network make_tiny_testnet() {
+  Network net;
+  net.name = "TinyTestNet";
+  net.layers.push_back(make_conv("t1", 4, 8, 6, 3));
+  net.layers.push_back(make_conv("t2", 8, 8, 4, 3));
+  net.layers.push_back(make_conv("t3", 8, 4, 4, 1));
+  return net;
+}
+
+}  // namespace sasynth

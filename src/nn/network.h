@@ -1,0 +1,54 @@
+// Whole-network descriptions and the two evaluation models from the paper.
+//
+// The paper evaluates AlexNet and VGG16 convolutional layers (fully connected
+// layers can be converted to convolutions, §2.1, and are out of scope of the
+// tables). AlexNet's grouped layers are described per group (matching the
+// paper's layer-5 example) and conv1 is folded to stride 1 (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sasynth {
+
+struct Network {
+  std::string name;
+  std::vector<ConvLayerDesc> layers;
+
+  /// Total conv ops per image (2 * MACs, including group replication).
+  std::int64_t total_ops() const;
+
+  /// Returns nullptr if no layer has that name.
+  const ConvLayerDesc* find_layer(const std::string& layer_name) const;
+
+  /// Multi-line human-readable listing.
+  std::string summary() const;
+};
+
+/// AlexNet convolutional layers with per-group dimensions; conv1 is folded to
+/// stride 1 when `fold_conv1` is set (the configuration used by the paper's
+/// Table 4 design).
+Network make_alexnet(bool fold_conv1 = true);
+
+/// Raw (unfolded) AlexNet conv5 — the running example of §2.3 / Table 1:
+/// (I,O,R,C,P,Q) = (192,128,13,13,3,3).
+ConvLayerDesc alexnet_conv5();
+
+/// VGG16's 13 convolutional layers (Table 5).
+Network make_vgg16();
+
+/// GoogLeNet (Inception v1) convolutional layers — the third model the
+/// paper's introduction names. 57 conv layers: the three stem convolutions
+/// plus nine inception modules, each contributing the 1x1 branch, the 3x3
+/// reduce+conv pair, the 5x5 reduce+conv pair and the pool projection.
+/// Exercises kernel sizes 1/3/5/7 and strides 1/2, demonstrating the DSE on
+/// a much less regular layer mix than AlexNet/VGG.
+Network make_googlenet();
+
+/// A small synthetic network for tests: every dimension <= 8.
+Network make_tiny_testnet();
+
+}  // namespace sasynth

@@ -1,0 +1,106 @@
+#include "nn/postops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sasynth {
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = std::max(0.0F, input.data()[i]);
+  }
+  return out;
+}
+
+Tensor sigmoid(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = 1.0F / (1.0F + std::exp(-input.data()[i]));
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Reduce>
+Tensor pool_impl(const Tensor& input, std::int64_t size, std::int64_t stride,
+                 Reduce reduce, bool average) {
+  assert(input.rank() == 3);
+  assert(size >= 1 && stride >= 1);
+  const std::int64_t channels = input.dim(0);
+  const std::int64_t in_h = input.dim(1);
+  const std::int64_t in_w = input.dim(2);
+  assert(in_h >= size && in_w >= size);
+  const std::int64_t out_h = (in_h - size) / stride + 1;
+  const std::int64_t out_w = (in_w - size) / stride + 1;
+  Tensor out({channels, out_h, out_w});
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t r = 0; r < out_h; ++r) {
+      for (std::int64_t w = 0; w < out_w; ++w) {
+        float acc = average ? 0.0F : input.at(c, r * stride, w * stride);
+        for (std::int64_t pr = 0; pr < size; ++pr) {
+          for (std::int64_t pw = 0; pw < size; ++pw) {
+            acc = reduce(acc, input.at(c, r * stride + pr, w * stride + pw));
+          }
+        }
+        out.at(c, r, w) =
+            average ? acc / static_cast<float>(size * size) : acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor max_pool(const Tensor& input, std::int64_t size, std::int64_t stride) {
+  return pool_impl(
+      input, size, stride, [](float a, float b) { return std::max(a, b); },
+      /*average=*/false);
+}
+
+Tensor avg_pool(const Tensor& input, std::int64_t size, std::int64_t stride) {
+  return pool_impl(
+      input, size, stride, [](float a, float b) { return a + b; },
+      /*average=*/true);
+}
+
+Tensor flatten(const Tensor& input) {
+  Tensor out({std::max<std::int64_t>(input.size(), 1)});
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = input.data()[i];
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& input) {
+  assert(input.rank() == 1);
+  Tensor out(input.shape());
+  float max_v = input.data()[0];
+  for (std::int64_t i = 1; i < input.size(); ++i) {
+    max_v = std::max(max_v, input.data()[i]);
+  }
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    const double e = std::exp(static_cast<double>(input.data()[i] - max_v));
+    out.data()[i] = static_cast<float>(e);
+    sum += e;
+  }
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = static_cast<float>(out.data()[i] / sum);
+  }
+  return out;
+}
+
+std::int64_t argmax(const Tensor& input) {
+  assert(input.size() > 0);
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < input.size(); ++i) {
+    if (input.data()[i] > input.data()[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,35 @@
+// Non-convolutional layer operators (paper §2.1 lists pooling, sigmoid and
+// ReLU among the common computation blocks). These run on the host side of
+// the accelerator (they are a negligible fraction of the work) but are
+// needed to execute a whole network end to end through the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+/// Element-wise max(0, x).
+Tensor relu(const Tensor& input);
+
+/// Element-wise logistic sigmoid.
+Tensor sigmoid(const Tensor& input);
+
+/// Max pooling over a [C][H][W] tensor with a square window.
+/// Output dims: floor((H - size) / stride) + 1.
+Tensor max_pool(const Tensor& input, std::int64_t size, std::int64_t stride);
+
+/// Average pooling with the same geometry as max_pool.
+Tensor avg_pool(const Tensor& input, std::int64_t size, std::int64_t stride);
+
+/// Flattens any tensor to rank 1 (channel-major order preserved).
+Tensor flatten(const Tensor& input);
+
+/// Numerically stable softmax over a rank-1 tensor.
+Tensor softmax(const Tensor& input);
+
+/// Index of the maximum element of a rank-1 tensor.
+std::int64_t argmax(const Tensor& input);
+
+}  // namespace sasynth

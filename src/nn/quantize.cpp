@@ -1,0 +1,126 @@
+#include "nn/quantize.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+double QuantizedTensor::scale() const { return std::ldexp(1.0, -frac_bits); }
+
+namespace {
+
+int choose_frac_bits(const Tensor& t, int bits) {
+  float max_abs = 0.0F;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(t.data()[i]));
+  }
+  if (max_abs == 0.0F) return bits - 1;
+  // Want max_abs * 2^frac <= 2^(bits-1) - 1; find the largest such frac.
+  int frac = bits - 1;
+  const double limit = std::ldexp(1.0, bits - 1) - 1.0;
+  while (frac > -63 && max_abs * std::ldexp(1.0, frac) > limit) --frac;
+  return frac;
+}
+
+std::int32_t saturate(double v, int bits) {
+  const double lo = -std::ldexp(1.0, bits - 1);
+  const double hi = std::ldexp(1.0, bits - 1) - 1.0;
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+QuantizedTensor quantize(const Tensor& t, int bits) {
+  return quantize_with_frac(t, bits, choose_frac_bits(t, bits));
+}
+
+QuantizedTensor quantize_with_frac(const Tensor& t, int bits, int frac_bits) {
+  assert(bits >= 2 && bits <= 32);
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.bits = bits;
+  q.frac_bits = frac_bits;
+  q.values.resize(static_cast<std::size_t>(t.size()));
+  const double scale = std::ldexp(1.0, frac_bits);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    q.values[static_cast<std::size_t>(i)] =
+        saturate(std::nearbyint(static_cast<double>(t.data()[i]) * scale), bits);
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  const double scale = q.scale();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(q.values[static_cast<std::size_t>(i)] * scale);
+  }
+  return t;
+}
+
+Tensor fixed_point_conv(const ConvLayerDesc& layer, const ConvData& data,
+                        int weight_bits, int pixel_bits) {
+  const QuantizedTensor w = quantize(data.weights, weight_bits);
+  const QuantizedTensor in = quantize(data.input, pixel_bits);
+  Tensor out({layer.out_maps, layer.out_rows, layer.out_cols});
+  const double out_scale = std::ldexp(1.0, -(w.frac_bits + in.frac_bits));
+
+  const std::int64_t in_rows = layer.in_rows();
+  const std::int64_t in_cols = layer.in_cols();
+  auto in_at = [&](std::int64_t i, std::int64_t r, std::int64_t c) {
+    return in.values[static_cast<std::size_t>((i * in_rows + r) * in_cols + c)];
+  };
+  auto w_at = [&](std::int64_t o, std::int64_t i, std::int64_t p,
+                  std::int64_t q) {
+    return w.values[static_cast<std::size_t>(
+        ((o * layer.in_maps + i) * layer.kernel + p) * layer.kernel + q)];
+  };
+
+  for (std::int64_t o = 0; o < layer.out_maps; ++o) {
+    for (std::int64_t r = 0; r < layer.out_rows; ++r) {
+      for (std::int64_t c = 0; c < layer.out_cols; ++c) {
+        std::int64_t acc = 0;  // 64-bit accumulate: headroom is free in C++
+        for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+          for (std::int64_t p = 0; p < layer.kernel; ++p) {
+            for (std::int64_t q = 0; q < layer.kernel; ++q) {
+              acc += static_cast<std::int64_t>(w_at(o, i, p, q)) *
+                     in_at(i, r * layer.stride + p, c * layer.stride + q);
+            }
+          }
+        }
+        out.at(o, r, c) = static_cast<float>(static_cast<double>(acc) * out_scale);
+      }
+    }
+  }
+  return out;
+}
+
+QuantErrorReport compare_quantized(const Tensor& reference,
+                                   const Tensor& fixed) {
+  QuantErrorReport report;
+  report.max_abs_err = Tensor::max_abs_diff(reference, fixed);
+  report.rms_err = Tensor::rms_diff(reference, fixed);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < reference.size(); ++i) {
+    acc += static_cast<double>(reference.data()[i]) * reference.data()[i];
+  }
+  report.ref_rms =
+      reference.size() > 0
+          ? std::sqrt(acc / static_cast<double>(reference.size()))
+          : 0.0;
+  report.relative_rms =
+      report.ref_rms > 0.0 ? report.rms_err / report.ref_rms : 0.0;
+  return report;
+}
+
+std::string QuantErrorReport::summary() const {
+  return strformat(
+      "max_abs_err=%.3g rms_err=%.3g ref_rms=%.3g relative_rms=%.3g%%",
+      max_abs_err, rms_err, ref_rms, relative_rms * 100.0);
+}
+
+}  // namespace sasynth

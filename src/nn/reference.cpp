@@ -1,0 +1,69 @@
+#include "nn/reference.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sasynth {
+
+ConvData make_conv_data(const ConvLayerDesc& layer) {
+  assert(layer.validate().empty());
+  ConvData data;
+  data.input = Tensor({layer.in_maps, layer.in_rows(), layer.in_cols()});
+  data.weights =
+      Tensor({layer.out_maps, layer.in_maps, layer.kernel, layer.kernel});
+  return data;
+}
+
+ConvData make_random_conv_data(const ConvLayerDesc& layer, Rng& rng, float lo,
+                               float hi) {
+  ConvData data = make_conv_data(layer);
+  data.input.fill_random(rng, lo, hi);
+  data.weights.fill_random(rng, lo, hi);
+  return data;
+}
+
+namespace {
+
+template <typename Acc>
+Tensor conv_impl(const ConvLayerDesc& layer, const ConvData& data) {
+  assert(data.input.shape() ==
+         (std::vector<std::int64_t>{layer.in_maps, layer.in_rows(),
+                                    layer.in_cols()}));
+  assert(data.weights.shape() ==
+         (std::vector<std::int64_t>{layer.out_maps, layer.in_maps,
+                                    layer.kernel, layer.kernel}));
+  Tensor out({layer.out_maps, layer.out_rows, layer.out_cols});
+  for (std::int64_t o = 0; o < layer.out_maps; ++o) {
+    for (std::int64_t r = 0; r < layer.out_rows; ++r) {
+      for (std::int64_t c = 0; c < layer.out_cols; ++c) {
+        Acc acc = 0;
+        for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+          for (std::int64_t p = 0; p < layer.kernel; ++p) {
+            for (std::int64_t q = 0; q < layer.kernel; ++q) {
+              acc += static_cast<Acc>(data.weights.at(o, i, p, q)) *
+                     static_cast<Acc>(
+                         data.input.at(i, r * layer.stride + p,
+                                       c * layer.stride + q));
+            }
+          }
+        }
+        out.at(o, r, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor reference_conv(const ConvLayerDesc& layer, const ConvData& data) {
+  return conv_impl<float>(layer, data);
+}
+
+Tensor reference_conv_f64(const ConvLayerDesc& layer, const ConvData& data) {
+  return conv_impl<double>(layer, data);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,38 @@
+// Golden-model convolution (the literal Code 1 loop nest).
+//
+// The cycle-accurate simulator and the generated kernels are validated
+// against this implementation. It is deliberately the naive six-loop form —
+// correctness by construction — not an optimized conv.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+class Rng;
+
+/// Inputs for one group of a convolutional layer.
+struct ConvData {
+  Tensor input;    ///< [I][in_rows][in_cols] (already padded)
+  Tensor weights;  ///< [O][I][K][K]
+};
+
+/// Allocates tensors with the right shapes for `layer` (one group).
+ConvData make_conv_data(const ConvLayerDesc& layer);
+
+/// Allocates and fills with deterministic random data.
+ConvData make_random_conv_data(const ConvLayerDesc& layer, Rng& rng,
+                               float lo = -1.0F, float hi = 1.0F);
+
+/// OUT[o][r][c] = sum_{i,p,q} W[o][i][p][q] * IN[i][r*stride+p][c*stride+q].
+/// Returns a [O][R][C] tensor.
+Tensor reference_conv(const ConvLayerDesc& layer, const ConvData& data);
+
+/// Same computation but accumulating in double precision; used to bound the
+/// float-reassociation error of tiled/systolic execution orders in tests.
+Tensor reference_conv_f64(const ConvLayerDesc& layer, const ConvData& data);
+
+}  // namespace sasynth

@@ -1,0 +1,129 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  init_strides();
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : shape_(shape) {
+  init_strides();
+}
+
+void Tensor::init_strides() {
+  strides_.assign(shape_.size(), 1);
+  std::int64_t total = 1;
+  for (std::size_t i = shape_.size(); i-- > 0;) {
+    assert(shape_[i] >= 1);
+    strides_[i] = total;
+    total *= shape_[i];
+  }
+  data_.assign(static_cast<std::size_t>(total), 0.0F);
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  assert(axis >= 0 && axis < rank());
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Tensor::offset4(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                             std::int64_t i3) const {
+  // Unused trailing indices are passed as 0 with stride lookup guarded by rank.
+  std::int64_t off = 0;
+  const std::int64_t idx[4] = {i0, i1, i2, i3};
+  for (std::int64_t a = 0; a < rank(); ++a) {
+    assert(idx[a] >= 0 && idx[a] < shape_[static_cast<std::size_t>(a)]);
+    off += idx[a] * strides_[static_cast<std::size_t>(a)];
+  }
+  return off;
+}
+
+float& Tensor::at(std::int64_t i0) {
+  assert(rank() == 1);
+  return data_[static_cast<std::size_t>(offset4(i0, 0, 0, 0))];
+}
+float& Tensor::at(std::int64_t i0, std::int64_t i1) {
+  assert(rank() == 2);
+  return data_[static_cast<std::size_t>(offset4(i0, i1, 0, 0))];
+}
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  assert(rank() == 3);
+  return data_[static_cast<std::size_t>(offset4(i0, i1, i2, 0))];
+}
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                  std::int64_t i3) {
+  assert(rank() == 4);
+  return data_[static_cast<std::size_t>(offset4(i0, i1, i2, i3))];
+}
+float Tensor::at(std::int64_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                 std::int64_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+std::int64_t Tensor::offset(const std::vector<std::int64_t>& index) const {
+  assert(static_cast<std::int64_t>(index.size()) == rank());
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    assert(index[i] >= 0 && index[i] < shape_[i]);
+    off += index[i] * strides_[i];
+  }
+  return off;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::fill_random(Rng& rng, float lo, float hi) {
+  rng.fill_uniform(data_, lo, hi);
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+double Tensor::rms_diff(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  if (a.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+bool Tensor::all_close(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+std::string Tensor::shape_str() const {
+  std::vector<std::string> dims;
+  dims.reserve(shape_.size());
+  for (const std::int64_t d : shape_) dims.push_back(std::to_string(d));
+  return "[" + join(dims, " x ") + "]";
+}
+
+}  // namespace sasynth

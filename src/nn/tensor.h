@@ -1,0 +1,77 @@
+// Dense row-major float tensor used by the reference convolution and the
+// cycle-accurate simulator.
+//
+// The framework only needs small, simple tensors (synthetic layer inputs and
+// weights), so this is a value type over std::vector<float> with explicit
+// shape/stride bookkeeping — no views, no broadcasting.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. All extents must be >= 1.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t axis) const;
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Element access (bounds-checked in debug builds).
+  float& at(std::int64_t i0);
+  float& at(std::int64_t i0, std::int64_t i1);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3);
+  float at(std::int64_t i0) const;
+  float at(std::int64_t i0, std::int64_t i1) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+           std::int64_t i3) const;
+
+  /// Linear offset of a multi-index (rank must match).
+  std::int64_t offset(const std::vector<std::int64_t>& index) const;
+
+  /// Fills with a constant.
+  void fill(float value);
+
+  /// Fills with deterministic uniform values in [lo, hi).
+  void fill_random(Rng& rng, float lo = -1.0F, float hi = 1.0F);
+
+  /// Max |a - b| over all elements. Shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  /// Root-mean-square difference. Shapes must match.
+  static double rms_diff(const Tensor& a, const Tensor& b);
+
+  /// True if shapes match and every element differs by <= tol.
+  static bool all_close(const Tensor& a, const Tensor& b, float tol);
+
+  /// "[2 x 3 x 4]" for debugging.
+  std::string shape_str() const;
+
+ private:
+  void init_strides();
+  std::int64_t offset4(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                       std::int64_t i3) const;
+
+  std::vector<std::int64_t> shape_;
+  std::vector<std::int64_t> strides_;
+  std::vector<float> data_;
+};
+
+}  // namespace sasynth

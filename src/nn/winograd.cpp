@@ -1,0 +1,178 @@
+#include "nn/winograd.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+// F(2x2, 3x3) transform matrices.
+constexpr double kBT[4][4] = {
+    {1, 0, -1, 0}, {0, 1, 1, 0}, {0, -1, 1, 0}, {0, 1, 0, -1}};
+constexpr double kG[4][3] = {
+    {1, 0, 0}, {0.5, 0.5, 0.5}, {0.5, -0.5, 0.5}, {0, 0, 1}};
+constexpr double kAT[2][4] = {{1, 1, 1, 0}, {0, 1, -1, -1}};
+
+/// U = G g G^T for one 3x3 kernel.
+void transform_kernel(const double g[3][3], double u[4][4]) {
+  double tmp[4][3];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      tmp[i][j] = kG[i][0] * g[0][j] + kG[i][1] * g[1][j] + kG[i][2] * g[2][j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      u[i][j] =
+          tmp[i][0] * kG[j][0] + tmp[i][1] * kG[j][1] + tmp[i][2] * kG[j][2];
+    }
+  }
+}
+
+/// V = B^T d B for one 4x4 input tile.
+void transform_input(const double d[4][4], double v[4][4]) {
+  double tmp[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      tmp[i][j] = kBT[i][0] * d[0][j] + kBT[i][1] * d[1][j] +
+                  kBT[i][2] * d[2][j] + kBT[i][3] * d[3][j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      v[i][j] = tmp[i][0] * kBT[j][0] + tmp[i][1] * kBT[j][1] +
+                tmp[i][2] * kBT[j][2] + tmp[i][3] * kBT[j][3];
+    }
+  }
+}
+
+/// y = A^T m A for one accumulated 4x4 tile (2x2 result).
+void transform_output(const double m[4][4], double y[2][2]) {
+  double tmp[2][4];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      tmp[i][j] = kAT[i][0] * m[0][j] + kAT[i][1] * m[1][j] +
+                  kAT[i][2] * m[2][j] + kAT[i][3] * m[3][j];
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      y[i][j] = tmp[i][0] * kAT[j][0] + tmp[i][1] * kAT[j][1] +
+                tmp[i][2] * kAT[j][2] + tmp[i][3] * kAT[j][3];
+    }
+  }
+}
+
+}  // namespace
+
+bool winograd_applicable(const ConvLayerDesc& layer) {
+  return layer.kernel == 3 && layer.stride == 1;
+}
+
+Tensor winograd_transform_weights(const ConvLayerDesc& layer,
+                                  const Tensor& weights) {
+  assert(winograd_applicable(layer));
+  Tensor u({layer.out_maps, layer.in_maps, 4, 4});
+  for (std::int64_t o = 0; o < layer.out_maps; ++o) {
+    for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+      double g[3][3];
+      for (int p = 0; p < 3; ++p) {
+        for (int q = 0; q < 3; ++q) {
+          g[p][q] = weights.at(o, i, p, q);
+        }
+      }
+      double out[4][4];
+      transform_kernel(g, out);
+      for (int p = 0; p < 4; ++p) {
+        for (int q = 0; q < 4; ++q) {
+          u.at(o, i, p, q) = static_cast<float>(out[p][q]);
+        }
+      }
+    }
+  }
+  return u;
+}
+
+Tensor winograd_conv(const ConvLayerDesc& layer, const ConvData& data) {
+  assert(winograd_applicable(layer));
+  const Tensor u = winograd_transform_weights(layer, data.weights);
+  Tensor out({layer.out_maps, layer.out_rows, layer.out_cols});
+
+  const std::int64_t tile_rows = (layer.out_rows + 1) / 2;
+  const std::int64_t tile_cols = (layer.out_cols + 1) / 2;
+  const std::int64_t in_rows = layer.in_rows();
+  const std::int64_t in_cols = layer.in_cols();
+
+  for (std::int64_t o = 0; o < layer.out_maps; ++o) {
+    for (std::int64_t tr = 0; tr < tile_rows; ++tr) {
+      for (std::int64_t tc = 0; tc < tile_cols; ++tc) {
+        double m[4][4] = {};
+        for (std::int64_t i = 0; i < layer.in_maps; ++i) {
+          // Gather the 4x4 input tile (zero beyond the input extent; only
+          // padded when the output size is odd).
+          double d[4][4];
+          for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) {
+              const std::int64_t rr = tr * 2 + r;
+              const std::int64_t cc = tc * 2 + c;
+              d[r][c] = (rr < in_rows && cc < in_cols)
+                            ? data.input.at(i, rr, cc)
+                            : 0.0;
+            }
+          }
+          double v[4][4];
+          transform_input(d, v);
+          for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) {
+              m[r][c] += static_cast<double>(u.at(o, i, r, c)) * v[r][c];
+            }
+          }
+        }
+        double y[2][2];
+        transform_output(m, y);
+        for (int r = 0; r < 2; ++r) {
+          for (int c = 0; c < 2; ++c) {
+            const std::int64_t rr = tr * 2 + r;
+            const std::int64_t cc = tc * 2 + c;
+            if (rr < layer.out_rows && cc < layer.out_cols) {
+              out.at(o, rr, cc) = static_cast<float>(y[r][c]);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+WinogradGain winograd_gain(const ConvLayerDesc& layer,
+                           double transform_overhead) {
+  WinogradGain gain;
+  gain.applicable = winograd_applicable(layer);
+  if (!gain.applicable) {
+    gain.mult_reduction = 1.0;
+    gain.weight_footprint_growth = 1.0;
+    gain.projected_speedup = 1.0;
+    return gain;
+  }
+  const double in_maps = static_cast<double>(layer.in_maps);
+  gain.direct_mults_per_output = 9.0 * in_maps;       // 36 mults / 4 outputs
+  gain.winograd_mults_per_output = 4.0 * in_maps;     // 16 mults / 4 outputs
+  gain.mult_reduction =
+      gain.direct_mults_per_output / gain.winograd_mults_per_output;  // 2.25
+  gain.weight_footprint_growth = 16.0 / 9.0;
+  gain.projected_speedup = gain.mult_reduction * (1.0 - transform_overhead);
+  return gain;
+}
+
+std::string WinogradGain::summary() const {
+  if (!applicable) return "winograd: not applicable";
+  return strformat(
+      "winograd F(2x2,3x3): %.2fx fewer multiplies, %.2fx weight footprint, "
+      "projected %.2fx speedup",
+      mult_reduction, weight_footprint_growth, projected_speedup);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,63 @@
+// Winograd fast convolution F(2x2, 3x3) — the paper's §6 future-work item.
+//
+// The paper cites [17, 27-29]: applying the Winograd transformation to the
+// 3x3 convolutions can roughly double the throughput of the systolic design
+// because each 2x2 output tile needs 16 multiplications instead of 36
+// (a 2.25x reduction in multiply work; the practical gain the paper quotes
+// from [17] is ~2x after transform overheads).
+//
+// This module implements the numeric transformation:
+//   Y = A^T [ (G g G^T) .* (B^T d B) ] A        (per tile, per channel pair)
+// with the canonical F(2,3) matrices
+//   B^T = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+//   G   = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+//   A^T = [1 1 1 0; 0 1 -1 -1]
+// and the arithmetic-saving model used by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/reference.h"
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+/// True if the layer admits the F(2x2,3x3) transform: 3x3 kernel, stride 1.
+bool winograd_applicable(const ConvLayerDesc& layer);
+
+/// Winograd convolution of one group. Requires winograd_applicable(layer).
+/// Output rows/cols that are not multiples of 2 are handled by padding the
+/// tile grid and clipping the result.
+Tensor winograd_conv(const ConvLayerDesc& layer, const ConvData& data);
+
+/// Pre-transformed weights U = G g G^T for every (o, i): a [O][I][4][4]
+/// tensor (exposed so tests can check the transform in isolation and so the
+/// buffer-size impact can be modeled: 16/9 growth of the weight working set).
+Tensor winograd_transform_weights(const ConvLayerDesc& layer,
+                                  const Tensor& weights);
+
+/// Arithmetic model of the transform for the analytical throughput model.
+struct WinogradGain {
+  bool applicable = false;
+  /// Multiplications per output point, direct vs Winograd (36/4 = 9 vs
+  /// 16/4 = 4 for F(2x2,3x3) at I = 1; scales with I).
+  double direct_mults_per_output = 0.0;
+  double winograd_mults_per_output = 0.0;
+  /// direct/winograd multiply ratio = 2.25 for F(2x2,3x3).
+  double mult_reduction = 1.0;
+  /// Weight working-set growth (16/9) — the transform's BRAM cost.
+  double weight_footprint_growth = 1.0;
+  /// Projected end throughput multiplier after transform overhead: the
+  /// paper's cited practical factor (~2x), modeled as a derate of the ideal
+  /// 2.25x.
+  double projected_speedup = 1.0;
+
+  std::string summary() const;
+};
+
+WinogradGain winograd_gain(const ConvLayerDesc& layer,
+                           double transform_overhead = 0.12);
+
+}  // namespace sasynth

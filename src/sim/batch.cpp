@@ -1,0 +1,69 @@
+#include "sim/batch.h"
+
+#include <cassert>
+
+#include "sim/perf_sim.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+BatchAnalysis::BatchAnalysis(const LoopNest& nest, const DesignPoint& design,
+                             const ConvLayerDesc& layer,
+                             const FpgaDevice& device, DataType dtype,
+                             double freq_mhz) {
+  PerfSimOptions warm;
+  warm.freq_mhz = freq_mhz;
+  PerfSimOptions cold = warm;
+  cold.cold_start = true;
+  const PerfSimResult warm_run =
+      simulate_performance(nest, design, device, dtype, warm);
+  const PerfSimResult cold_run =
+      simulate_performance(nest, design, device, dtype, cold);
+  image_ops_ = static_cast<double>(layer.total_ops());
+  steady_ms_ = simulated_layer_latency_ms(layer, warm_run);
+  cold_ms_ = simulated_layer_latency_ms(layer, cold_run);
+  assert(cold_ms_ >= steady_ms_);
+}
+
+double BatchAnalysis::batch_latency_ms(std::int64_t images) const {
+  assert(images >= 1);
+  return cold_ms_ + static_cast<double>(images - 1) * steady_ms_;
+}
+
+double BatchAnalysis::batch_throughput_gops(std::int64_t images) const {
+  return static_cast<double>(images) * image_ops_ /
+         (batch_latency_ms(images) * 1e-3) * 1e-9;
+}
+
+double BatchAnalysis::steady_throughput_gops() const {
+  return image_ops_ / (steady_ms_ * 1e-3) * 1e-9;
+}
+
+std::int64_t BatchAnalysis::batch_for_fraction(double fraction) const {
+  assert(fraction > 0.0 && fraction < 1.0);
+  const double target = fraction * steady_throughput_gops();
+  std::int64_t images = 1;
+  while (batch_throughput_gops(images) < target) {
+    images *= 2;
+    if (images > (1LL << 40)) break;  // defensive: should converge long before
+  }
+  // Binary search the exact crossover in (images/2, images].
+  std::int64_t lo = images / 2 + 1;
+  std::int64_t hi = images;
+  if (batch_throughput_gops(1) >= target) return 1;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (batch_throughput_gops(mid) >= target) hi = mid;
+    else lo = mid + 1;
+  }
+  return hi;
+}
+
+std::string BatchAnalysis::summary() const {
+  return strformat(
+      "cold %.3f ms, steady %.3f ms/image -> %.1f Gops asymptotic "
+      "(batch-1: %.1f Gops)",
+      cold_ms_, steady_ms_, steady_throughput_gops(), batch_throughput_gops(1));
+}
+
+}  // namespace sasynth

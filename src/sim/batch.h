@@ -1,0 +1,62 @@
+// Batch (multi-image) pipelining analysis.
+//
+// The paper reports both latency per image and aggregate throughput; the two
+// coincide only when the pipeline is warm. Streaming a batch of images back
+// to back amortizes the cold-start transfer and the array fill/drain, so
+// throughput approaches the steady-state rate as the batch grows:
+//
+//   time(B) = cold_image + (B - 1) * steady_image
+//
+// This module derives both terms from the block-pipeline simulator and
+// exposes the throughput-vs-batch-size curve (the latency/throughput
+// trade-off FPGA inference papers routinely quote).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design_point.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+class BatchAnalysis {
+ public:
+  /// Analyzes one layer (all groups) under a design at a clock.
+  BatchAnalysis(const LoopNest& nest, const DesignPoint& design,
+                const ConvLayerDesc& layer, const FpgaDevice& device,
+                DataType dtype, double freq_mhz);
+
+  /// Effective operations per image (2 * MACs * groups).
+  double image_ops() const { return image_ops_; }
+
+  /// First-image latency (cold pipeline: exposed first load).
+  double cold_image_ms() const { return cold_ms_; }
+
+  /// Marginal latency of each further image (warm pipeline).
+  double steady_image_ms() const { return steady_ms_; }
+
+  /// Total wall time for a batch of `images`.
+  double batch_latency_ms(std::int64_t images) const;
+
+  /// Aggregate throughput for a batch (Gops).
+  double batch_throughput_gops(std::int64_t images) const;
+
+  /// Asymptotic (infinite-batch) throughput.
+  double steady_throughput_gops() const;
+
+  /// Smallest batch whose throughput reaches `fraction` of the asymptote.
+  std::int64_t batch_for_fraction(double fraction) const;
+
+  std::string summary() const;
+
+ private:
+  double image_ops_ = 0.0;
+  double cold_ms_ = 0.0;
+  double steady_ms_ = 0.0;
+};
+
+}  // namespace sasynth

@@ -1,0 +1,34 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sasynth {
+
+DdrModel::DdrModel(const FpgaDevice& device, double freq_mhz) {
+  assert(freq_mhz > 0.0);
+  const double freq_hz = freq_mhz * 1e6;
+  bytes_per_cycle_total_ = device.bw_total_gbs * 1e9 / freq_hz;
+  bytes_per_cycle_port_ = device.bw_port_gbs * 1e9 / freq_hz;
+}
+
+std::int64_t DdrModel::port_cycles(double bytes) const {
+  if (bytes <= 0.0) return 0;
+  return static_cast<std::int64_t>(std::ceil(bytes / bytes_per_cycle_port_));
+}
+
+std::int64_t DdrModel::transfer_cycles(
+    const std::vector<double>& port_bytes) const {
+  double total = 0.0;
+  std::int64_t slowest_port = 0;
+  for (const double bytes : port_bytes) {
+    total += bytes;
+    slowest_port = std::max(slowest_port, port_cycles(bytes));
+  }
+  const auto aggregate = static_cast<std::int64_t>(
+      std::ceil(total / bytes_per_cycle_total_));
+  return std::max(aggregate, slowest_port);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,35 @@
+// Off-chip (DDR) transfer timing model used by the performance simulator.
+//
+// Converts byte counts into clock cycles at the accelerator's frequency,
+// respecting both the aggregate bandwidth and the per-port bandwidth limits
+// the paper's MT model distinguishes (Eqs. 9-10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+
+namespace sasynth {
+
+class DdrModel {
+ public:
+  DdrModel(const FpgaDevice& device, double freq_mhz);
+
+  double bytes_per_cycle_total() const { return bytes_per_cycle_total_; }
+  double bytes_per_cycle_port() const { return bytes_per_cycle_port_; }
+
+  /// Cycles to move `bytes` through one port.
+  std::int64_t port_cycles(double bytes) const;
+
+  /// Cycles for a set of concurrent per-port transfers: the aggregate limit
+  /// applies to the sum, each port limit to its own stream; the transfer
+  /// finishes when the slowest constraint is met.
+  std::int64_t transfer_cycles(const std::vector<double>& port_bytes) const;
+
+ private:
+  double bytes_per_cycle_total_;
+  double bytes_per_cycle_port_;
+};
+
+}  // namespace sasynth

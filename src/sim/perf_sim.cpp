@@ -1,0 +1,124 @@
+#include "sim/perf_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "core/resource_model.h"
+#include "loopnest/conv_nest.h"
+#include "loopnest/domain.h"
+#include "sim/memory.h"
+#include "sim/schedule.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+PerfSimResult simulate_performance(const LoopNest& nest,
+                                   const DesignPoint& design,
+                                   const FpgaDevice& device, DataType dtype,
+                                   const PerfSimOptions& options) {
+  assert(design.validate(nest).empty());
+  const TilingSpec& tiling = design.tiling();
+  const DdrModel ddr(device, options.freq_mhz);
+
+  PerfSimResult result;
+  const BlockSchedule schedule(nest, design);
+  result.num_blocks = schedule.num_blocks();
+
+  // Per-block working-set bytes per memory port (IN, W, OUT streams).
+  // Boundary blocks clip their middle loops, so they transfer only the
+  // clipped footprint (the feeders stop early, exactly like the compute).
+  std::vector<double> elem_bytes;
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    elem_bytes.push_back(bytes_per_element(dtype, nest, a));
+  }
+  auto block_transfer_cycles = [&](std::int64_t block) {
+    const std::vector<std::int64_t> radices = schedule.middle_radices(block);
+    std::vector<std::int64_t> extents(radices.size());
+    for (std::size_t l = 0; l < radices.size(); ++l) {
+      extents[l] = radices[l] * tiling.inner(l);
+    }
+    const RectDomain clipped(std::move(extents));
+    std::vector<double> port_bytes;
+    for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+      port_bytes.push_back(
+          static_cast<double>(
+              closed_form_footprint(nest.accesses()[a].access, clipped)) *
+          elem_bytes[a]);
+    }
+    return ddr.transfer_cycles(port_bytes) + options.ddr_overhead_cycles;
+  };
+
+  // Double-buffered pipeline recurrence: the DDR serializes block loads and
+  // a load may run at most one block ahead (two buffers):
+  //   finish_load(b)    = max(finish_load(b-1), finish_compute(b-2)) + T_b
+  //   finish_compute(b) = max(finish_compute(b-1), finish_load(b)) + w_b
+  // A cold start exposes block 0's load; in steady streaming (many images
+  // back to back — what the paper's throughput numbers measure) the first
+  // buffer is already full.
+  std::int64_t transfer_total = 0;
+  std::int64_t finish_load_prev = 0;
+  std::int64_t finish_compute_prev = 0;
+  std::int64_t finish_compute_prev2 = 0;
+  for (std::int64_t b = 0; b < result.num_blocks; ++b) {
+    const std::int64_t transfer = block_transfer_cycles(b);
+    transfer_total += transfer;
+    const std::int64_t finish_load =
+        (b == 0 && !options.cold_start)
+            ? 0
+            : std::max(finish_load_prev, finish_compute_prev2) + transfer;
+    const std::int64_t finish_compute =
+        std::max(finish_compute_prev, finish_load) + schedule.wavefronts(b);
+    finish_load_prev = finish_load;
+    finish_compute_prev2 = finish_compute_prev;
+    finish_compute_prev = finish_compute;
+  }
+  const std::int64_t skew =
+      design.shape().rows + design.shape().cols - 2;
+  // Array fill/drain is paid once across the pipelined blocks.
+  const std::int64_t cycles = finish_compute_prev + skew;
+  const std::int64_t stalls =
+      finish_compute_prev - schedule.total_wavefronts() -
+      (options.cold_start ? block_transfer_cycles(0) : 0);
+
+  result.compute_cycles = schedule.total_wavefronts() + skew;
+  result.transfer_cycles = transfer_total;
+  result.total_cycles = cycles;
+  result.stall_cycles = stalls;
+  result.memory_bound = stalls > 0;
+  result.seconds =
+      static_cast<double>(cycles) / (options.freq_mhz * 1e6);
+  const double effective_ops = 2.0 * static_cast<double>(nest.total_iterations());
+  result.achieved_gops = effective_ops / result.seconds * 1e-9;
+  return result;
+}
+
+double simulated_layer_latency_ms(const ConvLayerDesc& layer,
+                                  const PerfSimResult& result) {
+  return result.seconds * 1e3 * static_cast<double>(layer.groups);
+}
+
+double simulate_network_latency_ms(const Network& net,
+                                   const DesignPoint& design,
+                                   const FpgaDevice& device, DataType dtype,
+                                   const PerfSimOptions& options) {
+  double total_ms = 0.0;
+  for (const ConvLayerDesc& layer : net.layers) {
+    const LoopNest nest = build_conv_nest(layer);
+    const PerfSimResult result =
+        simulate_performance(nest, design, device, dtype, options);
+    total_ms += simulated_layer_latency_ms(layer, result);
+  }
+  return total_ms;
+}
+
+std::string PerfSimResult::summary() const {
+  return strformat(
+      "%lld blocks, %lld cycles (%lld compute, %lld stalled)%s -> %.1f Gops",
+      static_cast<long long>(num_blocks), static_cast<long long>(total_cycles),
+      static_cast<long long>(compute_cycles),
+      static_cast<long long>(stall_cycles),
+      memory_bound ? " [memory-bound]" : "", achieved_gops);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,69 @@
+// Block-level performance simulator — the "on-board run" of the framework.
+//
+// Executes the double-buffered block pipeline of the architecture at cycle
+// granularity without simulating individual MACs: per block, the array
+// computes for M = prod(s) cycles while the DDR engine loads the next
+// block's working set (and stores outputs). The block's wall time is
+// max(compute, transfer) plus a fixed per-block DDR burst/latency overhead;
+// the array fill/drain skew is paid once.
+//
+// The analytical model (Eqs. 7-10) predicts this simulator's throughput to
+// within the fill/drain and burst-overhead epsilon — reproducing the <2%
+// model-vs-board agreement of paper Fig. 7(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design_point.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+#include "nn/network.h"
+
+namespace sasynth {
+
+struct PerfSimOptions {
+  double freq_mhz = 280.0;
+  /// Fixed DDR latency/burst-setup cycles charged per block transfer.
+  std::int64_t ddr_overhead_cycles = 200;
+  /// Charge the first block's load as exposed latency. Off by default: in
+  /// steady streaming (many images / layers back-to-back) the prologue
+  /// overlaps the previous work, which is what the paper's throughput
+  /// numbers measure.
+  bool cold_start = false;
+};
+
+struct PerfSimResult {
+  std::int64_t num_blocks = 0;
+  std::int64_t compute_cycles = 0;       ///< blocks * M + skew
+  std::int64_t transfer_cycles = 0;      ///< per-block transfer * blocks
+  std::int64_t total_cycles = 0;         ///< pipelined wall cycles
+  std::int64_t stall_cycles = 0;         ///< cycles the array waited on DDR
+  double seconds = 0.0;
+  double achieved_gops = 0.0;            ///< effective ops / wall time
+  bool memory_bound = false;
+
+  std::string summary() const;
+};
+
+/// Runs the block pipeline for one group of the layer; `nest` must be the
+/// layer's conv nest.
+PerfSimResult simulate_performance(const LoopNest& nest,
+                                   const DesignPoint& design,
+                                   const FpgaDevice& device, DataType dtype,
+                                   const PerfSimOptions& options = {});
+
+/// Whole-layer wall time (all groups sequential), in milliseconds.
+double simulated_layer_latency_ms(const ConvLayerDesc& layer,
+                                  const PerfSimResult& result);
+
+/// Whole-network "board run": every conv layer simulated under the same
+/// unified design, latencies summed. Returns milliseconds per image.
+double simulate_network_latency_ms(const Network& net,
+                                   const DesignPoint& design,
+                                   const FpgaDevice& device, DataType dtype,
+                                   const PerfSimOptions& options = {});
+
+}  // namespace sasynth

@@ -1,0 +1,95 @@
+#include "sim/schedule.h"
+
+#include <cassert>
+
+#include "util/math_util.h"
+
+namespace sasynth {
+
+BlockSchedule::BlockSchedule(const LoopNest& nest, const DesignPoint& design)
+    : design_(design) {
+  assert(design.validate(nest).empty());
+  const TilingSpec& tiling = design.tiling();
+  trips_ = nest.trip_counts();
+  num_blocks_ = 1;
+  full_wavefronts_ = 1;
+  total_wavefronts_ = 1;
+  for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+    middle_bounds_.push_back(tiling.middle(l));
+    inner_bounds_.push_back(tiling.inner(l));
+    outer_trips_.push_back(tiling.outer_trip(nest, l));
+    granules_.push_back(tiling.granules(nest, l));
+    num_blocks_ *= outer_trips_.back();
+    full_wavefronts_ *= middle_bounds_.back();
+    total_wavefronts_ *= granules_.back();
+  }
+}
+
+std::vector<std::int64_t> BlockSchedule::decompose_block(
+    std::int64_t block) const {
+  assert(block >= 0 && block < num_blocks_);
+  std::vector<std::int64_t> digits(outer_trips_.size(), 0);
+  // Last loop is the fastest-varying digit (innermost outer loop).
+  for (std::size_t l = outer_trips_.size(); l-- > 0;) {
+    digits[l] = block % outer_trips_[l];
+    block /= outer_trips_[l];
+  }
+  return digits;
+}
+
+std::vector<std::int64_t> BlockSchedule::middle_radices(
+    std::int64_t block) const {
+  const std::vector<std::int64_t> g = decompose_block(block);
+  std::vector<std::int64_t> radices(middle_bounds_.size(), 1);
+  for (std::size_t l = 0; l < middle_bounds_.size(); ++l) {
+    // Granules remaining along loop l after the block's start.
+    const std::int64_t remaining = granules_[l] - g[l] * middle_bounds_[l];
+    radices[l] = std::min(middle_bounds_[l], remaining);
+    assert(radices[l] >= 1);
+  }
+  return radices;
+}
+
+std::int64_t BlockSchedule::wavefronts(std::int64_t block) const {
+  std::int64_t m = 1;
+  for (const std::int64_t r : middle_radices(block)) m *= r;
+  return m;
+}
+
+std::vector<std::int64_t> BlockSchedule::decompose_middle(
+    std::int64_t block, std::int64_t m) const {
+  const std::vector<std::int64_t> radices = middle_radices(block);
+  std::vector<std::int64_t> digits(radices.size(), 0);
+  for (std::size_t l = radices.size(); l-- > 0;) {
+    digits[l] = m % radices[l];
+    m /= radices[l];
+  }
+  assert(m == 0);
+  return digits;
+}
+
+bool BlockSchedule::global_iters(std::int64_t block, std::int64_t m,
+                                 std::int64_t x, std::int64_t y,
+                                 std::int64_t v,
+                                 std::vector<std::int64_t>& iters) const {
+  const std::vector<std::int64_t> g = decompose_block(block);
+  const std::vector<std::int64_t> mid = decompose_middle(block, m);
+  iters.assign(trips_.size(), 0);
+  const SystolicMapping& mapping = design_.mapping();
+  bool valid = true;
+  for (std::size_t l = 0; l < trips_.size(); ++l) {
+    std::int64_t inner = 0;
+    if (l == mapping.row_loop) inner = x;
+    else if (l == mapping.col_loop) inner = y;
+    else if (l == mapping.vec_loop) inner = v;
+    iters[l] = (g[l] * middle_bounds_[l] + mid[l]) * inner_bounds_[l] + inner;
+    if (iters[l] >= trips_[l]) valid = false;
+  }
+  return valid;
+}
+
+std::int64_t BlockSchedule::block_span_cycles(std::int64_t block) const {
+  return wavefronts(block) + design_.shape().rows + design_.shape().cols - 2;
+}
+
+}  // namespace sasynth

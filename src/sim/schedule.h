@@ -1,0 +1,82 @@
+// Cycle-level schedule of the systolic array (paper Fig. 3).
+//
+// Execution is organized as: outer blocks (one per iteration of the outer
+// loops), each processed as a sequence of middle-loop "wavefronts"; at
+// wavefront m of a block with outer index vector g, PE (x, y) and SIMD lane
+// v execute the original iteration
+//
+//   i_l = (g_l * s_l + m_l) * t_l + inner_l
+//
+// where m_l are the mixed-radix digits of m under the block's (possibly
+// clipped) middle radices, and inner_l is x / y / v for the loop mapped to
+// rows / cols / vec (0 for unmapped loops). Boundary blocks clip their middle
+// loops — the sequential feeders simply stop early — so only the inner
+// (array-shape) quantization pads. The systolic skew means PE (x, y) executes
+// wavefront m at cycle t = m + x + y; data injected at the array boundary
+// reaches it through neighbour-to-neighbour shifting exactly on time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_point.h"
+#include "loopnest/loop_nest.h"
+
+namespace sasynth {
+
+class BlockSchedule {
+ public:
+  BlockSchedule(const LoopNest& nest, const DesignPoint& design);
+
+  std::int64_t num_blocks() const { return num_blocks_; }
+
+  /// Wavefronts of a full (interior) block: prod(s).
+  std::int64_t full_block_wavefronts() const { return full_wavefronts_; }
+
+  /// Wavefronts of a specific block (boundary blocks clip).
+  std::int64_t wavefronts(std::int64_t block) const;
+
+  /// Sum of wavefronts over all blocks: prod_l ceil(N_l / t_l).
+  std::int64_t total_wavefronts() const { return total_wavefronts_; }
+
+  /// Mixed-radix decomposition of a block id into per-loop outer indices.
+  std::vector<std::int64_t> decompose_block(std::int64_t block) const;
+
+  /// The block's middle radices (clipped s_l on boundary blocks).
+  std::vector<std::int64_t> middle_radices(std::int64_t block) const;
+
+  /// Mixed-radix decomposition of wavefront m under the block's radices.
+  std::vector<std::int64_t> decompose_middle(std::int64_t block,
+                                             std::int64_t m) const;
+
+  /// Fills `iters` with the global iteration vector for (block, m, x, y, v).
+  /// Returns true if every index is inside its loop's trip count; false means
+  /// the slot is padding (inner-quantization waste).
+  bool global_iters(std::int64_t block, std::int64_t m, std::int64_t x,
+                    std::int64_t y, std::int64_t v,
+                    std::vector<std::int64_t>& iters) const;
+
+  /// Cycle at which PE (x, y) executes wavefront m.
+  static std::int64_t cycle_of(std::int64_t m, std::int64_t x, std::int64_t y) {
+    return m + x + y;
+  }
+
+  /// Cycles from first injection to the last PE finishing the last wavefront
+  /// of one block: wavefronts(block) + rows + cols - 2.
+  std::int64_t block_span_cycles(std::int64_t block) const;
+
+  const DesignPoint& design() const { return design_; }
+
+ private:
+  DesignPoint design_;
+  std::vector<std::int64_t> trips_;
+  std::vector<std::int64_t> outer_trips_;   ///< G_l = ceil(N_l / (s_l t_l))
+  std::vector<std::int64_t> middle_bounds_; ///< s_l
+  std::vector<std::int64_t> inner_bounds_;  ///< t_l
+  std::vector<std::int64_t> granules_;      ///< ceil(N_l / t_l)
+  std::int64_t num_blocks_ = 0;
+  std::int64_t full_wavefronts_ = 0;
+  std::int64_t total_wavefronts_ = 0;
+};
+
+}  // namespace sasynth

@@ -1,0 +1,263 @@
+#include "sim/systolic_array.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "loopnest/conv_nest.h"
+#include "sim/schedule.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+/// Reads a tensor element addressed by an access function at a global
+/// iteration point; returns 0 for any out-of-range index (zero-padded
+/// buffers on boundary blocks).
+float guarded_read(const Tensor& tensor, const AccessFunction& access,
+                   const std::vector<std::int64_t>& iters) {
+  assert(static_cast<std::int64_t>(access.rank()) == tensor.rank());
+  std::int64_t offset = 0;
+  std::int64_t stride = 1;
+  // Compute the row-major offset with bounds checks per dimension.
+  // (Iterate dims from last to first to build strides on the fly.)
+  std::vector<std::int64_t> idx = access.eval(iters);
+  for (std::int64_t d = tensor.rank(); d-- > 0;) {
+    const std::int64_t i = idx[static_cast<std::size_t>(d)];
+    if (i < 0 || i >= tensor.dim(d)) return 0.0F;
+    offset += i * stride;
+    stride *= tensor.dim(d);
+  }
+  return tensor.data()[offset];
+}
+
+/// Offset of an OUT access, or -1 when out of range.
+std::int64_t guarded_offset(const Tensor& tensor, const AccessFunction& access,
+                            const std::vector<std::int64_t>& iters) {
+  std::int64_t offset = 0;
+  std::int64_t stride = 1;
+  std::vector<std::int64_t> idx = access.eval(iters);
+  for (std::int64_t d = tensor.rank(); d-- > 0;) {
+    const std::int64_t i = idx[static_cast<std::size_t>(d)];
+    if (i < 0 || i >= tensor.dim(d)) return -1;
+    offset += i * stride;
+    stride *= tensor.dim(d);
+  }
+  return offset;
+}
+
+}  // namespace
+
+double SimResult::measured_efficiency() const {
+  if (mac_slots == 0) return 0.0;
+  return static_cast<double>(active_macs) / static_cast<double>(mac_slots);
+}
+
+std::string SimResult::summary() const {
+  return strformat(
+      "%lld blocks x %lld wavefronts, %lld cycles pipelined, eff %.2f%%",
+      static_cast<long long>(num_blocks),
+      static_cast<long long>(wavefronts_per_block),
+      static_cast<long long>(pipelined_cycles),
+      measured_efficiency() * 100.0);
+}
+
+SimResult simulate_systolic_nest(const LoopNest& nest,
+                                 const DesignPoint& design,
+                                 const std::vector<const Tensor*>& operands,
+                                 Tensor* output, const SimOptions& options) {
+  assert(design.validate(nest).empty());
+  assert(output != nullptr);
+  assert(operands.size() == nest.num_accesses());
+  const BlockSchedule schedule(nest, design);
+  const std::int64_t rows = design.shape().rows;
+  const std::int64_t cols = design.shape().cols;
+  const std::int64_t vec = design.shape().vec;
+
+  // Classify accesses: one reduction target, two streamed operands.
+  std::size_t out_idx = LoopNest::npos;
+  std::vector<std::size_t> read_idx;
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    if (nest.accesses()[a].role == AccessRole::kReduce) out_idx = a;
+    else read_idx.push_back(a);
+  }
+  assert(out_idx != LoopNest::npos && read_idx.size() == 2);
+  const AccessFunction& out_f = nest.accesses()[out_idx].access;
+  const AccessFunction& f0 = nest.accesses()[read_idx[0]].access;
+  const AccessFunction& f1 = nest.accesses()[read_idx[1]].access;
+
+  // Orientation: the operand invariant in the row loop is shared by all PEs
+  // of a column and therefore shifts vertically (fed per column); the other
+  // operand shifts horizontally (fed per row). Either operand can take
+  // either direction depending on the mapping.
+  const bool first_vertical = f0.invariant_in(design.mapping().row_loop);
+  assert(first_vertical
+             ? f1.invariant_in(design.mapping().col_loop)
+             : (f1.invariant_in(design.mapping().row_loop) &&
+                f0.invariant_in(design.mapping().col_loop)));
+  const AccessFunction& vert_f = first_vertical ? f0 : f1;
+  const AccessFunction& horz_f = first_vertical ? f1 : f0;
+  const Tensor& vert_tensor =
+      *operands[first_vertical ? read_idx[0] : read_idx[1]];
+  const Tensor& horz_tensor =
+      *operands[first_vertical ? read_idx[1] : read_idx[0]];
+
+  SimResult result;
+  result.output = std::move(*output);
+  result.num_blocks = schedule.num_blocks();
+  result.wavefronts_per_block = schedule.full_block_wavefronts();
+  result.pipelined_cycles = schedule.total_wavefronts() + rows + cols - 2;
+  result.mac_slots = schedule.total_wavefronts() * rows * cols * vec;
+
+  // Per-PE shift registers for the two operand streams; each carries a SIMD
+  // vector. Two banks model the clock edge.
+  const std::size_t num_pes = static_cast<std::size_t>(rows * cols);
+  std::vector<std::vector<float>> in_reg(num_pes, std::vector<float>(vec, 0.0F));
+  std::vector<std::vector<float>> in_next(num_pes, std::vector<float>(vec, 0.0F));
+  std::vector<std::vector<float>> w_reg = in_reg;
+  std::vector<std::vector<float>> w_next = in_reg;
+  auto pe = [cols](std::int64_t x, std::int64_t y) {
+    return static_cast<std::size_t>(x * cols + y);
+  };
+
+  // Per-PE output accumulators keyed by the OUT tensor offset.
+  std::vector<std::unordered_map<std::int64_t, float>> acc(num_pes);
+
+  std::vector<std::int64_t> iters;
+  std::vector<std::int64_t> valid_probe;
+
+  for (std::int64_t block = 0; block < schedule.num_blocks(); ++block) {
+    const std::int64_t M = schedule.wavefronts(block);
+    // Fill the per-column buffers (the IB chain for the vertically shifted
+    // operand) and per-row buffers (the WB chain for the horizontal one):
+    // entry m holds the SIMD vector the boundary PE consumes at wavefront m.
+    // The vertical operand is invariant in the row loop (feasibility), so
+    // x = 0 is representative; symmetrically the horizontal one uses y = 0.
+    std::vector<std::vector<float>> ib(
+        static_cast<std::size_t>(cols),
+        std::vector<float>(static_cast<std::size_t>(M * vec), 0.0F));
+    std::vector<std::vector<float>> wb(
+        static_cast<std::size_t>(rows),
+        std::vector<float>(static_cast<std::size_t>(M * vec), 0.0F));
+    for (std::int64_t m = 0; m < M; ++m) {
+      for (std::int64_t v = 0; v < vec; ++v) {
+        for (std::int64_t y = 0; y < cols; ++y) {
+          schedule.global_iters(block, m, 0, y, v, iters);
+          ib[static_cast<std::size_t>(y)][static_cast<std::size_t>(m * vec + v)] =
+              guarded_read(vert_tensor, vert_f, iters);
+        }
+        for (std::int64_t x = 0; x < rows; ++x) {
+          schedule.global_iters(block, m, x, 0, v, iters);
+          wb[static_cast<std::size_t>(x)][static_cast<std::size_t>(m * vec + v)] =
+              guarded_read(horz_tensor, horz_f, iters);
+        }
+      }
+    }
+
+    const std::int64_t span = M + rows + cols - 2;
+    for (std::int64_t cycle = 0; cycle < span; ++cycle) {
+      // Shift phase: boundary PEs load from buffers (with the IB/WB chain
+      // skew), interior PEs load from their neighbours.
+      for (std::int64_t x = 0; x < rows; ++x) {
+        for (std::int64_t y = 0; y < cols; ++y) {
+          std::vector<float>& in_dst = in_next[pe(x, y)];
+          if (x == 0) {
+            const std::int64_t m = cycle - y;
+            for (std::int64_t v = 0; v < vec; ++v) {
+              in_dst[static_cast<std::size_t>(v)] =
+                  (m >= 0 && m < M)
+                      ? ib[static_cast<std::size_t>(y)]
+                          [static_cast<std::size_t>(m * vec + v)]
+                      : 0.0F;
+            }
+          } else {
+            in_dst = in_reg[pe(x - 1, y)];
+          }
+          std::vector<float>& w_dst = w_next[pe(x, y)];
+          if (y == 0) {
+            const std::int64_t m = cycle - x + options.inject_skew_error;
+            for (std::int64_t v = 0; v < vec; ++v) {
+              w_dst[static_cast<std::size_t>(v)] =
+                  (m >= 0 && m < M)
+                      ? wb[static_cast<std::size_t>(x)]
+                          [static_cast<std::size_t>(m * vec + v)]
+                      : 0.0F;
+            }
+          } else {
+            w_dst = w_reg[pe(x, y - 1)];
+          }
+        }
+      }
+      in_reg.swap(in_next);
+      w_reg.swap(w_next);
+
+      // Compute phase: PE (x, y) executes wavefront m = cycle - x - y.
+      std::int64_t active_pes_this_cycle = 0;
+      for (std::int64_t x = 0; x < rows; ++x) {
+        for (std::int64_t y = 0; y < cols; ++y) {
+          const std::int64_t m = cycle - x - y;
+          if (m < 0 || m >= M) continue;
+          ++active_pes_this_cycle;
+          // SIMD dot product through the accumulation chain.
+          float dot = 0.0F;
+          const std::vector<float>& in_v = in_reg[pe(x, y)];
+          const std::vector<float>& w_v = w_reg[pe(x, y)];
+          for (std::int64_t v = 0; v < vec; ++v) {
+            dot += in_v[static_cast<std::size_t>(v)] *
+                   w_v[static_cast<std::size_t>(v)];
+            // Count effective lanes (Eq. 1 numerator).
+            if (schedule.global_iters(block, m, x, y, v, valid_probe)) {
+              ++result.active_macs;
+            }
+          }
+          // Accumulate into the per-PE output register for this OUT address
+          // (v = 0 is representative: OUT is invariant in the vec loop).
+          schedule.global_iters(block, m, x, y, 0, iters);
+          const std::int64_t offset =
+              guarded_offset(result.output, out_f, iters);
+          if (offset >= 0) acc[pe(x, y)][offset] += dot;
+        }
+      }
+      if (options.record_first_block_activity && block == 0) {
+        result.first_block_active_pes.push_back(active_pes_this_cycle);
+      }
+    }
+
+    // Drain: output registers shift down the columns into the OBs, which
+    // accumulate into the output feature maps. Functionally we add the PE
+    // accumulators into the tensor; the drain latency overlaps the next
+    // block's compute thanks to the output double buffer.
+    for (std::size_t p = 0; p < num_pes; ++p) {
+      for (const auto& [offset, value] : acc[p]) {
+        result.output.data()[offset] += value;
+      }
+      acc[p].clear();
+    }
+  }
+  return result;
+}
+
+SimResult simulate_systolic(const LoopNest& nest, const DesignPoint& design,
+                            const ConvLayerDesc& layer, const ConvData& data,
+                            const SimOptions& options) {
+  const std::size_t out_idx = nest.find_access(kOutArray);
+  const std::size_t w_idx = nest.find_access(kWeightArray);
+  const std::size_t in_idx = nest.find_access(kInArray);
+  assert(out_idx != LoopNest::npos && w_idx != LoopNest::npos &&
+         in_idx != LoopNest::npos);
+  std::vector<const Tensor*> operands(nest.num_accesses(), nullptr);
+  operands[w_idx] = &data.weights;
+  operands[in_idx] = &data.input;
+  (void)out_idx;
+  Tensor output({layer.out_maps, layer.out_rows, layer.out_cols});
+  return simulate_systolic_nest(nest, design, operands, &output, options);
+}
+
+SimResult simulate_systolic(const DesignPoint& design,
+                            const ConvLayerDesc& layer, const ConvData& data,
+                            const SimOptions& options) {
+  return simulate_systolic(build_conv_nest(layer), design, layer, data,
+                           options);
+}
+
+}  // namespace sasynth

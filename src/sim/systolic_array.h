@@ -1,0 +1,89 @@
+// Cycle-accurate functional simulator of the 2-D systolic array (Figs. 1-3).
+//
+// The simulator executes the architecture literally:
+//   * weights travel right through per-PE registers (one hop per cycle),
+//   * input pixels travel down through per-PE registers,
+//   * each PE holds a SIMD vector of MAC lanes whose partial products are
+//     combined by the accumulation chain into a per-output register,
+//   * boundary PEs are fed by the IB (per column) and WB (per row) buffers
+//     with the systolic skew of Fig. 3 (PE (x,y) sees wavefront m at cycle
+//     m + x + y).
+// Out-of-range block padding injects zeros, exactly like the zero-initialized
+// buffers of the hardware, so boundary blocks waste cycles but never corrupt
+// results.
+//
+// Because every operand physically shifts through neighbour registers, a
+// wrong skew/mapping produces wrong outputs — matching the reference
+// convolution is evidence the dataflow (not just the arithmetic) is right.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.h"
+#include "loopnest/loop_nest.h"
+#include "nn/layer.h"
+#include "nn/reference.h"
+#include "nn/tensor.h"
+
+namespace sasynth {
+
+struct SimOptions {
+  /// Record how many PEs are active at each cycle of the first block
+  /// (the Fig. 3 wavefront picture).
+  bool record_first_block_activity = false;
+
+  /// Failure injection: offsets the wavefront the weight-boundary buffers
+  /// present by this many cycles, desynchronizing the two operand streams —
+  /// the bug class the systolic skew exists to prevent. Non-zero values must
+  /// make the simulation produce wrong results (tests assert the harness
+  /// catches it); 0 is the correct hardware.
+  std::int64_t inject_skew_error = 0;
+};
+
+struct SimResult {
+  Tensor output;  ///< [O][R][C]
+
+  std::int64_t num_blocks = 0;
+  std::int64_t wavefronts_per_block = 0;  ///< full-block M = prod(s)
+
+  /// Back-to-back pipelined compute cycles:
+  /// total_wavefronts + rows + cols - 2 (double-buffered feeding; boundary
+  /// blocks clip their middle loops).
+  std::int64_t pipelined_cycles = 0;
+
+  std::int64_t active_macs = 0;  ///< lanes that executed a real iteration
+  std::int64_t mac_slots = 0;    ///< lanes * total_wavefronts
+
+  /// active_macs / mac_slots; equals the analytical Eff (Eq. 1).
+  double measured_efficiency() const;
+
+  /// Active-PE counts per cycle of block 0 (when recorded).
+  std::vector<std::int64_t> first_block_active_pes;
+
+  std::string summary() const;
+};
+
+/// Generic entry point: simulates any feasible nest (one reduction array,
+/// two operand arrays with affine accesses — convolution, matrix multiply,
+/// ...). `operands` maps each *read* access index of the nest to its tensor
+/// (the reduction access's slot is ignored); `output` must be preallocated
+/// with the reduction array's shape and is accumulated into.
+SimResult simulate_systolic_nest(
+    const LoopNest& nest, const DesignPoint& design,
+    const std::vector<const Tensor*>& operands, Tensor* output,
+    const SimOptions& options = {});
+
+/// Simulates one group of `layer` under `design`. `nest` must be the conv
+/// nest of `layer`; `design` must be feasible for it.
+SimResult simulate_systolic(const LoopNest& nest, const DesignPoint& design,
+                            const ConvLayerDesc& layer, const ConvData& data,
+                            const SimOptions& options = {});
+
+/// Convenience overload that builds the nest internally.
+SimResult simulate_systolic(const DesignPoint& design,
+                            const ConvLayerDesc& layer, const ConvData& data,
+                            const SimOptions& options = {});
+
+}  // namespace sasynth

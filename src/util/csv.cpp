@@ -1,0 +1,73 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+CsvWriter& CsvWriter::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+CsvWriter::RowBuilder::RowBuilder(CsvWriter& writer) : writer_(writer) {}
+
+CsvWriter::RowBuilder::~RowBuilder() { writer_.add_row(std::move(cells_)); }
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(double value, int decimals) {
+  cells_.push_back(strformat("%.*f", decimals, value));
+  return *this;
+}
+
+std::string CsvWriter::escape_field(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += escape_field(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string data = str();
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const int rc = std::fclose(f);
+  return written == data.size() && rc == 0;
+}
+
+}  // namespace sasynth

@@ -1,0 +1,58 @@
+// CSV writer for benchmark output (figure data series).
+//
+// Figure benches emit both a human-readable table and a machine-readable CSV
+// so the figures can be re-plotted; fields containing separators/quotes are
+// quoted per RFC 4180.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Sets the header row (written first).
+  CsvWriter& header(std::vector<std::string> names);
+
+  /// Appends a data row. Row length may differ from header length.
+  CsvWriter& add_row(std::vector<std::string> cells);
+
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(double value, int decimals = 6);
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Serializes header + rows with RFC 4180 quoting.
+  std::string str() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Quotes a single field if needed (exposed for tests).
+  static std::string escape_field(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sasynth

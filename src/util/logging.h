@@ -1,0 +1,58 @@
+// Minimal leveled logger used by the DSE and the automation flow.
+//
+// The flow is a batch tool, so logging goes to stderr and is filtered by a
+// process-global level. No dependencies, thread-safety via a single mutex.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sasynth {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognized names.
+LogLevel parse_log_level(const std::string& name);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+/// Stream-style log record; emits on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace sasynth
+
+#define SA_LOG(level)                                                       \
+  ::sasynth::detail::LogMessage(::sasynth::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#define SA_LOG_DEBUG SA_LOG(Debug)
+#define SA_LOG_INFO SA_LOG(Info)
+#define SA_LOG_WARN SA_LOG(Warn)
+#define SA_LOG_ERROR SA_LOG(Error)

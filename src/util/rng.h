@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// All synthetic workloads (tensor data, quantization inputs) and the
+// pseudo-P&R jitter must be reproducible run to run, so the framework uses
+// an explicit splitmix64/xoshiro-style generator instead of std::random
+// distributions (whose sequences are implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+/// SplitMix64: used to seed and as a one-shot hash of 64-bit keys.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic hash of a byte string (FNV-1a, 64-bit). Used to derive
+/// per-design pseudo-P&R jitter from the design's textual signature.
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Small, fast, reproducible generator (xorshift128+).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5a17a11dULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Approximately standard normal (sum of 12 uniforms, CLT).
+  double next_gaussian();
+
+  /// Fills a float buffer with uniform values in [lo, hi).
+  void fill_uniform(std::vector<float>& out, float lo, float hi);
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace sasynth

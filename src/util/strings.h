@@ -1,0 +1,47 @@
+// String helpers used by the code generator, the C-subset front end and the
+// report writers. Kept dependency-free; all functions are pure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sasynth {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Repeats a string n times.
+std::string repeat(std::string_view s, int n);
+
+/// Indents every line of `s` by `spaces` spaces (including the first).
+std::string indent(std::string_view s, int spaces);
+
+/// Formats a double with `digits` significant decimals, trimming trailing
+/// zeros ("12.50" -> "12.5", "3.00" -> "3").
+std::string format_trimmed(double v, int digits);
+
+}  // namespace sasynth

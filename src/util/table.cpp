@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+AsciiTable::AsciiTable(bool with_header) : with_header_(with_header) {}
+
+AsciiTable& AsciiTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+AsciiTable::RowBuilder::RowBuilder(AsciiTable& table) : table_(table) {}
+
+AsciiTable::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(double value,
+                                                     int decimals) {
+  cells_.push_back(strformat("%.*f", decimals, value));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::percent(double fraction,
+                                                        int decimals) {
+  cells_.push_back(strformat("%.*f%%", decimals, fraction * 100.0));
+  return *this;
+}
+
+std::size_t AsciiTable::column_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) n = std::max(n, row.size());
+  return n;
+}
+
+std::string AsciiTable::render() const {
+  const std::size_t ncols = column_count();
+  if (ncols == 0) return "";
+
+  std::vector<std::size_t> widths(ncols, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_separator = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      line += std::string(widths[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += render_row(rows_[r]);
+    if (r == 0 && with_header_ && rows_.size() > 1) out += render_separator();
+  }
+  out += render_separator();
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace sasynth

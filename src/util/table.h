@@ -1,0 +1,57 @@
+// ASCII table renderer for the benchmark binaries.
+//
+// Every bench regenerates one of the paper's tables/figures as text; this
+// class takes rows of cells and renders an aligned, boxed table the way the
+// paper prints them, so EXPERIMENTS.md diffs are readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+class AsciiTable {
+ public:
+  /// Creates a table; the first added row is treated as the header when
+  /// `with_header` is true (rendered with a separator line below it).
+  explicit AsciiTable(bool with_header = true);
+
+  /// Adds a full row of cells.
+  AsciiTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience: starts a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(AsciiTable& table);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(double value, int decimals);
+    RowBuilder& percent(double fraction, int decimals);
+
+   private:
+    AsciiTable& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const;
+
+ private:
+  bool with_header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sasynth

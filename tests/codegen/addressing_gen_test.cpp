@@ -1,0 +1,276 @@
+#include "codegen/addressing_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "sim/schedule.h"
+
+namespace sasynth {
+namespace {
+
+class AddressingGenTest : public ::testing::Test {
+ protected:
+  AddressingGenTest()
+      : layer_(make_conv("ag", 8, 6, 5, 3)), nest_(build_conv_nest(layer_)) {}
+
+  DesignPoint design(SystolicMapping mapping, ArrayShape shape,
+                     std::vector<std::int64_t> middle) const {
+    return DesignPoint(nest_, mapping, shape, std::move(middle));
+  }
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+};
+
+TEST_F(AddressingGenTest, HeaderStructure) {
+  const DesignPoint d = design(
+      SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{3, 2, 4}, {2, 2, 2, 5, 3, 3});
+  const AddressingInfo info = generate_addressing(nest_, d, layer_);
+  EXPECT_TRUE(info.in_is_vertical);
+  EXPECT_EQ(info.num_blocks, d.tiling().num_blocks(nest_));
+  // OUT varies with o, c, r: regs = s_o * s_c * s_r = 2 * 2 * 5.
+  EXPECT_EQ(info.out_regs_per_pe, 20);
+  EXPECT_NE(info.header.find("#define OUT_REGS_PER_PE 20"), std::string::npos);
+  EXPECT_NE(info.header.find("sa_iters"), std::string::npos);
+  EXPECT_NE(info.header.find("ib_address"), std::string::npos);
+  EXPECT_NE(info.header.find("ob_address"), std::string::npos);
+  EXPECT_NE(info.header.find("IN shifts down"), std::string::npos);
+}
+
+TEST_F(AddressingGenTest, FlippedOrientationDetected) {
+  // row = c carries W's reuse? No: with (row=c, col=o), IN is invariant in
+  // the col loop (o) and W in the row loop (c) -> W is the vertical operand.
+  const DesignPoint d = design(
+      SystolicMapping{ConvLoops::kC, ConvLoops::kO, ConvLoops::kI},
+      ArrayShape{2, 3, 4}, {2, 2, 2, 5, 3, 3});
+  const AddressingInfo info = generate_addressing(nest_, d, layer_);
+  EXPECT_FALSE(info.in_is_vertical);
+  EXPECT_NE(info.header.find("W shifts down"), std::string::npos);
+}
+
+TEST_F(AddressingGenTest, FlippedOrientationCompiledFeederAddresses) {
+  // For a W-vertical design, ib_address must produce W addresses: compile
+  // the header and compare the vertical feeder against the schedule + W
+  // access function.
+  const DesignPoint d = design(
+      SystolicMapping{ConvLoops::kC, ConvLoops::kO, ConvLoops::kI},
+      ArrayShape{2, 3, 4}, {2, 2, 2, 5, 3, 3});
+  const AddressingInfo info = generate_addressing(nest_, d, layer_);
+  ASSERT_FALSE(info.in_is_vertical);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string header_path = dir + "/sasynth_addr_flip.h";
+  const std::string driver_path = dir + "/sasynth_addr_flip.c";
+  const std::string bin_path = dir + "/sasynth_addr_flip";
+  const std::string out_path = dir + "/sasynth_addr_flip.txt";
+  {
+    std::ofstream h(header_path);
+    h << info.header;
+  }
+  {
+    std::ofstream c(driver_path);
+    c << "#include <stdio.h>\n#include \"sasynth_addr_flip.h\"\n"
+      << "int main(void) {\n"
+      << "  for (long m = 0; m < sa_wavefronts_of(0); m++)\n"
+      << "    for (long y = 0; y < 3; y++)\n"
+      << "      for (long l = 0; l < 4; l++)\n"
+      << "        printf(\"%ld\\n\", ib_address(0, m, y, l));\n"
+      << "  return 0;\n}\n";
+  }
+  if (std::system(("cc -std=c99 -O1 -o " + bin_path + " " + driver_path +
+                   " 2>/dev/null")
+                      .c_str()) != 0) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  ASSERT_EQ(std::system((bin_path + " > " + out_path).c_str()), 0);
+  std::ifstream out(out_path);
+
+  const BlockSchedule schedule(nest_, d);
+  const AccessFunction& w_f =
+      nest_.accesses()[nest_.find_access(kWeightArray)].access;
+  std::vector<std::int64_t> iters;
+  for (std::int64_t m = 0; m < schedule.wavefronts(0); ++m) {
+    for (std::int64_t y = 0; y < 3; ++y) {
+      for (std::int64_t l = 0; l < 4; ++l) {
+        schedule.global_iters(0, m, 0, y, l, iters);
+        const std::vector<std::int64_t> idx = w_f.eval(iters);
+        std::int64_t expected = 0;
+        const std::int64_t dims[4] = {layer_.out_maps, layer_.in_maps,
+                                      layer_.kernel, layer_.kernel};
+        bool valid = true;
+        for (int dd = 0; dd < 4; ++dd) {
+          if (idx[static_cast<std::size_t>(dd)] < 0 ||
+              idx[static_cast<std::size_t>(dd)] >= dims[dd]) {
+            valid = false;
+          }
+          expected = expected * dims[dd] + idx[static_cast<std::size_t>(dd)];
+        }
+        if (!valid) expected = -1;
+        std::int64_t got = 0;
+        ASSERT_TRUE(out >> got);
+        EXPECT_EQ(got, expected) << "m=" << m << " y=" << y << " l=" << l;
+      }
+    }
+  }
+}
+
+// The strongest test: compile the generated header with the system C
+// compiler and cross-check its address functions against BlockSchedule and
+// the access functions for every (block, wavefront, PE, lane) slot.
+TEST_F(AddressingGenTest, CompiledHeaderMatchesSchedule) {
+  const DesignPoint d = design(
+      SystolicMapping{ConvLoops::kO, ConvLoops::kR, ConvLoops::kI},
+      ArrayShape{3, 2, 4}, {1, 2, 3, 2, 3, 1});
+  const AddressingInfo info = generate_addressing(nest_, d, layer_);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string header_path = dir + "/sasynth_addressing.h";
+  const std::string driver_path = dir + "/sasynth_addr_driver.c";
+  const std::string bin_path = dir + "/sasynth_addr_driver";
+  const std::string out_path = dir + "/sasynth_addr_out.txt";
+  {
+    std::ofstream h(header_path);
+    h << info.header;
+  }
+  {
+    std::ofstream c(driver_path);
+    c << "#include <stdio.h>\n#include \"sasynth_addressing.h\"\n"
+      << "int main(void) {\n"
+      << "  for (long blk = 0; blk < NUM_BLOCKS; blk++) {\n"
+      << "    const long M = sa_wavefronts_of(blk);\n"
+      << "    printf(\"M %ld %ld\\n\", blk, M);\n"
+      << "    for (long m = 0; m < M; m++) {\n"
+      << "      for (long y = 0; y < 2; y++)\n"
+      << "        for (long l = 0; l < 4; l++)\n"
+      << "          printf(\"I %ld\\n\", ib_address(blk, m, y, l));\n"
+      << "      for (long x = 0; x < 3; x++)\n"
+      << "        for (long l = 0; l < 4; l++)\n"
+      << "          printf(\"W %ld\\n\", wb_address(blk, m, x, l));\n"
+      << "      printf(\"R %ld\\n\", out_reg_index(blk, m));\n"
+      << "    }\n"
+      << "    for (long x = 0; x < 3; x++)\n"
+      << "      for (long y = 0; y < 2; y++)\n"
+      << "        for (long r = 0; r < OUT_REGS_PER_PE; r++)\n"
+      << "          printf(\"O %ld\\n\", ob_address(blk, x, y, r));\n"
+      << "  }\n  return 0;\n}\n";
+  }
+  const std::string compile =
+      "cc -std=c99 -O1 -o " + bin_path + " " + driver_path + " 2>/dev/null";
+  if (std::system(compile.c_str()) != 0) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  ASSERT_EQ(std::system((bin_path + " > " + out_path).c_str()), 0);
+  std::ifstream out(out_path);
+  ASSERT_TRUE(out.good());
+
+  // Reference values from the schedule + access functions.
+  const BlockSchedule schedule(nest_, d);
+  const AccessFunction& in_f =
+      nest_.accesses()[nest_.find_access(kInArray)].access;
+  const AccessFunction& w_f =
+      nest_.accesses()[nest_.find_access(kWeightArray)].access;
+  const AccessFunction& out_f =
+      nest_.accesses()[nest_.find_access(kOutArray)].access;
+  auto linear_or_minus1 = [](const std::vector<std::int64_t>& idx,
+                             const std::vector<std::int64_t>& dims) {
+    std::int64_t off = 0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (idx[i] < 0 || idx[i] >= dims[i]) return static_cast<std::int64_t>(-1);
+      off = off * dims[i] + idx[i];
+    }
+    return off;
+  };
+  const std::vector<std::int64_t> in_dims{layer_.in_maps, layer_.in_rows(),
+                                          layer_.in_cols()};
+  const std::vector<std::int64_t> w_dims{layer_.out_maps, layer_.in_maps,
+                                         layer_.kernel, layer_.kernel};
+  const std::vector<std::int64_t> out_dims{layer_.out_maps, layer_.out_rows,
+                                           layer_.out_cols};
+
+  auto expect_line = [&](const char* tag, std::int64_t value) {
+    std::string got_tag;
+    std::int64_t got_value = 0;
+    ASSERT_TRUE(out >> got_tag >> got_value) << "output exhausted";
+    if (got_tag == "M") {
+      // "M blk value" — consume the second number.
+      std::int64_t m_value = 0;
+      ASSERT_TRUE(out >> m_value);
+      ASSERT_STREQ(tag, "M");
+      EXPECT_EQ(m_value, value);
+      return;
+    }
+    ASSERT_EQ(got_tag, tag);
+    EXPECT_EQ(got_value, value);
+  };
+
+  std::vector<std::int64_t> iters;
+  for (std::int64_t blk = 0; blk < schedule.num_blocks(); ++blk) {
+    expect_line("M", schedule.wavefronts(blk));
+    for (std::int64_t m = 0; m < schedule.wavefronts(blk); ++m) {
+      for (std::int64_t y = 0; y < 2; ++y) {
+        for (std::int64_t l = 0; l < 4; ++l) {
+          schedule.global_iters(blk, m, 0, y, l, iters);
+          expect_line("I", linear_or_minus1(in_f.eval(iters), in_dims));
+        }
+      }
+      for (std::int64_t x = 0; x < 3; ++x) {
+        for (std::int64_t l = 0; l < 4; ++l) {
+          schedule.global_iters(blk, m, x, 0, l, iters);
+          expect_line("W", linear_or_minus1(w_f.eval(iters), w_dims));
+        }
+      }
+      // out_reg_index: fold OUT-varying middle digits (o, c, r) in loop
+      // order over the full (unclipped) radices.
+      const std::vector<std::int64_t> digits = schedule.decompose_middle(blk, m);
+      const TilingSpec& t = d.tiling();
+      const std::int64_t reg =
+          (digits[ConvLoops::kO] * t.middle(ConvLoops::kC) +
+           digits[ConvLoops::kC]) *
+              t.middle(ConvLoops::kR) +
+          digits[ConvLoops::kR];
+      expect_line("R", reg);
+    }
+    for (std::int64_t x = 0; x < 3; ++x) {
+      for (std::int64_t y = 0; y < 2; ++y) {
+        for (std::int64_t r = 0;
+             r < d.tiling().middle(ConvLoops::kO) *
+                     d.tiling().middle(ConvLoops::kC) *
+                     d.tiling().middle(ConvLoops::kR);
+             ++r) {
+          // Expand r into (s_o, s_c, s_r) digits and evaluate OUT at the
+          // corresponding wavefront (validity: address bounds only).
+          std::int64_t rr = r;
+          std::vector<std::int64_t> mid(6, 0);
+          mid[ConvLoops::kR] = rr % d.tiling().middle(ConvLoops::kR);
+          rr /= d.tiling().middle(ConvLoops::kR);
+          mid[ConvLoops::kC] = rr % d.tiling().middle(ConvLoops::kC);
+          rr /= d.tiling().middle(ConvLoops::kC);
+          mid[ConvLoops::kO] = rr;
+          // Rebuild global iters by hand.
+          const std::vector<std::int64_t> g = schedule.decompose_block(blk);
+          std::vector<std::int64_t> it(6, 0);
+          for (std::size_t loop = 0; loop < 6; ++loop) {
+            std::int64_t inner = 0;
+            if (loop == d.mapping().row_loop) inner = x;
+            else if (loop == d.mapping().col_loop) inner = y;
+            it[loop] =
+                (g[loop] * d.tiling().middle(loop) + mid[loop]) *
+                    d.tiling().inner(loop) +
+                inner;
+          }
+          expect_line("O", linear_or_minus1(out_f.eval(it), out_dims));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,71 @@
+#include "codegen/host_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class HostGenTest : public ::testing::Test {
+ protected:
+  HostGenTest() : layer_(alexnet_conv5()), nest_(build_conv_nest(layer_)) {}
+
+  DesignPoint sys1() const {
+    return DesignPoint(
+        nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+        ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3});
+  }
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+};
+
+TEST_F(HostGenTest, ContainsOpenClBoilerplate) {
+  const std::string host =
+      generate_host_program(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(host.find("clGetPlatformIDs"), std::string::npos);
+  EXPECT_NE(host.find("clCreateProgramWithBinary"), std::string::npos);
+  EXPECT_NE(host.find("clEnqueueTask"), std::string::npos);
+  EXPECT_NE(host.find("#include \"params.h\""), std::string::npos);
+}
+
+TEST_F(HostGenTest, LaunchesAllPipelineKernels) {
+  const std::string host =
+      generate_host_program(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(host.find("\"feed_vert\""), std::string::npos);
+  EXPECT_NE(host.find("\"feed_horz\""), std::string::npos);
+  EXPECT_NE(host.find("\"drain_out\""), std::string::npos);
+}
+
+TEST_F(HostGenTest, EmbedsBlockCount) {
+  const DesignPoint d = sys1();
+  const std::string host =
+      generate_host_program(nest_, d, layer_, DataType::kFloat32);
+  const std::string expect =
+      "// " + std::to_string(d.tiling().num_blocks(nest_)) +
+      " blocks per image";
+  EXPECT_NE(host.find(expect), std::string::npos);
+  // The feeders are bound by orientation.
+  EXPECT_NE(host.find("clSetKernelArg(k_vert"), std::string::npos);
+  EXPECT_NE(host.find("clSetKernelArg(k_horz"), std::string::npos);
+}
+
+TEST_F(HostGenTest, IncludesSoftwareReference) {
+  // The host verifies against the original Code 1 nest.
+  const std::string host =
+      generate_host_program(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(host.find("static void reference"), std::string::npos);
+  EXPECT_NE(host.find("for (int q = 0; q < CFG_K; q++)"), std::string::npos);
+  EXPECT_NE(host.find("PASS"), std::string::npos);
+}
+
+TEST_F(HostGenTest, MentionsDesignInHeaderComment) {
+  const std::string host =
+      generate_host_program(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(host.find("(row=o, col=c, vec=i)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

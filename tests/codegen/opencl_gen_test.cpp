@@ -1,0 +1,97 @@
+#include "codegen/opencl_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class OpenclGenTest : public ::testing::Test {
+ protected:
+  OpenclGenTest() : layer_(alexnet_conv5()), nest_(build_conv_nest(layer_)) {}
+
+  DesignPoint sys1() const {
+    return DesignPoint(
+        nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+        ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3});
+  }
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+};
+
+TEST_F(OpenclGenTest, ParamsEncodeDesign) {
+  const KernelSources src =
+      generate_opencl_kernel(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(src.params_h.find("#define PE_ROWS 11"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define PE_COLS 13"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define SIMD_VEC 8"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define TILE_O 4"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define TILE_R 13"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define CFG_O 128"), std::string::npos);
+  EXPECT_NE(src.params_h.find("#define CFG_I 192"), std::string::npos);
+  EXPECT_NE(src.params_h.find("ROW_LOOP_O 1"), std::string::npos);
+  EXPECT_NE(src.params_h.find("COL_LOOP_C 1"), std::string::npos);
+  EXPECT_NE(src.params_h.find("VEC_LOOP_I 1"), std::string::npos);
+}
+
+TEST_F(OpenclGenTest, FloatTypesForFloat32) {
+  const KernelSources src =
+      generate_opencl_kernel(nest_, sys1(), layer_, DataType::kFloat32);
+  EXPECT_NE(src.params_h.find("typedef float data_t;"), std::string::npos);
+  EXPECT_EQ(src.params_h.find("typedef char"), std::string::npos);
+}
+
+TEST_F(OpenclGenTest, FixedTypesForFixed) {
+  const KernelSources src =
+      generate_opencl_kernel(nest_, sys1(), layer_, DataType::kFixed8_16);
+  EXPECT_NE(src.params_h.find("typedef char  weight_t;"), std::string::npos);
+  EXPECT_NE(src.params_h.find("typedef short data_t;"), std::string::npos);
+  EXPECT_NE(src.params_h.find("typedef int   acc_t;"), std::string::npos);
+  EXPECT_EQ(src.params_h.find("typedef float data_t;"), std::string::npos);
+}
+
+TEST_F(OpenclGenTest, KernelHasSystolicStructure) {
+  const KernelSources src =
+      generate_opencl_kernel(nest_, sys1(), layer_, DataType::kFloat32);
+  // The four pipeline stages.
+  EXPECT_NE(src.kernel_cl.find("__kernel void feed_vert"), std::string::npos);
+  EXPECT_NE(src.kernel_cl.find("__kernel void feed_horz"), std::string::npos);
+  EXPECT_NE(src.kernel_cl.find("__kernel void pe"), std::string::npos);
+  EXPECT_NE(src.kernel_cl.find("__kernel void drain_out"), std::string::npos);
+  // Channels and the neighbour shifts.
+  EXPECT_NE(src.kernel_cl.find("cl_intel_channels"), std::string::npos);
+  EXPECT_NE(src.kernel_cl.find("ch_vert[x + 1][y]"), std::string::npos);
+  EXPECT_NE(src.kernel_cl.find("ch_horz[x][y + 1]"), std::string::npos);
+  // Autorun PE grid sized by the shape macros.
+  EXPECT_NE(src.kernel_cl.find("num_compute_units(PE_ROWS, PE_COLS)"),
+            std::string::npos);
+}
+
+TEST_F(OpenclGenTest, WavefrontCountMatchesTiling) {
+  const DesignPoint d = sys1();
+  const KernelSources src =
+      generate_opencl_kernel(nest_, d, layer_, DataType::kFloat32);
+  const std::string expect = "#define WAVEFRONTS_PER_BLOCK " +
+                             std::to_string(d.tiling().cycles_per_block());
+  EXPECT_NE(src.params_h.find(expect), std::string::npos);
+}
+
+TEST_F(OpenclGenTest, DifferentDesignsDiffer) {
+  const DesignPoint a = sys1();
+  const DesignPoint b(
+      nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kR, ConvLoops::kI},
+      ArrayShape{16, 10, 8}, {1, 4, 2, 1, 3, 3});
+  const KernelSources sa =
+      generate_opencl_kernel(nest_, a, layer_, DataType::kFloat32);
+  const KernelSources sb =
+      generate_opencl_kernel(nest_, b, layer_, DataType::kFloat32);
+  EXPECT_NE(sa.params_h, sb.params_h);
+  EXPECT_NE(sb.params_h.find("#define PE_ROWS 16"), std::string::npos);
+  EXPECT_NE(sb.params_h.find("COL_LOOP_R 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

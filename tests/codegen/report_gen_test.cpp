@@ -1,0 +1,66 @@
+#include "codegen/report_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class ReportGenTest : public ::testing::Test {
+ protected:
+  ReportGenTest()
+      : layer_(alexnet_conv5()),
+        nest_(build_conv_nest(layer_)),
+        device_(arria10_gt1150()) {
+    DseOptions options;
+    options.min_dsp_util = 0.85;
+    explorer_ = std::make_unique<DesignSpaceExplorer>(
+        device_, DataType::kFloat32, options);
+    result_ = explorer_->explore(nest_);
+  }
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+  FpgaDevice device_;
+  std::unique_ptr<DesignSpaceExplorer> explorer_;
+  DseResult result_;
+};
+
+TEST_F(ReportGenTest, DesignReportSections) {
+  ASSERT_FALSE(result_.empty());
+  const std::string report = generate_design_report(
+      nest_, result_.top.front(), layer_, device_, DataType::kFloat32);
+  EXPECT_NE(report.find("# Systolic Array Design Report"), std::string::npos);
+  EXPECT_NE(report.find("## Architecture"), std::string::npos);
+  EXPECT_NE(report.find("## Resources"), std::string::npos);
+  EXPECT_NE(report.find("## Performance"), std::string::npos);
+  EXPECT_NE(report.find("Mapping: `(row="), std::string::npos);
+  EXPECT_NE(report.find("Realized"), std::string::npos);
+  EXPECT_NE(report.find("Layer latency"), std::string::npos);
+  EXPECT_NE(report.find("Roofline:"), std::string::npos);
+  EXPECT_NE(report.find("ops/B"), std::string::npos);
+}
+
+TEST_F(ReportGenTest, DseReportHasCandidateTable) {
+  const std::string report = generate_dse_report(nest_, result_, layer_,
+                                                 device_, DataType::kFloat32);
+  EXPECT_NE(report.find("# Design Space Exploration Report"),
+            std::string::npos);
+  EXPECT_NE(report.find("mappings"), std::string::npos);
+  EXPECT_NE(report.find("| # "), std::string::npos);
+  EXPECT_NE(report.find("Best realized design"), std::string::npos);
+  // One table row per top candidate.
+  std::size_t rows = 0;
+  for (std::size_t pos = report.find("(row=");
+       pos != std::string::npos; pos = report.find("(row=", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_GE(rows, result_.top.size());
+}
+
+}  // namespace
+}  // namespace sasynth

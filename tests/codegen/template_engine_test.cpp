@@ -1,0 +1,81 @@
+#include "codegen/template_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(TemplateEngine, SimpleSubstitution) {
+  TemplateEngine engine;
+  engine.bind("name", "world").bind("n", 42LL);
+  EXPECT_EQ(engine.render("hello {{name}} x{{n}}"), "hello world x42");
+  EXPECT_TRUE(engine.error().empty());
+}
+
+TEST(TemplateEngine, DoubleBinding) {
+  TemplateEngine engine;
+  engine.bind("x", "a");
+  engine.bind("x", "b");  // last wins
+  EXPECT_EQ(engine.render("{{x}}"), "b");
+}
+
+TEST(TemplateEngine, DoubleFormatting) {
+  TemplateEngine engine;
+  engine.bind("f", 3.14159, 2);
+  EXPECT_EQ(engine.render("{{f}}"), "3.14");
+}
+
+TEST(TemplateEngine, UnboundKeyIsError) {
+  TemplateEngine engine;
+  EXPECT_EQ(engine.render("{{missing}}"), "");
+  EXPECT_NE(engine.error().find("missing"), std::string::npos);
+}
+
+TEST(TemplateEngine, UnterminatedIsError) {
+  TemplateEngine engine;
+  EXPECT_EQ(engine.render("oops {{key"), "");
+  EXPECT_NE(engine.error().find("unterminated"), std::string::npos);
+}
+
+TEST(TemplateEngine, SectionEnabled) {
+  TemplateEngine engine;
+  engine.bind_section("on", true).bind_section("off", false);
+  EXPECT_EQ(engine.render("a{{#on}}b{{/on}}c"), "abc");
+  EXPECT_EQ(engine.render("a{{#off}}b{{/off}}c"), "ac");
+}
+
+TEST(TemplateEngine, SectionSuppressesKeys) {
+  TemplateEngine engine;
+  engine.bind_section("off", false);
+  // Keys inside a disabled section need not be bound.
+  EXPECT_EQ(engine.render("x{{#off}}{{unbound}}{{/off}}y"), "xy");
+  EXPECT_TRUE(engine.error().empty());
+}
+
+TEST(TemplateEngine, NestedSections) {
+  TemplateEngine engine;
+  engine.bind_section("outer", true).bind_section("inner", false);
+  EXPECT_EQ(engine.render("a{{#outer}}b{{#inner}}c{{/inner}}d{{/outer}}e"),
+            "abde");
+  engine.bind_section("outer", false).bind_section("inner", true);
+  EXPECT_EQ(engine.render("a{{#outer}}b{{#inner}}c{{/inner}}d{{/outer}}e"),
+            "ae");
+}
+
+TEST(TemplateEngine, UnboundSectionIsError) {
+  TemplateEngine engine;
+  EXPECT_EQ(engine.render("{{#nope}}x{{/nope}}"), "");
+  EXPECT_NE(engine.error().find("nope"), std::string::npos);
+}
+
+TEST(TemplateEngine, ErrorClearsOnSuccess) {
+  TemplateEngine engine;
+  engine.render("{{missing}}");
+  EXPECT_FALSE(engine.error().empty());
+  engine.bind("k", "v");
+  EXPECT_EQ(engine.render("{{k}}"), "v");
+  EXPECT_TRUE(engine.error().empty());
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,95 @@
+#include "core/design_io.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class DesignIoTest : public ::testing::Test {
+ protected:
+  DesignIoTest() : nest_(build_conv_nest(alexnet_conv5())) {}
+
+  DesignPoint sys1() const {
+    return DesignPoint(
+        nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+        ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3});
+  }
+
+  LoopNest nest_;
+};
+
+TEST_F(DesignIoTest, RoundTrip) {
+  const DesignPoint original = sys1();
+  const std::string text = save_design_text(original);
+  const DesignLoadResult loaded = load_design_text(text, nest_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.design, original);
+  EXPECT_EQ(loaded.design.signature(), original.signature());
+}
+
+TEST_F(DesignIoTest, FormatIsReadable) {
+  const std::string text = save_design_text(sys1());
+  EXPECT_NE(text.find("sasynth-design v1"), std::string::npos);
+  EXPECT_NE(text.find("mapping row=0 col=2 vec=1"), std::string::npos);
+  EXPECT_NE(text.find("shape 11 13 8"), std::string::npos);
+  EXPECT_NE(text.find("middle 4 4 1 13 3 3"), std::string::npos);
+}
+
+TEST_F(DesignIoTest, ToleratesBlankLines) {
+  std::string text = save_design_text(sys1());
+  text = "\n\n" + text + "\n\n";
+  EXPECT_TRUE(load_design_text(text, nest_).ok);
+}
+
+struct BadInput {
+  const char* name;
+  const char* text;
+  const char* expect;
+};
+
+class DesignIoErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(DesignIoErrorTest, Rejected) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignLoadResult result = load_design_text(GetParam().text, nest);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(GetParam().expect), std::string::npos)
+      << "actual: " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DesignIoErrorTest,
+    ::testing::Values(
+        BadInput{"empty", "", "header"},
+        BadInput{"bad_magic", "sasynth-design v9\n", "header"},
+        BadInput{"missing_mapping", "sasynth-design v1\nshape 1 1 1\n",
+                 "mapping"},
+        BadInput{"mapping_oob",
+                 "sasynth-design v1\nmapping row=9 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 1 1 1 1 1 1\n",
+                 "out of range"},
+        BadInput{"bad_shape",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 0 2 2\nmiddle 1 1 1 1 1 1\n",
+                 "shape"},
+        BadInput{"middle_count",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 1 1 1\n",
+                 "count"},
+        BadInput{"middle_zero",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 1 0 1 1 1 1\n",
+                 ">= 1"},
+        BadInput{"oversized_block",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 999 1 1 1 1 1\n",
+                 "invalid design"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace sasynth

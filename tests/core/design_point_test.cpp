@@ -1,0 +1,87 @@
+#include "core/design_point.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+SystolicMapping sys1_mapping() {
+  return SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+}
+
+TEST(ArrayShape, Counts) {
+  const ArrayShape shape{11, 13, 8};
+  EXPECT_EQ(shape.num_pes(), 143);
+  EXPECT_EQ(shape.num_lanes(), 1144);
+  EXPECT_EQ(shape.to_string(), "(11,13,8)");
+  EXPECT_EQ(shape, (ArrayShape{11, 13, 8}));
+  EXPECT_FALSE(shape == (ArrayShape{11, 13, 4}));
+}
+
+TEST(DesignPoint, InnerBoundsFollowMapping) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignPoint design(nest, sys1_mapping(), ArrayShape{11, 13, 8},
+                           std::vector<std::int64_t>(6, 1));
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kO), 11);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kC), 13);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kI), 8);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kR), 1);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kP), 1);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kQ), 1);
+  EXPECT_EQ(design.num_lanes(), 1144);
+}
+
+TEST(DesignPoint, MiddleBoundsStored) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  std::vector<std::int64_t> middle{4, 4, 1, 13, 3, 3};
+  DesignPoint design(nest, sys1_mapping(), ArrayShape{11, 13, 8}, middle);
+  EXPECT_EQ(design.tiling().middle(ConvLoops::kO), 4);
+  EXPECT_EQ(design.tiling().middle(ConvLoops::kR), 13);
+  design.set_middle_bounds({1, 1, 1, 1, 1, 1});
+  EXPECT_EQ(design.tiling().middle(ConvLoops::kR), 1);
+  EXPECT_EQ(design.tiling().inner(ConvLoops::kO), 11);  // inner preserved
+}
+
+TEST(DesignPoint, SignatureStableAndDistinct) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignPoint a(nest, sys1_mapping(), ArrayShape{11, 13, 8},
+                      std::vector<std::int64_t>(6, 1));
+  const DesignPoint b(nest, sys1_mapping(), ArrayShape{11, 13, 8},
+                      std::vector<std::int64_t>(6, 1));
+  const DesignPoint c(nest, sys1_mapping(), ArrayShape{16, 10, 8},
+                      std::vector<std::int64_t>(6, 1));
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_NE(a.signature(), c.signature());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DesignPoint, ToStringMentionsEverything) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignPoint design(nest, sys1_mapping(), ArrayShape{11, 13, 8},
+                           {4, 4, 1, 13, 3, 3});
+  const std::string s = design.to_string(nest);
+  EXPECT_NE(s.find("(row=o, col=c, vec=i)"), std::string::npos);
+  EXPECT_NE(s.find("(11,13,8)"), std::string::npos);
+  EXPECT_NE(s.find("s=(4,4,1,13,3,3)"), std::string::npos);
+}
+
+TEST(DesignPoint, ValidateCatchesBadShape) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignPoint design(nest, sys1_mapping(), ArrayShape{0, 13, 8},
+                           std::vector<std::int64_t>(6, 1));
+  EXPECT_FALSE(design.validate(nest).empty());
+}
+
+TEST(DesignPoint, ValidGoodDesign) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  const DesignPoint design(nest, sys1_mapping(), ArrayShape{11, 13, 8},
+                           {4, 4, 1, 13, 3, 3});
+  EXPECT_TRUE(design.validate(nest).empty());
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,155 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class MappingTest : public ::testing::Test {
+ protected:
+  MappingTest()
+      : nest_(build_conv_nest(alexnet_conv5())), reuse_(analyze_reuse(nest_)) {}
+  LoopNest nest_;
+  ReuseMatrix reuse_;
+};
+
+TEST_F(MappingTest, CandidateCount) {
+  EXPECT_EQ(num_candidate_mappings(nest_), 6 * 5 * 4);
+}
+
+TEST_F(MappingTest, WeakConditionCount) {
+  // Eq. 2: choose one loop from each array's reuse set
+  // ({i,p,q} x {c,r} x {o}) = 6 sets, each in 3! orders = 36.
+  EXPECT_EQ(enumerate_reuse_condition_mappings(nest_, reuse_).size(), 36U);
+}
+
+TEST_F(MappingTest, ArchitecturalCount) {
+  // vec must carry OUT reuse (3 choices), row/col an ordered pair of the
+  // o-loop and one of {c, r} (4 arrangements) = 12.
+  EXPECT_EQ(enumerate_feasible_mappings(nest_, reuse_).size(), 12U);
+}
+
+TEST_F(MappingTest, ArchitecturalImpliesWeak) {
+  for (const SystolicMapping& m : enumerate_feasible_mappings(nest_, reuse_)) {
+    EXPECT_TRUE(satisfies_reuse_condition(nest_, reuse_, m))
+        << m.to_string(nest_);
+  }
+}
+
+TEST_F(MappingTest, PaperSys1MappingIsFeasible) {
+  // Table 1 maps (L1, L3, L2) = (o, c, i) to (row, col, vec).
+  const SystolicMapping sys1{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+  std::string why;
+  EXPECT_TRUE(is_feasible_mapping(nest_, reuse_, sys1, &why)) << why;
+  EXPECT_TRUE(why.empty());
+}
+
+TEST_F(MappingTest, PaperInfeasibleExampleRejected) {
+  // §2.3's counter-example: mapping L3 and L4 (c, r) to the PE dimensions is
+  // infeasible because W has no reuse on either... precisely: neither c nor
+  // r carries IN's reuse, so the operand orientation fails.
+  const SystolicMapping bad{ConvLoops::kC, ConvLoops::kR, ConvLoops::kI};
+  std::string why;
+  EXPECT_FALSE(is_feasible_mapping(nest_, reuse_, bad, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST_F(MappingTest, VecMustCarryOutputReuse) {
+  // vec = o (which carries IN reuse, not OUT) must be rejected.
+  const SystolicMapping bad{ConvLoops::kI, ConvLoops::kC, ConvLoops::kO};
+  std::string why;
+  EXPECT_FALSE(is_feasible_mapping(nest_, reuse_, bad, &why));
+  EXPECT_NE(why.find("vec"), std::string::npos);
+}
+
+TEST_F(MappingTest, DuplicateLoopsRejected) {
+  const SystolicMapping dup{ConvLoops::kO, ConvLoops::kO, ConvLoops::kI};
+  EXPECT_FALSE(satisfies_reuse_condition(nest_, reuse_, dup));
+  EXPECT_FALSE(is_feasible_mapping(nest_, reuse_, dup));
+}
+
+TEST_F(MappingTest, OutOfRangeRejected) {
+  const SystolicMapping oob{99, ConvLoops::kC, ConvLoops::kI};
+  EXPECT_FALSE(satisfies_reuse_condition(nest_, reuse_, oob));
+  EXPECT_FALSE(is_feasible_mapping(nest_, reuse_, oob));
+}
+
+TEST_F(MappingTest, AllFeasibleMappingsHaveExpectedStructure) {
+  for (const SystolicMapping& m : enumerate_feasible_mappings(nest_, reuse_)) {
+    // vec in {i, p, q}.
+    EXPECT_TRUE(m.vec_loop == ConvLoops::kI || m.vec_loop == ConvLoops::kP ||
+                m.vec_loop == ConvLoops::kQ)
+        << m.to_string(nest_);
+    // One of row/col is o, the other is c or r.
+    const bool row_is_o = m.row_loop == ConvLoops::kO;
+    const std::size_t other = row_is_o ? m.col_loop : m.row_loop;
+    EXPECT_TRUE(row_is_o || m.col_loop == ConvLoops::kO) << m.to_string(nest_);
+    EXPECT_TRUE(other == ConvLoops::kC || other == ConvLoops::kR)
+        << m.to_string(nest_);
+  }
+}
+
+TEST_F(MappingTest, ToStringAndSignature) {
+  const SystolicMapping m{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI};
+  EXPECT_EQ(m.to_string(nest_), "(row=o, col=c, vec=i)");
+  EXPECT_EQ(m.signature(), "m0_2_1");
+  EXPECT_EQ(m, (SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI}));
+}
+
+TEST(MappingGeneric, RequiresExactlyTwoOperands) {
+  // A nest with one operand array cannot be systolically mapped.
+  LoopNest nest;
+  nest.add_loop("a", 4);
+  nest.add_loop("b", 4);
+  nest.add_loop("c", 4);
+  AccessFunction out;
+  out.array = "O";
+  out.indices.push_back(AffineExpr::term(3, 0));
+  nest.add_access(ArrayAccess{out, AccessRole::kReduce});
+  AccessFunction x;
+  x.array = "X";
+  x.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{x, AccessRole::kRead});
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  std::string why;
+  EXPECT_FALSE(is_feasible_mapping(nest, reuse, SystolicMapping{0, 1, 2}, &why));
+  EXPECT_NE(why.find("two operand"), std::string::npos);
+}
+
+TEST(MappingGeneric, MatrixMultiplyHasFeasibleMappings) {
+  // C[i][j] += A[i][k] * B[k][j] — the classic systolic case: row=j (A
+  // reuse), col=i (B reuse), vec=k (C reuse) and its mirror.
+  LoopNest nest;
+  nest.add_loop("i", 8);
+  nest.add_loop("j", 8);
+  nest.add_loop("k", 8);
+  AccessFunction cacc;
+  cacc.array = "Cm";
+  cacc.indices.push_back(AffineExpr::term(3, 0));
+  cacc.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{cacc, AccessRole::kReduce});
+  AccessFunction a;
+  a.array = "A";
+  a.indices.push_back(AffineExpr::term(3, 0));
+  a.indices.push_back(AffineExpr::term(3, 2));
+  nest.add_access(ArrayAccess{a, AccessRole::kRead});
+  AccessFunction b;
+  b.array = "B";
+  b.indices.push_back(AffineExpr::term(3, 2));
+  b.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{b, AccessRole::kRead});
+
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  const std::vector<SystolicMapping> feasible =
+      enumerate_feasible_mappings(nest, reuse);
+  ASSERT_EQ(feasible.size(), 2U);
+  for (const SystolicMapping& m : feasible) {
+    EXPECT_EQ(m.vec_loop, 2U);  // k accumulates in the PE
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,90 @@
+#include "core/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class RooflineTest : public ::testing::Test {
+ protected:
+  RooflineTest()
+      : nest_(build_conv_nest(alexnet_conv5())), device_(arria10_gt1150()) {}
+
+  DesignPoint design(std::vector<std::int64_t> middle) const {
+    return DesignPoint(
+        nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+        ArrayShape{11, 13, 8}, std::move(middle));
+  }
+
+  LoopNest nest_;
+  FpgaDevice device_;
+};
+
+TEST_F(RooflineTest, RoofsMatchPerfModel) {
+  // The roofline view is Eqs. 7-10 re-expressed: compute roof == PT and
+  // memory roof == MT_t (aggregate-bandwidth term).
+  for (const std::vector<std::int64_t>& middle :
+       {std::vector<std::int64_t>{4, 4, 1, 13, 3, 3},
+        std::vector<std::int64_t>{1, 1, 1, 2, 1, 1}}) {
+    const DesignPoint d = design(middle);
+    const RooflinePoint point =
+        roofline_point(nest_, d, device_, DataType::kFloat32, 280.0);
+    const PerfEstimate perf =
+        estimate_performance(nest_, d, device_, DataType::kFloat32, 280.0);
+    EXPECT_NEAR(point.compute_roof_gops, perf.pt_gops, 1e-9);
+    EXPECT_NEAR(point.memory_roof_gops, perf.mt_total_gops, 1e-9);
+  }
+}
+
+TEST_F(RooflineTest, GoodTilingIsComputeBound) {
+  const RooflinePoint point = roofline_point(
+      nest_, design({4, 4, 1, 13, 3, 3}), device_, DataType::kFloat32, 280.0);
+  EXPECT_FALSE(point.memory_bound);
+  EXPECT_GT(point.operational_intensity, point.ridge_intensity);
+  EXPECT_DOUBLE_EQ(point.attainable_gops, point.compute_roof_gops);
+}
+
+TEST_F(RooflineTest, TinyTilingIsMemoryBound) {
+  const RooflinePoint point = roofline_point(
+      nest_, design({1, 1, 1, 2, 1, 1}), device_, DataType::kFloat32, 280.0);
+  EXPECT_TRUE(point.memory_bound);
+  EXPECT_LT(point.operational_intensity, point.ridge_intensity);
+  EXPECT_DOUBLE_EQ(point.attainable_gops, point.memory_roof_gops);
+}
+
+TEST_F(RooflineTest, IntensityGrowsWithTiles) {
+  const RooflinePoint small = roofline_point(
+      nest_, design({1, 1, 1, 2, 1, 1}), device_, DataType::kFloat32, 280.0);
+  const RooflinePoint big = roofline_point(
+      nest_, design({4, 4, 1, 13, 3, 3}), device_, DataType::kFloat32, 280.0);
+  EXPECT_GT(big.operational_intensity, small.operational_intensity);
+}
+
+TEST_F(RooflineTest, BandwidthSweepMonotoneWithCrossover) {
+  const DesignPoint d = design({4, 4, 1, 13, 3, 3});
+  const std::vector<double> bws{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+  const std::vector<BandwidthSweepSample> sweep =
+      sweep_bandwidth(nest_, d, device_, DataType::kFloat32, 280.0, bws);
+  ASSERT_EQ(sweep.size(), bws.size());
+  // Monotone non-decreasing in bandwidth, memory-bound at the low end,
+  // compute-bound (saturated) at the high end.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].throughput_gops, sweep[i - 1].throughput_gops - 1e-9);
+  }
+  EXPECT_TRUE(sweep.front().memory_bound);
+  EXPECT_FALSE(sweep.back().memory_bound);
+  EXPECT_NEAR(sweep.back().throughput_gops, 621.2, 1.0);
+}
+
+TEST_F(RooflineTest, SummaryMentionsBound) {
+  const RooflinePoint point = roofline_point(
+      nest_, design({1, 1, 1, 2, 1, 1}), device_, DataType::kFloat32, 280.0);
+  EXPECT_NE(point.summary().find("memory-bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

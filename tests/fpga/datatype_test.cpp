@@ -1,0 +1,66 @@
+#include "fpga/datatype.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(DataType, Float32Info) {
+  const DataTypeInfo& info = data_type_info(DataType::kFloat32);
+  EXPECT_EQ(info.weight_bits, 32);
+  EXPECT_EQ(info.pixel_bits, 32);
+  EXPECT_DOUBLE_EQ(info.macs_per_dsp_block, 1.0);
+  EXPECT_DOUBLE_EQ(info.weight_bytes(), 4.0);
+  EXPECT_DOUBLE_EQ(info.pixel_bytes(), 4.0);
+}
+
+TEST(DataType, Fixed816Info) {
+  const DataTypeInfo& info = data_type_info(DataType::kFixed8_16);
+  EXPECT_EQ(info.weight_bits, 8);
+  EXPECT_EQ(info.pixel_bits, 16);
+  EXPECT_EQ(info.accum_bits, 32);
+  EXPECT_DOUBLE_EQ(info.macs_per_dsp_block, 2.0);
+  EXPECT_DOUBLE_EQ(info.weight_bytes(), 1.0);
+  EXPECT_DOUBLE_EQ(info.pixel_bytes(), 2.0);
+}
+
+TEST(DataType, Names) {
+  EXPECT_EQ(data_type_name(DataType::kFloat32), "float32");
+  EXPECT_EQ(data_type_name(DataType::kFixed8_16), "fixed8_16");
+}
+
+TEST(DataType, Parse) {
+  DataType t;
+  EXPECT_TRUE(parse_data_type("float32", &t));
+  EXPECT_EQ(t, DataType::kFloat32);
+  EXPECT_TRUE(parse_data_type("fp32", &t));
+  EXPECT_EQ(t, DataType::kFloat32);
+  EXPECT_TRUE(parse_data_type("fixed", &t));
+  EXPECT_EQ(t, DataType::kFixed8_16);
+  EXPECT_FALSE(parse_data_type("bf16", &t));
+}
+
+TEST(DataType, DspBlocksForMacs) {
+  EXPECT_EQ(dsp_blocks_for_macs(DataType::kFloat32, 1144), 1144);
+  // Fixed: two MACs per block, odd counts round up.
+  EXPECT_EQ(dsp_blocks_for_macs(DataType::kFixed8_16, 1500), 750);
+  EXPECT_EQ(dsp_blocks_for_macs(DataType::kFixed8_16, 1501), 751);
+  EXPECT_EQ(dsp_blocks_for_macs(DataType::kFloat32, 0), 0);
+}
+
+TEST(DataType, MacCapacity) {
+  // Arria 10 GT1150: 1518 blocks -> 1518 fp32 MACs or 3036 fixed MACs.
+  EXPECT_EQ(mac_capacity(DataType::kFloat32, 1518), 1518);
+  EXPECT_EQ(mac_capacity(DataType::kFixed8_16, 1518), 3036);
+}
+
+TEST(DataType, CapacityRoundTrip) {
+  for (const DataType t : {DataType::kFloat32, DataType::kFixed8_16}) {
+    const std::int64_t cap = mac_capacity(t, 100);
+    EXPECT_LE(dsp_blocks_for_macs(t, cap), 100);
+    EXPECT_GT(dsp_blocks_for_macs(t, cap + 1), 100);
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

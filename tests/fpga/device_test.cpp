@@ -1,0 +1,53 @@
+#include "fpga/device.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(Device, Arria10Gt1150MatchesPaper) {
+  const FpgaDevice d = arria10_gt1150();
+  // The paper's §5.2 headline: 1518 hardened floating-point DSPs; BRAM count
+  // consistent with the 90% = 2455 blocks figure in Table 3.
+  EXPECT_EQ(d.dsp_blocks, 1518);
+  EXPECT_EQ(d.bram_blocks, 2713);
+  EXPECT_EQ(d.bram_kbits, 20);
+  EXPECT_NEAR(d.bw_total_gbs, 19.2, 0.5);  // "19 GB/s bandwidth" in §2.3
+  EXPECT_GT(d.logic_cells, 400000);
+}
+
+TEST(Device, BramBytes) {
+  EXPECT_EQ(arria10_gt1150().bram_bytes(), 20 * 1024 / 8);
+  EXPECT_EQ(xilinx_ku060().bram_bytes(), 18 * 1024 / 8);
+}
+
+TEST(Device, AllPresetsAreSane) {
+  for (const FpgaDevice& d :
+       {arria10_gt1150(), arria10_gx1150(), xilinx_ku060(), xilinx_vc709(),
+        stratix_v(), tiny_test_device()}) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.dsp_blocks, 0) << d.name;
+    EXPECT_GT(d.bram_blocks, 0) << d.name;
+    EXPECT_GT(d.logic_cells, 0) << d.name;
+    EXPECT_GT(d.bw_total_gbs, 0.0) << d.name;
+    EXPECT_GE(d.bw_total_gbs, d.bw_port_gbs) << d.name;
+    EXPECT_GT(d.fmax_mhz, 100.0) << d.name;
+    EXPECT_GE(d.bram_per_pe, 0.0) << d.name;
+  }
+}
+
+TEST(Device, TinyDeviceIsSmall) {
+  const FpgaDevice tiny = tiny_test_device();
+  EXPECT_LT(tiny.dsp_blocks, 100);
+  EXPECT_LT(tiny.bram_blocks, 256);
+}
+
+TEST(Device, SummaryMentionsKeyNumbers) {
+  const std::string s = arria10_gt1150().summary();
+  EXPECT_NE(s.find("1518"), std::string::npos);
+  EXPECT_NE(s.find("2713"), std::string::npos);
+  EXPECT_NE(s.find("19.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,113 @@
+#include "frontend/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+FlowOptions tiny_flow_options() {
+  FlowOptions options;
+  options.device = tiny_test_device();
+  options.dtype = DataType::kFloat32;
+  options.dse.min_dsp_util = 0.5;
+  options.dse.max_rows = 8;
+  options.dse.max_cols = 8;
+  options.dse.max_vec = 8;
+  return options;
+}
+
+const char* const kTinyConv = R"(
+#pragma sasynth systolic
+for (o = 0; o < 8; o++)
+ for (i = 0; i < 8; i++)
+  for (c = 0; c < 6; c++)
+   for (r = 0; r < 6; r++)
+    for (p = 0; p < 3; p++)
+     for (q = 0; q < 3; q++)
+      OUT[o][r][c] += W[o][i][p][q] * IN[i][r + p][c + q];
+)";
+
+TEST(Flow, EndToEndSuccess) {
+  const FlowResult result = run_automation_flow(kTinyConv, tiny_flow_options());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.parse.ok);
+  EXPECT_TRUE(result.conv.ok);
+  EXPECT_FALSE(result.dse.empty());
+  EXPECT_GT(result.best.realized_gops(), 0.0);
+  // All artifacts produced.
+  EXPECT_NE(result.kernel.kernel_cl.find("__kernel void pe"),
+            std::string::npos);
+  EXPECT_NE(result.kernel.params_h.find("#define CFG_O 8"), std::string::npos);
+  EXPECT_NE(result.host_program.find("clEnqueueTask"), std::string::npos);
+  EXPECT_NE(result.report.find("Design Space Exploration Report"),
+            std::string::npos);
+}
+
+TEST(Flow, KernelParamsMatchChosenDesign) {
+  const FlowResult result = run_automation_flow(kTinyConv, tiny_flow_options());
+  ASSERT_TRUE(result.ok) << result.error;
+  const ArrayShape& shape = result.best.design.shape();
+  EXPECT_NE(result.kernel.params_h.find(
+                "#define PE_ROWS " + std::to_string(shape.rows)),
+            std::string::npos);
+  EXPECT_NE(result.kernel.params_h.find(
+                "#define SIMD_VEC " + std::to_string(shape.vec)),
+            std::string::npos);
+}
+
+TEST(Flow, ParseErrorPropagates) {
+  const FlowResult result =
+      run_automation_flow("for (a = 1; a < 2; a++) x;", tiny_flow_options());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("parse error"), std::string::npos);
+}
+
+TEST(Flow, NonConvNestRejected) {
+  const char* const matvec = R"(
+for (x = 0; x < 4; x++)
+ for (k = 0; k < 4; k++)
+  Y[x] += A[x][k] * V[k];
+)";
+  const FlowResult result = run_automation_flow(matvec, tiny_flow_options());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unsupported loop nest"), std::string::npos);
+}
+
+TEST(Flow, PragmaRequirementEnforced) {
+  FlowOptions options = tiny_flow_options();
+  options.require_pragma = true;
+  const std::string no_pragma = R"(
+for (o = 0; o < 8; o++)
+ for (i = 0; i < 8; i++)
+  for (c = 0; c < 6; c++)
+   for (r = 0; r < 6; r++)
+    for (p = 0; p < 3; p++)
+     for (q = 0; q < 3; q++)
+      OUT[o][r][c] += W[o][i][p][q] * IN[i][r + p][c + q];
+)";
+  EXPECT_FALSE(run_automation_flow(no_pragma, options).ok);
+  EXPECT_TRUE(run_automation_flow(kTinyConv, options).ok);
+}
+
+TEST(Flow, ImpossibleDeviceReportsNoDesign) {
+  FlowOptions options = tiny_flow_options();
+  options.device.bram_blocks = 1;  // nothing fits
+  const FlowResult result = run_automation_flow(kTinyConv, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no valid design"), std::string::npos);
+}
+
+TEST(RenderConvSource, MatchesCode1Shape) {
+  const std::string src = render_conv_source(alexnet_conv5());
+  EXPECT_NE(src.find("#pragma sasynth systolic"), std::string::npos);
+  EXPECT_NE(src.find("for (o = 0; o < 128; o++)"), std::string::npos);
+  EXPECT_NE(src.find("IN[i][r + p][c + q]"), std::string::npos);
+  const std::string strided =
+      render_conv_source(make_conv("s", 3, 96, 55, 11, 4));
+  EXPECT_NE(strided.find("IN[i][4*r + p][4*c + q]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,110 @@
+// Full-pipeline integration: C source -> flow -> chosen design ->
+// cycle-accurate simulation -> numerical verification, plus fixed-point.
+#include <gtest/gtest.h>
+
+#include "frontend/flow.h"
+#include "nn/quantize.h"
+#include "nn/network.h"
+#include "sim/perf_sim.h"
+#include "sim/systolic_array.h"
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+FlowOptions tiny_flow_options() {
+  FlowOptions options;
+  options.device = tiny_test_device();
+  options.dtype = DataType::kFloat32;
+  options.dse.min_dsp_util = 0.5;
+  options.dse.max_rows = 8;
+  options.dse.max_cols = 8;
+  options.dse.max_vec = 8;
+  return options;
+}
+
+TEST(EndToEnd, SourceToVerifiedSimulation) {
+  const ConvLayerDesc layer = make_conv("e2e", 8, 8, 6, 3);
+  const FlowResult flow =
+      run_automation_flow(render_conv_source(layer), tiny_flow_options());
+  ASSERT_TRUE(flow.ok) << flow.error;
+
+  // The extracted layer equals the one we rendered (modulo the name).
+  EXPECT_EQ(flow.conv.layer.in_maps, layer.in_maps);
+  EXPECT_EQ(flow.conv.layer.out_maps, layer.out_maps);
+  EXPECT_EQ(flow.conv.layer.kernel, layer.kernel);
+
+  // Execute the chosen design on the cycle-accurate array.
+  Rng rng(99);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const SimResult sim =
+      simulate_systolic(flow.parse.nest, flow.best.design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(sim.output, reference_conv(layer, data)),
+            1e-3F);
+
+  // And the block-pipeline "board run" lands near the model at the realized
+  // clock. DDR burst overhead is zeroed: on this deliberately tiny layer the
+  // per-block latency (which Eqs. 9-10 do not model) would dominate.
+  PerfSimOptions board;
+  board.freq_mhz = flow.best.realized_freq_mhz;
+  board.ddr_overhead_cycles = 0;
+  const PerfSimResult perf = simulate_performance(
+      flow.parse.nest, flow.best.design, tiny_test_device(),
+      DataType::kFloat32, board);
+  EXPECT_NEAR(perf.achieved_gops, flow.best.realized_gops(),
+              0.05 * flow.best.realized_gops());
+}
+
+TEST(EndToEnd, StridedLayerThroughFlow) {
+  const ConvLayerDesc layer = make_conv("e2es", 4, 8, 5, 3, /*stride=*/2);
+  const FlowResult flow =
+      run_automation_flow(render_conv_source(layer), tiny_flow_options());
+  ASSERT_TRUE(flow.ok) << flow.error;
+  EXPECT_EQ(flow.conv.layer.stride, 2);
+  Rng rng(7);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const SimResult sim =
+      simulate_systolic(flow.parse.nest, flow.best.design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(sim.output, reference_conv(layer, data)),
+            1e-3F);
+}
+
+TEST(EndToEnd, FixedPointFlowAndDatapath) {
+  const ConvLayerDesc layer = make_conv("e2efx", 8, 8, 6, 3);
+  FlowOptions options = tiny_flow_options();
+  options.dtype = DataType::kFixed8_16;
+  const FlowResult flow =
+      run_automation_flow(render_conv_source(layer), options);
+  ASSERT_TRUE(flow.ok) << flow.error;
+  EXPECT_NE(flow.kernel.params_h.find("typedef short data_t;"),
+            std::string::npos);
+
+  // The fixed-point datapath (8-bit weights, 16-bit pixels) stays within the
+  // paper's quoted accuracy envelope on synthetic data.
+  Rng rng(5);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const Tensor fx = fixed_point_conv(layer, data, 8, 16);
+  EXPECT_LT(compare_quantized(ref, fx).relative_rms, 0.02);
+}
+
+TEST(EndToEnd, AlexNetConv5FlowOnRealDevice) {
+  // The paper's running example through the entire flow on the real device
+  // description (phase 1 assumed clock 280 MHz, c_s = 0.8).
+  FlowOptions options;
+  options.device = arria10_gt1150();
+  options.dtype = DataType::kFloat32;
+  options.dse.min_dsp_util = 0.80;
+  const FlowResult flow =
+      run_automation_flow(render_conv_source(alexnet_conv5()), options);
+  ASSERT_TRUE(flow.ok) << flow.error;
+  // The chosen design must beat the paper's fixed sys1 example (621 GFlops
+  // at the assumed clock) or at least reach that class of throughput.
+  EXPECT_GT(flow.best.estimated_gops(), 550.0);
+  EXPECT_GT(flow.best.realized_freq_mhz, 200.0);
+  // High utilization (Eq. 12 with the default c_s).
+  EXPECT_GE(flow.best.design.num_lanes(), 0.8 * 1518);
+}
+
+}  // namespace
+}  // namespace sasynth

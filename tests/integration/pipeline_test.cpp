@@ -1,0 +1,105 @@
+// Whole-CNN pipeline on the simulated systolic array as a test: two conv
+// layers (each under its own DSE-chosen design), ReLU, max-pool, an FC tail
+// converted per §2.1, softmax — verified end to end against a pure software
+// reference. The test version of examples/tiny_inference.cpp.
+#include <gtest/gtest.h>
+
+#include "core/dse.h"
+#include "loopnest/conv_nest.h"
+#include "nn/fc.h"
+#include "nn/postops.h"
+#include "nn/quantize.h"
+#include "nn/reference.h"
+#include "sim/systolic_array.h"
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+Tensor conv_on_array(const ConvLayerDesc& layer, const ConvData& data) {
+  const LoopNest nest = build_conv_nest(layer);
+  DseOptions options;
+  options.min_dsp_util = 0.5;
+  options.max_rows = 8;
+  options.max_cols = 8;
+  options.max_vec = 8;
+  const DesignSpaceExplorer explorer(tiny_test_device(), DataType::kFloat32,
+                                     options);
+  const DseResult result = explorer.explore(nest);
+  EXPECT_FALSE(result.empty());
+  return simulate_systolic(nest, result.best()->design, layer, data).output;
+}
+
+Tensor pad_input(const ConvLayerDesc& layer, const Tensor& activation) {
+  Tensor input({layer.in_maps, layer.in_rows(), layer.in_cols()});
+  for (std::int64_t c = 0; c < activation.dim(0); ++c) {
+    for (std::int64_t h = 0; h < activation.dim(1); ++h) {
+      for (std::int64_t w = 0; w < activation.dim(2); ++w) {
+        input.at(c, h, w) = activation.at(c, h, w);
+      }
+    }
+  }
+  return input;
+}
+
+TEST(PipelineIntegration, TinyCnnOnSimulatedArrayMatchesSoftware) {
+  Rng rng(31415);
+  const ConvLayerDesc conv1 = make_conv("p_conv1", 3, 8, 8, 3);
+  const ConvLayerDesc conv2 = make_conv("p_conv2", 8, 8, 2, 3);
+  const FcLayerDesc fc{"p_fc", 8 * 2 * 2, 6};
+  const ConvLayerDesc fc_conv = fc_as_conv(fc, 8, 2);
+
+  ConvData d1 = make_random_conv_data(conv1, rng, -0.5F, 0.5F);
+  Tensor w2({conv2.out_maps, conv2.in_maps, 3, 3});
+  w2.fill_random(rng, -0.5F, 0.5F);
+  Tensor fc_w({fc.out_features, fc.in_features});
+  fc_w.fill_random(rng, -0.5F, 0.5F);
+
+  // Hardware path.
+  const Tensor a1 = conv_on_array(conv1, d1);
+  const Tensor p1 = max_pool(relu(a1), 2, 2);
+  ConvData d2;
+  d2.input = pad_input(conv2, p1);
+  d2.weights = w2;
+  const Tensor r2 = relu(conv_on_array(conv2, d2));
+  ConvData d3;
+  d3.input = pad_input(fc_conv, r2);
+  d3.weights = fc_weights_as_conv(fc, fc_w, 8, 2);
+  const Tensor probs = softmax(flatten(conv_on_array(fc_conv, d3)));
+
+  // Software reference.
+  const Tensor ref1 = max_pool(relu(reference_conv(conv1, d1)), 2, 2);
+  ConvData rd2;
+  rd2.input = pad_input(conv2, ref1);
+  rd2.weights = w2;
+  const Tensor ref2 = relu(reference_conv(conv2, rd2));
+  const Tensor ref_probs = softmax(fc_forward(fc, flatten(ref2), fc_w));
+
+  EXPECT_LT(Tensor::max_abs_diff(probs, ref_probs), 1e-4F);
+  EXPECT_EQ(argmax(probs), argmax(ref_probs));
+  // Probabilities are a distribution.
+  float sum = 0.0F;
+  for (std::int64_t i = 0; i < probs.size(); ++i) sum += probs.at(i);
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+}
+
+TEST(PipelineIntegration, QuantizedTailMatchesFloatWithinBudget) {
+  // Run the FC tail in the 8/16-bit fixed datapath and check the class
+  // decision survives (the accuracy-preservation claim, §5.2).
+  Rng rng(2718);
+  const FcLayerDesc fc{"q_fc", 32, 6};
+  const ConvLayerDesc fc_conv = fc_as_conv(fc);
+  ConvData data = make_conv_data(fc_conv);
+  Tensor fc_w({fc.out_features, fc.in_features});
+  fc_w.fill_random(rng, -0.5F, 0.5F);
+  data.weights = fc_weights_as_conv(fc, fc_w, fc.in_features, 1);
+  data.input.fill_random(rng, -1.0F, 1.0F);
+
+  const Tensor fp = reference_conv(fc_conv, data);
+  const Tensor fx = fixed_point_conv(fc_conv, data, 8, 16);
+  EXPECT_EQ(argmax(flatten(fp)), argmax(flatten(fx)));
+  EXPECT_LT(compare_quantized(fp, fx).relative_rms, 0.02);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,99 @@
+#include "loopnest/affine.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(AffineExpr, ZeroByDefault) {
+  const AffineExpr e(4);
+  EXPECT_EQ(e.num_loops(), 4U);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.eval({1, 2, 3, 4}), 0);
+}
+
+TEST(AffineExpr, TermFactory) {
+  const AffineExpr e = AffineExpr::term(3, 1, 2, 5);  // 2*i1 + 5
+  EXPECT_EQ(e.coeff(0), 0);
+  EXPECT_EQ(e.coeff(1), 2);
+  EXPECT_EQ(e.constant(), 5);
+  EXPECT_EQ(e.eval({9, 10, 11}), 25);
+}
+
+TEST(AffineExpr, AddTermAccumulates) {
+  AffineExpr e(2);
+  e.add_term(0, 1);
+  e.add_term(0, 2);
+  EXPECT_EQ(e.coeff(0), 3);
+}
+
+TEST(AffineExpr, InvariantIn) {
+  AffineExpr e(3);
+  e.set_coeff(0, 1);
+  e.set_coeff(2, 4);
+  EXPECT_FALSE(e.invariant_in(0));
+  EXPECT_TRUE(e.invariant_in(1));
+  EXPECT_FALSE(e.invariant_in(2));
+}
+
+TEST(AffineExpr, Addition) {
+  const AffineExpr a = AffineExpr::term(2, 0, 1, 1);
+  const AffineExpr b = AffineExpr::term(2, 1, 3, 2);
+  const AffineExpr sum = a + b;
+  EXPECT_EQ(sum.coeff(0), 1);
+  EXPECT_EQ(sum.coeff(1), 3);
+  EXPECT_EQ(sum.constant(), 3);
+}
+
+TEST(AffineExpr, ToString) {
+  const std::vector<std::string> names{"r", "p"};
+  AffineExpr e(2);
+  e.set_coeff(0, 1).set_coeff(1, 1);
+  EXPECT_EQ(e.to_string(names), "r + p");
+  AffineExpr strided(2);
+  strided.set_coeff(0, 2).set_coeff(1, 1).set_constant(1);
+  EXPECT_EQ(strided.to_string(names), "2*r + p + 1");
+  const AffineExpr zero(2);
+  EXPECT_EQ(zero.to_string(names), "0");
+}
+
+TEST(AffineExpr, Equality) {
+  EXPECT_EQ(AffineExpr::term(3, 1, 2), AffineExpr::term(3, 1, 2));
+  EXPECT_FALSE(AffineExpr::term(3, 1, 2) == AffineExpr::term(3, 1, 3));
+}
+
+TEST(AccessFunction, EvalAllDims) {
+  AccessFunction f;
+  f.array = "IN";
+  f.indices.push_back(AffineExpr::term(3, 0));
+  AffineExpr sum(3);
+  sum.set_coeff(1, 1).set_coeff(2, 1);
+  f.indices.push_back(sum);
+  EXPECT_EQ(f.eval({5, 2, 3}), (std::vector<std::int64_t>{5, 5}));
+  EXPECT_EQ(f.rank(), 2U);
+}
+
+TEST(AccessFunction, InvarianceRequiresAllDims) {
+  AccessFunction f;
+  f.indices.push_back(AffineExpr::term(2, 0));
+  f.indices.push_back(AffineExpr::term(2, 1));
+  EXPECT_FALSE(f.invariant_in(0));
+  EXPECT_FALSE(f.invariant_in(1));
+  AccessFunction g;
+  g.indices.push_back(AffineExpr::term(2, 0));
+  EXPECT_TRUE(g.invariant_in(1));
+}
+
+TEST(AccessFunction, ToString) {
+  const std::vector<std::string> names{"i", "r", "p"};
+  AccessFunction f;
+  f.array = "IN";
+  f.indices.push_back(AffineExpr::term(3, 0));
+  AffineExpr rp(3);
+  rp.set_coeff(1, 1).set_coeff(2, 1);
+  f.indices.push_back(rp);
+  EXPECT_EQ(f.to_string(names), "IN[i][r + p]");
+}
+
+}  // namespace
+}  // namespace sasynth

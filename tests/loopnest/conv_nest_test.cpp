@@ -1,0 +1,94 @@
+#include "loopnest/conv_nest.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/domain.h"
+#include "nn/layer.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(ConvNest, LoopOrderMatchesCode1) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 4, 5, 6, 3));
+  ASSERT_EQ(nest.num_loops(), ConvLoops::kCount);
+  EXPECT_EQ(nest.loop(ConvLoops::kO).name, "o");
+  EXPECT_EQ(nest.loop(ConvLoops::kO).trip, 5);
+  EXPECT_EQ(nest.loop(ConvLoops::kI).trip, 4);
+  EXPECT_EQ(nest.loop(ConvLoops::kC).trip, 6);
+  EXPECT_EQ(nest.loop(ConvLoops::kR).trip, 6);
+  EXPECT_EQ(nest.loop(ConvLoops::kP).trip, 3);
+  EXPECT_EQ(nest.loop(ConvLoops::kQ).trip, 3);
+}
+
+TEST(ConvNest, LoopNames) {
+  EXPECT_STREQ(ConvLoops::name(ConvLoops::kO), "o");
+  EXPECT_STREQ(ConvLoops::name(ConvLoops::kQ), "q");
+}
+
+TEST(ConvNest, TotalIterationsEqualsMacs) {
+  const ConvLayerDesc layer = make_conv("c", 4, 5, 6, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  EXPECT_EQ(nest.total_iterations(), layer.macs_per_group());
+}
+
+TEST(ConvNest, ValidatesClean) {
+  EXPECT_TRUE(build_conv_nest(alexnet_conv5()).validate().empty());
+}
+
+TEST(ConvNest, AccessRoles) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 2, 2, 2));
+  const std::size_t out = nest.find_access(kOutArray);
+  ASSERT_NE(out, LoopNest::npos);
+  EXPECT_EQ(nest.accesses()[out].role, AccessRole::kReduce);
+  EXPECT_EQ(nest.accesses()[nest.find_access(kWeightArray)].role,
+            AccessRole::kRead);
+  EXPECT_EQ(nest.accesses()[nest.find_access(kInArray)].role,
+            AccessRole::kRead);
+}
+
+TEST(ConvNest, AccessFunctionsReproduceReferenceConv) {
+  // Walking the full iteration domain and multiply-accumulating through the
+  // nest's access functions must equal the reference convolution — the IR
+  // and the golden model agree on semantics.
+  const ConvLayerDesc layer = make_conv("c", 3, 4, 5, 3, /*stride=*/2);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(21);
+  const ConvData data = make_random_conv_data(layer, rng);
+
+  Tensor out({layer.out_maps, layer.out_rows, layer.out_cols});
+  const AccessFunction& out_f =
+      nest.accesses()[nest.find_access(kOutArray)].access;
+  const AccessFunction& w_f =
+      nest.accesses()[nest.find_access(kWeightArray)].access;
+  const AccessFunction& in_f =
+      nest.accesses()[nest.find_access(kInArray)].access;
+
+  RectDomain domain(nest.trip_counts());
+  domain.for_each([&](const std::vector<std::int64_t>& iters) {
+    const auto oi = out_f.eval(iters);
+    const auto wi = w_f.eval(iters);
+    const auto ii = in_f.eval(iters);
+    out.at(oi[0], oi[1], oi[2]) +=
+        data.weights.at(wi[0], wi[1], wi[2], wi[3]) *
+        data.input.at(ii[0], ii[1], ii[2]);
+  });
+
+  const Tensor ref = reference_conv(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(out, ref), 1e-4F);
+}
+
+TEST(ConvNest, StrideAppearsInInputAccess) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 2, 3, 3, 4));
+  const AccessFunction& in_f =
+      nest.accesses()[nest.find_access(kInArray)].access;
+  EXPECT_EQ(in_f.indices[1].coeff(ConvLoops::kR), 4);
+  EXPECT_EQ(in_f.indices[1].coeff(ConvLoops::kP), 1);
+  EXPECT_EQ(in_f.indices[2].coeff(ConvLoops::kC), 4);
+  EXPECT_EQ(in_f.indices[2].coeff(ConvLoops::kQ), 1);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,115 @@
+#include "loopnest/domain.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+namespace {
+
+TEST(RectDomain, SizeAndExtents) {
+  const RectDomain d({2, 3, 4});
+  EXPECT_EQ(d.rank(), 3U);
+  EXPECT_EQ(d.size(), 24);
+  EXPECT_EQ(d.extent(1), 3);
+}
+
+TEST(RectDomain, ForEachVisitsAllInLexOrder) {
+  const RectDomain d({2, 3});
+  std::vector<std::vector<std::int64_t>> points;
+  d.for_each([&](const std::vector<std::int64_t>& p) { points.push_back(p); });
+  ASSERT_EQ(points.size(), 6U);
+  EXPECT_EQ(points.front(), (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(points[1], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(points.back(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(RectDomain, RankZeroHasOnePoint) {
+  const RectDomain d;
+  int count = 0;
+  d.for_each([&](const std::vector<std::int64_t>&) { ++count; });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(d.size(), 1);
+}
+
+TEST(DimRangeSize, SingleIterator) {
+  const AffineExpr e = AffineExpr::term(2, 0);
+  EXPECT_EQ(dim_range_size(e, RectDomain({5, 7})), 5);
+}
+
+TEST(DimRangeSize, SumOfIterators) {
+  // r + p with r in [0,4), p in [0,3): range 0..5 -> 6 values
+  AffineExpr e(2);
+  e.set_coeff(0, 1).set_coeff(1, 1);
+  EXPECT_EQ(dim_range_size(e, RectDomain({4, 3})), 6);
+}
+
+TEST(DimRangeSize, StridedExpr) {
+  // 2*c + q, c in [0,4), q in [0,3): max = 6+2 = 8 -> 9 values
+  AffineExpr e(2);
+  e.set_coeff(0, 2).set_coeff(1, 1);
+  EXPECT_EQ(dim_range_size(e, RectDomain({4, 3})), 9);
+}
+
+TEST(DimRangeSize, Constant) {
+  AffineExpr e(1);
+  e.set_constant(7);
+  EXPECT_EQ(dim_range_size(e, RectDomain({10})), 1);
+}
+
+TEST(Footprint, ClosedFormMatchesExactForConvAccesses) {
+  // The central §3.3 claim: the per-dimension range product is exact for CNN
+  // access patterns. Verify on the real conv accesses over block domains.
+  const ConvLayerDesc layer = make_conv("c", 4, 5, 6, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  const RectDomain block({3, 2, 4, 3, 2, 3});  // some block of the 6 loops
+  for (const ArrayAccess& access : nest.accesses()) {
+    EXPECT_EQ(closed_form_footprint(access.access, block),
+              exact_footprint(access.access, block))
+        << access.access.array;
+  }
+}
+
+TEST(Footprint, ClosedFormMatchesExactForStridedConv) {
+  const ConvLayerDesc layer = make_conv("c", 3, 4, 5, 3, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  const RectDomain block({2, 3, 3, 2, 3, 3});
+  for (const ArrayAccess& access : nest.accesses()) {
+    EXPECT_EQ(closed_form_footprint(access.access, block),
+              exact_footprint(access.access, block))
+        << access.access.array;
+  }
+}
+
+TEST(Footprint, ClosedFormOvercountsWhenDimsShareIterators) {
+  // Counter-case documenting the closed form's precondition: if two array
+  // dims use the same iterator, the product over-counts (diagonal access).
+  AccessFunction diag;
+  diag.array = "D";
+  diag.indices.push_back(AffineExpr::term(1, 0));
+  diag.indices.push_back(AffineExpr::term(1, 0));
+  const RectDomain d({4});
+  EXPECT_EQ(exact_footprint(diag, d), 4);
+  EXPECT_EQ(closed_form_footprint(diag, d), 16);
+}
+
+TEST(Footprint, KnownConvValues) {
+  // IN footprint of a (b_I, b_R, b_C, K) = (4, 5, 6, 3) block:
+  // 4 * (5+3-1) * (6+3-1) = 4 * 7 * 8 = 224.
+  const ConvLayerDesc layer = make_conv("c", 8, 8, 13, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  const std::size_t in_idx = nest.find_access(kInArray);
+  // Block extents in loop order (o,i,c,r,p,q).
+  const RectDomain block({2, 4, 6, 5, 3, 3});
+  EXPECT_EQ(closed_form_footprint(nest.accesses()[in_idx].access, block), 224);
+  const std::size_t w_idx = nest.find_access(kWeightArray);
+  EXPECT_EQ(closed_form_footprint(nest.accesses()[w_idx].access, block),
+            2 * 4 * 3 * 3);
+  const std::size_t out_idx = nest.find_access(kOutArray);
+  EXPECT_EQ(closed_form_footprint(nest.accesses()[out_idx].access, block),
+            2 * 5 * 6);
+}
+
+}  // namespace
+}  // namespace sasynth

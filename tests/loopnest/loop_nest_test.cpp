@@ -1,0 +1,87 @@
+#include "loopnest/loop_nest.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+namespace {
+
+LoopNest small_nest() {
+  LoopNest nest;
+  nest.add_loop("a", 4);
+  nest.add_loop("b", 3);
+  AccessFunction out;
+  out.array = "O";
+  out.indices.push_back(AffineExpr::term(2, 0));
+  nest.add_access(ArrayAccess{out, AccessRole::kReduce});
+  AccessFunction x;
+  x.array = "X";
+  x.indices.push_back(AffineExpr::term(2, 1));
+  nest.add_access(ArrayAccess{x, AccessRole::kRead});
+  return nest;
+}
+
+TEST(LoopNest, Accessors) {
+  const LoopNest nest = small_nest();
+  EXPECT_EQ(nest.num_loops(), 2U);
+  EXPECT_EQ(nest.loop(0).name, "a");
+  EXPECT_EQ(nest.loop(1).trip, 3);
+  EXPECT_EQ(nest.find_loop("b"), 1U);
+  EXPECT_EQ(nest.find_loop("z"), LoopNest::npos);
+  EXPECT_EQ(nest.find_access("X"), 1U);
+  EXPECT_EQ(nest.find_access("Y"), LoopNest::npos);
+  EXPECT_EQ(nest.trip_counts(), (std::vector<std::int64_t>{4, 3}));
+  EXPECT_EQ(nest.total_iterations(), 12);
+  EXPECT_EQ(nest.iter_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LoopNest, ValidateRejectsBadNests) {
+  LoopNest empty;
+  EXPECT_FALSE(empty.validate().empty());
+
+  LoopNest no_access;
+  no_access.add_loop("a", 2);
+  EXPECT_FALSE(no_access.validate().empty());
+
+  LoopNest bad_trip;
+  bad_trip.add_loop("a", 0);
+  EXPECT_FALSE(bad_trip.validate().empty());
+
+  // Two reductions is invalid.
+  LoopNest two_reduce = small_nest();
+  AccessFunction extra;
+  extra.array = "O2";
+  extra.indices.push_back(AffineExpr::term(2, 0));
+  two_reduce.add_access(ArrayAccess{extra, AccessRole::kReduce});
+  EXPECT_FALSE(two_reduce.validate().empty());
+}
+
+TEST(LoopNest, ValidateRejectsMismatchedAccessArity) {
+  LoopNest nest;
+  nest.add_loop("a", 2);
+  AccessFunction wrong;
+  wrong.array = "O";
+  wrong.indices.push_back(AffineExpr::term(5, 0));  // built for 5 loops
+  nest.add_access(ArrayAccess{wrong, AccessRole::kReduce});
+  EXPECT_FALSE(nest.validate().empty());
+}
+
+TEST(LoopNest, ConvNestToStringRendersCode1) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 3, 4, 3));
+  const std::string code = nest.to_string();
+  EXPECT_NE(code.find("for (o = 0; o < 3; o++)"), std::string::npos);
+  EXPECT_NE(code.find("for (q = 0; q < 3; q++)"), std::string::npos);
+  EXPECT_NE(code.find("OUT[o][r][c] += W[o][i][p][q] * IN[i][r + p][c + q];"),
+            std::string::npos);
+}
+
+TEST(LoopNest, StridedConvToString) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 3, 4, 3, 2));
+  EXPECT_NE(nest.to_string().find("IN[i][2*r + p][2*c + q]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

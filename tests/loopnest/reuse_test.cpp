@@ -1,0 +1,107 @@
+#include "loopnest/reuse.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+namespace {
+
+TEST(ReuseMatrix, SetGet) {
+  ReuseMatrix m(2, 3);
+  EXPECT_FALSE(m.carries_reuse(0, 0));
+  m.set(0, 2, true);
+  EXPECT_TRUE(m.carries_reuse(0, 2));
+  EXPECT_EQ(m.num_accesses(), 2U);
+  EXPECT_EQ(m.num_loops(), 3U);
+}
+
+TEST(ReuseAnalysis, ConvCrlMatrix) {
+  // The paper's §3.2 reuse structure for Code 1:
+  //   OUT[o][r][c]      reused on i (L2), p (L5), q (L6)
+  //   W[o][i][p][q]     reused on c (L3), r (L4)
+  //   IN[i][r+p][c+q]   reused on o (L1)
+  const LoopNest nest = build_conv_nest(make_conv("c", 4, 5, 6, 3));
+  const ReuseMatrix m = analyze_reuse(nest);
+  const std::size_t out = nest.find_access(kOutArray);
+  const std::size_t w = nest.find_access(kWeightArray);
+  const std::size_t in = nest.find_access(kInArray);
+
+  EXPECT_EQ(m.reuse_loops(out),
+            (std::vector<std::size_t>{ConvLoops::kI, ConvLoops::kP,
+                                      ConvLoops::kQ}));
+  EXPECT_EQ(m.reuse_loops(w),
+            (std::vector<std::size_t>{ConvLoops::kC, ConvLoops::kR}));
+  EXPECT_EQ(m.reuse_loops(in), (std::vector<std::size_t>{ConvLoops::kO}));
+}
+
+TEST(ReuseAnalysis, ReusedAccessesByLoop) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 4, 5, 6, 3));
+  const ReuseMatrix m = analyze_reuse(nest);
+  const std::size_t in = nest.find_access(kInArray);
+  EXPECT_EQ(m.reused_accesses(ConvLoops::kO), (std::vector<std::size_t>{in}));
+  // The c loop carries reuse of W only.
+  const std::size_t w = nest.find_access(kWeightArray);
+  EXPECT_EQ(m.reused_accesses(ConvLoops::kC), (std::vector<std::size_t>{w}));
+}
+
+TEST(ReuseAnalysis, ExhaustiveMatchesClosedFormOnConv) {
+  // Validates Eq. 3's closed form (coefficient == 0) against brute-force
+  // enumeration of the iteration domain on a small conv.
+  const LoopNest nest = build_conv_nest(make_conv("c", 3, 4, 4, 2));
+  const ReuseMatrix fast = analyze_reuse(nest);
+  const ReuseMatrix slow = analyze_reuse_exhaustive(nest);
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+      EXPECT_EQ(fast.carries_reuse(a, l), slow.carries_reuse(a, l))
+          << "access " << a << " loop " << l;
+    }
+  }
+}
+
+TEST(ReuseAnalysis, ExhaustiveMatchesOnStridedConv) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 3, 3, 2, 2));
+  const ReuseMatrix fast = analyze_reuse(nest);
+  const ReuseMatrix slow = analyze_reuse_exhaustive(nest);
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+      EXPECT_EQ(fast.carries_reuse(a, l), slow.carries_reuse(a, l));
+    }
+  }
+}
+
+TEST(ReuseAnalysis, TripOneLoopCarriesReuseTrivially) {
+  LoopNest nest;
+  nest.add_loop("a", 1);
+  nest.add_loop("b", 3);
+  AccessFunction out;
+  out.array = "O";
+  out.indices.push_back(AffineExpr::term(2, 0));  // depends on trip-1 loop a
+  nest.add_access(ArrayAccess{out, AccessRole::kReduce});
+  AccessFunction x;
+  x.array = "X";
+  x.indices.push_back(AffineExpr::term(2, 1));
+  nest.add_access(ArrayAccess{x, AccessRole::kRead});
+  // Exhaustive: loop a has no successive iterations, so reuse is vacuous.
+  const ReuseMatrix slow = analyze_reuse_exhaustive(nest);
+  EXPECT_TRUE(slow.carries_reuse(0, 0));
+  // Closed form says "not invariant" (coefficient 1). This is the one
+  // deliberate divergence: trip-1 loops never matter to the DSE because they
+  // cannot be mapped usefully anyway.
+  const ReuseMatrix fast = analyze_reuse(nest);
+  EXPECT_FALSE(fast.carries_reuse(0, 0));
+}
+
+TEST(ReuseReport, RendersMatrix) {
+  const LoopNest nest = build_conv_nest(make_conv("c", 2, 2, 2, 2));
+  const std::string report = reuse_report(nest, analyze_reuse(nest));
+  EXPECT_NE(report.find("OUT"), std::string::npos);
+  EXPECT_NE(report.find("W"), std::string::npos);
+  EXPECT_NE(report.find("IN"), std::string::npos);
+  EXPECT_NE(report.find("\t1"), std::string::npos);
+  EXPECT_NE(report.find("\t0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,93 @@
+#include "nn/fc.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/reference.h"
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(FcLayer, Validate) {
+  EXPECT_TRUE((FcLayerDesc{"ok", 4, 2}).validate().empty());
+  EXPECT_FALSE((FcLayerDesc{"bad", 0, 2}).validate().empty());
+  EXPECT_FALSE((FcLayerDesc{"bad", 4, 0}).validate().empty());
+}
+
+TEST(FcLayer, AlexNetDims) {
+  EXPECT_EQ(alexnet_fc6().in_features, 9216);
+  EXPECT_EQ(alexnet_fc6().out_features, 4096);
+  EXPECT_EQ(alexnet_fc7().in_features, 4096);
+  EXPECT_EQ(alexnet_fc8().out_features, 1000);
+}
+
+TEST(FcAsConv, PreservesMacCount) {
+  const FcLayerDesc fc = alexnet_fc6();
+  const ConvLayerDesc conv = fc_as_conv(fc, 256, 6);
+  EXPECT_EQ(conv.in_maps, 256);
+  EXPECT_EQ(conv.kernel, 6);
+  EXPECT_EQ(conv.out_maps, 4096);
+  EXPECT_EQ(conv.out_rows, 1);
+  EXPECT_EQ(conv.out_cols, 1);
+  EXPECT_EQ(conv.total_macs(), fc.total_macs());
+}
+
+TEST(FcAsConv, VectorInputIsOneByOne) {
+  const ConvLayerDesc conv = fc_as_conv(alexnet_fc7());
+  EXPECT_EQ(conv.kernel, 1);
+  EXPECT_EQ(conv.in_maps, 4096);
+  EXPECT_EQ(conv.total_macs(), alexnet_fc7().total_macs());
+}
+
+TEST(FcForward, MatchesHandComputation) {
+  const FcLayerDesc fc{"t", 3, 2};
+  Tensor in({3});
+  in.at(0) = 1.0F;
+  in.at(1) = 2.0F;
+  in.at(2) = -1.0F;
+  Tensor w({2, 3});
+  w.at(0, 0) = 1.0F;
+  w.at(0, 1) = 0.0F;
+  w.at(0, 2) = 2.0F;
+  w.at(1, 0) = -1.0F;
+  w.at(1, 1) = 1.0F;
+  w.at(1, 2) = 0.5F;
+  const Tensor out = fc_forward(fc, in, w);
+  EXPECT_FLOAT_EQ(out.at(0), 1.0F - 2.0F);
+  EXPECT_FLOAT_EQ(out.at(1), -1.0F + 2.0F - 0.5F);
+}
+
+TEST(FcAsConv, ConvolutionComputesTheSameResult) {
+  // The §2.1 equivalence, verified numerically: FC forward == converted conv
+  // forward on the same (reshaped) data.
+  const std::int64_t in_maps = 4;
+  const std::int64_t map = 3;
+  const FcLayerDesc fc{"equiv", in_maps * map * map, 5};
+  Rng rng(7);
+  Tensor fc_in({fc.in_features});
+  Tensor fc_w({fc.out_features, fc.in_features});
+  fc_in.fill_random(rng);
+  fc_w.fill_random(rng);
+
+  const Tensor fc_out = fc_forward(fc, fc_in, fc_w);
+
+  const ConvLayerDesc conv = fc_as_conv(fc, in_maps, map);
+  ConvData data = make_conv_data(conv);
+  // Reshape the FC input vector into the [C][H][W] volume.
+  for (std::int64_t c = 0; c < in_maps; ++c) {
+    for (std::int64_t h = 0; h < map; ++h) {
+      for (std::int64_t w = 0; w < map; ++w) {
+        data.input.at(c, h, w) = fc_in.at((c * map + h) * map + w);
+      }
+    }
+  }
+  data.weights = fc_weights_as_conv(fc, fc_w, in_maps, map);
+  const Tensor conv_out = reference_conv(conv, data);
+  ASSERT_EQ(conv_out.shape(), (std::vector<std::int64_t>{5, 1, 1}));
+  for (std::int64_t o = 0; o < 5; ++o) {
+    EXPECT_NEAR(conv_out.at(o, 0, 0), fc_out.at(o), 1e-4F);
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

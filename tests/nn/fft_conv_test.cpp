@@ -1,0 +1,119 @@
+#include "nn/fft_conv.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(Fft1d, RoundTrip) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(16);
+  std::vector<std::complex<double>> original(16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
+    original[i] = data[i];
+  }
+  fft1d(data, false);
+  fft1d(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft1d, ImpulseIsFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft1d(data, false);
+  for (const std::complex<double>& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, ParsevalEnergy) {
+  Rng rng(5);
+  std::vector<std::complex<double>> data(32);
+  double time_energy = 0.0;
+  for (std::complex<double>& x : data) {
+    x = {rng.next_double(-1, 1), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft1d(data, false);
+  double freq_energy = 0.0;
+  for (const std::complex<double>& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-9);
+}
+
+TEST(FftConv, ImpulseKernelCopiesInput) {
+  const ConvLayerDesc layer = make_conv("fftid", 1, 1, 5, 3);
+  ConvData data = make_conv_data(layer);
+  data.weights.at(0, 0, 0, 0) = 1.0F;  // picks IN[r][c]
+  Rng rng(7);
+  data.input.fill_random(rng);
+  const Tensor out = fft_conv(layer, data);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(out.at(0, r, c), data.input.at(0, r, c), 1e-4F);
+    }
+  }
+}
+
+class FftConvSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(FftConvSweep, MatchesReference) {
+  const auto [in_maps, size, kernel, stride] = GetParam();
+  const ConvLayerDesc layer =
+      make_conv("fft", in_maps, 3, size, kernel, stride);
+  Rng rng(static_cast<std::uint64_t>(in_maps * 1000 + size * 100 +
+                                     kernel * 10 + stride));
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor direct = reference_conv(layer, data);
+  const Tensor fast = fft_conv(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(direct, fast), 1e-3F) << layer.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, FftConvSweep,
+                         ::testing::Values(std::make_tuple(1, 6, 3, 1),
+                                           std::make_tuple(4, 8, 3, 1),
+                                           std::make_tuple(2, 7, 5, 1),
+                                           std::make_tuple(3, 5, 1, 1),
+                                           std::make_tuple(2, 6, 11, 1),
+                                           std::make_tuple(2, 5, 3, 2),
+                                           std::make_tuple(1, 4, 11, 4)));
+
+TEST(FftConv, StatsCountMultiplies) {
+  const ConvLayerDesc layer = make_conv("fftstat", 4, 4, 8, 3);
+  Rng rng(11);
+  const ConvData data = make_random_conv_data(layer, rng);
+  FftConvStats stats;
+  (void)fft_conv(layer, data, &stats);
+  EXPECT_GT(stats.real_mults, 0);
+  EXPECT_EQ(stats.direct_mults, layer.macs_per_group());
+  EXPECT_NE(stats.summary().find("reduction"), std::string::npos);
+}
+
+TEST(FftConv, LargeKernelBeatsDirectSmallKernelDoesNot) {
+  // The trade-off the fast-algorithms bench shows: on a stride-1 11x11
+  // kernel with enough channels to amortize the input/inverse transforms,
+  // the FFT spends fewer runtime multiplies than direct convolution; on a
+  // small image with a 3x3 kernel it spends more.
+  Rng rng(13);
+  const ConvLayerDesc big = make_conv("fftbig", 16, 16, 20, 11);
+  FftConvStats big_stats;
+  (void)fft_conv(big, make_random_conv_data(big, rng), &big_stats);
+  EXPECT_GT(big_stats.mult_reduction(), 1.0) << big_stats.summary();
+
+  const ConvLayerDesc small = make_conv("fftsmall", 2, 2, 4, 3);
+  FftConvStats small_stats;
+  (void)fft_conv(small, make_random_conv_data(small, rng), &small_stats);
+  EXPECT_LT(small_stats.mult_reduction(), 1.0) << small_stats.summary();
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,95 @@
+#include "nn/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+ConvLayerDesc conv5() { return make_conv("c5", 192, 128, 13, 3); }
+
+TEST(ConvLayer, DerivedDims) {
+  const ConvLayerDesc layer = conv5();
+  EXPECT_EQ(layer.in_rows(), 15);  // (13-1)*1 + 3
+  EXPECT_EQ(layer.in_cols(), 15);
+  EXPECT_EQ(layer.weight_elems(), 192 * 128 * 9);
+  EXPECT_EQ(layer.input_elems(), 192 * 15 * 15);
+  EXPECT_EQ(layer.output_elems(), 128 * 13 * 13);
+}
+
+TEST(ConvLayer, StridedInputDims) {
+  const ConvLayerDesc conv1 = make_conv("c1", 3, 96, 55, 11, 4);
+  EXPECT_EQ(conv1.in_rows(), 54 * 4 + 11);  // 227
+  EXPECT_EQ(conv1.in_cols(), 227);
+}
+
+TEST(ConvLayer, OpsCount) {
+  const ConvLayerDesc layer = conv5();
+  EXPECT_EQ(layer.macs_per_group(),
+            192LL * 128 * 13 * 13 * 3 * 3);
+  EXPECT_EQ(layer.total_ops(), 2 * layer.macs_per_group());
+}
+
+TEST(ConvLayer, GroupsMultiplyOps) {
+  ConvLayerDesc layer = conv5();
+  layer.groups = 2;
+  EXPECT_EQ(layer.total_macs(), 2 * layer.macs_per_group());
+}
+
+TEST(ConvLayer, Validate) {
+  EXPECT_TRUE(conv5().validate().empty());
+  ConvLayerDesc bad = conv5();
+  bad.in_maps = 0;
+  EXPECT_FALSE(bad.validate().empty());
+  bad = conv5();
+  bad.kernel = 0;
+  EXPECT_FALSE(bad.validate().empty());
+  bad = conv5();
+  bad.stride = 0;
+  EXPECT_FALSE(bad.validate().empty());
+  bad = conv5();
+  bad.groups = 0;
+  EXPECT_FALSE(bad.validate().empty());
+}
+
+TEST(ConvLayer, SummaryMentionsDims) {
+  const std::string s = conv5().summary();
+  EXPECT_NE(s.find("(192,128,13,13,3)"), std::string::npos);
+  EXPECT_NE(s.find("c5"), std::string::npos);
+}
+
+TEST(ConvLayer, Equality) {
+  EXPECT_EQ(conv5(), conv5());
+  ConvLayerDesc other = conv5();
+  other.kernel = 5;
+  EXPECT_FALSE(conv5() == other);
+}
+
+TEST(FoldStrided, AlexNetConv1) {
+  const ConvLayerDesc conv1 = make_conv("conv1", 3, 96, 55, 11, 4);
+  const ConvLayerDesc folded = fold_strided_layer(conv1);
+  EXPECT_EQ(folded.stride, 1);
+  EXPECT_EQ(folded.in_maps, 3 * 16);   // I * stride^2
+  EXPECT_EQ(folded.kernel, 3);         // ceil(11/4)
+  EXPECT_EQ(folded.out_maps, 96);
+  EXPECT_EQ(folded.out_rows, 55);
+  // Folding pads the kernel: op count grows (the paper's conv1 DSP
+  // efficiency penalty).
+  EXPECT_GE(folded.total_macs(), conv1.total_macs());
+}
+
+TEST(FoldStrided, Stride1IsIdentity) {
+  const ConvLayerDesc layer = conv5();
+  EXPECT_EQ(fold_strided_layer(layer), layer);
+}
+
+TEST(FoldStrided, ExactDivision) {
+  // 8x8 kernel stride 2 folds without padding waste: ops preserved exactly.
+  const ConvLayerDesc layer = make_conv("x", 4, 8, 10, 8, 2);
+  const ConvLayerDesc folded = fold_strided_layer(layer);
+  EXPECT_EQ(folded.kernel, 4);
+  EXPECT_EQ(folded.in_maps, 16);
+  EXPECT_EQ(folded.total_macs(), layer.total_macs());
+}
+
+}  // namespace
+}  // namespace sasynth

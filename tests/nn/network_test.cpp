@@ -1,0 +1,120 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(AlexNet, LayerStructure) {
+  const Network net = make_alexnet();
+  ASSERT_EQ(net.layers.size(), 5U);
+  // conv1 folded to stride 1.
+  EXPECT_EQ(net.layers[0].stride, 1);
+  EXPECT_EQ(net.layers[0].in_maps, 48);
+  EXPECT_EQ(net.layers[0].kernel, 3);
+  // Per-group dims of the grouped layers (paper's layer-5 example).
+  EXPECT_EQ(net.layers[4].in_maps, 192);
+  EXPECT_EQ(net.layers[4].out_maps, 128);
+  EXPECT_EQ(net.layers[4].out_rows, 13);
+  EXPECT_EQ(net.layers[4].groups, 2);
+  EXPECT_EQ(net.layers[1].groups, 2);
+  EXPECT_EQ(net.layers[2].groups, 1);
+}
+
+TEST(AlexNet, UnfoldedConv1) {
+  const Network net = make_alexnet(/*fold_conv1=*/false);
+  EXPECT_EQ(net.layers[0].stride, 4);
+  EXPECT_EQ(net.layers[0].kernel, 11);
+  EXPECT_EQ(net.layers[0].in_maps, 3);
+}
+
+TEST(AlexNet, Conv5MatchesPaperExample) {
+  const ConvLayerDesc layer = alexnet_conv5();
+  EXPECT_EQ(layer.in_maps, 192);
+  EXPECT_EQ(layer.out_maps, 128);
+  EXPECT_EQ(layer.out_rows, 13);
+  EXPECT_EQ(layer.out_cols, 13);
+  EXPECT_EQ(layer.kernel, 3);
+}
+
+TEST(Vgg16, LayerStructure) {
+  const Network net = make_vgg16();
+  ASSERT_EQ(net.layers.size(), 13U);
+  for (const ConvLayerDesc& layer : net.layers) {
+    EXPECT_EQ(layer.kernel, 3);
+    EXPECT_EQ(layer.stride, 1);
+    EXPECT_EQ(layer.groups, 1);
+  }
+  EXPECT_EQ(net.layers[0].in_maps, 3);
+  EXPECT_EQ(net.layers[0].out_maps, 64);
+  EXPECT_EQ(net.layers[0].out_rows, 224);
+  EXPECT_EQ(net.layers[12].in_maps, 512);
+  EXPECT_EQ(net.layers[12].out_rows, 14);
+}
+
+TEST(Vgg16, TotalOpsNearThirtyGops) {
+  // VGG16 conv layers are ~30.7 GFlop per image (well-known figure).
+  const double gops = static_cast<double>(make_vgg16().total_ops()) * 1e-9;
+  EXPECT_GT(gops, 28.0);
+  EXPECT_LT(gops, 32.0);
+}
+
+TEST(AlexNet, TotalOpsOrderOfMagnitude) {
+  // AlexNet conv layers are ~1.3-1.5 GFlop per image (folding inflates
+  // conv1 somewhat).
+  const double gops = static_cast<double>(make_alexnet().total_ops()) * 1e-9;
+  EXPECT_GT(gops, 1.0);
+  EXPECT_LT(gops, 3.0);
+}
+
+TEST(GoogleNet, LayerStructure) {
+  const Network net = make_googlenet();
+  // 3 stem + 9 modules x 6 branch convolutions.
+  ASSERT_EQ(net.layers.size(), 3U + 9U * 6U);
+  EXPECT_EQ(net.layers[0].kernel, 7);
+  EXPECT_EQ(net.layers[0].stride, 2);
+  // Every layer validates; kernel sizes limited to {1, 3, 5, 7}.
+  for (const ConvLayerDesc& layer : net.layers) {
+    EXPECT_TRUE(layer.validate().empty()) << layer.summary();
+    EXPECT_TRUE(layer.kernel == 1 || layer.kernel == 3 || layer.kernel == 5 ||
+                layer.kernel == 7)
+        << layer.summary();
+  }
+  // Spot-check a published module config: inception 4e's 3x3 branch.
+  const ConvLayerDesc* l = net.find_layer("inc4e_3x3");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->in_maps, 160);
+  EXPECT_EQ(l->out_maps, 320);
+  EXPECT_EQ(l->out_rows, 14);
+}
+
+TEST(GoogleNet, TotalOpsNearThreeGops) {
+  // GoogLeNet conv work is ~3 GFlop/image (2 x ~1.5 GMACs).
+  const double gops = static_cast<double>(make_googlenet().total_ops()) * 1e-9;
+  EXPECT_GT(gops, 2.0);
+  EXPECT_LT(gops, 4.5);
+}
+
+TEST(Network, FindLayer) {
+  const Network net = make_vgg16();
+  ASSERT_NE(net.find_layer("conv3_2"), nullptr);
+  EXPECT_EQ(net.find_layer("conv3_2")->in_maps, 256);
+  EXPECT_EQ(net.find_layer("nope"), nullptr);
+}
+
+TEST(Network, SummaryListsAllLayers) {
+  const Network net = make_tiny_testnet();
+  const std::string s = net.summary();
+  EXPECT_NE(s.find("TinyTestNet"), std::string::npos);
+  EXPECT_NE(s.find("t1"), std::string::npos);
+  EXPECT_NE(s.find("t3"), std::string::npos);
+}
+
+TEST(TinyTestNet, Valid) {
+  for (const ConvLayerDesc& layer : make_tiny_testnet().layers) {
+    EXPECT_TRUE(layer.validate().empty()) << layer.summary();
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,126 @@
+#include "nn/postops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(Relu, ClampsNegatives) {
+  Tensor t({4});
+  t.at(0) = -1.0F;
+  t.at(1) = 0.0F;
+  t.at(2) = 2.5F;
+  t.at(3) = -0.1F;
+  const Tensor out = relu(t);
+  EXPECT_FLOAT_EQ(out.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(out.at(1), 0.0F);
+  EXPECT_FLOAT_EQ(out.at(2), 2.5F);
+  EXPECT_FLOAT_EQ(out.at(3), 0.0F);
+}
+
+TEST(Sigmoid, KnownValues) {
+  Tensor t({3});
+  t.at(0) = 0.0F;
+  t.at(1) = 100.0F;
+  t.at(2) = -100.0F;
+  const Tensor out = sigmoid(t);
+  EXPECT_FLOAT_EQ(out.at(0), 0.5F);
+  EXPECT_NEAR(out.at(1), 1.0F, 1e-6F);
+  EXPECT_NEAR(out.at(2), 0.0F, 1e-6F);
+}
+
+TEST(MaxPool, TwoByTwoStrideTwo) {
+  Tensor t({1, 4, 4});
+  float v = 0.0F;
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) t.at(0, r, c) = v++;
+  }
+  const Tensor out = max_pool(t, 2, 2);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 7.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 13.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0F);
+}
+
+TEST(MaxPool, OverlappingWindows) {
+  // AlexNet-style 3x3 stride-2 pooling: output (H-3)/2+1.
+  Tensor t({2, 5, 5});
+  t.fill(1.0F);
+  t.at(1, 2, 2) = 9.0F;
+  const Tensor out = max_pool(t, 3, 2);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{2, 2, 2}));
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(out.at(0, r, c), 1.0F);
+      EXPECT_FLOAT_EQ(out.at(1, r, c), 9.0F);  // the peak is in every window
+    }
+  }
+}
+
+TEST(AvgPool, Uniform) {
+  Tensor t({1, 4, 4});
+  t.fill(3.0F);
+  const Tensor out = avg_pool(t, 2, 2);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], 3.0F);
+  }
+}
+
+TEST(AvgPool, Mixed) {
+  Tensor t({1, 2, 2});
+  t.at(0, 0, 0) = 1.0F;
+  t.at(0, 0, 1) = 2.0F;
+  t.at(0, 1, 0) = 3.0F;
+  t.at(0, 1, 1) = 6.0F;
+  const Tensor out = avg_pool(t, 2, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0F);
+}
+
+TEST(Flatten, PreservesOrderAndCount) {
+  Tensor t({2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) t.data()[i] = static_cast<float>(i);
+  const Tensor out = flatten(t);
+  ASSERT_EQ(out.shape(), (std::vector<std::int64_t>{8}));
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(out.at(i), static_cast<float>(i));
+  }
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  Tensor t({3});
+  t.at(0) = 1.0F;
+  t.at(1) = 3.0F;
+  t.at(2) = 2.0F;
+  const Tensor out = softmax(t);
+  float sum = 0.0F;
+  for (std::int64_t i = 0; i < 3; ++i) sum += out.at(i);
+  EXPECT_NEAR(sum, 1.0F, 1e-6F);
+  EXPECT_GT(out.at(1), out.at(2));
+  EXPECT_GT(out.at(2), out.at(0));
+}
+
+TEST(Softmax, StableForLargeInputs) {
+  Tensor t({2});
+  t.at(0) = 1000.0F;
+  t.at(1) = 1001.0F;
+  const Tensor out = softmax(t);
+  EXPECT_FALSE(std::isnan(out.at(0)));
+  EXPECT_NEAR(out.at(0) + out.at(1), 1.0F, 1e-6F);
+}
+
+TEST(Argmax, FirstOfTies) {
+  Tensor t({4});
+  t.at(0) = 1.0F;
+  t.at(1) = 5.0F;
+  t.at(2) = 5.0F;
+  t.at(3) = 0.0F;
+  EXPECT_EQ(argmax(t), 1);
+}
+
+}  // namespace
+}  // namespace sasynth

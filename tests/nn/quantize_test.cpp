@@ -1,0 +1,123 @@
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(Quantize, RoundTripWithinStep) {
+  Tensor t({4});
+  t.at(0) = 0.5F;
+  t.at(1) = -0.25F;
+  t.at(2) = 0.99F;
+  t.at(3) = -1.0F;
+  const QuantizedTensor q = quantize(t, 8);
+  const Tensor back = dequantize(q);
+  // Error bounded by half a quantization step.
+  const float step = static_cast<float>(q.scale());
+  EXPECT_LE(Tensor::max_abs_diff(t, back), step / 2.0F + 1e-7F);
+}
+
+TEST(Quantize, ZeroTensor) {
+  Tensor t({3});
+  const QuantizedTensor q = quantize(t, 8);
+  for (const std::int32_t v : q.values) EXPECT_EQ(v, 0);
+  const Tensor back = dequantize(q);
+  EXPECT_EQ(Tensor::max_abs_diff(t, back), 0.0F);
+}
+
+TEST(Quantize, FracBitsScaleLargeValues) {
+  Tensor t({1});
+  t.at(0) = 100.0F;
+  const QuantizedTensor q = quantize(t, 8);
+  // 100 must fit in int8 => frac_bits <= 0.
+  EXPECT_LE(q.frac_bits, 0);
+  EXPECT_NEAR(dequantize(q).at(0), 100.0F, 100.0F * 0.02F);
+}
+
+TEST(Quantize, SaturationClamps) {
+  Tensor t({2});
+  t.at(0) = 1.0F;
+  t.at(1) = -1.0F;
+  const QuantizedTensor q = quantize_with_frac(t, 8, 10);  // scale too big
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(q.values[1], -128);
+}
+
+TEST(Quantize, SixteenBitFinerThanEight) {
+  Tensor t({64});
+  Rng rng(3);
+  t.fill_random(rng, -1.0F, 1.0F);
+  const Tensor b8 = dequantize(quantize(t, 8));
+  const Tensor b16 = dequantize(quantize(t, 16));
+  EXPECT_LT(Tensor::rms_diff(t, b16), Tensor::rms_diff(t, b8));
+}
+
+TEST(FixedPointConv, MatchesFloatWithinTolerance) {
+  const ConvLayerDesc layer = make_conv("fx", 8, 4, 6, 3);
+  Rng rng(17);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const Tensor fx = fixed_point_conv(layer, data, 8, 16);
+  const QuantErrorReport report = compare_quantized(ref, fx);
+  // The paper quotes <2% accuracy loss for 8/16-bit; the numeric RMS error
+  // of the datapath itself is far below that.
+  EXPECT_LT(report.relative_rms, 0.02);
+  EXPECT_GT(report.ref_rms, 0.0);
+}
+
+TEST(FixedPointConv, WiderPixelsReduceError) {
+  const ConvLayerDesc layer = make_conv("fxw", 4, 4, 5, 3);
+  Rng rng(23);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const QuantErrorReport r8 =
+      compare_quantized(ref, fixed_point_conv(layer, data, 8, 8));
+  const QuantErrorReport r16 =
+      compare_quantized(ref, fixed_point_conv(layer, data, 8, 16));
+  EXPECT_LT(r16.rms_err, r8.rms_err);
+}
+
+TEST(FixedPointConv, ExactForPowerOfTwoValues) {
+  // Inputs/weights representable exactly in both formats: zero error.
+  const ConvLayerDesc layer = make_conv("exact", 2, 2, 3, 2);
+  ConvData data = make_conv_data(layer);
+  data.input.fill(0.5F);
+  data.weights.fill(0.25F);
+  const Tensor ref = reference_conv(layer, data);
+  const Tensor fx = fixed_point_conv(layer, data, 8, 16);
+  EXPECT_EQ(Tensor::max_abs_diff(ref, fx), 0.0F);
+}
+
+TEST(QuantErrorReport, SummaryContainsFields) {
+  QuantErrorReport r;
+  r.max_abs_err = 0.5;
+  r.relative_rms = 0.01;
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("max_abs_err"), std::string::npos);
+  EXPECT_NE(s.find("relative_rms"), std::string::npos);
+}
+
+// Parameterized: quantization error shrinks monotonically with bit width.
+class QuantBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBitsTest, ErrorBoundedByStep) {
+  const int bits = GetParam();
+  Tensor t({256});
+  Rng rng(31);
+  t.fill_random(rng, -4.0F, 4.0F);
+  const QuantizedTensor q = quantize(t, bits);
+  const Tensor back = dequantize(q);
+  EXPECT_LE(Tensor::max_abs_diff(t, back),
+            static_cast<float>(q.scale()) / 2.0F + 1e-6F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantBitsTest,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+}  // namespace
+}  // namespace sasynth

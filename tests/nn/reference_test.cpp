@@ -1,0 +1,115 @@
+#include "nn/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(ReferenceConv, IdentityKernel) {
+  // 1x1 kernel with weight 1 on a single map copies the input.
+  const ConvLayerDesc layer = make_conv("id", 1, 1, 4, 1);
+  ConvData data = make_conv_data(layer);
+  data.weights.at(0, 0, 0, 0) = 1.0F;
+  Rng rng(1);
+  data.input.fill_random(rng);
+  const Tensor out = reference_conv(layer, data);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(out.at(0, r, c), data.input.at(0, r, c));
+    }
+  }
+}
+
+TEST(ReferenceConv, BoxFilterSum) {
+  // All-ones 3x3 kernel on all-ones input: every output is I*K*K.
+  const ConvLayerDesc layer = make_conv("box", 2, 1, 3, 3);
+  ConvData data = make_conv_data(layer);
+  data.input.fill(1.0F);
+  data.weights.fill(1.0F);
+  const Tensor out = reference_conv(layer, data);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(out.at(0, r, c), 18.0F);  // 2*3*3
+    }
+  }
+}
+
+TEST(ReferenceConv, HandComputedExample) {
+  // 1 map, 2x2 output, 2x2 kernel, hand-checkable numbers.
+  const ConvLayerDesc layer = make_conv("hand", 1, 1, 2, 2);
+  ConvData data = make_conv_data(layer);
+  // Input (3x3): 1 2 3 / 4 5 6 / 7 8 9.
+  float v = 1.0F;
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) data.input.at(0, r, c) = v++;
+  }
+  // Kernel: 1 0 / 0 1 (trace picker).
+  data.weights.at(0, 0, 0, 0) = 1.0F;
+  data.weights.at(0, 0, 1, 1) = 1.0F;
+  const Tensor out = reference_conv(layer, data);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0F + 5.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.0F + 6.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 4.0F + 8.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 5.0F + 9.0F);
+}
+
+TEST(ReferenceConv, StridedSampling) {
+  // Stride 2, 1x1 kernel: output samples every other input pixel.
+  const ConvLayerDesc layer = make_conv("s2", 1, 1, 3, 1, 2);
+  ConvData data = make_conv_data(layer);
+  data.weights.at(0, 0, 0, 0) = 1.0F;
+  for (std::int64_t r = 0; r < layer.in_rows(); ++r) {
+    for (std::int64_t c = 0; c < layer.in_cols(); ++c) {
+      data.input.at(0, r, c) = static_cast<float>(10 * r + c);
+    }
+  }
+  const Tensor out = reference_conv(layer, data);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 2), 10.0F * 2 + 4);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 0), 10.0F * 4 + 0);
+}
+
+TEST(ReferenceConv, LinearityInWeights) {
+  const ConvLayerDesc layer = make_conv("lin", 3, 2, 4, 3);
+  Rng rng(5);
+  ConvData data = make_random_conv_data(layer, rng);
+  const Tensor out1 = reference_conv(layer, data);
+  // Double the weights -> double the output.
+  for (std::int64_t i = 0; i < data.weights.size(); ++i) {
+    data.weights.data()[i] *= 2.0F;
+  }
+  const Tensor out2 = reference_conv(layer, data);
+  for (std::int64_t i = 0; i < out1.size(); ++i) {
+    EXPECT_NEAR(out2.data()[i], 2.0F * out1.data()[i], 1e-4F);
+  }
+}
+
+TEST(ReferenceConv, F64MatchesF32Closely) {
+  const ConvLayerDesc layer = make_conv("f64", 8, 4, 5, 3);
+  Rng rng(7);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor f32 = reference_conv(layer, data);
+  const Tensor f64 = reference_conv_f64(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(f32, f64), 1e-3F);
+}
+
+TEST(ReferenceConv, OutputShape) {
+  const ConvLayerDesc layer = make_conv("shape", 2, 7, 5, 3);
+  const ConvData data = make_conv_data(layer);
+  const Tensor out = reference_conv(layer, data);
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{7, 5, 5}));
+}
+
+TEST(MakeRandomConvData, DeterministicAcrossRuns) {
+  const ConvLayerDesc layer = make_conv("det", 2, 2, 3, 3);
+  Rng r1(11);
+  Rng r2(11);
+  const ConvData a = make_random_conv_data(layer, r1);
+  const ConvData b = make_random_conv_data(layer, r2);
+  EXPECT_EQ(Tensor::max_abs_diff(a.input, b.input), 0.0F);
+  EXPECT_EQ(Tensor::max_abs_diff(a.weights, b.weights), 0.0F);
+}
+
+}  // namespace
+}  // namespace sasynth

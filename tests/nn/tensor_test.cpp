@@ -1,0 +1,89 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0F);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.dim(0), 4);
+  EXPECT_EQ(t.dim(1), 5);
+  EXPECT_EQ(t.dim(2), 6);
+  EXPECT_EQ(t.shape_str(), "[4 x 5 x 6]");
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 5.0F;
+  // Row-major: offset = 1*12 + 2*4 + 3 = 23.
+  EXPECT_EQ(t.data()[23], 5.0F);
+  EXPECT_EQ(t.at(1, 2, 3), 5.0F);
+}
+
+TEST(Tensor, OffsetVector) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.offset({0, 0}), 0);
+  EXPECT_EQ(t.offset({2, 3}), 11);
+  EXPECT_EQ(t.offset({1, 2}), 6);
+}
+
+TEST(Tensor, Rank1Through4Access) {
+  Tensor t1({5});
+  t1.at(4) = 1.0F;
+  EXPECT_EQ(t1.at(4), 1.0F);
+  Tensor t2({2, 2});
+  t2.at(1, 1) = 2.0F;
+  EXPECT_EQ(t2.at(1, 1), 2.0F);
+  Tensor t4({2, 2, 2, 2});
+  t4.at(1, 0, 1, 0) = 3.0F;
+  EXPECT_EQ(t4.at(1, 0, 1, 0), 3.0F);
+}
+
+TEST(Tensor, Fill) {
+  Tensor t({3, 3});
+  t.fill(7.5F);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 7.5F);
+}
+
+TEST(Tensor, FillRandomDeterministic) {
+  Tensor a({10, 10});
+  Tensor b({10, 10});
+  Rng ra(3);
+  Rng rb(3);
+  a.fill_random(ra);
+  b.fill_random(rb);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.0F);
+  EXPECT_TRUE(Tensor::all_close(a, b, 0.0F));
+}
+
+TEST(Tensor, Diffs) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  a.at(0, 0) = 1.0F;
+  b.at(0, 0) = 1.5F;
+  b.at(1, 1) = -2.0F;
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 2.0F);
+  EXPECT_NEAR(Tensor::rms_diff(a, b), std::sqrt((0.25 + 4.0) / 4.0), 1e-9);
+  EXPECT_FALSE(Tensor::all_close(a, b, 0.1F));
+  EXPECT_TRUE(Tensor::all_close(a, b, 2.0F));
+}
+
+TEST(Tensor, AllCloseShapeMismatch) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_FALSE(Tensor::all_close(a, b, 100.0F));
+}
+
+}  // namespace
+}  // namespace sasynth

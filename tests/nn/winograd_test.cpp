@@ -1,0 +1,97 @@
+#include "nn/winograd.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(Winograd, Applicability) {
+  EXPECT_TRUE(winograd_applicable(make_conv("a", 4, 4, 8, 3)));
+  EXPECT_FALSE(winograd_applicable(make_conv("b", 4, 4, 8, 5)));
+  EXPECT_FALSE(winograd_applicable(make_conv("c", 4, 4, 8, 3, 2)));
+  EXPECT_FALSE(winograd_applicable(make_conv("d", 4, 4, 8, 1)));
+}
+
+TEST(Winograd, WeightTransformIdentityKernel) {
+  // A centered delta kernel transforms to G e11 G^T; checking one known
+  // entry validates matrix orientation: center tap spreads as outer product
+  // of G's middle column (0.5, 0.5) pattern.
+  const ConvLayerDesc layer = make_conv("wt", 1, 1, 4, 3);
+  Tensor w({1, 1, 3, 3});
+  w.at(0, 0, 1, 1) = 1.0F;  // delta at the kernel center
+  const Tensor u = winograd_transform_weights(layer, w);
+  EXPECT_EQ(u.shape(), (std::vector<std::int64_t>{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(u.at(0, 0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(u.at(0, 0, 1, 1), 0.25F);
+  EXPECT_FLOAT_EQ(u.at(0, 0, 2, 2), 0.25F);
+  EXPECT_FLOAT_EQ(u.at(0, 0, 1, 2), -0.25F);
+}
+
+TEST(Winograd, MatchesReferenceEvenOutput) {
+  const ConvLayerDesc layer = make_conv("wg", 5, 4, 8, 3);
+  Rng rng(11);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor direct = reference_conv(layer, data);
+  const Tensor fast = winograd_conv(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(direct, fast), 1e-3F);
+}
+
+TEST(Winograd, MatchesReferenceOddOutput) {
+  // Odd output size exercises the tile clipping path.
+  const ConvLayerDesc layer = make_conv("wgo", 3, 4, 13, 3);
+  Rng rng(13);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor direct = reference_conv(layer, data);
+  const Tensor fast = winograd_conv(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(direct, fast), 1e-3F);
+}
+
+TEST(Winograd, SingleTile) {
+  const ConvLayerDesc layer = make_conv("wg1", 2, 2, 2, 3);
+  Rng rng(17);
+  const ConvData data = make_random_conv_data(layer, rng);
+  EXPECT_LT(Tensor::max_abs_diff(reference_conv(layer, data),
+                                 winograd_conv(layer, data)),
+            1e-4F);
+}
+
+// Property sweep over layer geometries.
+class WinogradSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WinogradSweep, MatchesReference) {
+  const auto [in_maps, out_maps, size] = GetParam();
+  const ConvLayerDesc layer = make_conv("wgs", in_maps, out_maps, size, 3);
+  Rng rng(static_cast<std::uint64_t>(in_maps * 100 + out_maps * 10 + size));
+  const ConvData data = make_random_conv_data(layer, rng);
+  EXPECT_LT(Tensor::max_abs_diff(reference_conv(layer, data),
+                                 winograd_conv(layer, data)),
+            2e-3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, WinogradSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(2, 5, 6, 9)));
+
+TEST(WinogradGain, ModelValues) {
+  const WinogradGain gain = winograd_gain(make_conv("g", 64, 64, 14, 3));
+  ASSERT_TRUE(gain.applicable);
+  EXPECT_DOUBLE_EQ(gain.mult_reduction, 2.25);
+  EXPECT_DOUBLE_EQ(gain.weight_footprint_growth, 16.0 / 9.0);
+  // Projected ~2x with the default overhead (the paper's cited factor).
+  EXPECT_GT(gain.projected_speedup, 1.8);
+  EXPECT_LT(gain.projected_speedup, 2.25);
+  EXPECT_NE(gain.summary().find("2.25x"), std::string::npos);
+}
+
+TEST(WinogradGain, NotApplicableIsNeutral) {
+  const WinogradGain gain = winograd_gain(make_conv("g5", 4, 4, 8, 5));
+  EXPECT_FALSE(gain.applicable);
+  EXPECT_DOUBLE_EQ(gain.projected_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(gain.mult_reduction, 1.0);
+}
+
+}  // namespace
+}  // namespace sasynth

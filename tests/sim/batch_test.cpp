@@ -1,0 +1,75 @@
+#include "sim/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  BatchTest()
+      : layer_(alexnet_conv5()),
+        nest_(build_conv_nest(layer_)),
+        device_(arria10_gt1150()),
+        analysis_(nest_,
+                  DesignPoint(nest_,
+                              SystolicMapping{ConvLoops::kO, ConvLoops::kC,
+                                              ConvLoops::kI},
+                              ArrayShape{11, 13, 8}, {4, 4, 1, 13, 3, 3}),
+                  layer_, device_, DataType::kFloat32, 250.0) {}
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+  FpgaDevice device_;
+  BatchAnalysis analysis_;
+};
+
+TEST_F(BatchTest, ColdCostsMoreThanSteady) {
+  EXPECT_GT(analysis_.cold_image_ms(), analysis_.steady_image_ms());
+  EXPECT_GT(analysis_.steady_image_ms(), 0.0);
+}
+
+TEST_F(BatchTest, LatencyIsAffineInBatchSize) {
+  const double one = analysis_.batch_latency_ms(1);
+  const double two = analysis_.batch_latency_ms(2);
+  const double ten = analysis_.batch_latency_ms(10);
+  EXPECT_DOUBLE_EQ(one, analysis_.cold_image_ms());
+  EXPECT_DOUBLE_EQ(two - one, analysis_.steady_image_ms());
+  EXPECT_NEAR(ten, one + 9.0 * analysis_.steady_image_ms(), 1e-12);
+}
+
+TEST_F(BatchTest, ThroughputMonotoneTowardAsymptote) {
+  double prev = 0.0;
+  for (const std::int64_t images : {1LL, 2LL, 4LL, 16LL, 256LL}) {
+    const double gops = analysis_.batch_throughput_gops(images);
+    EXPECT_GT(gops, prev);
+    prev = gops;
+  }
+  EXPECT_LT(prev, analysis_.steady_throughput_gops());
+  EXPECT_NEAR(analysis_.batch_throughput_gops(1LL << 20),
+              analysis_.steady_throughput_gops(),
+              0.001 * analysis_.steady_throughput_gops());
+}
+
+TEST_F(BatchTest, BatchForFraction) {
+  const std::int64_t b90 = analysis_.batch_for_fraction(0.90);
+  const std::int64_t b99 = analysis_.batch_for_fraction(0.99);
+  EXPECT_GE(b90, 1);
+  EXPECT_GE(b99, b90);
+  EXPECT_GE(analysis_.batch_throughput_gops(b90),
+            0.90 * analysis_.steady_throughput_gops());
+  if (b90 > 1) {
+    EXPECT_LT(analysis_.batch_throughput_gops(b90 - 1),
+              0.90 * analysis_.steady_throughput_gops());
+  }
+}
+
+TEST_F(BatchTest, SummaryHasNumbers) {
+  EXPECT_NE(analysis_.summary().find("Gops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

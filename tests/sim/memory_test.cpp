@@ -1,0 +1,61 @@
+#include "sim/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(DdrModel, BytesPerCycle) {
+  FpgaDevice device = arria10_gt1150();
+  device.bw_total_gbs = 19.2;
+  device.bw_port_gbs = 12.8;
+  const DdrModel ddr(device, 200.0);  // 200 MHz
+  EXPECT_NEAR(ddr.bytes_per_cycle_total(), 19.2e9 / 200e6, 1e-9);
+  EXPECT_NEAR(ddr.bytes_per_cycle_port(), 12.8e9 / 200e6, 1e-9);
+}
+
+TEST(DdrModel, PortCycles) {
+  FpgaDevice device = tiny_test_device();
+  device.bw_port_gbs = 2.0;
+  const DdrModel ddr(device, 200.0);  // 10 bytes/cycle per port
+  EXPECT_EQ(ddr.port_cycles(0.0), 0);
+  EXPECT_EQ(ddr.port_cycles(1.0), 1);
+  EXPECT_EQ(ddr.port_cycles(10.0), 1);
+  EXPECT_EQ(ddr.port_cycles(11.0), 2);
+  EXPECT_EQ(ddr.port_cycles(100.0), 10);
+}
+
+TEST(DdrModel, AggregateLimitDominatesManyStreams) {
+  FpgaDevice device = tiny_test_device();
+  device.bw_total_gbs = 4.0;  // 20 B/cycle @ 200 MHz
+  device.bw_port_gbs = 2.0;   // 10 B/cycle
+  const DdrModel ddr(device, 200.0);
+  // Three streams of 100 B: per-port 10 cycles each, aggregate 300/20 = 15.
+  EXPECT_EQ(ddr.transfer_cycles({100.0, 100.0, 100.0}), 15);
+}
+
+TEST(DdrModel, PortLimitDominatesSkewedStreams) {
+  FpgaDevice device = tiny_test_device();
+  device.bw_total_gbs = 4.0;
+  device.bw_port_gbs = 2.0;
+  const DdrModel ddr(device, 200.0);
+  // One big stream: port bound 200/10 = 20 > aggregate 210/20 = 11.
+  EXPECT_EQ(ddr.transfer_cycles({200.0, 5.0, 5.0}), 20);
+}
+
+TEST(DdrModel, EmptyTransferIsFree) {
+  const DdrModel ddr(tiny_test_device(), 100.0);
+  EXPECT_EQ(ddr.transfer_cycles({}), 0);
+  EXPECT_EQ(ddr.transfer_cycles({0.0, 0.0}), 0);
+}
+
+TEST(DdrModel, FrequencyScalesCycleCounts) {
+  FpgaDevice device = tiny_test_device();
+  const DdrModel slow(device, 100.0);
+  const DdrModel fast(device, 400.0);
+  // Higher clock => fewer bytes per cycle => more cycles for the same bytes.
+  EXPECT_GT(fast.transfer_cycles({10000.0}), slow.transfer_cycles({10000.0}));
+}
+
+}  // namespace
+}  // namespace sasynth

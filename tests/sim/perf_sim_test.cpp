@@ -1,0 +1,132 @@
+#include "sim/perf_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+class PerfSimTest : public ::testing::Test {
+ protected:
+  PerfSimTest()
+      : layer_(alexnet_conv5()),
+        nest_(build_conv_nest(layer_)),
+        device_(arria10_gt1150()) {}
+
+  DesignPoint design(std::vector<std::int64_t> middle) const {
+    return DesignPoint(
+        nest_, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+        ArrayShape{11, 13, 8}, std::move(middle));
+  }
+
+  ConvLayerDesc layer_;
+  LoopNest nest_;
+  FpgaDevice device_;
+};
+
+TEST_F(PerfSimTest, ComputeBoundMatchesModelWithin2Percent) {
+  // The <2% model-vs-board claim (Fig. 7b): on a compute-bound design the
+  // block-pipeline simulator must land within 2% of min(PT, MT).
+  const DesignPoint d = design({4, 4, 1, 13, 3, 3});
+  PerfSimOptions options;
+  options.freq_mhz = 280.0;
+  const PerfSimResult sim =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, options);
+  const PerfEstimate model =
+      estimate_performance(nest_, d, device_, DataType::kFloat32, 280.0);
+  EXPECT_FALSE(sim.memory_bound);
+  EXPECT_NEAR(sim.achieved_gops, model.throughput_gops,
+              0.02 * model.throughput_gops);
+}
+
+TEST_F(PerfSimTest, MemoryBoundMatchesModel) {
+  const DesignPoint d = design({1, 1, 1, 2, 1, 1});
+  PerfSimOptions options;
+  options.freq_mhz = 280.0;
+  options.ddr_overhead_cycles = 0;  // isolate the bandwidth model
+  const PerfSimResult sim =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, options);
+  const PerfEstimate model =
+      estimate_performance(nest_, d, device_, DataType::kFloat32, 280.0);
+  EXPECT_TRUE(sim.memory_bound);
+  EXPECT_TRUE(model.memory_bound);
+  EXPECT_NEAR(sim.achieved_gops, model.throughput_gops,
+              0.05 * model.throughput_gops);
+}
+
+TEST_F(PerfSimTest, StallAccounting) {
+  const DesignPoint d = design({1, 1, 1, 2, 1, 1});
+  const PerfSimResult sim = simulate_performance(nest_, d, device_,
+                                                 DataType::kFloat32, {});
+  EXPECT_GT(sim.stall_cycles, 0);
+  // Steady streaming: total = all wavefronts + stalls + skew (compute
+  // already includes the skew).
+  EXPECT_EQ(sim.total_cycles, sim.compute_cycles + sim.stall_cycles);
+  // A cold start additionally exposes the first block's load.
+  PerfSimOptions cold;
+  cold.cold_start = true;
+  const PerfSimResult cold_sim =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, cold);
+  EXPECT_GT(cold_sim.total_cycles, sim.total_cycles);
+  EXPECT_EQ(cold_sim.stall_cycles, sim.stall_cycles);
+}
+
+TEST_F(PerfSimTest, ComputeBoundHasNoStalls) {
+  const DesignPoint d = design({4, 4, 1, 13, 3, 3});
+  const PerfSimResult sim = simulate_performance(nest_, d, device_,
+                                                 DataType::kFloat32, {});
+  EXPECT_EQ(sim.stall_cycles, 0);
+}
+
+TEST_F(PerfSimTest, HigherClockNeverSlower) {
+  const DesignPoint d = design({4, 4, 1, 13, 3, 3});
+  PerfSimOptions slow;
+  slow.freq_mhz = 150.0;
+  PerfSimOptions fast;
+  fast.freq_mhz = 300.0;
+  const double g_slow =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, slow)
+          .achieved_gops;
+  const double g_fast =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, fast)
+          .achieved_gops;
+  EXPECT_GE(g_fast, g_slow);
+}
+
+TEST_F(PerfSimTest, DdrOverheadHurts) {
+  const DesignPoint d = design({1, 1, 1, 2, 1, 1});
+  PerfSimOptions cheap;
+  cheap.ddr_overhead_cycles = 0;
+  PerfSimOptions pricey;
+  pricey.ddr_overhead_cycles = 2000;
+  const double g_cheap =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, cheap)
+          .achieved_gops;
+  const double g_pricey =
+      simulate_performance(nest_, d, device_, DataType::kFloat32, pricey)
+          .achieved_gops;
+  EXPECT_GT(g_cheap, g_pricey);
+}
+
+TEST_F(PerfSimTest, LayerLatencyScalesWithGroups) {
+  const DesignPoint d = design({4, 4, 1, 13, 3, 3});
+  const PerfSimResult sim = simulate_performance(nest_, d, device_,
+                                                 DataType::kFloat32, {});
+  ConvLayerDesc grouped = layer_;
+  grouped.groups = 2;
+  EXPECT_NEAR(simulated_layer_latency_ms(grouped, sim),
+              2.0 * simulated_layer_latency_ms(layer_, sim), 1e-12);
+}
+
+TEST_F(PerfSimTest, SummaryMentionsBound) {
+  const DesignPoint d = design({1, 1, 1, 2, 1, 1});
+  const PerfSimResult sim = simulate_performance(nest_, d, device_,
+                                                 DataType::kFloat32, {});
+  EXPECT_NE(sim.summary().find("memory-bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,259 @@
+#include "sim/systolic_array.h"
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "loopnest/conv_nest.h"
+#include "loopnest/reuse.h"
+#include "core/mapping.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+DesignPoint make_design(const LoopNest& nest, SystolicMapping mapping,
+                        ArrayShape shape, std::vector<std::int64_t> middle) {
+  return DesignPoint(nest, mapping, shape, std::move(middle));
+}
+
+TEST(SystolicSim, MatchesReferenceOnCanonicalMapping) {
+  const ConvLayerDesc layer = make_conv("sim", 8, 6, 5, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(101);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{3, 2, 4}, {2, 2, 2, 5, 3, 3});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  const Tensor ref = reference_conv(layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(result.output, ref), 1e-3F)
+      << result.summary();
+}
+
+TEST(SystolicSim, ActiveMacsEqualEffectiveIterations) {
+  // Every original iteration executes exactly once: the measured DSP
+  // efficiency equals the analytical Eff (Eq. 1).
+  const ConvLayerDesc layer = make_conv("eff", 8, 6, 5, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(7);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{4, 2, 4}, {1, 2, 2, 5, 3, 3});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_EQ(result.active_macs, nest.total_iterations());
+  EXPECT_NEAR(result.measured_efficiency(),
+              dsp_efficiency(nest, design), 1e-12);
+}
+
+TEST(SystolicSim, CycleCountMatchesModel) {
+  const ConvLayerDesc layer = make_conv("cyc", 8, 6, 5, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  const ConvData data = make_conv_data(layer);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{3, 2, 4}, {2, 2, 2, 5, 3, 3});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_EQ(result.pipelined_cycles, modeled_compute_cycles(nest, design));
+}
+
+TEST(SystolicSim, AllFeasibleMappingsProduceCorrectOutput) {
+  // The strongest architecture test: for every feasible mapping the shifted
+  // dataflow must still compute the exact convolution.
+  const ConvLayerDesc layer = make_conv("all", 6, 4, 4, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(31);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  const std::vector<SystolicMapping> mappings =
+      enumerate_feasible_mappings(nest, reuse);
+  ASSERT_EQ(mappings.size(), 12U);
+  for (const SystolicMapping& mapping : mappings) {
+    const DesignPoint design =
+        make_design(nest, mapping, ArrayShape{2, 3, 2}, {2, 1, 2, 2, 2, 2});
+    const SimResult result = simulate_systolic(nest, design, layer, data);
+    EXPECT_LT(Tensor::max_abs_diff(result.output, ref), 1e-3F)
+        << mapping.to_string(nest);
+  }
+}
+
+TEST(SystolicSim, NonDivisibleShapesStillCorrect) {
+  // Shape extents that do not divide the trip counts exercise the padding
+  // path (zero-injection) — results must stay exact.
+  const ConvLayerDesc layer = make_conv("pad", 5, 7, 5, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(43);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kR, ConvLoops::kI},
+      ArrayShape{3, 4, 4}, {2, 1, 4, 1, 2, 2});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(result.output, ref), 1e-3F);
+  // Padding wastes slots: efficiency strictly below 1.
+  EXPECT_LT(result.measured_efficiency(), 1.0);
+  EXPECT_NEAR(result.measured_efficiency(), dsp_efficiency(nest, design),
+              1e-12);
+}
+
+TEST(SystolicSim, StridedConvolutionCorrect) {
+  const ConvLayerDesc layer = make_conv("stride", 4, 4, 4, 3, /*stride=*/2);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(53);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{2, 2, 2}, {2, 2, 2, 4, 3, 3});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(result.output, ref), 1e-3F);
+}
+
+TEST(SystolicSim, WavefrontActivityMatchesFig3) {
+  // Fig. 3: on a 3x3 array, PEs activate along anti-diagonals; all 9 PEs are
+  // active from cycle 4 (0-indexed; the paper counts "after five cycles").
+  const ConvLayerDesc layer = make_conv("fig3", 4, 3, 4, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  const ConvData data = make_conv_data(layer);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{3, 3, 2}, {1, 2, 2, 4, 2, 2});
+  SimOptions options;
+  options.record_first_block_activity = true;
+  const SimResult result = simulate_systolic(nest, design, layer, data, options);
+  const std::vector<std::int64_t>& activity = result.first_block_active_pes;
+  ASSERT_GE(activity.size(), 6U);
+  // A PE is active at cycle t when 0 <= t - x - y < M; with M >> 5 the count
+  // at cycle t is |{(x,y) : x + y <= t}|.
+  EXPECT_EQ(activity[0], 1);  // PE(0,0) only
+  EXPECT_EQ(activity[1], 3);
+  EXPECT_EQ(activity[2], 6);
+  EXPECT_EQ(activity[3], 8);
+  EXPECT_EQ(activity[4], 9);  // fully active after five cycles (Fig. 3)
+  // Ramp-down mirrors ramp-up at the end of the block.
+  EXPECT_EQ(activity.back(), 1);
+}
+
+TEST(SystolicSim, SingleWavefrontBlock) {
+  // Degenerate tiling: every middle bound 1 (one wavefront per block).
+  const ConvLayerDesc layer = make_conv("deg", 2, 2, 2, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(61);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{2, 2, 2}, {1, 1, 1, 1, 1, 1});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(result.output, reference_conv(layer, data)),
+            1e-4F);
+}
+
+TEST(SystolicSim, OneByOneArray) {
+  // A 1x1x1 "array" degenerates to a sequential MAC unit — still correct.
+  const ConvLayerDesc layer = make_conv("seq", 2, 2, 3, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(71);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{1, 1, 1}, {2, 2, 3, 3, 2, 2});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_LT(Tensor::max_abs_diff(result.output, reference_conv(layer, data)),
+            1e-4F);
+  EXPECT_NEAR(result.measured_efficiency(), 1.0, 1e-12);
+}
+
+TEST(SystolicSimGeneric, MatrixMultiplyOnTheArray) {
+  // The generic entry point runs non-convolution nests: classic systolic
+  // matmul C[i][j] += A[i][k] * B[k][j], verified against a plain loop.
+  LoopNest nest;
+  nest.add_loop("i", 7);
+  nest.add_loop("j", 6);
+  nest.add_loop("k", 9);
+  AccessFunction c;
+  c.array = "Cm";
+  c.indices.push_back(AffineExpr::term(3, 0));
+  c.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{c, AccessRole::kReduce});
+  AccessFunction af;
+  af.array = "A";
+  af.indices.push_back(AffineExpr::term(3, 0));
+  af.indices.push_back(AffineExpr::term(3, 2));
+  nest.add_access(ArrayAccess{af, AccessRole::kRead});
+  AccessFunction bf;
+  bf.array = "B";
+  bf.indices.push_back(AffineExpr::term(3, 2));
+  bf.indices.push_back(AffineExpr::term(3, 1));
+  nest.add_access(ArrayAccess{bf, AccessRole::kRead});
+
+  Rng rng(7);
+  Tensor a({7, 9});
+  Tensor b({9, 6});
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Tensor ref({7, 6});
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t k = 0; k < 9; ++k) acc += a.at(i, k) * b.at(k, j);
+      ref.at(i, j) = acc;
+    }
+  }
+
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  for (const SystolicMapping& mapping :
+       enumerate_feasible_mappings(nest, reuse)) {
+    const DesignPoint design(nest, mapping, ArrayShape{3, 2, 4}, {2, 2, 2});
+    Tensor out({7, 6});
+    std::vector<const Tensor*> operands{nullptr, &a, &b};
+    const SimResult sim = simulate_systolic_nest(nest, design, operands, &out);
+    EXPECT_LT(Tensor::max_abs_diff(sim.output, ref), 1e-4F)
+        << mapping.to_string(nest);
+    EXPECT_EQ(sim.active_macs, nest.total_iterations());
+  }
+}
+
+TEST(SystolicSim, SkewErrorInjectionBreaksResults) {
+  // Failure injection: desynchronizing the weight stream by one cycle must
+  // corrupt the output — evidence the correctness checks actually exercise
+  // the systolic timing, not just the arithmetic.
+  const ConvLayerDesc layer = make_conv("skew", 6, 4, 4, 3);
+  const LoopNest nest = build_conv_nest(layer);
+  Rng rng(83);
+  const ConvData data = make_random_conv_data(layer, rng);
+  const Tensor ref = reference_conv(layer, data);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{2, 3, 2}, {2, 3, 2, 4, 3, 3});
+
+  SimOptions correct;
+  EXPECT_LT(Tensor::max_abs_diff(
+                simulate_systolic(nest, design, layer, data, correct).output,
+                ref),
+            1e-3F);
+  for (const std::int64_t offset : {-1LL, 1LL, 2LL}) {
+    SimOptions broken;
+    broken.inject_skew_error = offset;
+    const SimResult result =
+        simulate_systolic(nest, design, layer, data, broken);
+    EXPECT_GT(Tensor::max_abs_diff(result.output, ref), 1e-2F)
+        << "skew offset " << offset << " went undetected";
+  }
+}
+
+TEST(SystolicSim, SummaryFormat) {
+  const ConvLayerDesc layer = make_conv("sum", 2, 2, 2, 2);
+  const LoopNest nest = build_conv_nest(layer);
+  const ConvData data = make_conv_data(layer);
+  const DesignPoint design = make_design(
+      nest, SystolicMapping{ConvLoops::kO, ConvLoops::kC, ConvLoops::kI},
+      ArrayShape{2, 2, 2}, {1, 1, 1, 2, 1, 1});
+  const SimResult result = simulate_systolic(nest, design, layer, data);
+  EXPECT_NE(result.summary().find("blocks"), std::string::npos);
+  EXPECT_NE(result.summary().find("eff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

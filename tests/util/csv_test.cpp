@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sasynth {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv;
+  csv.header({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.row_count(), 2U);
+}
+
+TEST(Csv, NoHeader) {
+  CsvWriter csv;
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.str(), "1,2\n");
+}
+
+TEST(Csv, EscapingCommaQuoteNewline) {
+  EXPECT_EQ(CsvWriter::escape_field("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape_field("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowBuilderFormatting) {
+  CsvWriter csv;
+  csv.row().cell("x").cell(static_cast<std::int64_t>(-5)).cell(2.5, 2);
+  EXPECT_EQ(csv.str(), "x,-5,2.50\n");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter csv;
+  csv.header({"k", "v"});
+  csv.add_row({"design", "(11,13,8)"});
+  const std::string path = ::testing::TempDir() + "/sasynth_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), csv.str());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter csv;
+  csv.add_row({"x"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  set_log_level(LogLevel::kOff);
+  SA_LOG_ERROR << "suppressed " << 42;
+  set_log_level(LogLevel::kError);
+  SA_LOG_DEBUG << "also suppressed";
+}
+
+TEST_F(LoggingTest, EmittingMessageDoesNotCrash) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  SA_LOG_INFO << "hello " << 1 << " " << 2.5;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 1 2.5"), std::string::npos);
+  EXPECT_NE(err.find("[INFO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,122 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(128, 11), 12);
+  EXPECT_EQ(ceil_div(13, 14), 1);
+}
+
+TEST(RoundUp, Multiples) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+  EXPECT_EQ(round_up(128, 11), 132);  // the Table 1 quantization example
+}
+
+TEST(RoundUpPow2, Values) {
+  EXPECT_EQ(round_up_pow2(1), 1);
+  EXPECT_EQ(round_up_pow2(2), 2);
+  EXPECT_EQ(round_up_pow2(3), 4);
+  EXPECT_EQ(round_up_pow2(4), 4);
+  EXPECT_EQ(round_up_pow2(5), 8);
+  EXPECT_EQ(round_up_pow2(1000), 1024);
+  EXPECT_EQ(round_up_pow2(1024), 1024);
+  EXPECT_EQ(round_up_pow2(1025), 2048);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Log2, FloorAndCeil) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(GcdLcm, Values) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(13, 13), 13);
+}
+
+TEST(Product, EmptyIsOne) {
+  EXPECT_EQ(product({}), 1);
+  EXPECT_EQ(product({3}), 3);
+  EXPECT_EQ(product({2, 3, 4}), 24);
+}
+
+TEST(Divisors, SortedComplete) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(13), (std::vector<std::int64_t>{1, 13}));
+  EXPECT_EQ(divisors(36), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(Pow2Candidates, BelowBound) {
+  EXPECT_EQ(pow2_candidates(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(pow2_candidates(8), (std::vector<std::int64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(pow2_candidates(9), (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+TEST(Pow2CandidatesCovering, IncludesCover) {
+  // The DSE explores tile bounds covering the trip count: 13 needs 16.
+  EXPECT_EQ(pow2_candidates_covering(13),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(pow2_candidates_covering(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(pow2_candidates_covering(2), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(pow2_candidates_covering(16),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(Clamp64, Bounds) {
+  EXPECT_EQ(clamp64(5, 0, 10), 5);
+  EXPECT_EQ(clamp64(-5, 0, 10), 0);
+  EXPECT_EQ(clamp64(50, 0, 10), 10);
+}
+
+// Property sweep: ceil_div/round_up consistency over a grid.
+class CeilDivProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CeilDivProperty, RoundUpIsMultipleAndMinimal) {
+  const std::int64_t b = GetParam();
+  for (std::int64_t a = 0; a <= 200; ++a) {
+    const std::int64_t r = round_up(a, b);
+    EXPECT_EQ(r % b, 0);
+    EXPECT_GE(r, a);
+    EXPECT_LT(r - a, b);
+    EXPECT_EQ(r / b, ceil_div(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CeilDivProperty,
+                         ::testing::Values(1, 2, 3, 7, 8, 11, 13, 64));
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,81 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWs, DropsEmpty) {
+  EXPECT_EQ(split_ws("  a\t b \n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("\t\n x y \r"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("pragma systolic", "pragma"));
+  EXPECT_FALSE(starts_with("pra", "pragma"));
+  EXPECT_TRUE(ends_with("kernel.cl", ".cl"));
+  EXPECT_FALSE(ends_with("cl", ".cl"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Join, Separator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ReplaceAll, NonOverlapping) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("{{x}} and {{x}}", "{{x}}", "7"), "7 and 7");
+  EXPECT_EQ(replace_all("abc", "", "z"), "abc");
+  EXPECT_EQ(replace_all("abc", "x", "z"), "abc");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("AlexNet VGG16"), "alexnet vgg16");
+}
+
+TEST(StrFormat, Printf) {
+  EXPECT_EQ(strformat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strformat("%.2f%%", 96.966), "96.97%");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+TEST(Repeat, Count) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("ab", 0), "");
+  EXPECT_EQ(repeat("ab", -1), "");
+}
+
+TEST(Indent, MultiLine) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");  // blank lines stay blank
+  EXPECT_EQ(indent("", 2), "");
+}
+
+TEST(FormatTrimmed, TrimsZeros) {
+  EXPECT_EQ(format_trimmed(12.50, 2), "12.5");
+  EXPECT_EQ(format_trimmed(3.00, 2), "3");
+  EXPECT_EQ(format_trimmed(0.25, 2), "0.25");
+  EXPECT_EQ(format_trimmed(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sasynth {
+namespace {
+
+TEST(AsciiTable, EmptyRendersEmpty) {
+  AsciiTable table;
+  EXPECT_EQ(table.render(), "");
+}
+
+TEST(AsciiTable, HeaderSeparator) {
+  AsciiTable table;
+  table.add_row({"name", "value"});
+  table.add_row({"x", "1"});
+  const std::string out = table.render();
+  // header + data + 3 separators = 5 lines
+  int lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+  EXPECT_NE(out.find("| name | value |"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsPadded) {
+  AsciiTable table(false);
+  table.add_row({"long-cell", "a"});
+  table.add_row({"b", "longer-cell"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| long-cell | a           |"), std::string::npos);
+  EXPECT_NE(out.find("| b         | longer-cell |"), std::string::npos);
+}
+
+TEST(AsciiTable, RaggedRows) {
+  AsciiTable table(false);
+  table.add_row({"a", "b", "c"});
+  table.add_row({"d"});
+  EXPECT_EQ(table.column_count(), 3U);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| d |   |   |"), std::string::npos);
+}
+
+TEST(AsciiTable, RowBuilder) {
+  AsciiTable table(false);
+  table.row().cell("x").cell(static_cast<std::int64_t>(42)).cell(3.14159, 2).percent(0.9697, 2);
+  EXPECT_EQ(table.row_count(), 1U);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("96.97%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasynth

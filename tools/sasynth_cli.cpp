@@ -1,0 +1,288 @@
+// sasynth_cli — the push-button command-line driver of paper Fig. 6.
+//
+// Usage:
+//   sasynth_cli [options] input.c          # annotated loop nest from a file
+//   sasynth_cli [options] --layer I,O,R,C,K[,stride]
+//
+// Options:
+//   --device NAME     arria10_gt1150 (default) | arria10_gx1150 | ku060 |
+//                     vc709 | stratixv | tiny
+//   --dtype NAME      float32 (default) | fixed8_16
+//   --freq MHZ        phase-1 assumed clock (default 280)
+//   --min-util FRAC   Eq. 12 utilization floor c_s (default 0.8)
+//   --top-k N         candidates carried into pseudo-P&R (default 14)
+//   --out DIR         write params.h / addressing.h / systolic_conv.cl /
+//                     host.c / report.md
+//   --save-design F   write the chosen design point to F (sasynth-design v1)
+//   --design F        skip the DSE: load the design from F, validate it for
+//                     this layer, and generate/evaluate it directly
+//   --print-kernel    dump the generated kernel to stdout
+//   --verbose         info-level logging
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/host_gen.h"
+#include "codegen/report_gen.h"
+#include "core/design_io.h"
+#include "core/mapping.h"
+#include "fpga/freq_model.h"
+#include "frontend/flow.h"
+#include "loopnest/reuse.h"
+#include "nn/layer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sasynth;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: sasynth_cli [options] (input.c | --layer I,O,R,C,K[,s])\n"
+               "  --device NAME   arria10_gt1150|arria10_gx1150|ku060|vc709|"
+               "stratixv|tiny\n"
+               "  --dtype NAME    float32|fixed8_16\n"
+               "  --freq MHZ      assumed phase-1 clock (default 280)\n"
+               "  --min-util F    DSP utilization floor c_s (default 0.8)\n"
+               "  --top-k N       phase-2 candidate count (default 14)\n"
+               "  --out DIR       write generated artifacts\n"
+               "  --print-kernel  dump kernel source to stdout\n"
+               "  --verbose       info logging\n");
+  std::exit(2);
+}
+
+bool pick_device(const std::string& name, FpgaDevice* out) {
+  const std::string lower = to_lower(name);
+  if (lower == "arria10_gt1150" || lower == "gt1150") *out = arria10_gt1150();
+  else if (lower == "arria10_gx1150" || lower == "gx1150") *out = arria10_gx1150();
+  else if (lower == "ku060") *out = xilinx_ku060();
+  else if (lower == "vc709") *out = xilinx_vc709();
+  else if (lower == "stratixv") *out = stratix_v();
+  else if (lower == "tiny") *out = tiny_test_device();
+  else return false;
+  return true;
+}
+
+bool parse_layer_spec(const std::string& spec, ConvLayerDesc* layer) {
+  const std::vector<std::string> parts = split(spec, ',');
+  if (parts.size() != 5 && parts.size() != 6) return false;
+  std::vector<std::int64_t> values;
+  for (const std::string& part : parts) {
+    char* end = nullptr;
+    const long long v = std::strtoll(part.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1) return false;
+    values.push_back(v);
+  }
+  *layer = make_conv("cli_layer", values[0], values[1], values[2], values[4],
+                     parts.size() == 6 ? values[5] : 1);
+  layer->out_cols = values[3];
+  return layer->validate().empty();
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlowOptions options;
+  options.device = arria10_gt1150();
+  options.dtype = DataType::kFloat32;
+
+  std::string input_path;
+  std::string layer_spec;
+  std::string out_dir;
+  std::string save_design_path;
+  std::string load_design_path;
+  bool print_kernel = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--device") {
+      if (!pick_device(next_value("--device"), &options.device)) {
+        usage("unknown device");
+      }
+    } else if (arg == "--dtype") {
+      if (!parse_data_type(next_value("--dtype"), &options.dtype)) {
+        usage("unknown dtype");
+      }
+    } else if (arg == "--freq") {
+      options.dse.assumed_freq_mhz = std::atof(next_value("--freq").c_str());
+      if (options.dse.assumed_freq_mhz <= 0.0) usage("bad --freq");
+    } else if (arg == "--min-util") {
+      options.dse.min_dsp_util = std::atof(next_value("--min-util").c_str());
+      if (options.dse.min_dsp_util < 0.0 || options.dse.min_dsp_util > 1.0) {
+        usage("--min-util must be in [0, 1]");
+      }
+    } else if (arg == "--top-k") {
+      options.dse.top_k = std::atoi(next_value("--top-k").c_str());
+      if (options.dse.top_k < 1) usage("bad --top-k");
+    } else if (arg == "--out") {
+      out_dir = next_value("--out");
+    } else if (arg == "--save-design") {
+      save_design_path = next_value("--save-design");
+    } else if (arg == "--design") {
+      load_design_path = next_value("--design");
+    } else if (arg == "--layer") {
+      layer_spec = next_value("--layer");
+    } else if (arg == "--print-kernel") {
+      print_kernel = true;
+    } else if (arg == "--verbose") {
+      set_log_level(LogLevel::kInfo);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(("unknown option " + arg).c_str());
+    } else {
+      input_path = arg;
+    }
+  }
+
+  std::string source;
+  if (!layer_spec.empty()) {
+    ConvLayerDesc layer;
+    if (!parse_layer_spec(layer_spec, &layer)) {
+      usage("--layer expects I,O,R,C,K[,stride] positive integers");
+    }
+    source = render_conv_source(layer);
+  } else if (!input_path.empty()) {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", input_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  } else {
+    usage("no input given");
+  }
+
+  FlowResult result;
+  if (load_design_path.empty()) {
+    result = run_automation_flow(source, options);
+    if (!result.ok) {
+      std::fprintf(stderr, "error: %s\n", result.error.c_str());
+      return 1;
+    }
+  } else {
+    // Bypass the DSE: parse + extract, then evaluate the supplied design.
+    result.parse = parse_loop_nest(source);
+    if (!result.parse.ok) {
+      std::fprintf(stderr, "error: parse error: %s\n",
+                   result.parse.error.c_str());
+      return 1;
+    }
+    result.conv = extract_conv_layer(result.parse.nest);
+    if (!result.conv.ok) {
+      std::fprintf(stderr, "error: unsupported loop nest: %s\n",
+                   result.conv.error.c_str());
+      return 1;
+    }
+    std::ifstream design_in(load_design_path);
+    if (!design_in) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   load_design_path.c_str());
+      return 1;
+    }
+    std::stringstream design_text;
+    design_text << design_in.rdbuf();
+    const DesignLoadResult loaded =
+        load_design_text(design_text.str(), result.parse.nest);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: %s: %s\n", load_design_path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    const ReuseMatrix reuse = analyze_reuse(result.parse.nest);
+    std::string why;
+    if (!is_feasible_mapping(result.parse.nest, reuse,
+                             loaded.design.mapping(), &why)) {
+      std::fprintf(stderr, "error: design is not feasible for this layer: %s\n",
+                   why.c_str());
+      return 1;
+    }
+    result.best.design = loaded.design;
+    result.best.estimate =
+        estimate_performance(result.parse.nest, loaded.design, options.device,
+                             options.dtype, options.dse.assumed_freq_mhz);
+    result.best.resources = model_resources(result.parse.nest, loaded.design,
+                                            options.device, options.dtype);
+    result.best.realized_freq_mhz = pseudo_pnr_frequency_mhz(
+        options.device, result.best.resources.report,
+        loaded.design.signature());
+    result.best.realized =
+        estimate_performance(result.parse.nest, loaded.design, options.device,
+                             options.dtype, result.best.realized_freq_mhz);
+    result.dse.top.push_back(result.best);
+    result.kernel = generate_opencl_kernel(result.parse.nest, loaded.design,
+                                           result.conv.layer, options.dtype);
+    result.host_program =
+        generate_host_program(result.parse.nest, loaded.design,
+                              result.conv.layer, options.dtype);
+    result.report =
+        generate_design_report(result.parse.nest, result.best,
+                               result.conv.layer, options.device, options.dtype);
+    result.ok = true;
+  }
+
+  if (!save_design_path.empty()) {
+    std::ofstream out(save_design_path);
+    out << save_design_text(result.best.design);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   save_design_path.c_str());
+      return 1;
+    }
+    std::printf("design saved to %s\n", save_design_path.c_str());
+  }
+
+  const LoopNest& nest = result.parse.nest;
+  std::printf("layer   : %s\n", result.conv.layer.summary().c_str());
+  std::printf("device  : %s\n", options.device.summary().c_str());
+  std::printf("dse     : %s\n", result.dse.stats.summary().c_str());
+  std::printf("design  : %s\n", result.best.design.to_string(nest).c_str());
+  std::printf("perf    : %s\n", result.best.realized.summary().c_str());
+  std::printf("resource: %s\n", result.best.resources.report.summary().c_str());
+
+  if (print_kernel) {
+    std::printf("\n--- params.h ---\n%s", result.kernel.params_h.c_str());
+    std::printf("\n--- systolic_conv.cl ---\n%s", result.kernel.kernel_cl.c_str());
+  }
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    bool ok = true;
+    ok &= write_file(std::filesystem::path(out_dir) / "params.h",
+                     result.kernel.params_h);
+    ok &= write_file(std::filesystem::path(out_dir) / "systolic_conv.cl",
+                     result.kernel.kernel_cl);
+    ok &= write_file(std::filesystem::path(out_dir) / "addressing.h",
+                     result.kernel.addressing_h);
+    ok &= write_file(std::filesystem::path(out_dir) / "host.c",
+                     result.host_program);
+    ok &= write_file(std::filesystem::path(out_dir) / "report.md",
+                     result.report);
+    if (!ok) {
+      std::fprintf(stderr, "error: failed writing artifacts to %s\n",
+                   out_dir.c_str());
+      return 1;
+    }
+    std::printf("artifacts written to %s/\n", out_dir.c_str());
+  }
+  return 0;
+}
