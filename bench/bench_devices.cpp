@@ -14,10 +14,11 @@
 #include "nn/network.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sasynth;
   bench::print_header("Device portability sweep",
                       "framework retargeting (DAC'17 §1 push-button claim)");
+  const int jobs = bench::parse_jobs_flag(argc, argv);
 
   const ConvLayerDesc layer = alexnet_conv5();
   const LoopNest nest = build_conv_nest(layer);
@@ -39,6 +40,7 @@ int main() {
     options.min_dsp_util = 0.70;
     options.max_rows = 64;
     options.max_cols = 64;
+    options.jobs = jobs;
     const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
     const DseResult result = explorer.explore(nest);
     if (result.empty()) {

@@ -9,13 +9,21 @@
 // brute-force cost is reported as the analytically counted design-point
 // ratio (running it for real is exactly the 300-hour experiment the paper
 // declines to repeat, and so do we).
+//
+// The parallel-sweep section times the AlexNet phase-1 sweep at several
+// worker counts, checks the top-K output is bit-identical at every count,
+// and writes BENCH_dse_runtime.json so CI can track the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/dse.h"
 #include "loopnest/conv_nest.h"
 #include "nn/network.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -25,6 +33,7 @@ void BM_Phase1AlexNetConv5(benchmark::State& state) {
   const LoopNest nest = build_conv_nest(alexnet_conv5());
   DseOptions options;
   options.min_dsp_util = 0.80;
+  options.jobs = static_cast<int>(state.range(0));
   const DesignSpaceExplorer explorer(arria10_gt1150(), DataType::kFloat32,
                                      options);
   for (auto _ : state) {
@@ -32,7 +41,11 @@ void BM_Phase1AlexNetConv5(benchmark::State& state) {
     benchmark::DoNotOptimize(explorer.enumerate_phase1(nest, &stats));
   }
 }
-BENCHMARK(BM_Phase1AlexNetConv5)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Phase1AlexNetConv5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(0);  // 0 = SASYNTH_JOBS env / all cores
 
 void BM_BestReuseSingleShape(benchmark::State& state) {
   const LoopNest nest = build_conv_nest(alexnet_conv5());
@@ -83,10 +96,103 @@ void report_space_reduction() {
       "saving; brute force ~311 h vs phase 1 < 30 s.\n\n");
 }
 
+/// One jobs setting over the full AlexNet conv sweep: every layer explored
+/// end to end, phase-1 wall time summed from DseStats.
+struct SweepRun {
+  int jobs_requested = 0;
+  int jobs_used = 0;
+  double phase1_seconds = 0.0;
+  std::vector<DseResult> results;  ///< per layer, for the identity check
+};
+
+SweepRun run_alexnet_sweep(int jobs) {
+  const Network net = make_alexnet();
+  DseOptions options;
+  options.min_dsp_util = 0.80;
+  options.jobs = jobs;
+  const DesignSpaceExplorer explorer(arria10_gt1150(), DataType::kFloat32,
+                                     options);
+  SweepRun run;
+  run.jobs_requested = jobs;
+  for (const ConvLayerDesc& layer : net.layers) {
+    DseResult result = explorer.explore_layer(layer);
+    run.phase1_seconds += result.stats.phase1_seconds;
+    run.jobs_used = result.stats.jobs_used;
+    run.results.push_back(std::move(result));
+  }
+  return run;
+}
+
+/// Bit-identical comparison of two sweep outputs (designs, order, and the
+/// floating-point estimates, compared with ==, not a tolerance).
+bool sweeps_identical(const SweepRun& a, const SweepRun& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t l = 0; l < a.results.size(); ++l) {
+    const std::vector<DseCandidate>& ta = a.results[l].top;
+    const std::vector<DseCandidate>& tb = b.results[l].top;
+    if (ta.size() != tb.size()) return false;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      if (!(ta[i].design == tb[i].design)) return false;
+      if (ta[i].estimate.throughput_gops != tb[i].estimate.throughput_gops ||
+          ta[i].realized_freq_mhz != tb[i].realized_freq_mhz ||
+          ta[i].realized.throughput_gops != tb[i].realized.throughput_gops) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void report_parallel_speedup(int jobs_flag) {
+  std::printf("--- phase-1 parallel sweep (AlexNet, all conv layers) ---\n");
+  std::vector<int> settings = {1, 2, 4, 8};
+  if (jobs_flag > 0) settings.push_back(jobs_flag);
+
+  std::vector<SweepRun> runs;
+  for (const int jobs : settings) runs.push_back(run_alexnet_sweep(jobs));
+  const double serial = runs.front().phase1_seconds;
+
+  std::string json = "[\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& run = runs[i];
+    const double speedup = serial / run.phase1_seconds;
+    const bool identical = sweeps_identical(runs.front(), run);
+    all_identical = all_identical && identical;
+    std::printf("jobs=%d (used %d): phase1 %.3fs, speedup %.2fx, top-K %s\n",
+                run.jobs_requested, run.jobs_used, run.phase1_seconds, speedup,
+                identical ? "identical" : "DIVERGED");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  {\"layer\": \"alexnet\", \"jobs\": %d, \"jobs_used\": %d, "
+                  "\"phase1_seconds\": %.6f, \"speedup\": %.4f, "
+                  "\"identical\": %s}%s\n",
+                  run.jobs_requested, run.jobs_used, run.phase1_seconds,
+                  speedup, identical ? "true" : "false",
+                  i + 1 < runs.size() ? "," : "");
+    json += line;
+  }
+  json += "]\n";
+
+  std::FILE* out = std::fopen("BENCH_dse_runtime.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_dse_runtime.json\n");
+  }
+  if (!all_identical) {
+    std::printf("ERROR: parallel sweep output diverged from jobs=1\n");
+    std::exit(1);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs_flag = sasynth::bench::parse_jobs_flag(argc, argv);
   report_space_reduction();
+  report_parallel_speedup(jobs_flag);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

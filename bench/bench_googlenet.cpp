@@ -11,7 +11,7 @@
 #include "nn/network.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sasynth;
   bench::print_header("GoogLeNet generalization run",
                       "framework generalization (model named in DAC'17 §2.1)");
@@ -23,6 +23,7 @@ int main() {
   UnifiedOptions options;
   options.dse.min_dsp_util = 0.70;
   options.shape_shortlist = 24;
+  options.jobs = bench::parse_jobs_flag(argc, argv);
   const UnifiedDesign design = select_unified_design(
       net, arria10_gt1150(), DataType::kFloat32, options);
   if (!design.valid) {

@@ -2,9 +2,23 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace sasynth::bench {
+
+/// Scans argv for "--jobs N" (shared by the DSE benches). Returns 0 when
+/// absent, which lets DseOptions fall back to SASYNTH_JOBS / all cores.
+inline int parse_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int v = std::atoi(argv[i + 1]);
+      return v > 0 ? v : 0;
+    }
+  }
+  return 0;
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

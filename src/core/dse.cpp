@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <optional>
+#include <unordered_map>
 
 #include "core/mapping.h"
 #include "fpga/freq_model.h"
@@ -11,6 +13,7 @@
 #include "loopnest/reuse.h"
 #include "util/math_util.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sasynth {
 
@@ -135,32 +138,159 @@ class LeanModel {
   std::vector<AccessInfo> accesses_;
 };
 
-/// Candidate middle bounds for one loop: powers of two covering
-/// ceil(trip / t) (or all integers when pow2 pruning is disabled).
-std::vector<std::int64_t> middle_candidates(std::int64_t trip, std::int64_t t,
-                                            bool pow2_only) {
-  const std::int64_t cap = ceil_div(trip, t);
-  if (pow2_only) return pow2_candidates_covering(cap);
-  std::vector<std::int64_t> all(static_cast<std::size_t>(cap));
-  for (std::int64_t v = 1; v <= cap; ++v) all[static_cast<std::size_t>(v - 1)] = v;
-  return all;
+/// Memoized candidate middle bounds keyed by cap = ceil(trip / t). The
+/// phase-1 sweep hits the same few caps for every (mapping, shape) work
+/// item, so deriving the vectors once per cap removes the repeated
+/// pow2_candidates_covering / iota work from the inner loop. Entries are
+/// node-based (unordered_map), so returned references stay valid across
+/// inserts. One cache per worker thread — no locking.
+class MiddleCandidateCache {
+ public:
+  /// Powers of two covering `cap` (also the pow2 search-space size).
+  const std::vector<std::int64_t>& pow2_covering(std::int64_t cap) {
+    auto it = pow2_.find(cap);
+    if (it == pow2_.end()) {
+      it = pow2_.emplace(cap, pow2_candidates_covering(cap)).first;
+    }
+    return it->second;
+  }
+
+  /// Candidate middle bounds for one loop: powers of two covering `cap`
+  /// (or all integers 1..cap when pow2 pruning is disabled).
+  const std::vector<std::int64_t>& middles(std::int64_t cap, bool pow2_only) {
+    if (pow2_only) return pow2_covering(cap);
+    auto it = all_.find(cap);
+    if (it == all_.end()) {
+      std::vector<std::int64_t> all(static_cast<std::size_t>(cap));
+      for (std::int64_t v = 1; v <= cap; ++v) {
+        all[static_cast<std::size_t>(v - 1)] = v;
+      }
+      it = all_.emplace(cap, std::move(all)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> pow2_;
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> all_;
+};
+
+/// One (mapping, shape) unit of the phase-1 sweep.
+struct Phase1Item {
+  const SystolicMapping* mapping = nullptr;
+  ArrayShape shape;
+};
+
+/// Optimal middle bounds for a fixed (mapping, shape) — the inner loop of
+/// phase 1. The LeanModel and candidate cache are hoisted by the caller so
+/// the sweep constructs neither per work item.
+bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
+                     const FpgaDevice& device, const DseOptions& options,
+                     const SystolicMapping& mapping, const ArrayShape& shape,
+                     MiddleCandidateCache& cache, DesignPoint* out,
+                     DseStats* stats) {
+  const std::size_t n = nest.num_loops();
+  std::vector<std::int64_t> inner(n, 1);
+  inner[mapping.row_loop] = shape.rows;
+  inner[mapping.col_loop] = shape.cols;
+  inner[mapping.vec_loop] = shape.vec;
+
+  std::vector<const std::vector<std::int64_t>*> candidates(n);
+  std::int64_t pow2_space = 1;
+  std::int64_t brute_space = 1;
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::int64_t cap = ceil_div(nest.loop(l).trip, inner[l]);
+    candidates[l] = &cache.middles(cap, options.pow2_middle);
+    pow2_space *= static_cast<std::int64_t>(cache.pow2_covering(cap).size());
+    brute_space *= cap;
+  }
+  if (stats != nullptr) {
+    stats->reuse_space_pow2 += pow2_space;
+    stats->reuse_space_bruteforce += brute_space;
+  }
+
+  const std::int64_t lanes = shape.num_lanes();
+  const std::int64_t num_pes = shape.num_pes();
+  const std::int64_t bram_budget = static_cast<std::int64_t>(
+      options.max_bram_util * static_cast<double>(device.bram_blocks));
+
+  std::vector<std::int64_t> block(n, 0);
+  std::vector<std::int64_t> best_s;
+  const double eff = model.efficiency(inner);
+  double best_gops = -1.0;
+  double best_traffic = 0.0;
+  std::int64_t best_bram = 0;
+  std::int64_t evaluated = 0;
+
+  // DFS over middle bounds. BRAM is monotone non-decreasing in every s_l, so
+  // once a prefix with all-minimal suffix exceeds the budget, every larger
+  // choice at the current level can be skipped.
+  std::vector<std::int64_t> current(n, 1);
+  auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == n) {
+      for (std::size_t l = 0; l < n; ++l) block[l] = current[l] * inner[l];
+      const LeanModel::Eval eval = model.evaluate(block, eff, lanes, num_pes);
+      ++evaluated;
+      if (eval.bram_blocks > bram_budget) return;
+      // Maximize throughput; among ties, prefer the reuse strategy with the
+      // least total off-chip traffic ("balance data reuse and memory
+      // bandwidth", §2.3), then the smaller buffers.
+      const bool better =
+          best_s.empty() || eval.throughput_gops > best_gops + 1e-12 ||
+          (eval.throughput_gops > best_gops - 1e-12 &&
+           (eval.dram_traffic_bytes < best_traffic * (1.0 - 1e-12) ||
+            (eval.dram_traffic_bytes <= best_traffic * (1.0 + 1e-12) &&
+             eval.bram_blocks < best_bram)));
+      if (better) {
+        best_gops = eval.throughput_gops;
+        best_traffic = eval.dram_traffic_bytes;
+        best_bram = eval.bram_blocks;
+        best_s = current;
+      }
+      return;
+    }
+    for (const std::int64_t s : *candidates[depth]) {
+      current[depth] = s;
+      // Prune: lower-bound BRAM with minimal suffix.
+      for (std::size_t l = 0; l < n; ++l) {
+        block[l] = (l <= depth ? current[l] : 1) * inner[l];
+      }
+      const LeanModel::Eval lb = model.evaluate(block, eff, lanes, num_pes);
+      if (lb.bram_blocks > bram_budget) break;  // candidates are ascending
+      self(self, depth + 1);
+    }
+    current[depth] = 1;
+  };
+  dfs(dfs, 0);
+
+  if (stats != nullptr) stats->reuse_evaluated += evaluated;
+  if (best_s.empty()) return false;
+  *out = DesignPoint(nest, mapping, shape, std::move(best_s));
+  return true;
 }
 
 }  // namespace
 
 std::string DseStats::summary() const {
-  return strformat(
+  std::string out = strformat(
       "mappings %lld/%lld feasible; shapes %lld -> %lld after Eq.12 prune; "
       "reuse evaluated %lld (pow2 space %lld, brute-force space %lld); "
-      "phase1 %.2fs phase2 %.2fs",
+      "%lld work items on %d jobs; phase1 %.2fs (cpu %.2fs) phase2 %.2fs",
       static_cast<long long>(mappings_feasible),
       static_cast<long long>(mappings_candidates),
       static_cast<long long>(shapes_considered),
       static_cast<long long>(shapes_after_prune),
       static_cast<long long>(reuse_evaluated),
       static_cast<long long>(reuse_space_pow2),
-      static_cast<long long>(reuse_space_bruteforce), phase1_seconds,
-      phase2_seconds);
+      static_cast<long long>(reuse_space_bruteforce),
+      static_cast<long long>(work_items), jobs_used, phase1_seconds,
+      phase1_cpu_seconds, phase2_seconds);
+  if (util_relaxations > 0) {
+    out += strformat("; c_s relaxed %lldx to %.3f",
+                     static_cast<long long>(util_relaxations),
+                     effective_min_dsp_util);
+  }
+  return out;
 }
 
 const DseCandidate* DseResult::best() const {
@@ -225,86 +355,10 @@ bool DesignSpaceExplorer::best_reuse_strategy(const LoopNest& nest,
                                               const ArrayShape& shape,
                                               DesignPoint* out,
                                               DseStats* stats) const {
-  const std::size_t n = nest.num_loops();
-  std::vector<std::int64_t> inner(n, 1);
-  inner[mapping.row_loop] = shape.rows;
-  inner[mapping.col_loop] = shape.cols;
-  inner[mapping.vec_loop] = shape.vec;
-
-  std::vector<std::vector<std::int64_t>> candidates(n);
-  std::int64_t pow2_space = 1;
-  std::int64_t brute_space = 1;
-  for (std::size_t l = 0; l < n; ++l) {
-    candidates[l] =
-        middle_candidates(nest.loop(l).trip, inner[l], options_.pow2_middle);
-    pow2_space *= static_cast<std::int64_t>(
-        pow2_candidates_covering(ceil_div(nest.loop(l).trip, inner[l])).size());
-    brute_space *= ceil_div(nest.loop(l).trip, inner[l]);
-  }
-  if (stats != nullptr) {
-    stats->reuse_space_pow2 += pow2_space;
-    stats->reuse_space_bruteforce += brute_space;
-  }
-
   const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
-  const std::int64_t lanes = shape.num_lanes();
-  const std::int64_t num_pes = shape.num_pes();
-  const std::int64_t bram_budget = static_cast<std::int64_t>(
-      options_.max_bram_util * static_cast<double>(device_.bram_blocks));
-
-  std::vector<std::int64_t> block(n, 0);
-  std::vector<std::int64_t> best_s;
-  const double eff = model.efficiency(inner);
-  double best_gops = -1.0;
-  double best_traffic = 0.0;
-  std::int64_t best_bram = 0;
-  std::int64_t evaluated = 0;
-
-  // DFS over middle bounds. BRAM is monotone non-decreasing in every s_l, so
-  // once a prefix with all-minimal suffix exceeds the budget, every larger
-  // choice at the current level can be skipped.
-  std::vector<std::int64_t> current(n, 1);
-  auto dfs = [&](auto&& self, std::size_t depth) -> void {
-    if (depth == n) {
-      for (std::size_t l = 0; l < n; ++l) block[l] = current[l] * inner[l];
-      const LeanModel::Eval eval = model.evaluate(block, eff, lanes, num_pes);
-      ++evaluated;
-      if (eval.bram_blocks > bram_budget) return;
-      // Maximize throughput; among ties, prefer the reuse strategy with the
-      // least total off-chip traffic ("balance data reuse and memory
-      // bandwidth", §2.3), then the smaller buffers.
-      const bool better =
-          best_s.empty() || eval.throughput_gops > best_gops + 1e-12 ||
-          (eval.throughput_gops > best_gops - 1e-12 &&
-           (eval.dram_traffic_bytes < best_traffic * (1.0 - 1e-12) ||
-            (eval.dram_traffic_bytes <= best_traffic * (1.0 + 1e-12) &&
-             eval.bram_blocks < best_bram)));
-      if (better) {
-        best_gops = eval.throughput_gops;
-        best_traffic = eval.dram_traffic_bytes;
-        best_bram = eval.bram_blocks;
-        best_s = current;
-      }
-      return;
-    }
-    for (const std::int64_t s : candidates[depth]) {
-      current[depth] = s;
-      // Prune: lower-bound BRAM with minimal suffix.
-      for (std::size_t l = 0; l < n; ++l) {
-        block[l] = (l <= depth ? current[l] : 1) * inner[l];
-      }
-      const LeanModel::Eval lb = model.evaluate(block, eff, lanes, num_pes);
-      if (lb.bram_blocks > bram_budget) break;  // candidates are ascending
-      self(self, depth + 1);
-    }
-    current[depth] = 1;
-  };
-  dfs(dfs, 0);
-
-  if (stats != nullptr) stats->reuse_evaluated += evaluated;
-  if (best_s.empty()) return false;
-  *out = DesignPoint(nest, mapping, shape, std::move(best_s));
-  return true;
+  MiddleCandidateCache cache;
+  return best_reuse_impl(nest, model, device_, options_, mapping, shape, cache,
+                         out, stats);
 }
 
 std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
@@ -319,24 +373,70 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
       enumerate_feasible_mappings(nest, reuse);
   st->mappings_feasible += static_cast<std::int64_t>(mappings.size());
 
-  std::vector<DseCandidate> candidates;
+  // Flatten the sweep into (mapping, shape) work items so it can be
+  // partitioned across workers. Each worker evaluates its ranges into
+  // per-item slots and a per-worker stats block; the merge below reads slots
+  // in item order, so the candidate list entering the sort is byte-identical
+  // to the sequential sweep at any thread count (and integer stat counters
+  // sum commutatively).
+  std::vector<Phase1Item> items;
   for (const SystolicMapping& mapping : mappings) {
     const std::vector<ArrayShape> shapes = enumerate_shapes(
         nest, mapping, device_, dtype_, options_, &st->shapes_considered);
     st->shapes_after_prune += static_cast<std::int64_t>(shapes.size());
     for (const ArrayShape& shape : shapes) {
-      DesignPoint design;
-      if (!best_reuse_strategy(nest, mapping, shape, &design, st)) continue;
-      DseCandidate candidate;
-      candidate.design = design;
-      candidate.estimate = estimate_performance(nest, design, device_, dtype_,
-                                                options_.assumed_freq_mhz);
-      candidate.resources = model_resources(nest, design, device_, dtype_);
-      if (options_.enforce_soft_logic && !candidate.resources.report.fits()) {
-        continue;
-      }
-      candidates.push_back(std::move(candidate));
+      items.push_back(Phase1Item{&mapping, shape});
     }
+  }
+  st->work_items += static_cast<std::int64_t>(items.size());
+
+  const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
+  ThreadPool pool(options_.jobs);
+  st->jobs_used = pool.jobs();
+  const std::size_t workers = static_cast<std::size_t>(pool.jobs());
+  std::vector<std::optional<DseCandidate>> slots(items.size());
+  std::vector<DseStats> worker_stats(workers);
+  std::vector<MiddleCandidateCache> caches(workers);
+  std::vector<double> busy(workers, 0.0);
+
+  pool.for_each(
+      static_cast<std::int64_t>(items.size()),
+      [&](std::int64_t begin, std::int64_t end, int worker) {
+        const auto t0 = Clock::now();
+        DseStats& ws = worker_stats[static_cast<std::size_t>(worker)];
+        MiddleCandidateCache& cache = caches[static_cast<std::size_t>(worker)];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const Phase1Item& item = items[static_cast<std::size_t>(i)];
+          DesignPoint design;
+          if (!best_reuse_impl(nest, model, device_, options_, *item.mapping,
+                               item.shape, cache, &design, &ws)) {
+            continue;
+          }
+          DseCandidate candidate;
+          candidate.design = design;
+          candidate.estimate = estimate_performance(
+              nest, design, device_, dtype_, options_.assumed_freq_mhz);
+          candidate.resources = model_resources(nest, design, device_, dtype_);
+          if (options_.enforce_soft_logic &&
+              !candidate.resources.report.fits()) {
+            continue;
+          }
+          slots[static_cast<std::size_t>(i)] = std::move(candidate);
+        }
+        busy[static_cast<std::size_t>(worker)] += seconds_since(t0);
+      });
+
+  for (const DseStats& ws : worker_stats) {
+    st->reuse_evaluated += ws.reuse_evaluated;
+    st->reuse_space_pow2 += ws.reuse_space_pow2;
+    st->reuse_space_bruteforce += ws.reuse_space_bruteforce;
+  }
+  for (const double b : busy) st->phase1_cpu_seconds += b;
+
+  std::vector<DseCandidate> candidates;
+  candidates.reserve(items.size());
+  for (std::optional<DseCandidate>& slot : slots) {
+    if (slot.has_value()) candidates.push_back(std::move(*slot));
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const DseCandidate& a, const DseCandidate& b) {
@@ -352,16 +452,27 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
 void DesignSpaceExplorer::run_phase2(const LoopNest& nest,
                                      std::vector<DseCandidate>& candidates)
     const {
-  for (DseCandidate& candidate : candidates) {
-    candidate.realized_freq_mhz = pseudo_pnr_frequency_mhz(
-        device_, candidate.resources.report, candidate.design.signature());
-    candidate.realized = estimate_performance(
-        nest, candidate.design, device_, dtype_, candidate.realized_freq_mhz);
-  }
+  // Each candidate's pseudo-P&R is independent and written in place, so the
+  // parallel sweep is trivially order-insensitive.
+  ThreadPool pool(options_.jobs);
+  pool.for_each(static_cast<std::int64_t>(candidates.size()),
+                [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    DseCandidate& candidate =
+                        candidates[static_cast<std::size_t>(i)];
+                    candidate.realized_freq_mhz = pseudo_pnr_frequency_mhz(
+                        device_, candidate.resources.report,
+                        candidate.design.signature());
+                    candidate.realized = estimate_performance(
+                        nest, candidate.design, device_, dtype_,
+                        candidate.realized_freq_mhz);
+                  }
+                });
 }
 
 DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
   DseResult result;
+  result.stats.effective_min_dsp_util = options_.min_dsp_util;
   std::vector<DseCandidate> all = enumerate_phase1(nest, &result.stats);
   if (all.empty() && options_.auto_relax_util && options_.min_dsp_util > 0.0) {
     // The utilization floor excluded every feasible shape (tiny layer or
@@ -369,14 +480,17 @@ DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
     DseOptions relaxed = options_;
     while (all.empty() && relaxed.min_dsp_util > 1e-3) {
       relaxed.min_dsp_util /= 2.0;
+      ++result.stats.util_relaxations;
       const DesignSpaceExplorer retry(device_, dtype_, relaxed);
       all = retry.enumerate_phase1(nest, &result.stats);
     }
     if (all.empty()) {
       relaxed.min_dsp_util = 0.0;
+      ++result.stats.util_relaxations;
       const DesignSpaceExplorer retry(device_, dtype_, relaxed);
       all = retry.enumerate_phase1(nest, &result.stats);
     }
+    result.stats.effective_min_dsp_util = relaxed.min_dsp_util;
   }
   const std::size_t keep =
       std::min<std::size_t>(all.size(), static_cast<std::size_t>(options_.top_k));
@@ -384,7 +498,11 @@ DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
 
   const auto start = Clock::now();
   run_phase2(nest, result.top);
-  result.stats.phase2_seconds += seconds_since(start);
+  const double phase2_wall = seconds_since(start);
+  result.stats.phase2_seconds += phase2_wall;
+  // Phase 2 has no per-worker timers; its busy time is ~the wall time of the
+  // sweep itself (the top-K list is short).
+  result.stats.phase2_cpu_seconds += phase2_wall;
   return result;
 }
 

@@ -59,6 +59,12 @@ struct DseOptions {
   /// this layer/device), halve the floor and retry until a design appears or
   /// the floor reaches zero. Keeps the push-button flow push-button.
   bool auto_relax_util = true;
+
+  /// Worker threads for the phase-1 sweep and phase-2 re-ranking. 0 resolves
+  /// through the SASYNTH_JOBS environment variable, then hardware
+  /// concurrency; 1 forces the serial path. Results are bit-identical at any
+  /// value (deterministic merge).
+  int jobs = 0;
 };
 
 /// One explored design with its phase-1 estimate and (after phase 2) its
@@ -86,8 +92,21 @@ struct DseStats {
   std::int64_t reuse_space_bruteforce = 0;
   /// Size of the pow2-restricted reuse space before BRAM pruning.
   std::int64_t reuse_space_pow2 = 0;
-  double phase1_seconds = 0.0;
-  double phase2_seconds = 0.0;
+  /// (mapping, shape) work items dispatched to the phase-1 sweep.
+  std::int64_t work_items = 0;
+  /// auto_relax_util floor halvings taken before a design appeared.
+  std::int64_t util_relaxations = 0;
+  /// The c_s that actually produced the result (after any relaxation);
+  /// negative until explore() runs.
+  double effective_min_dsp_util = -1.0;
+  /// Resolved worker count of the last explore (0 until a sweep runs).
+  int jobs_used = 0;
+  double phase1_seconds = 0.0;      ///< wall time
+  double phase2_seconds = 0.0;      ///< wall time
+  /// Summed per-worker busy time — phase1_cpu_seconds / phase1_seconds
+  /// approximates the realized parallel speedup.
+  double phase1_cpu_seconds = 0.0;
+  double phase2_cpu_seconds = 0.0;
 
   std::string summary() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "core/mapping.h"
 #include "fpga/freq_model.h"
@@ -10,6 +11,7 @@
 #include "loopnest/reuse.h"
 #include "util/math_util.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sasynth {
 
@@ -124,34 +126,49 @@ UnifiedDesign select_unified_design(const Network& net,
   const DseOptions& dse = options.dse;
   const double freq = dse.assumed_freq_mhz;
 
+  // One pool serves both stages. Determinism at any thread count comes from
+  // indexed result slots: workers write only their own items, and every
+  // merge below reads slots in item order — the same order the serial loops
+  // produced.
+  ThreadPool pool(options.jobs > 0 ? options.jobs : dse.jobs);
+
   // Stage 1: shortlist (mapping, shape) pairs by the compute-bound score
   // (sum of per-layer latencies assuming s = 1 efficiency — an optimistic
-  // but shape-faithful proxy).
+  // but shape-faithful proxy). Parallel over pairs; each body scores all
+  // layers for its pair.
   struct Scored {
     SystolicMapping mapping;
     ArrayShape shape;
     double score;  ///< aggregate compute-bound Gops
   };
-  std::vector<Scored> scored;
+  std::vector<std::pair<SystolicMapping, ArrayShape>> pairs;
   for (const SystolicMapping& mapping : mappings) {
     const std::vector<ArrayShape> shapes =
         enumerate_shapes(env, mapping, device, dtype, dse, nullptr);
-    for (const ArrayShape& shape : shapes) {
-      double latency_s = 0.0;
-      for (std::size_t i = 0; i < net.layers.size(); ++i) {
-        std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
-        const DesignPoint probe(nests[i], mapping, shape, std::move(ones));
-        const double eff = dsp_efficiency(nests[i], probe);
-        const double gops = eff * static_cast<double>(shape.num_lanes()) *
-                            2.0 * freq * 1e-3;
-        latency_s +=
-            static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
-      }
-      scored.push_back(Scored{
-          mapping, shape,
-          static_cast<double>(net.total_ops()) / latency_s * 1e-9});
-    }
+    for (const ArrayShape& shape : shapes) pairs.emplace_back(mapping, shape);
   }
+  std::vector<Scored> scored(pairs.size());
+  pool.for_each(
+      static_cast<std::int64_t>(pairs.size()),
+      [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+        for (std::int64_t p = begin; p < end; ++p) {
+          const SystolicMapping& mapping = pairs[static_cast<std::size_t>(p)].first;
+          const ArrayShape& shape = pairs[static_cast<std::size_t>(p)].second;
+          double latency_s = 0.0;
+          for (std::size_t i = 0; i < net.layers.size(); ++i) {
+            std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
+            const DesignPoint probe(nests[i], mapping, shape, std::move(ones));
+            const double eff = dsp_efficiency(nests[i], probe);
+            const double gops = eff * static_cast<double>(shape.num_lanes()) *
+                                2.0 * freq * 1e-3;
+            latency_s +=
+                static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
+          }
+          scored[static_cast<std::size_t>(p)] = Scored{
+              mapping, shape,
+              static_cast<double>(net.total_ops()) / latency_s * 1e-9};
+        }
+      });
   if (scored.empty()) return failure;
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
@@ -168,8 +185,11 @@ UnifiedDesign select_unified_design(const Network& net,
     double traffic = 0.0;
     std::int64_t max_bram = 0;
   };
-  std::vector<UnifiedCandidate> candidates;
-  for (std::size_t idx = 0; idx < shortlist; ++idx) {
+  // Stage 2 is the expensive half (a DFS over middle bounds re-evaluating
+  // every layer at each leaf); each shortlist entry is independent, so the
+  // entries fan out across the pool into per-entry slots.
+  std::vector<std::optional<UnifiedCandidate>> entry_best(shortlist);
+  auto search_entry = [&](std::size_t idx) {
     const SystolicMapping& mapping = scored[idx].mapping;
     const ArrayShape& shape = scored[idx].shape;
     const std::size_t n = env.num_loops();
@@ -230,7 +250,19 @@ UnifiedDesign select_unified_design(const Network& net,
       current[depth] = 1;
     };
     dfs(dfs, 0);
-    if (found) candidates.push_back(std::move(best));
+    if (found) entry_best[idx] = std::move(best);
+  };
+  pool.for_each(static_cast<std::int64_t>(shortlist),
+                [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    search_entry(static_cast<std::size_t>(i));
+                  }
+                });
+
+  std::vector<UnifiedCandidate> candidates;
+  candidates.reserve(shortlist);
+  for (std::optional<UnifiedCandidate>& e : entry_best) {
+    if (e.has_value()) candidates.push_back(std::move(*e));
   }
   if (candidates.empty()) return failure;
 

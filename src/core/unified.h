@@ -27,6 +27,10 @@ struct UnifiedOptions {
   /// (mapping, shape) pairs shortlisted by the compute-bound score before the
   /// expensive unified reuse search runs on them.
   int shape_shortlist = 48;
+  /// Worker threads for the shortlist scoring and per-entry unified reuse
+  /// searches. 0 follows dse.jobs (which itself falls back to SASYNTH_JOBS /
+  /// hardware concurrency). The selected design is identical at any value.
+  int jobs = 0;
 };
 
 /// Per-layer outcome of a unified design.

@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sasynth {
+
+int ThreadPool::env_jobs() {
+  const char* env = std::getenv("SASYNTH_JOBS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 1) return 0;
+  return static_cast<int>(std::min<long>(v, 1024));
+}
+
+int ThreadPool::resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const int env = env_jobs();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ == 1) return;  // inline mode: no threads, no queue
+  threads_.reserve(static_cast<std::size_t>(jobs_));
+  for (int w = 0; w < jobs_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_serial(std::int64_t count, const RangeBody& body) {
+  if (count > 0) body(0, count, 0);
+}
+
+void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
+                          std::int64_t chunk) {
+  if (count <= 0) return;
+  if (jobs_ == 1 || count == 1) {
+    run_serial(count, body);
+    return;
+  }
+  if (chunk <= 0) {
+    // ~8 ranges per worker amortizes queue traffic while keeping enough
+    // granules that one expensive item cannot straggle a whole partition.
+    chunk = std::max<std::int64_t>(1, count / (static_cast<std::int64_t>(jobs_) * 8));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    for (std::int64_t begin = 0; begin < count; begin += chunk) {
+      queue_.push_back(Range{begin, std::min(begin + chunk, count)});
+    }
+    body_ = &body;
+    first_error_ = nullptr;
+    inflight_ = 0;
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_ && queue_.empty()) return;
+    const Range range = queue_.back();
+    queue_.pop_back();
+    const RangeBody* body = body_;
+    ++inflight_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*body)(range.begin, range.end, worker);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    --inflight_;
+    if (queue_.empty() && inflight_ == 0) work_done_.notify_all();
+  }
+}
+
+}  // namespace sasynth

@@ -1,0 +1,75 @@
+// Fixed-size worker pool for data-parallel sweeps (the DSE's phase-1 hot
+// loop). Work is submitted as contiguous index ranges over [0, count): the
+// caller's body runs on whichever worker dequeues the range, so bodies must
+// tag results by item index (not worker identity) when output order matters.
+// Exceptions thrown by a body are captured and rethrown on the calling
+// thread after all workers drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sasynth {
+
+class ThreadPool {
+ public:
+  /// Body of a parallel loop: processes items [begin, end); `worker` is a
+  /// stable index in [0, jobs()) usable for thread-local accumulators.
+  using RangeBody =
+      std::function<void(std::int64_t begin, std::int64_t end, int worker)>;
+
+  /// jobs <= 0 resolves through resolve_jobs() (SASYNTH_JOBS env, then
+  /// hardware concurrency). jobs == 1 creates no threads at all: for_each
+  /// runs inline on the caller.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Resolved worker count (>= 1).
+  int jobs() const { return jobs_; }
+
+  /// Splits [0, count) into chunks of `chunk` items (0 picks a chunk that
+  /// yields ~8 ranges per worker for load balance), queues them, and blocks
+  /// until every range has run. Rethrows the first captured exception.
+  /// Not reentrant: one for_each at a time per pool.
+  void for_each(std::int64_t count, const RangeBody& body,
+                std::int64_t chunk = 0);
+
+  /// Worker count requested via the SASYNTH_JOBS environment variable, or 0
+  /// when unset/invalid.
+  static int env_jobs();
+
+  /// requested > 0 wins; otherwise SASYNTH_JOBS; otherwise
+  /// hardware_concurrency (at least 1).
+  static int resolve_jobs(int requested);
+
+ private:
+  struct Range {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+  void worker_loop(int worker);
+  void run_serial(std::int64_t count, const RangeBody& body);
+
+  int jobs_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Range> queue_;        ///< pending ranges of the active for_each
+  const RangeBody* body_ = nullptr; ///< active body (null when idle)
+  std::int64_t inflight_ = 0;       ///< ranges dequeued but not finished
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sasynth

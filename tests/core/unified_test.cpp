@@ -75,6 +75,27 @@ TEST(SelectUnified, TinyNetworkFindsValidDesign) {
   EXPECT_LE(result.resources.bram_blocks, tiny_test_device().bram_blocks);
 }
 
+TEST(SelectUnified, JobsSweepSelectsIdenticalDesign) {
+  // The shortlist scoring and per-entry reuse searches fan out across a
+  // thread pool; the selected design must not depend on the worker count.
+  const Network net = make_tiny_testnet();
+  UnifiedOptions options = fast_unified_options();
+  options.jobs = 1;
+  const UnifiedDesign serial = select_unified_design(
+      net, tiny_test_device(), DataType::kFloat32, options);
+  ASSERT_TRUE(serial.valid);
+  for (const int jobs : {2, 8}) {
+    options.jobs = jobs;
+    const UnifiedDesign parallel = select_unified_design(
+        net, tiny_test_device(), DataType::kFloat32, options);
+    ASSERT_TRUE(parallel.valid) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.design, serial.design) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.realized_freq_mhz, serial.realized_freq_mhz);
+    EXPECT_EQ(parallel.aggregate_gops, serial.aggregate_gops);
+    EXPECT_EQ(parallel.total_latency_ms, serial.total_latency_ms);
+  }
+}
+
 TEST(SelectUnified, BeatsNaiveTinyDesign) {
   // The selected design must be at least as good as an arbitrary small
   // hand-picked one under the same evaluation.

@@ -11,6 +11,8 @@
 //   --freq MHZ        phase-1 assumed clock (default 280)
 //   --min-util FRAC   Eq. 12 utilization floor c_s (default 0.8)
 //   --top-k N         candidates carried into pseudo-P&R (default 14)
+//   --jobs N          DSE worker threads (default: SASYNTH_JOBS env, then
+//                     hardware concurrency; results identical at any N)
 //   --out DIR         write params.h / addressing.h / systolic_conv.cl /
 //                     host.c / report.md
 //   --save-design F   write the chosen design point to F (sasynth-design v1)
@@ -51,6 +53,8 @@ using namespace sasynth;
                "  --freq MHZ      assumed phase-1 clock (default 280)\n"
                "  --min-util F    DSP utilization floor c_s (default 0.8)\n"
                "  --top-k N       phase-2 candidate count (default 14)\n"
+               "  --jobs N        DSE worker threads (0 = SASYNTH_JOBS env or "
+               "all cores)\n"
                "  --out DIR       write generated artifacts\n"
                "  --print-kernel  dump kernel source to stdout\n"
                "  --verbose       info logging\n");
@@ -130,6 +134,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--top-k") {
       options.dse.top_k = std::atoi(next_value("--top-k").c_str());
       if (options.dse.top_k < 1) usage("bad --top-k");
+    } else if (arg == "--jobs") {
+      options.dse.jobs = std::atoi(next_value("--jobs").c_str());
+      if (options.dse.jobs < 0) usage("bad --jobs");
     } else if (arg == "--out") {
       out_dir = next_value("--out");
     } else if (arg == "--save-design") {
