@@ -1,5 +1,6 @@
 #include "core/design_io.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/strings.h"
@@ -8,7 +9,19 @@ namespace sasynth {
 
 namespace {
 constexpr const char* kMagic = "sasynth-design v1";
+
+// Strict integer parse: the whole token must be a number, no silent
+// garbage->0 coercion (std::atoll would accept "12x" and "abc").
+bool parse_strict_int64(const std::string& token, std::int64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
 }
+}  // namespace
 
 std::string save_design_text(const DesignPoint& design) {
   std::string out = std::string(kMagic) + "\n";
@@ -80,9 +93,11 @@ DesignLoadResult load_design_text(const std::string& text,
     return fail("malformed shape line");
   }
   ArrayShape shape;
-  shape.rows = std::atoll(shape_parts[1].c_str());
-  shape.cols = std::atoll(shape_parts[2].c_str());
-  shape.vec = std::atoll(shape_parts[3].c_str());
+  if (!parse_strict_int64(shape_parts[1], &shape.rows) ||
+      !parse_strict_int64(shape_parts[2], &shape.cols) ||
+      !parse_strict_int64(shape_parts[3], &shape.vec)) {
+    return fail("shape extents must be integers");
+  }
   if (shape.rows < 1 || shape.cols < 1 || shape.vec < 1) {
     return fail("shape extents must be >= 1");
   }
@@ -97,7 +112,10 @@ DesignLoadResult load_design_text(const std::string& text,
   }
   std::vector<std::int64_t> middle;
   for (std::size_t p = 1; p < middle_parts.size(); ++p) {
-    const std::int64_t v = std::atoll(middle_parts[p].c_str());
+    std::int64_t v = 0;
+    if (!parse_strict_int64(middle_parts[p], &v)) {
+      return fail("middle bounds must be integers");
+    }
     if (v < 1) return fail("middle bounds must be >= 1");
     middle.push_back(v);
   }

@@ -96,4 +96,28 @@ FpgaDevice tiny_test_device() {
   return d;
 }
 
+bool parse_device_name(const std::string& name, FpgaDevice* out) {
+  const std::string lower = to_lower(name);
+  if (lower == "arria10_gt1150" || lower == "gt1150") {
+    *out = arria10_gt1150();
+  } else if (lower == "arria10_gx1150" || lower == "gx1150") {
+    *out = arria10_gx1150();
+  } else if (lower == "ku060") {
+    *out = xilinx_ku060();
+  } else if (lower == "vc709") {
+    *out = xilinx_vc709();
+  } else if (lower == "stratixv") {
+    *out = stratix_v();
+  } else if (lower == "tiny") {
+    *out = tiny_test_device();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* device_name_list() {
+  return "arria10_gt1150|arria10_gx1150|ku060|vc709|stratixv|tiny";
+}
+
 }  // namespace sasynth

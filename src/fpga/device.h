@@ -63,4 +63,12 @@ FpgaDevice stratix_v();
 /// A deliberately small device for tests (fast DSE, tight constraints).
 FpgaDevice tiny_test_device();
 
+/// Looks a device up by CLI/protocol name: "arria10_gt1150" (alias "gt1150"),
+/// "arria10_gx1150" ("gx1150"), "ku060", "vc709", "stratixv", "tiny".
+/// Case-insensitive; returns false on unknown names.
+bool parse_device_name(const std::string& name, FpgaDevice* out);
+
+/// The accepted names above, for usage/help text.
+const char* device_name_list();
+
 }  // namespace sasynth

@@ -1,0 +1,199 @@
+#include "serve/design_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/design_io.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+constexpr const char* kCacheMagic = "sasynth-cache v1";
+}
+
+DesignCache::DesignCache(std::string dir, std::size_t capacity)
+    : dir_(std::move(dir)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string DesignCache::entry_path(std::uint64_t key) const {
+  return dir_ + "/" + strformat("%016llx", static_cast<unsigned long long>(key)) +
+         ".design";
+}
+
+bool DesignCache::lookup(const std::string& canonical_request,
+                         const LoopNest& nest, DesignPoint* out) {
+  const std::uint64_t key = fnv1a64(canonical_request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.canonical == canonical_request) {
+    // Revalidate against this request's nest: a design cached for one nest
+    // must never leak into another (collision through the canonical check is
+    // impossible, but the nest check also guards callers passing mismatched
+    // canonical/nest pairs).
+    const std::string validation = it->second.design.validate(nest);
+    if (validation.empty()) {
+      *out = it->second.design;
+      touch(it->second, key);
+      ++stats_.hits;
+      return true;
+    }
+    SA_LOG_WARN << "design cache: in-memory entry invalid for nest ("
+                << validation << "), treating as miss";
+  }
+  if (!dir_.empty() && load_from_disk(key, canonical_request, nest, out)) {
+    // Promote to memory so a hot key stops paying disk I/O.
+    insert_locked(key, canonical_request, *out);
+    ++stats_.hits;
+    ++stats_.disk_hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void DesignCache::insert(const std::string& canonical_request,
+                         const DesignPoint& design) {
+  const std::uint64_t key = fnv1a64(canonical_request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(key, canonical_request, design);
+  ++stats_.insertions;
+  if (!dir_.empty()) store_to_disk(key, canonical_request, design);
+}
+
+void DesignCache::insert_locked(std::uint64_t key,
+                                const std::string& canonical_request,
+                                const DesignPoint& design) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.canonical = canonical_request;
+    it->second.design = design;
+    touch(it->second, key);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{canonical_request, design, lru_.begin()});
+}
+
+void DesignCache::touch(Entry& entry, std::uint64_t key) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+bool DesignCache::load_from_disk(std::uint64_t key,
+                                 const std::string& canonical_request,
+                                 const LoopNest& nest, DesignPoint* out) {
+  const std::string path = entry_path(key);
+  std::ifstream in(path);
+  if (!in) return false;  // no entry: a plain miss, not a failure
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto reject = [&](const char* why) {
+    ++stats_.load_failures;
+    SA_LOG_WARN << "design cache: discarding " << path << " (" << why
+                << "), falling back to a fresh DSE";
+    return false;
+  };
+
+  // Header, key, canonical request ("req " lines), then the design blob.
+  const std::vector<std::string> lines = split(text, '\n');
+  std::size_t i = 0;
+  auto next_line = [&]() -> std::string {
+    while (i < lines.size()) {
+      const std::string line = trim(lines[i++]);
+      if (!line.empty()) return line;
+    }
+    return "";
+  };
+  if (next_line() != kCacheMagic) return reject("bad magic");
+  const std::string key_line = next_line();
+  if (key_line != "key " + strformat("%016llx",
+                                     static_cast<unsigned long long>(key))) {
+    return reject("key mismatch");
+  }
+  std::string stored_canonical;
+  std::size_t design_start = i;
+  for (std::string line = next_line(); !line.empty(); line = next_line()) {
+    if (!starts_with(line, "req ")) {
+      design_start = i - 1;  // first non-req line opens the design blob
+      break;
+    }
+    stored_canonical += line.substr(4) + "\n";
+  }
+  // The req-line encoding is newline-normalized, so compare against the
+  // newline-terminated form of the caller's key.
+  std::string want = canonical_request;
+  if (!want.empty() && want.back() != '\n') want += '\n';
+  if (stored_canonical != want) {
+    return reject("canonical request mismatch (hash collision or stale file)");
+  }
+  std::string design_text;
+  for (std::size_t l = design_start; l < lines.size(); ++l) {
+    design_text += lines[l] + "\n";
+  }
+  const DesignLoadResult loaded = load_design_text(design_text, nest);
+  if (!loaded.ok) return reject(loaded.error.c_str());
+  *out = loaded.design;
+  return true;
+}
+
+void DesignCache::store_to_disk(std::uint64_t key,
+                                const std::string& canonical_request,
+                                const DesignPoint& design) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    SA_LOG_WARN << "design cache: cannot create " << dir_ << " ("
+                << ec.message() << "), running in-memory only";
+    return;
+  }
+  std::string text = std::string(kCacheMagic) + "\n";
+  text += "key " +
+          strformat("%016llx", static_cast<unsigned long long>(key)) + "\n";
+  for (const std::string& line : split(canonical_request, '\n')) {
+    if (!line.empty()) text += "req " + line + "\n";
+  }
+  text += save_design_text(design);
+
+  // Write-then-rename so a concurrent reader never observes a torn entry
+  // (and a crashed writer leaves at worst a stale .tmp, not a corrupt key).
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::trunc);
+    outf << text;
+    if (!outf) {
+      SA_LOG_WARN << "design cache: cannot write " << tmp;
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    SA_LOG_WARN << "design cache: cannot rename " << tmp << " -> " << path
+                << " (" << ec.message() << ")";
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+DesignCacheStats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DesignCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sasynth

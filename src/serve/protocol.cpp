@@ -1,0 +1,264 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "core/design_io.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+bool parse_int64(const std::string& token, std::int64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_bool(const std::string& token, bool* out) {
+  const std::string lower = to_lower(token);
+  if (lower == "1" || lower == "true" || lower == "on") {
+    *out = true;
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// One `option <key> <value>` setter. Returns an error message or "".
+std::string apply_option(ServeRequest* request, const std::string& key,
+                         const std::string& value) {
+  DseOptions& dse = request->dse;
+  auto want_double = [&](double* out, double lo, double hi) -> std::string {
+    double v = 0.0;
+    if (!parse_double(value, &v) || v < lo || v > hi) {
+      return "option " + key + ": bad value '" + value + "'";
+    }
+    *out = v;
+    return "";
+  };
+  auto want_int = [&](std::int64_t lo, std::int64_t hi,
+                      auto setter) -> std::string {
+    std::int64_t v = 0;
+    if (!parse_int64(value, &v) || v < lo || v > hi) {
+      return "option " + key + ": bad value '" + value + "'";
+    }
+    setter(v);
+    return "";
+  };
+  auto want_bool = [&](bool* out) -> std::string {
+    if (!parse_bool(value, out)) {
+      return "option " + key + ": bad value '" + value +
+             "' (expected 0/1/on/off/true/false)";
+    }
+    return "";
+  };
+
+  if (key == "freq") return want_double(&dse.assumed_freq_mhz, 1.0, 10000.0);
+  if (key == "min_util") return want_double(&dse.min_dsp_util, 0.0, 1.0);
+  if (key == "max_bram_util") return want_double(&dse.max_bram_util, 0.0, 100.0);
+  if (key == "top_k") {
+    return want_int(1, 1 << 20, [&](std::int64_t v) {
+      dse.top_k = static_cast<int>(v);
+    });
+  }
+  if (key == "max_rows") {
+    return want_int(1, 1 << 20, [&](std::int64_t v) { dse.max_rows = v; });
+  }
+  if (key == "max_cols") {
+    return want_int(1, 1 << 20, [&](std::int64_t v) { dse.max_cols = v; });
+  }
+  if (key == "max_vec") {
+    return want_int(1, 1 << 20, [&](std::int64_t v) { dse.max_vec = v; });
+  }
+  if (key == "jobs") {
+    return want_int(0, 1024, [&](std::int64_t v) {
+      dse.jobs = static_cast<int>(v);
+    });
+  }
+  if (key == "pow2_middle") return want_bool(&dse.pow2_middle);
+  if (key == "pow2_vec") return want_bool(&dse.pow2_vec_only);
+  if (key == "soft_logic") return want_bool(&dse.enforce_soft_logic);
+  if (key == "auto_relax") return want_bool(&dse.auto_relax_util);
+  return "unknown option '" + key + "'";
+}
+
+}  // namespace
+
+ServeRequest::ServeRequest() : device(arria10_gt1150()) {
+  // Serving default: one thread per request — the server parallelizes across
+  // requests, so a nested per-request sweep would only oversubscribe.
+  dse.jobs = 1;
+}
+
+bool parse_layer_fields(const std::string& spec, ConvLayerDesc* out,
+                        std::string* error) {
+  const std::vector<std::string> parts = split(spec, ',');
+  if (parts.size() < 5 || parts.size() > 7) {
+    *error = "layer expects I,O,R,C,K[,stride[,groups]]";
+    return false;
+  }
+  std::vector<std::int64_t> values;
+  for (const std::string& part : parts) {
+    std::int64_t v = 0;
+    if (!parse_int64(trim(part), &v) || v < 1) {
+      *error = "layer field '" + part + "' is not a positive integer";
+      return false;
+    }
+    values.push_back(v);
+  }
+  *out = make_conv("request_layer", values[0], values[1], values[2], values[4],
+                   parts.size() >= 6 ? values[5] : 1,
+                   parts.size() >= 7 ? values[6] : 1);
+  out->out_cols = values[3];
+  const std::string validation = out->validate();
+  if (!validation.empty()) {
+    *error = "invalid layer: " + validation;
+    return false;
+  }
+  return true;
+}
+
+ParsedRequest parse_request_block(const std::string& block) {
+  ParsedRequest result;
+  auto fail = [&](const std::string& msg) {
+    result.error = msg;
+    return result;
+  };
+
+  const std::vector<std::string> lines = split(block, '\n');
+  std::size_t i = 0;
+  auto next_line = [&]() -> std::string {
+    while (i < lines.size()) {
+      const std::string line = trim(lines[i++]);
+      if (!line.empty()) return line;
+    }
+    return "";
+  };
+
+  if (next_line() != kRequestMagic) {
+    return fail(std::string("missing '") + kRequestMagic + "' header");
+  }
+
+  bool have_layer = false;
+  for (std::string line = next_line(); !line.empty() && line != kBlockEnd;
+       line = next_line()) {
+    const std::vector<std::string> parts = split_ws(line);
+    const std::string& field = parts[0];
+    if (field == "layer") {
+      if (parts.size() != 2) return fail("layer expects one value");
+      std::string error;
+      if (!parse_layer_fields(parts[1], &result.request.layer, &error)) {
+        return fail(error);
+      }
+      have_layer = true;
+    } else if (field == "device") {
+      if (parts.size() != 2 ||
+          !parse_device_name(parts[1], &result.request.device)) {
+        return fail("unknown device (expected " +
+                    std::string(device_name_list()) + ")");
+      }
+    } else if (field == "dtype") {
+      if (parts.size() != 2 ||
+          !parse_data_type(parts[1], &result.request.dtype)) {
+        return fail("unknown dtype (expected float32|fixed8_16)");
+      }
+    } else if (field == "option") {
+      if (parts.size() != 3) return fail("option expects <key> <value>");
+      const std::string error =
+          apply_option(&result.request, parts[1], parts[2]);
+      if (!error.empty()) return fail(error);
+    } else {
+      return fail("unknown request field '" + field + "'");
+    }
+  }
+  if (!have_layer) return fail("request has no layer line");
+  result.ok = true;
+  return result;
+}
+
+std::string canonical_request_text(const ServeRequest& request) {
+  const ConvLayerDesc& l = request.layer;
+  const DseOptions& d = request.dse;
+  std::string out;
+  out += strformat("layer %lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+                   static_cast<long long>(l.in_maps),
+                   static_cast<long long>(l.out_maps),
+                   static_cast<long long>(l.out_rows),
+                   static_cast<long long>(l.out_cols),
+                   static_cast<long long>(l.kernel),
+                   static_cast<long long>(l.stride),
+                   static_cast<long long>(l.groups));
+  out += "device " + request.device.name + "\n";
+  out += "dtype " + data_type_name(request.dtype) + "\n";
+  out += strformat("freq %.17g\n", d.assumed_freq_mhz);
+  out += strformat("min_util %.17g\n", d.min_dsp_util);
+  out += strformat("pow2_middle %d\n", d.pow2_middle ? 1 : 0);
+  out += strformat("top_k %d\n", d.top_k);
+  out += strformat("max_rows %lld\n", static_cast<long long>(d.max_rows));
+  out += strformat("max_cols %lld\n", static_cast<long long>(d.max_cols));
+  out += strformat("max_vec %lld\n", static_cast<long long>(d.max_vec));
+  out += strformat("pow2_vec %d\n", d.pow2_vec_only ? 1 : 0);
+  out += strformat("max_bram_util %.17g\n", d.max_bram_util);
+  out += strformat("soft_logic %d\n", d.enforce_soft_logic ? 1 : 0);
+  out += strformat("auto_relax %d\n", d.auto_relax_util ? 1 : 0);
+  return out;
+}
+
+std::uint64_t request_cache_key(const ServeRequest& request) {
+  return fnv1a64(canonical_request_text(request));
+}
+
+std::string format_ok_response(const DesignPoint& design,
+                               const PerfEstimate& realized,
+                               const ResourceReport& resources,
+                               double latency_ms) {
+  std::string out = std::string(kResponseMagic) + " ok\n";
+  out += save_design_text(design);
+  out += strformat(
+      "perf freq_mhz=%.6f throughput_gops=%.6f latency_ms=%.6f "
+      "memory_bound=%d\n",
+      realized.freq_mhz, realized.throughput_gops, latency_ms,
+      realized.memory_bound ? 1 : 0);
+  out += strformat(
+      "resource dsp=%lld bram=%lld luts=%lld ffs=%lld dsp_util=%.6f "
+      "bram_util=%.6f logic_util=%.6f\n",
+      static_cast<long long>(resources.dsp_blocks),
+      static_cast<long long>(resources.bram_blocks),
+      static_cast<long long>(resources.luts),
+      static_cast<long long>(resources.ffs), resources.dsp_util,
+      resources.bram_util, resources.logic_util);
+  out += std::string(kBlockEnd) + "\n";
+  return out;
+}
+
+std::string format_error_response(const std::string& message) {
+  return std::string(kResponseMagic) + " error " + message + "\n" +
+         kBlockEnd + "\n";
+}
+
+std::string format_retry_response(const std::string& message) {
+  return std::string(kResponseMagic) + " retry " + message + "\n" + kBlockEnd +
+         "\n";
+}
+
+}  // namespace sasynth

@@ -1,0 +1,107 @@
+// Line-oriented request/response protocol of the synthesis service
+// (sasynthd), in the style of design_io's `sasynth-design v1` text format.
+//
+// A request is a block of lines:
+//
+//   sasynth-request v1
+//   layer I,O,R,C,K[,stride[,groups]]
+//   device <name>            (optional, default arria10_gt1150)
+//   dtype <name>             (optional, default float32)
+//   option <key> <value>     (optional, repeatable; see kOptionKeys below)
+//   end
+//
+// Outside a block, the bare commands `stats`, `ping` and `shutdown` are
+// recognized by the server session.
+//
+// A successful response carries the chosen design point (as an embeddable
+// `sasynth-design v1` blob), the predicted performance at the realized
+// pseudo-P&R clock, and the resource/timing summary:
+//
+//   sasynth-response v1 ok
+//   sasynth-design v1
+//   mapping row=<l> col=<l> vec=<l>
+//   shape <rows> <cols> <vec>
+//   middle <s_0> ... <s_n-1>
+//   perf freq_mhz=<f> throughput_gops=<f> latency_ms=<f> memory_bound=<0|1>
+//   resource dsp=<n> bram=<n> luts=<n> ffs=<n> dsp_util=<f> bram_util=<f> logic_util=<f>
+//   end
+//
+// Responses are a pure function of the request: cache state, worker count and
+// request interleaving never change a single byte (the serve determinism
+// tests assert this), so whether an answer came from the DesignCache or a
+// fresh DSE is reported only through logs and the `stats` command.
+//
+// Failure responses are single-line verdicts:
+//
+//   sasynth-response v1 error <message>     (malformed request, no design)
+//   sasynth-response v1 retry <message>     (admission queue full; back off)
+//
+// followed by `end`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_point.h"
+#include "core/dse.h"
+#include "core/perf_model.h"
+#include "fpga/datatype.h"
+#include "fpga/device.h"
+#include "fpga/synth.h"
+#include "nn/layer.h"
+
+namespace sasynth {
+
+/// Protocol line markers.
+inline constexpr const char* kRequestMagic = "sasynth-request v1";
+inline constexpr const char* kResponseMagic = "sasynth-response v1";
+inline constexpr const char* kStatsMagic = "sasynth-stats v1";
+inline constexpr const char* kBlockEnd = "end";
+
+/// One synthesis request, fully resolved (defaults applied).
+struct ServeRequest {
+  ConvLayerDesc layer;
+  FpgaDevice device;
+  DataType dtype = DataType::kFloat32;
+  DseOptions dse;
+
+  ServeRequest();
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  std::string error;
+  ServeRequest request;
+};
+
+/// Parses "I,O,R,C,K[,stride[,groups]]" (positive integers). Shared by the
+/// protocol and sasynth_cli's --layer flag.
+bool parse_layer_fields(const std::string& spec, ConvLayerDesc* out,
+                        std::string* error);
+
+/// Parses a full request block (with or without the trailing `end`).
+/// Never throws; unknown fields, unknown option keys and out-of-range values
+/// all produce ok=false with a message.
+ParsedRequest parse_request_block(const std::string& block);
+
+/// Canonical text form of the complete request tuple
+/// (layer, device, dtype, options) — the DesignCache key material. Every
+/// option is rendered explicitly (a request omitting an option hashes equal
+/// to one spelling out the default), in a fixed order with %.17g doubles.
+/// `dse.jobs` is deliberately excluded: worker count never changes results
+/// (PR 1's determinism guarantee), so it must not fragment the cache.
+std::string canonical_request_text(const ServeRequest& request);
+
+/// FNV-1a (util/rng.h) key of the canonical text.
+std::uint64_t request_cache_key(const ServeRequest& request);
+
+/// Response formatters. All output ends with "end\n".
+std::string format_ok_response(const DesignPoint& design,
+                               const PerfEstimate& realized,
+                               const ResourceReport& resources,
+                               double latency_ms);
+std::string format_error_response(const std::string& message);
+std::string format_retry_response(const std::string& message);
+
+}  // namespace sasynth

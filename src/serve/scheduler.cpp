@@ -1,0 +1,50 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sasynth {
+
+RequestScheduler::RequestScheduler(int jobs, std::int64_t queue_limit)
+    : queue_limit_(std::max<std::int64_t>(1, queue_limit)), pool_(jobs) {}
+
+bool RequestScheduler::try_submit(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_ >= queue_limit_) {
+      ++rejected_;
+      return false;
+    }
+    ++pending_;
+    high_water_ = std::max(high_water_, pending_);
+  }
+  pool_.submit([this, work = std::move(work)] {
+    work();
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    idle_.notify_all();
+  });
+  return true;
+}
+
+void RequestScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::int64_t RequestScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+std::int64_t RequestScheduler::high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+std::int64_t RequestScheduler::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace sasynth

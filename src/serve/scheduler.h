@@ -1,0 +1,63 @@
+// Bounded-admission request scheduler: the concurrency layer between a
+// protocol session and the DSE.
+//
+// Accepted work fans out onto the existing sasynth::ThreadPool (task mode,
+// PR 1). Admission is bounded: once `queue_limit` requests are in flight
+// (queued or executing), try_submit refuses and the session answers with a
+// retry-hint response instead of buffering unboundedly — explicit
+// backpressure, the client decides when to come back. drain() blocks until
+// every accepted request has finished; sessions call it before `stats`,
+// `shutdown` and at EOF so counters are settled and shutdown is graceful.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace sasynth {
+
+class RequestScheduler {
+ public:
+  /// `jobs` resolves like ThreadPool (0 = SASYNTH_JOBS env, then hardware);
+  /// 1 runs every request inline on the submitting session thread.
+  /// `queue_limit` < 1 is clamped to 1.
+  RequestScheduler(int jobs, std::int64_t queue_limit);
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Runs `work` on a pool worker. Returns false — without queuing — when
+  /// the admission queue is full.
+  bool try_submit(std::function<void()> work);
+
+  /// Blocks until every accepted work item has completed.
+  void drain();
+
+  int jobs() const { return pool_.jobs(); }
+  std::int64_t queue_limit() const { return queue_limit_; }
+
+  /// Accepted-but-unfinished request count right now.
+  std::int64_t pending() const;
+
+  /// Highest pending() ever observed (the queue-depth high-water counter).
+  std::int64_t high_water() const;
+
+  /// try_submit refusals.
+  std::int64_t rejected() const;
+
+ private:
+  std::int64_t queue_limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::int64_t pending_ = 0;
+  std::int64_t high_water_ = 0;
+  std::int64_t rejected_ = 0;
+  // Declared last: workers may still touch the fields above while the pool
+  // drains during destruction.
+  ThreadPool pool_;
+};
+
+}  // namespace sasynth

@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "fpga/freq_model.h"
+#include "loopnest/conv_nest.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sasynth {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t elapsed_us(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+void bump_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t seen = slot.load();
+  while (value > seen && !slot.compare_exchange_weak(seen, value)) {
+  }
+}
+
+}  // namespace
+
+SynthServer::SynthServer(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_enabled ? options_.cache_dir : std::string(),
+             options_.cache_capacity),
+      scheduler_(options_.jobs, options_.queue_limit) {}
+
+std::string SynthServer::handle(const std::string& request_block) {
+  const Clock::time_point start = Clock::now();
+  counters_.requests.fetch_add(1);
+
+  const ParsedRequest parsed = parse_request_block(request_block);
+  if (!parsed.ok) {
+    counters_.errors.fetch_add(1);
+    return format_error_response(parsed.error);
+  }
+  const ServeRequest& request = parsed.request;
+  const LoopNest nest = build_conv_nest(request.layer);
+  const std::string canonical = canonical_request_text(request);
+
+  DesignPoint design;
+  bool have_design =
+      options_.cache_enabled && cache_.lookup(canonical, nest, &design);
+  if (have_design) {
+    SA_LOG_INFO << "cache hit key="
+                << strformat("%016llx", static_cast<unsigned long long>(
+                                            fnv1a64(canonical)))
+                << " layer=" << request.layer.summary();
+  } else {
+    const DesignSpaceExplorer explorer(request.device, request.dtype,
+                                       request.dse);
+    const DseResult result = explorer.explore(nest);
+    counters_.dse_runs.fetch_add(1);
+    counters_.dse_work_items.fetch_add(result.stats.work_items);
+    if (result.empty()) {
+      counters_.errors.fetch_add(1);
+      return format_error_response(
+          "design space exploration found no valid design for this "
+          "layer/device");
+    }
+    design = result.best()->design;
+    have_design = true;
+    if (options_.cache_enabled) cache_.insert(canonical, design);
+    SA_LOG_INFO << "cache miss, explored " << result.stats.work_items
+                << " work items, layer=" << request.layer.summary();
+  }
+
+  // Both paths re-derive the reported numbers from (request, design) with
+  // the deterministic models, so a cached response is byte-identical to a
+  // freshly explored one.
+  const ResourceUsage resources =
+      model_resources(nest, design, request.device, request.dtype);
+  const double realized_freq = pseudo_pnr_frequency_mhz(
+      request.device, resources.report, design.signature());
+  const PerfEstimate realized = estimate_performance(
+      nest, design, request.device, request.dtype, realized_freq);
+  const double latency_ms = layer_latency_ms(request.layer, realized);
+
+  counters_.ok.fetch_add(1);
+  const std::int64_t us = elapsed_us(start);
+  counters_.wall_us_total.fetch_add(us);
+  bump_max(counters_.wall_us_max, us);
+  return format_ok_response(design, realized, resources.report, latency_ms);
+}
+
+std::string SynthServer::stats_text() const {
+  const DesignCacheStats cache = cache_.stats();
+  std::string out = std::string(kStatsMagic) + "\n";
+  auto line = [&out](const char* name, long long v) {
+    out += strformat("%s %lld\n", name, v);
+  };
+  line("requests", counters_.requests.load());
+  line("ok", counters_.ok.load());
+  line("errors", counters_.errors.load());
+  line("rejected", counters_.rejected.load());
+  line("commands", counters_.commands.load());
+  line("cache_hits", cache.hits);
+  line("cache_misses", cache.misses);
+  line("cache_disk_hits", cache.disk_hits);
+  line("cache_load_failures", cache.load_failures);
+  line("cache_insertions", cache.insertions);
+  line("cache_evictions", cache.evictions);
+  line("cache_entries", static_cast<long long>(cache_.size()));
+  line("dse_runs", counters_.dse_runs.load());
+  line("dse_work_items", counters_.dse_work_items.load());
+  line("queue_depth_high_water", scheduler_.high_water());
+  line("queue_limit", scheduler_.queue_limit());
+  line("jobs", scheduler_.jobs());
+  out += strformat("wall_ms_total %.3f\n",
+                   static_cast<double>(counters_.wall_us_total.load()) / 1000.0);
+  out += strformat("wall_ms_max %.3f\n",
+                   static_cast<double>(counters_.wall_us_max.load()) / 1000.0);
+  out += std::string(kBlockEnd) + "\n";
+  return out;
+}
+
+void SynthServer::serve(const LineSource& read_line,
+                        const ResponseSink& write_response) {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::map<std::uint64_t, std::string> ready;  ///< seq -> finished response
+  std::uint64_t next_seq = 0;                  ///< session thread only
+  std::uint64_t next_emit = 0;
+  bool done = false;
+
+  auto post = [&](std::uint64_t seq, std::string response) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ready.emplace(seq, std::move(response));
+    }
+    ready_cv.notify_all();
+  };
+
+  // Sole writer: emits responses strictly in request order, as soon as each
+  // one is ready (a session must not sit on a finished response while the
+  // reader blocks on the next line).
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      ready_cv.wait(lock,
+                    [&] { return done || ready.count(next_emit) > 0; });
+      while (true) {
+        const auto it = ready.find(next_emit);
+        if (it == ready.end()) break;
+        std::string text = std::move(it->second);
+        ready.erase(it);
+        ++next_emit;
+        lock.unlock();
+        write_response(text);
+        lock.lock();
+      }
+      if (done && ready.empty()) return;
+    }
+  });
+
+  std::string line;
+  while (!stop_.load() && read_line(&line)) {
+    const std::string command = trim(line);
+    if (command.empty()) continue;
+
+    if (command == kRequestMagic) {
+      std::string block = command + "\n";
+      while (read_line(&line)) {
+        block += line + "\n";
+        if (trim(line) == kBlockEnd) break;
+      }
+      const std::uint64_t seq = next_seq++;
+      const bool accepted = scheduler_.try_submit(
+          [this, &post, seq, block = std::move(block)] {
+            post(seq, handle(block));
+          });
+      if (!accepted) {
+        counters_.requests.fetch_add(1);
+        counters_.rejected.fetch_add(1);
+        post(seq, format_retry_response(strformat(
+                      "admission queue full (%lld in flight), retry later",
+                      static_cast<long long>(scheduler_.queue_limit()))));
+      }
+    } else if (command == "stats") {
+      counters_.commands.fetch_add(1);
+      scheduler_.drain();  // settle counters before reporting
+      post(next_seq++, stats_text());
+    } else if (command == "ping") {
+      counters_.commands.fetch_add(1);
+      post(next_seq++, "sasynth-pong v1\nend\n");
+    } else if (command == "shutdown") {
+      counters_.commands.fetch_add(1);
+      stop_.store(true);
+      scheduler_.drain();  // graceful: finish accepted work first
+      post(next_seq++, "sasynth-bye v1\nend\n");
+      break;
+    } else {
+      counters_.errors.fetch_add(1);
+      post(next_seq++,
+           format_error_response("unknown command '" + command + "'"));
+    }
+  }
+
+  scheduler_.drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+  }
+  ready_cv.notify_all();
+  writer.join();
+}
+
+}  // namespace sasynth

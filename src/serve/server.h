@@ -1,0 +1,93 @@
+// The synthesis server: protocol sessions + DesignCache + scheduler +
+// counters, behind any line-based transport (stdio, TCP, tests).
+//
+// One SynthServer is shared by every session of a deployment: the cache, the
+// admission queue and the counters are global, while each serve() call runs
+// its own session (request framing, ordered responses, its own writer
+// thread). handle() — the per-request unit — is thread-safe and a pure
+// function of the request text, so responses are byte-identical regardless
+// of worker count, interleaving, or cache state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/design_cache.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace sasynth {
+
+struct ServeOptions {
+  /// Worker threads shared by all sessions (ThreadPool resolution rules;
+  /// 1 = inline, deterministic single-thread serving).
+  int jobs = 0;
+  /// Admission bound: in-flight requests beyond this are refused with a
+  /// retry response instead of queuing (explicit backpressure).
+  std::int64_t queue_limit = 64;
+  bool cache_enabled = true;
+  /// On-disk store directory; empty = in-memory LRU only.
+  std::string cache_dir;
+  std::size_t cache_capacity = 1024;
+};
+
+/// Monotonic per-server counters, exposed through the `stats` command.
+struct ServerCounters {
+  std::atomic<std::int64_t> requests{0};   ///< request blocks received
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> errors{0};
+  std::atomic<std::int64_t> rejected{0};   ///< backpressure refusals
+  std::atomic<std::int64_t> commands{0};   ///< stats/ping/shutdown lines
+  std::atomic<std::int64_t> dse_runs{0};
+  /// Sum of DseStats::work_items over all fresh explorations — the flatness
+  /// of this counter across a warm-cache replay is the proof that cache hits
+  /// never re-enter enumerate_phase1.
+  std::atomic<std::int64_t> dse_work_items{0};
+  std::atomic<std::int64_t> wall_us_total{0};  ///< per-request wall time, summed
+  std::atomic<std::int64_t> wall_us_max{0};
+};
+
+class SynthServer {
+ public:
+  using LineSource = std::function<bool(std::string*)>;
+  using ResponseSink = std::function<void(const std::string&)>;
+
+  explicit SynthServer(ServeOptions options);
+
+  /// Handles one request block synchronously: parse -> cache lookup ->
+  /// (on miss) two-phase DSE + cache insert -> evaluate models -> format.
+  /// Returns the full response text. Thread-safe.
+  std::string handle(const std::string& request_block);
+
+  /// Runs one session: frames request blocks and commands from `read_line`
+  /// (false = EOF), fans requests through the scheduler, and emits responses
+  /// through `write_response` in request order from a dedicated writer
+  /// thread. Returns after EOF or `shutdown`, with all accepted work drained
+  /// and flushed. Multiple sessions may run concurrently on one server.
+  void serve(const LineSource& read_line, const ResponseSink& write_response);
+
+  /// `stats` command payload (drained sessions make it deterministic up to
+  /// wall-clock fields).
+  std::string stats_text() const;
+
+  /// True once any session processed `shutdown` — transports stop accepting.
+  bool stop_requested() const { return stop_.load(); }
+
+  const ServeOptions& options() const { return options_; }
+  const ServerCounters& counters() const { return counters_; }
+  DesignCache& cache() { return cache_; }
+  RequestScheduler& scheduler() { return scheduler_; }
+
+ private:
+  ServeOptions options_;
+  DesignCache cache_;
+  ServerCounters counters_;
+  std::atomic<bool> stop_{false};
+  // Declared last so in-flight request lambdas (which touch the members
+  // above) finish before anything else is torn down.
+  RequestScheduler scheduler_;
+};
+
+}  // namespace sasynth

@@ -1,0 +1,113 @@
+#include "serve/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sasynth {
+
+TcpListener::~TcpListener() { close_listener(); }
+
+bool TcpListener::listen_on(int port, std::string* error) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    close_listener();
+    return false;
+  }
+  if (::listen(fd_, 16) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    close_listener();
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+int TcpListener::accept_client() {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return client;
+    if (errno == EINTR) continue;
+    return -1;  // listener closed or fatal
+  }
+}
+
+void TcpListener::close_listener() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a thread parked in accept() before close().
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FdLineReader::read_line(std::string* out) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *out = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      *out = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+    } else if (n == 0) {
+      eof_ = true;
+    } else {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+}
+
+bool write_all_fd(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void serve_fd_session(SynthServer& server, int fd) {
+  FdLineReader reader(fd);
+  server.serve([&reader](std::string* line) { return reader.read_line(line); },
+               [fd](const std::string& response) {
+                 (void)write_all_fd(fd, response);
+               });
+  ::close(fd);
+}
+
+}  // namespace sasynth

@@ -1,0 +1,65 @@
+// Minimal POSIX TCP transport for the synthesis service.
+//
+// The daemon binds the loopback interface only: sasynthd speaks an
+// unauthenticated text protocol, so exposure beyond the host is a deployment
+// decision (front it with a real ingress), not a default. Port 0 binds an
+// ephemeral port, reported by port() — which is also how tests run a real
+// client/server pair without colliding.
+#pragma once
+
+#include <string>
+
+#include "serve/server.h"
+
+namespace sasynth {
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and listens. On failure returns
+  /// false with a message in `error`.
+  bool listen_on(int port, std::string* error);
+
+  /// The bound port (valid after listen_on succeeds).
+  int port() const { return port_; }
+
+  /// Blocks for the next client; returns its fd, or -1 once the listener is
+  /// closed (the shutdown path) or on a fatal error.
+  int accept_client();
+
+  /// Closes the listening socket; unblocks accept_client. Idempotent.
+  void close_listener();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Buffered line reader over a socket/pipe fd. Lines are '\n'-terminated;
+/// a trailing unterminated line is delivered at EOF.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// False at EOF or on a read error.
+  bool read_line(std::string* out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Writes all of `data` to `fd`; false on error.
+bool write_all_fd(int fd, const std::string& data);
+
+/// Runs one server session over a connected socket and closes it. Shared by
+/// the daemon's connection threads and the TCP tests.
+void serve_fd_session(SynthServer& server, int fd);
+
+}  // namespace sasynth

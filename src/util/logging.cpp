@@ -22,7 +22,8 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
-LogLevel parse_log_level(const std::string& name) {
+LogLevel parse_log_level(const std::string& name, bool* recognized) {
+  *recognized = true;
   std::string lower;
   lower.reserve(name.size());
   for (const char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
@@ -31,7 +32,19 @@ LogLevel parse_log_level(const std::string& name) {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none") return LogLevel::kOff;
+  *recognized = false;
   return LogLevel::kInfo;
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  bool recognized = false;
+  const LogLevel level = parse_log_level(name, &recognized);
+  if (!recognized) {
+    SA_LOG_WARN << "unrecognized log level '" << name
+                << "', falling back to info "
+                << "(expected debug|info|warn|error|off)";
+  }
+  return level;
 }
 
 const char* log_level_name(LogLevel level) {

@@ -17,8 +17,14 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
-/// Returns kInfo for unrecognized names.
+/// Unrecognized names fall back to kInfo; the single-argument form emits a
+/// warning when that happens (a silently wrong --log-level in a serving
+/// deployment is exactly the misconfiguration that goes unnoticed).
 LogLevel parse_log_level(const std::string& name);
+
+/// As above, but reports whether `name` was recognized instead of warning;
+/// `recognized` must be non-null.
+LogLevel parse_log_level(const std::string& name, bool* recognized);
 
 const char* log_level_name(LogLevel level);
 

@@ -77,26 +77,66 @@ void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (jobs_ == 1) {
+    // Inline mode: run on the caller so single-threaded flows stay
+    // deterministic and need no synchronization.
+    try {
+      task();
+    } catch (...) {
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_tasks() {
+  if (jobs_ == 1) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return tasks_.empty() && task_inflight_ == 0; });
+}
+
 void ThreadPool::worker_loop(int worker) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (shutdown_ && queue_.empty()) return;
-    const Range range = queue_.back();
-    queue_.pop_back();
-    const RangeBody* body = body_;
-    ++inflight_;
+    work_ready_.wait(lock, [this] {
+      return shutdown_ || !queue_.empty() || !tasks_.empty();
+    });
+    if (shutdown_ && queue_.empty() && tasks_.empty()) return;
+    if (!queue_.empty()) {
+      const Range range = queue_.back();
+      queue_.pop_back();
+      const RangeBody* body = body_;
+      ++inflight_;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*body)(range.begin, range.end, worker);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+      --inflight_;
+      if (queue_.empty() && inflight_ == 0) work_done_.notify_all();
+      continue;
+    }
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++task_inflight_;
     lock.unlock();
-    std::exception_ptr err;
     try {
-      (*body)(range.begin, range.end, worker);
+      task();
     } catch (...) {
-      err = std::current_exception();
+      // Submitted tasks own their errors (for_each keeps rethrow semantics).
     }
     lock.lock();
-    if (err && !first_error_) first_error_ = err;
-    --inflight_;
-    if (queue_.empty() && inflight_ == 0) work_done_.notify_all();
+    --task_inflight_;
+    if (tasks_.empty() && task_inflight_ == 0) work_done_.notify_all();
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -42,6 +43,17 @@ class ThreadPool {
   void for_each(std::int64_t count, const RangeBody& body,
                 std::int64_t chunk = 0);
 
+  /// Queues a one-off task for any worker (FIFO). In inline mode
+  /// (jobs() == 1) the task runs immediately on the caller, which keeps
+  /// single-threaded servers deterministic. Tasks own their errors: an
+  /// exception escaping a task is swallowed, not rethrown (unlike for_each).
+  /// A task must not call for_each, submit, or wait_tasks on its own pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task queued via submit() has finished. Independent
+  /// of for_each (ranges and tasks are tracked separately).
+  void wait_tasks();
+
   /// Worker count requested via the SASYNTH_JOBS environment variable, or 0
   /// when unset/invalid.
   static int env_jobs();
@@ -68,6 +80,8 @@ class ThreadPool {
   std::vector<Range> queue_;        ///< pending ranges of the active for_each
   const RangeBody* body_ = nullptr; ///< active body (null when idle)
   std::int64_t inflight_ = 0;       ///< ranges dequeued but not finished
+  std::deque<std::function<void()>> tasks_;  ///< pending submit() tasks
+  std::int64_t task_inflight_ = 0;  ///< tasks dequeued but not finished
   std::exception_ptr first_error_;
   bool shutdown_ = false;
 };

@@ -44,6 +44,48 @@ TEST_F(DesignIoTest, ToleratesBlankLines) {
   EXPECT_TRUE(load_design_text(text, nest_).ok);
 }
 
+// Every byte-prefix of a valid blob either loads the complete design or
+// fails cleanly — never a crash, never a partially-populated design.
+TEST_F(DesignIoTest, TruncationSweepNeverYieldsPartialDesign) {
+  const DesignPoint original = sys1();
+  const std::string text = save_design_text(original);
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    const DesignLoadResult result = load_design_text(text.substr(0, len), nest_);
+    if (result.ok) {
+      EXPECT_EQ(result.design, original) << "prefix length " << len;
+    } else {
+      EXPECT_FALSE(result.error.empty()) << "prefix length " << len;
+    }
+  }
+  // The full blob (and the full blob minus the trailing newline) round-trip.
+  EXPECT_TRUE(load_design_text(text, nest_).ok);
+  EXPECT_TRUE(load_design_text(text.substr(0, text.size() - 1), nest_).ok);
+}
+
+TEST_F(DesignIoTest, WrongFieldOrderRejected) {
+  // Same lines as a valid blob, shape/mapping swapped.
+  const std::string text =
+      "sasynth-design v1\n"
+      "shape 11 13 8\n"
+      "mapping row=0 col=2 vec=1\n"
+      "middle 4 4 1 13 3 3\n";
+  const DesignLoadResult result = load_design_text(text, nest_);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST_F(DesignIoTest, ToleratesCarriageReturns) {
+  std::string text = save_design_text(sys1());
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const DesignLoadResult result = load_design_text(crlf, nest_);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.design, sys1());
+}
+
 struct BadInput {
   const char* name;
   const char* text;
@@ -79,6 +121,26 @@ INSTANTIATE_TEST_SUITE_P(
                  "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
                  "shape 2 2 2\nmiddle 1 1 1\n",
                  "count"},
+        BadInput{"shape_garbage_token",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2x 2 2\nmiddle 1 1 1 1 1 1\n",
+                 "integer"},
+        BadInput{"shape_word",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape two 2 2\nmiddle 1 1 1 1 1 1\n",
+                 "integer"},
+        BadInput{"middle_garbage_token",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 1 abc 1 1 1 1\n",
+                 "integer"},
+        BadInput{"middle_empty",
+                 "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle\n",
+                 "count"},
+        BadInput{"mapping_garbage_role",
+                 "sasynth-design v1\nmapping row=x col=2 vec=1\n"
+                 "shape 2 2 2\nmiddle 1 1 1 1 1 1\n",
+                 "mapping"},
         BadInput{"middle_zero",
                  "sasynth-design v1\nmapping row=0 col=2 vec=1\n"
                  "shape 2 2 2\nmiddle 1 0 1 1 1 1\n",

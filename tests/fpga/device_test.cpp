@@ -42,6 +42,35 @@ TEST(Device, TinyDeviceIsSmall) {
   EXPECT_LT(tiny.bram_blocks, 256);
 }
 
+TEST(Device, ParseDeviceNameAcceptsAllPresets) {
+  const struct {
+    const char* name;
+    const char* expect;
+  } cases[] = {
+      {"arria10_gt1150", "Arria10 GT1150"}, {"gt1150", "Arria10 GT1150"},
+      {"arria10_gx1150", "Arria10 GX1150"}, {"gx1150", "Arria10 GX1150"},
+      {"ku060", "Xilinx KU060"},            {"vc709", "Xilinx VC709"},
+      {"stratixv", "Stratix-V GSD8"},       {"tiny", "TinyTestDevice"},
+      {"TINY", "TinyTestDevice"},  // case-insensitive
+  };
+  for (const auto& c : cases) {
+    FpgaDevice device;
+    ASSERT_TRUE(parse_device_name(c.name, &device)) << c.name;
+    EXPECT_EQ(device.name, c.expect) << c.name;
+  }
+  FpgaDevice device;
+  EXPECT_FALSE(parse_device_name("not_a_device", &device));
+  EXPECT_FALSE(parse_device_name("", &device));
+}
+
+TEST(Device, DeviceNameListMentionsEveryPreset) {
+  const std::string list = device_name_list();
+  for (const char* name : {"arria10_gt1150", "arria10_gx1150", "ku060",
+                           "vc709", "stratixv", "tiny"}) {
+    EXPECT_NE(list.find(name), std::string::npos) << name;
+  }
+}
+
 TEST(Device, SummaryMentionsKeyNumbers) {
   const std::string s = arria10_gt1150().summary();
   EXPECT_NE(s.find("1518"), std::string::npos);

@@ -99,6 +99,46 @@ TEST_F(CliTest, DesignSaveLoadRoundTrip) {
             out2.substr(d2, out2.find('\n', d2) - d2));
 }
 
+TEST_F(CliTest, DesignCacheColdThenWarm) {
+  const std::string cache_dir = ::testing::TempDir() + "/cli_design_cache";
+  std::system(("rm -rf " + cache_dir).c_str());
+  const std::string args =
+      "--layer 16,16,8,8,3 --device tiny --min-util 0.5 --design-cache " +
+      cache_dir;
+  std::string cold;
+  ASSERT_EQ(run_cli(args, &cold), 0) << cold;
+  EXPECT_NE(cold.find("cache   : miss"), std::string::npos) << cold;
+
+  std::string warm;
+  ASSERT_EQ(run_cli(args, &warm), 0) << warm;
+  EXPECT_NE(warm.find("cache   : hit"), std::string::npos) << warm;
+  EXPECT_NE(warm.find("DSE skipped"), std::string::npos);
+  // The cached run reports the same design and performance.
+  for (const char* field : {"design  :", "perf    :", "resource:"}) {
+    const std::size_t c = cold.find(field);
+    const std::size_t w = warm.find(field);
+    ASSERT_NE(c, std::string::npos) << field;
+    ASSERT_NE(w, std::string::npos) << field;
+    EXPECT_EQ(cold.substr(c, cold.find('\n', c) - c),
+              warm.substr(w, warm.find('\n', w) - w))
+        << field;
+  }
+  // The warm run's DSE counters stay at zero — the exploration never ran.
+  EXPECT_NE(warm.find("0 work items"), std::string::npos) << warm;
+}
+
+TEST_F(CliTest, LogLevelFlagWarnsOnUnknownName) {
+  std::string out;
+  EXPECT_EQ(
+      run_cli("--layer 16,16,8,8,3 --device tiny --min-util 0.5 "
+              "--log-level bogus",
+              &out),
+      0)
+      << out;
+  EXPECT_NE(out.find("unrecognized log level 'bogus'"), std::string::npos)
+      << out;
+}
+
 TEST_F(CliTest, BadArgumentsRejected) {
   std::string out;
   EXPECT_NE(run_cli("--layer 0,1,1,1,1 --device tiny", &out), 0);

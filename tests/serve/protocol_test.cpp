@@ -1,0 +1,168 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sasynth {
+namespace {
+
+TEST(ParseLayerFieldsTest, FiveFields) {
+  ConvLayerDesc layer;
+  std::string error;
+  ASSERT_TRUE(parse_layer_fields("256,384,13,13,3", &layer, &error)) << error;
+  EXPECT_EQ(layer.in_maps, 256);
+  EXPECT_EQ(layer.out_maps, 384);
+  EXPECT_EQ(layer.out_rows, 13);
+  EXPECT_EQ(layer.out_cols, 13);
+  EXPECT_EQ(layer.kernel, 3);
+  EXPECT_EQ(layer.stride, 1);
+  EXPECT_EQ(layer.groups, 1);
+}
+
+TEST(ParseLayerFieldsTest, StrideAndGroups) {
+  ConvLayerDesc layer;
+  std::string error;
+  ASSERT_TRUE(parse_layer_fields("96,256,27,27,5,1,2", &layer, &error))
+      << error;
+  EXPECT_EQ(layer.stride, 1);
+  EXPECT_EQ(layer.groups, 2);
+}
+
+TEST(ParseLayerFieldsTest, Rejections) {
+  ConvLayerDesc layer;
+  std::string error;
+  EXPECT_FALSE(parse_layer_fields("1,2,3,4", &layer, &error));
+  EXPECT_FALSE(parse_layer_fields("1,2,3,4,5,6,7,8", &layer, &error));
+  EXPECT_FALSE(parse_layer_fields("a,2,3,4,5", &layer, &error));
+  EXPECT_FALSE(parse_layer_fields("0,2,3,4,5", &layer, &error));
+  EXPECT_FALSE(parse_layer_fields("16,16,8,8,3x", &layer, &error));
+  EXPECT_FALSE(parse_layer_fields("", &layer, &error));
+}
+
+TEST(ParseRequestBlockTest, FullBlock) {
+  const ParsedRequest parsed = parse_request_block(
+      "sasynth-request v1\n"
+      "layer 16,16,8,8,3\n"
+      "device tiny\n"
+      "dtype fixed8_16\n"
+      "option min_util 0.5\n"
+      "option top_k 4\n"
+      "option pow2_middle off\n"
+      "end\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.layer.in_maps, 16);
+  EXPECT_EQ(parsed.request.device.name, "TinyTestDevice");
+  EXPECT_EQ(parsed.request.dtype, DataType::kFixed8_16);
+  EXPECT_DOUBLE_EQ(parsed.request.dse.min_dsp_util, 0.5);
+  EXPECT_EQ(parsed.request.dse.top_k, 4);
+  EXPECT_FALSE(parsed.request.dse.pow2_middle);
+}
+
+TEST(ParseRequestBlockTest, DefaultsApplied) {
+  const ParsedRequest parsed =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.device.name, "Arria10 GT1150");
+  EXPECT_EQ(parsed.request.dtype, DataType::kFloat32);
+  // Serving default: per-request serial DSE.
+  EXPECT_EQ(parsed.request.dse.jobs, 1);
+}
+
+TEST(ParseRequestBlockTest, Rejections) {
+  EXPECT_FALSE(parse_request_block("").ok);
+  EXPECT_FALSE(parse_request_block("bogus\n").ok);
+  EXPECT_FALSE(parse_request_block("sasynth-request v1\nend\n").ok);
+  EXPECT_FALSE(
+      parse_request_block("sasynth-request v1\nlayer 1,2\nend\n").ok);
+  EXPECT_FALSE(parse_request_block(
+                   "sasynth-request v1\nlayer 16,16,8,8,3\ndevice mars\nend\n")
+                   .ok);
+  EXPECT_FALSE(
+      parse_request_block(
+          "sasynth-request v1\nlayer 16,16,8,8,3\ndtype float64\nend\n")
+          .ok);
+  EXPECT_FALSE(
+      parse_request_block(
+          "sasynth-request v1\nlayer 16,16,8,8,3\noption bogus 1\nend\n")
+          .ok);
+  EXPECT_FALSE(
+      parse_request_block(
+          "sasynth-request v1\nlayer 16,16,8,8,3\noption min_util 2.5\nend\n")
+          .ok);
+  EXPECT_FALSE(
+      parse_request_block(
+          "sasynth-request v1\nlayer 16,16,8,8,3\nwhatever 1\nend\n")
+          .ok);
+}
+
+TEST(CanonicalRequestTest, DefaultsHashEqualToExplicitSpelling) {
+  const ParsedRequest implicit =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  const ParsedRequest explicit_block = parse_request_block(
+      "sasynth-request v1\n"
+      "layer 16,16,8,8,3,1,1\n"
+      "device arria10_gt1150\n"
+      "dtype float32\n"
+      "end\n");
+  ASSERT_TRUE(implicit.ok && explicit_block.ok);
+  EXPECT_EQ(canonical_request_text(implicit.request),
+            canonical_request_text(explicit_block.request));
+  EXPECT_EQ(request_cache_key(implicit.request),
+            request_cache_key(explicit_block.request));
+}
+
+TEST(CanonicalRequestTest, JobsDoesNotFragmentTheKey) {
+  ParsedRequest a =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  ParsedRequest b = parse_request_block(
+      "sasynth-request v1\nlayer 16,16,8,8,3\noption jobs 8\nend\n");
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(request_cache_key(a.request), request_cache_key(b.request));
+}
+
+TEST(CanonicalRequestTest, EveryOtherOptionChangesTheKey) {
+  const char* variants[] = {
+      "layer 16,16,8,9,3",          "layer 16,16,8,8,3\ndevice tiny",
+      "layer 16,16,8,8,3\ndtype fixed8_16",
+      "layer 16,16,8,8,3\noption freq 200",
+      "layer 16,16,8,8,3\noption min_util 0.5",
+      "layer 16,16,8,8,3\noption top_k 5",
+      "layer 16,16,8,8,3\noption pow2_middle 0",
+      "layer 16,16,8,8,3\noption max_rows 7",
+      "layer 16,16,8,8,3\noption max_cols 7",
+      "layer 16,16,8,8,3\noption max_vec 4",
+      "layer 16,16,8,8,3\noption pow2_vec 0",
+      "layer 16,16,8,8,3\noption max_bram_util 0.7",
+      "layer 16,16,8,8,3\noption soft_logic 0",
+      "layer 16,16,8,8,3\noption auto_relax 0",
+  };
+  const ParsedRequest base =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  ASSERT_TRUE(base.ok);
+  const std::uint64_t base_key = request_cache_key(base.request);
+  for (const char* variant : variants) {
+    const ParsedRequest parsed = parse_request_block(
+        std::string("sasynth-request v1\n") + variant + "\nend\n");
+    ASSERT_TRUE(parsed.ok) << variant << ": " << parsed.error;
+    EXPECT_NE(request_cache_key(parsed.request), base_key) << variant;
+  }
+}
+
+TEST(CanonicalRequestTest, KeyIsFnv1aOfCanonicalText) {
+  const ParsedRequest parsed =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(request_cache_key(parsed.request),
+            fnv1a64(canonical_request_text(parsed.request)));
+}
+
+TEST(FormatResponseTest, ErrorAndRetryShape) {
+  EXPECT_EQ(format_error_response("boom"),
+            "sasynth-response v1 error boom\nend\n");
+  EXPECT_EQ(format_retry_response("busy"),
+            "sasynth-response v1 retry busy\nend\n");
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -1,0 +1,238 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace sasynth {
+namespace {
+
+// Small layer on the tiny device: a fresh DSE takes well under a second, a
+// cache hit is instant.
+const char* kRequestA =
+    "sasynth-request v1\n"
+    "layer 16,16,8,8,3\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
+const char* kRequestB =
+    "sasynth-request v1\n"
+    "layer 8,16,4,4,3\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
+
+ServeOptions memory_options(int jobs = 1) {
+  ServeOptions options;
+  options.jobs = jobs;
+  options.cache_capacity = 16;
+  return options;
+}
+
+std::string cache_dir(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (std::string("sasynth_server_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Runs one session over a canned line stream; returns every response
+/// concatenated in emit order.
+std::string run_session(SynthServer& server, const std::string& input) {
+  std::vector<std::string> lines = split(input, '\n');
+  std::size_t i = 0;
+  std::string transcript;
+  std::mutex mutex;  // writer thread vs. test thread
+  server.serve(
+      [&](std::string* line) {
+        if (i >= lines.size()) return false;
+        *line = lines[i++];
+        return true;
+      },
+      [&](const std::string& response) {
+        std::lock_guard<std::mutex> lock(mutex);
+        transcript += response;
+      });
+  return transcript;
+}
+
+TEST(SynthServerTest, MalformedRequestGetsErrorResponse) {
+  SynthServer server(memory_options());
+  const std::string response =
+      server.handle("sasynth-request v1\nlayer 1,2\nend\n");
+  EXPECT_TRUE(starts_with(response, "sasynth-response v1 error"));
+  EXPECT_EQ(server.counters().requests.load(), 1);
+  EXPECT_EQ(server.counters().errors.load(), 1);
+  EXPECT_EQ(server.counters().dse_runs.load(), 0);
+}
+
+TEST(SynthServerTest, CachedResponseIsByteIdenticalAndSkipsTheDse) {
+  SynthServer server(memory_options());
+  const std::string cold = server.handle(kRequestA);
+  ASSERT_TRUE(starts_with(cold, "sasynth-response v1 ok")) << cold;
+  EXPECT_EQ(server.counters().dse_runs.load(), 1);
+  const std::int64_t cold_work = server.counters().dse_work_items.load();
+  EXPECT_GT(cold_work, 0);
+
+  const std::string warm = server.handle(kRequestA);
+  EXPECT_EQ(warm, cold);  // byte-identical, though it came from the cache
+  // The warm request never re-entered the exploration.
+  EXPECT_EQ(server.counters().dse_runs.load(), 1);
+  EXPECT_EQ(server.counters().dse_work_items.load(), cold_work);
+  EXPECT_EQ(server.cache().stats().hits, 1);
+}
+
+TEST(SynthServerTest, DisabledCacheStillYieldsIdenticalResponses) {
+  ServeOptions options = memory_options();
+  options.cache_enabled = false;
+  SynthServer server(options);
+  const std::string first = server.handle(kRequestA);
+  const std::string second = server.handle(kRequestA);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(server.counters().dse_runs.load(), 2);  // no memoization
+}
+
+TEST(SynthServerTest, DiskCacheWarmsAcrossServerInstances) {
+  const std::string dir = cache_dir("across");
+  ServeOptions options = memory_options();
+  options.cache_dir = dir;
+
+  std::string cold;
+  {
+    SynthServer server(options);
+    cold = server.handle(kRequestA);
+    EXPECT_EQ(server.counters().dse_runs.load(), 1);
+  }
+  SynthServer warm_server(options);
+  const std::string warm = warm_server.handle(kRequestA);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(warm_server.counters().dse_runs.load(), 0);
+  EXPECT_EQ(warm_server.counters().dse_work_items.load(), 0);
+  EXPECT_EQ(warm_server.cache().stats().disk_hits, 1);
+}
+
+TEST(SynthServerTest, SessionCommandsAndOrdering) {
+  SynthServer server(memory_options());
+  const std::string transcript =
+      run_session(server, std::string("ping\n") + kRequestA + "bogus\n");
+  // Responses come back in request order regardless of completion order.
+  const std::size_t pong = transcript.find("sasynth-pong v1");
+  const std::size_t ok = transcript.find("sasynth-response v1 ok");
+  const std::size_t error = transcript.find("sasynth-response v1 error");
+  ASSERT_NE(pong, std::string::npos) << transcript;
+  ASSERT_NE(ok, std::string::npos) << transcript;
+  ASSERT_NE(error, std::string::npos) << transcript;
+  EXPECT_LT(pong, ok);
+  EXPECT_LT(ok, error);
+  EXPECT_EQ(server.counters().commands.load(), 1);
+}
+
+TEST(SynthServerTest, ShutdownStopsTheSessionAndDrains) {
+  SynthServer server(memory_options());
+  const std::string transcript =
+      run_session(server, std::string(kRequestA) + "shutdown\nping\n");
+  EXPECT_NE(transcript.find("sasynth-response v1 ok"), std::string::npos);
+  EXPECT_NE(transcript.find("sasynth-bye v1"), std::string::npos);
+  // The line after `shutdown` is never processed.
+  EXPECT_EQ(transcript.find("sasynth-pong"), std::string::npos);
+  EXPECT_TRUE(server.stop_requested());
+}
+
+TEST(SynthServerTest, StatsCommandReportsCountersAndCache) {
+  SynthServer server(memory_options());
+  const std::string transcript = run_session(
+      server, std::string(kRequestA) + kRequestA + "stats\n");
+  EXPECT_NE(transcript.find("sasynth-stats v1"), std::string::npos);
+  EXPECT_NE(transcript.find("requests 2\n"), std::string::npos) << transcript;
+  EXPECT_NE(transcript.find("ok 2\n"), std::string::npos);
+  EXPECT_NE(transcript.find("cache_hits 1\n"), std::string::npos);
+  EXPECT_NE(transcript.find("cache_misses 1\n"), std::string::npos);
+  EXPECT_NE(transcript.find("dse_runs 1\n"), std::string::npos);
+  EXPECT_NE(transcript.find("queue_limit 64\n"), std::string::npos);
+}
+
+TEST(SynthServerTest, BackpressureAnswersRetryDeterministically) {
+  ServeOptions options = memory_options(/*jobs=*/2);
+  options.queue_limit = 1;
+  SynthServer server(options);
+
+  // Fill the admission queue with a gated blocker so the session's request
+  // is refused — no timing involved.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  ASSERT_TRUE(server.scheduler().try_submit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return open; });
+  }));
+
+  std::vector<std::string> lines = split(std::string(kRequestA), '\n');
+  std::size_t i = 0;
+  std::string transcript;
+  std::mutex transcript_mutex;
+  server.serve(
+      [&](std::string* line) {
+        if (i < lines.size()) {
+          *line = lines[i++];
+          return true;
+        }
+        // The request block has been submitted (and refused) by now; release
+        // the blocker so the session's final drain can finish.
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          open = true;
+        }
+        cv.notify_all();
+        return false;
+      },
+      [&](const std::string& response) {
+        std::lock_guard<std::mutex> lock(transcript_mutex);
+        transcript += response;
+      });
+
+  EXPECT_NE(transcript.find("sasynth-response v1 retry"), std::string::npos)
+      << transcript;
+  EXPECT_NE(transcript.find("retry later"), std::string::npos);
+  EXPECT_EQ(server.counters().rejected.load(), 1);
+  EXPECT_EQ(server.counters().dse_runs.load(), 0);
+}
+
+// Satellite (d): the same request stream yields a byte-identical transcript
+// at any worker count, with the cache on or off, cold or warm.
+TEST(SynthServerTest, TranscriptIsInvariantAcrossJobsAndCacheState) {
+  const std::string stream =
+      std::string(kRequestA) + kRequestB + "ping\n" + kRequestA;
+
+  SynthServer baseline(memory_options(/*jobs=*/1));
+  const std::string reference = run_session(baseline, stream);
+  ASSERT_NE(reference.find("sasynth-response v1 ok"), std::string::npos)
+      << reference;
+
+  {  // more workers, cold cache
+    SynthServer server(memory_options(/*jobs=*/4));
+    EXPECT_EQ(run_session(server, stream), reference);
+  }
+  {  // cache disabled entirely
+    ServeOptions options = memory_options(/*jobs=*/4);
+    options.cache_enabled = false;
+    SynthServer server(options);
+    EXPECT_EQ(run_session(server, stream), reference);
+  }
+  {  // warm replay on one server: second pass is all cache hits
+    SynthServer server(memory_options(/*jobs=*/2));
+    EXPECT_EQ(run_session(server, stream), reference);
+    const std::int64_t work = server.counters().dse_work_items.load();
+    EXPECT_EQ(run_session(server, stream), reference);
+    EXPECT_EQ(server.counters().dse_work_items.load(), work);
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -24,7 +24,28 @@ TEST_F(LoggingTest, ParseNames) {
   EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
   EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseReportsRecognition) {
+  bool recognized = false;
+  EXPECT_EQ(parse_log_level("debug", &recognized), LogLevel::kDebug);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(parse_log_level("bogus", &recognized), LogLevel::kInfo);
+  EXPECT_FALSE(recognized);
+}
+
+TEST_F(LoggingTest, UnknownNameWarnsInsteadOfSilentFallback) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unrecognized log level 'bogus'"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("falling back to info"), std::string::npos);
+  // Recognized names stay silent.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 TEST_F(LoggingTest, LevelNames) {

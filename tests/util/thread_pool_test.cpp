@@ -132,6 +132,59 @@ TEST(ThreadPoolTest, EmptyAndTinyRangesAreSafe) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPoolTest, SubmitRunsTasksAndWaitTasksBlocks) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int i = 1; i <= 20; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_tasks();
+  EXPECT_EQ(sum.load(), 210);
+  // The pool is reusable for more tasks and for ranges afterwards.
+  pool.submit([&sum] { sum.fetch_add(1); });
+  pool.wait_tasks();
+  EXPECT_EQ(sum.load(), 211);
+  std::atomic<std::int64_t> range_sum{0};
+  pool.for_each(10, [&](std::int64_t begin, std::int64_t end, int) {
+    for (std::int64_t i = begin; i < end; ++i) range_sum.fetch_add(i);
+  });
+  EXPECT_EQ(range_sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SubmitInlineAtOneJob) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // complete before submit returned
+  pool.wait_tasks();          // trivially satisfied
+}
+
+TEST(ThreadPoolTest, TaskExceptionsAreContained) {
+  // Unlike for_each (a sweep with one caller to rethrow to), fire-and-forget
+  // tasks own their errors: a throwing task must not take the pool down.
+  for (const int jobs : {1, 3}) {
+    ThreadPool pool(jobs);
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    pool.wait_tasks();
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.wait_tasks();
+    EXPECT_EQ(ran.load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<std::int64_t> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossManySweeps) {
   ThreadPool pool(3);
   for (int round = 0; round < 50; ++round) {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   sasynth_cli [options] input.c          # annotated loop nest from a file
-//   sasynth_cli [options] --layer I,O,R,C,K[,stride]
+//   sasynth_cli [options] --layer I,O,R,C,K[,stride[,groups]]
 //
 // Options:
 //   --device NAME     arria10_gt1150 (default) | arria10_gx1150 | ku060 |
@@ -13,13 +13,17 @@
 //   --top-k N         candidates carried into pseudo-P&R (default 14)
 //   --jobs N          DSE worker threads (default: SASYNTH_JOBS env, then
 //                     hardware concurrency; results identical at any N)
+//   --design-cache D  persistent design cache directory (shared with
+//                     sasynthd): a repeated (layer, device, dtype, options)
+//                     tuple skips the DSE and answers from the cache
 //   --out DIR         write params.h / addressing.h / systolic_conv.cl /
 //                     host.c / report.md
 //   --save-design F   write the chosen design point to F (sasynth-design v1)
 //   --design F        skip the DSE: load the design from F, validate it for
 //                     this layer, and generate/evaluate it directly
 //   --print-kernel    dump the generated kernel to stdout
-//   --verbose         info-level logging
+//   --log-level NAME  debug|info|warn|error|off (default warn)
+//   --verbose         info-level logging (same as --log-level info)
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -36,7 +40,10 @@
 #include "frontend/flow.h"
 #include "loopnest/reuse.h"
 #include "nn/layer.h"
+#include "serve/design_cache.h"
+#include "serve/protocol.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace {
@@ -46,47 +53,22 @@ using namespace sasynth;
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
-               "usage: sasynth_cli [options] (input.c | --layer I,O,R,C,K[,s])\n"
-               "  --device NAME   arria10_gt1150|arria10_gx1150|ku060|vc709|"
-               "stratixv|tiny\n"
-               "  --dtype NAME    float32|fixed8_16\n"
-               "  --freq MHZ      assumed phase-1 clock (default 280)\n"
-               "  --min-util F    DSP utilization floor c_s (default 0.8)\n"
-               "  --top-k N       phase-2 candidate count (default 14)\n"
-               "  --jobs N        DSE worker threads (0 = SASYNTH_JOBS env or "
-               "all cores)\n"
-               "  --out DIR       write generated artifacts\n"
-               "  --print-kernel  dump kernel source to stdout\n"
-               "  --verbose       info logging\n");
+               "usage: sasynth_cli [options] (input.c | --layer "
+               "I,O,R,C,K[,s[,g]])\n"
+               "  --device NAME     %s\n"
+               "  --dtype NAME      float32|fixed8_16\n"
+               "  --freq MHZ        assumed phase-1 clock (default 280)\n"
+               "  --min-util F      DSP utilization floor c_s (default 0.8)\n"
+               "  --top-k N         phase-2 candidate count (default 14)\n"
+               "  --jobs N          DSE worker threads (0 = SASYNTH_JOBS env "
+               "or all cores)\n"
+               "  --design-cache D  persistent design cache directory\n"
+               "  --out DIR         write generated artifacts\n"
+               "  --print-kernel    dump kernel source to stdout\n"
+               "  --log-level NAME  debug|info|warn|error|off\n"
+               "  --verbose         info logging\n",
+               device_name_list());
   std::exit(2);
-}
-
-bool pick_device(const std::string& name, FpgaDevice* out) {
-  const std::string lower = to_lower(name);
-  if (lower == "arria10_gt1150" || lower == "gt1150") *out = arria10_gt1150();
-  else if (lower == "arria10_gx1150" || lower == "gx1150") *out = arria10_gx1150();
-  else if (lower == "ku060") *out = xilinx_ku060();
-  else if (lower == "vc709") *out = xilinx_vc709();
-  else if (lower == "stratixv") *out = stratix_v();
-  else if (lower == "tiny") *out = tiny_test_device();
-  else return false;
-  return true;
-}
-
-bool parse_layer_spec(const std::string& spec, ConvLayerDesc* layer) {
-  const std::vector<std::string> parts = split(spec, ',');
-  if (parts.size() != 5 && parts.size() != 6) return false;
-  std::vector<std::int64_t> values;
-  for (const std::string& part : parts) {
-    char* end = nullptr;
-    const long long v = std::strtoll(part.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || v < 1) return false;
-    values.push_back(v);
-  }
-  *layer = make_conv("cli_layer", values[0], values[1], values[2], values[4],
-                     parts.size() == 6 ? values[5] : 1);
-  layer->out_cols = values[3];
-  return layer->validate().empty();
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& text) {
@@ -107,6 +89,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string save_design_path;
   std::string load_design_path;
+  std::string design_cache_dir;
   bool print_kernel = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -116,7 +99,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--device") {
-      if (!pick_device(next_value("--device"), &options.device)) {
+      if (!parse_device_name(next_value("--device"), &options.device)) {
         usage("unknown device");
       }
     } else if (arg == "--dtype") {
@@ -137,6 +120,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       options.dse.jobs = std::atoi(next_value("--jobs").c_str());
       if (options.dse.jobs < 0) usage("bad --jobs");
+    } else if (arg == "--design-cache") {
+      design_cache_dir = next_value("--design-cache");
     } else if (arg == "--out") {
       out_dir = next_value("--out");
     } else if (arg == "--save-design") {
@@ -147,6 +132,9 @@ int main(int argc, char** argv) {
       layer_spec = next_value("--layer");
     } else if (arg == "--print-kernel") {
       print_kernel = true;
+    } else if (arg == "--log-level") {
+      // parse_log_level warns (and falls back to info) on unknown names.
+      set_log_level(parse_log_level(next_value("--log-level")));
     } else if (arg == "--verbose") {
       set_log_level(LogLevel::kInfo);
     } else if (arg == "--help" || arg == "-h") {
@@ -161,8 +149,9 @@ int main(int argc, char** argv) {
   std::string source;
   if (!layer_spec.empty()) {
     ConvLayerDesc layer;
-    if (!parse_layer_spec(layer_spec, &layer)) {
-      usage("--layer expects I,O,R,C,K[,stride] positive integers");
+    std::string layer_error;
+    if (!parse_layer_fields(layer_spec, &layer, &layer_error)) {
+      usage(("--layer: " + layer_error).c_str());
     }
     source = render_conv_source(layer);
   } else if (!input_path.empty()) {
@@ -178,27 +167,58 @@ int main(int argc, char** argv) {
     usage("no input given");
   }
 
+  // Front end first — every path below (DSE, --design, cache) needs the
+  // parsed nest and the recovered layer descriptor.
   FlowResult result;
-  if (load_design_path.empty()) {
-    result = run_automation_flow(source, options);
-    if (!result.ok) {
-      std::fprintf(stderr, "error: %s\n", result.error.c_str());
-      return 1;
+  result.parse = parse_loop_nest(source);
+  if (!result.parse.ok) {
+    std::fprintf(stderr, "error: parse error: %s\n",
+                 result.parse.error.c_str());
+    return 1;
+  }
+  result.conv = extract_conv_layer(result.parse.nest);
+  if (!result.conv.ok) {
+    std::fprintf(stderr, "error: unsupported loop nest: %s\n",
+                 result.conv.error.c_str());
+    return 1;
+  }
+  const LoopNest& nest = result.parse.nest;
+
+  // Evaluates a known design (loaded or cached) without re-running the DSE —
+  // the same deterministic models the explorer itself uses.
+  auto evaluate_design = [&](const DesignPoint& design) -> bool {
+    const ReuseMatrix reuse = analyze_reuse(nest);
+    std::string why;
+    if (!is_feasible_mapping(nest, reuse, design.mapping(), &why)) {
+      std::fprintf(stderr, "error: design is not feasible for this layer: %s\n",
+                   why.c_str());
+      return false;
     }
-  } else {
-    // Bypass the DSE: parse + extract, then evaluate the supplied design.
-    result.parse = parse_loop_nest(source);
-    if (!result.parse.ok) {
-      std::fprintf(stderr, "error: parse error: %s\n",
-                   result.parse.error.c_str());
-      return 1;
-    }
-    result.conv = extract_conv_layer(result.parse.nest);
-    if (!result.conv.ok) {
-      std::fprintf(stderr, "error: unsupported loop nest: %s\n",
-                   result.conv.error.c_str());
-      return 1;
-    }
+    result.best.design = design;
+    result.best.estimate = estimate_performance(
+        nest, design, options.device, options.dtype,
+        options.dse.assumed_freq_mhz);
+    result.best.resources =
+        model_resources(nest, design, options.device, options.dtype);
+    result.best.realized_freq_mhz = pseudo_pnr_frequency_mhz(
+        options.device, result.best.resources.report, design.signature());
+    result.best.realized = estimate_performance(
+        nest, design, options.device, options.dtype,
+        result.best.realized_freq_mhz);
+    result.dse.top.push_back(result.best);
+    result.kernel = generate_opencl_kernel(nest, design, result.conv.layer,
+                                           options.dtype);
+    result.host_program =
+        generate_host_program(nest, design, result.conv.layer, options.dtype);
+    result.report = generate_design_report(nest, result.best,
+                                           result.conv.layer, options.device,
+                                           options.dtype);
+    result.ok = true;
+    return true;
+  };
+
+  if (!load_design_path.empty()) {
+    // Bypass the DSE: evaluate the supplied design directly.
     std::ifstream design_in(load_design_path);
     if (!design_in) {
       std::fprintf(stderr, "error: cannot read %s\n",
@@ -208,42 +228,47 @@ int main(int argc, char** argv) {
     std::stringstream design_text;
     design_text << design_in.rdbuf();
     const DesignLoadResult loaded =
-        load_design_text(design_text.str(), result.parse.nest);
+        load_design_text(design_text.str(), nest);
     if (!loaded.ok) {
       std::fprintf(stderr, "error: %s: %s\n", load_design_path.c_str(),
                    loaded.error.c_str());
       return 1;
     }
-    const ReuseMatrix reuse = analyze_reuse(result.parse.nest);
-    std::string why;
-    if (!is_feasible_mapping(result.parse.nest, reuse,
-                             loaded.design.mapping(), &why)) {
-      std::fprintf(stderr, "error: design is not feasible for this layer: %s\n",
-                   why.c_str());
-      return 1;
+    if (!evaluate_design(loaded.design)) return 1;
+  } else {
+    // DSE path, memoized through the design cache when one is configured.
+    ServeRequest request;
+    std::string canonical;
+    if (!design_cache_dir.empty()) {
+      request.layer = result.conv.layer;
+      request.device = options.device;
+      request.dtype = options.dtype;
+      request.dse = options.dse;
+      canonical = canonical_request_text(request);
     }
-    result.best.design = loaded.design;
-    result.best.estimate =
-        estimate_performance(result.parse.nest, loaded.design, options.device,
-                             options.dtype, options.dse.assumed_freq_mhz);
-    result.best.resources = model_resources(result.parse.nest, loaded.design,
-                                            options.device, options.dtype);
-    result.best.realized_freq_mhz = pseudo_pnr_frequency_mhz(
-        options.device, result.best.resources.report,
-        loaded.design.signature());
-    result.best.realized =
-        estimate_performance(result.parse.nest, loaded.design, options.device,
-                             options.dtype, result.best.realized_freq_mhz);
-    result.dse.top.push_back(result.best);
-    result.kernel = generate_opencl_kernel(result.parse.nest, loaded.design,
-                                           result.conv.layer, options.dtype);
-    result.host_program =
-        generate_host_program(result.parse.nest, loaded.design,
-                              result.conv.layer, options.dtype);
-    result.report =
-        generate_design_report(result.parse.nest, result.best,
-                               result.conv.layer, options.device, options.dtype);
-    result.ok = true;
+    DesignCache cache(design_cache_dir, 16);
+    DesignPoint cached_design;
+    bool cache_hit = !design_cache_dir.empty() &&
+                     cache.lookup(canonical, nest, &cached_design);
+    if (cache_hit) {
+      std::printf("cache   : hit key=%016llx (%s) — DSE skipped\n",
+                  static_cast<unsigned long long>(fnv1a64(canonical)),
+                  design_cache_dir.c_str());
+      SA_LOG_INFO << "design cache hit, skipping DSE";
+      if (!evaluate_design(cached_design)) return 1;
+    } else {
+      result = run_automation_flow(source, options);
+      if (!result.ok) {
+        std::fprintf(stderr, "error: %s\n", result.error.c_str());
+        return 1;
+      }
+      if (!design_cache_dir.empty()) {
+        cache.insert(canonical, result.best.design);
+        std::printf("cache   : miss key=%016llx (%s) — design stored\n",
+                    static_cast<unsigned long long>(fnv1a64(canonical)),
+                    design_cache_dir.c_str());
+      }
+    }
   }
 
   if (!save_design_path.empty()) {
@@ -257,7 +282,6 @@ int main(int argc, char** argv) {
     std::printf("design saved to %s\n", save_design_path.c_str());
   }
 
-  const LoopNest& nest = result.parse.nest;
   std::printf("layer   : %s\n", result.conv.layer.summary().c_str());
   std::printf("device  : %s\n", options.device.summary().c_str());
   std::printf("dse     : %s\n", result.dse.stats.summary().c_str());

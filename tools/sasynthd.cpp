@@ -1,0 +1,146 @@
+// sasynthd — synthesis-as-a-service daemon.
+//
+// Serves the sasynth-request v1 protocol (see docs/SERVING.md) over stdio
+// (default) or a loopback TCP port, in front of a persistent DesignCache:
+// a (layer, device, dtype, options) tuple that has been solved before is
+// answered from the cache without re-entering the design space exploration.
+//
+// Usage:
+//   sasynthd [options]
+//     --port N            serve TCP on 127.0.0.1:N (0 = ephemeral, printed
+//                         on stderr); default is stdio
+//     --cache DIR         persistent design cache directory
+//     --cache-capacity N  in-memory LRU entries (default 1024)
+//     --no-cache          disable the design cache entirely
+//     --jobs N            worker threads (0 = SASYNTH_JOBS env or all cores)
+//     --queue N           admission queue bound (default 64); beyond it
+//                         requests get a retry response (backpressure)
+//     --log-level NAME    debug|info|warn|error|off (default warn)
+//
+// Shutdown: the `shutdown` protocol command (or EOF on stdio) drains every
+// accepted request, flushes responses in order, then exits.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace sasynth;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: sasynthd [options]\n"
+               "  --port N            TCP on 127.0.0.1:N (0 = ephemeral); "
+               "default stdio\n"
+               "  --cache DIR         persistent design cache directory\n"
+               "  --cache-capacity N  in-memory LRU entries (default 1024)\n"
+               "  --no-cache          disable the design cache\n"
+               "  --jobs N            worker threads (0 = SASYNTH_JOBS env or "
+               "all cores)\n"
+               "  --queue N           admission queue bound (default 64)\n"
+               "  --log-level NAME    debug|info|warn|error|off\n");
+  std::exit(2);
+}
+
+int serve_stdio(SynthServer& server) {
+  server.serve(
+      [](std::string* line) {
+        return static_cast<bool>(std::getline(std::cin, *line));
+      },
+      [](const std::string& response) {
+        std::cout << response;
+        std::cout.flush();
+      });
+  return 0;
+}
+
+int serve_tcp(SynthServer& server, int port) {
+  TcpListener listener;
+  std::string error;
+  if (!listener.listen_on(port, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // Flushed immediately so wrappers (tests, scripts) can scrape the port.
+  std::fprintf(stderr, "sasynthd listening on 127.0.0.1:%d\n",
+               listener.port());
+  std::fflush(stderr);
+
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int client = listener.accept_client();
+    if (client < 0) break;
+    sessions.emplace_back([&server, &listener, client] {
+      serve_fd_session(server, client);
+      // First session to process `shutdown` also unblocks the accept loop.
+      if (server.stop_requested()) listener.close_listener();
+    });
+    if (server.stop_requested()) {
+      listener.close_listener();
+      break;
+    }
+  }
+  listener.close_listener();
+  for (std::thread& t : sessions) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  int port = -1;  // -1 = stdio
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next_value("--port").c_str());
+      if (port < 0 || port > 65535) usage("bad --port");
+    } else if (arg == "--cache") {
+      options.cache_dir = next_value("--cache");
+    } else if (arg == "--cache-capacity") {
+      const int capacity = std::atoi(next_value("--cache-capacity").c_str());
+      if (capacity < 1) usage("bad --cache-capacity");
+      options.cache_capacity = static_cast<std::size_t>(capacity);
+    } else if (arg == "--no-cache") {
+      options.cache_enabled = false;
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(next_value("--jobs").c_str());
+      if (options.jobs < 0) usage("bad --jobs");
+    } else if (arg == "--queue") {
+      options.queue_limit = std::atoll(next_value("--queue").c_str());
+      if (options.queue_limit < 1) usage("bad --queue");
+    } else if (arg == "--log-level") {
+      set_log_level(parse_log_level(next_value("--log-level")));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+
+  SynthServer server(options);
+  SA_LOG_INFO << "sasynthd: jobs=" << server.scheduler().jobs()
+              << " queue=" << options.queue_limit << " cache="
+              << (options.cache_enabled
+                      ? (options.cache_dir.empty() ? "<memory>"
+                                                   : options.cache_dir.c_str())
+                      : "<disabled>");
+  const int status = port >= 0 ? serve_tcp(server, port) : serve_stdio(server);
+  SA_LOG_INFO << "sasynthd: exiting\n";
+  return status;
+}
