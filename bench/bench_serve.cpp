@@ -11,7 +11,6 @@
 // least 10x faster at the median — the acceptance gate for the cache being
 // real, not cosmetic.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -19,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "nn/network.h"
 #include "serve/server.h"
 #include "util/strings.h"
@@ -26,7 +26,6 @@
 namespace {
 
 using namespace sasynth;
-using Clock = std::chrono::steady_clock;
 
 constexpr int kClients = 4;
 constexpr int kWarmRepeats = 2;  ///< per client, over the whole stream
@@ -62,10 +61,8 @@ double percentile(std::vector<double> samples, double p) {
 
 double timed_handle(SynthServer& server, const std::string& block,
                     std::string* response) {
-  const Clock::time_point start = Clock::now();
-  *response = server.handle(block);
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
+  return bench::timed_ms("bench.serve_handle",
+                         [&] { *response = server.handle(block); });
 }
 
 }  // namespace

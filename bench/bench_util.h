@@ -5,8 +5,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace sasynth::bench {
+
+/// Times one call on the obs span clock (the same steady clock the trace
+/// records), so bench numbers and --trace-out spans can never disagree.
+/// Returns milliseconds; the span lands in the trace when tracing is on.
+template <typename Fn>
+inline double timed_ms(const char* span_name, Fn&& fn) {
+  obs::ScopedSpan span(span_name, "bench");
+  std::forward<Fn>(fn)();
+  return span.elapsed_seconds() * 1e3;
+}
 
 /// Scans argv for "--jobs N" (shared by the DSE benches). Returns 0 when
 /// absent, which lets DseOptions fall back to SASYNTH_JOBS / all cores.

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: the CLI flags and the documentation must agree.
+
+Runs `sasynth_cli --help` and `sasynthd --help` and checks, per tool:
+
+  1. every flag the binary advertises appears in README.md (the flag
+     tables) and in at least one file under docs/;
+  2. every `--flag` a README flag-table row documents for that tool is
+     actually advertised by the binary (no stale rows).
+
+Usage: scripts/check_flag_docs.py <sasynth_cli-path> <sasynthd-path> [root]
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Flags as the help text advertises them, anywhere in the text: the usage
+# synopsis mentions --layer mid-line, not at the start of its own row.
+HELP_FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+# Flags as README table rows document them: `| `--flag` ... |`.
+TABLE_FLAG_RE = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)")
+
+
+def help_flags(binary: str):
+    proc = subprocess.run(
+        [binary, "--help"], capture_output=True, text=True, timeout=30
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"{binary} --help exited {proc.returncode}:\n{proc.stderr}"
+        )
+    flags = set(HELP_FLAG_RE.findall(proc.stdout))
+    if not flags:
+        raise SystemExit(f"{binary} --help advertised no flags:\n{proc.stdout}")
+    return flags
+
+
+def table_flags(text: str, section: str):
+    """Flags documented in the README table under `### <section> flags`."""
+    flags = set()
+    in_section = False
+    for line in text.splitlines():
+        if line.startswith("#"):
+            in_section = line.strip() == f"### {section} flags"
+            continue
+        if in_section:
+            match = TABLE_FLAG_RE.match(line)
+            if match:
+                flags.add(match.group(1))
+    return flags
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip())
+        return 2
+    root = Path(sys.argv[3] if len(sys.argv) > 3 else ".").resolve()
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    docs_text = "\n".join(
+        p.read_text(encoding="utf-8") for p in sorted((root / "docs").glob("*.md"))
+    )
+
+    errors = []
+    for tool, binary in (("sasynth_cli", sys.argv[1]), ("sasynthd", sys.argv[2])):
+        advertised = help_flags(binary)
+        documented = table_flags(readme, tool)
+        for flag in sorted(advertised - documented):
+            errors.append(f"{tool}: {flag} in --help but not in the README "
+                          f"'### {tool} flags' table")
+        for flag in sorted(documented - advertised):
+            errors.append(f"{tool}: {flag} documented in README but not in "
+                          f"--help (stale row?)")
+        for flag in sorted(advertised):
+            if flag not in docs_text:
+                errors.append(f"{tool}: {flag} not mentioned anywhere in docs/")
+
+    if errors:
+        print(f"{len(errors)} flag documentation drift error(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("flag documentation in sync with --help")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo's docs resolves.
+
+Scans the tracked *.md files (top level plus docs/) for inline links
+`[text](target)`. External links (http/https/mailto) are skipped — CI must
+not depend on network reachability — and `#anchor` fragments are stripped
+before the filesystem check. Exits 1 listing every broken link.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}:{line_no}: {target}")
+    return broken
+
+
+def main():
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(md, root))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"markdown links OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <optional>
 #include <unordered_map>
@@ -11,6 +10,8 @@
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
 #include "loopnest/reuse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -19,10 +20,70 @@ namespace sasynth {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+/// Registry handles resolved once per process (registration locks; the
+/// increments behind these references are lock-free and gated on
+/// obs::metrics_enabled()). Names are the docs/OBSERVABILITY.md contract.
+struct DseMetrics {
+  obs::Counter& phase1_runs;
+  obs::Counter& explorations;
+  obs::Counter& work_items;
+  obs::Counter& candidates;
+  obs::Counter& mappings_pruned_feasibility;  ///< Eq. 2/3/11
+  obs::Counter& shapes_pruned_util;           ///< Eq. 12 floor
+  obs::Counter& reuse_pruned_pow2;            ///< pow2 middle-bound rule
+  obs::Counter& reuse_evaluated;
+  obs::Counter& reuse_rejected_bram;
+  obs::Counter& rejected_soft_logic;
+  obs::Counter& util_relaxations;
+  obs::Histogram& phase1_ms;
+  obs::Histogram& phase2_ms;
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+  static DseMetrics& get() {
+    static DseMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return new DseMetrics{
+          r.counter("dse_phase1_runs_total"),
+          r.counter("dse_explorations_total"),
+          r.counter("dse_work_items_total"),
+          r.counter("dse_candidates_total"),
+          r.counter("dse_mappings_pruned_feasibility_total"),
+          r.counter("dse_shapes_pruned_util_total"),
+          r.counter("dse_reuse_pruned_pow2_total"),
+          r.counter("dse_reuse_evaluated_total"),
+          r.counter("dse_reuse_rejected_bram_total"),
+          r.counter("dse_candidates_rejected_soft_logic_total"),
+          r.counter("dse_util_relaxations_total"),
+          r.histogram("dse_phase1_ms"),
+          r.histogram("dse_phase2_ms"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Publishes one enumerate_phase1 run (the delta between the caller's stats
+/// before and after) into the global registry.
+void publish_phase1_run(const DseStats& before, const DseStats& after,
+                        std::size_t candidate_count, double wall_seconds) {
+  if (!obs::metrics_enabled()) return;
+  DseMetrics& m = DseMetrics::get();
+  m.phase1_runs.add(1);
+  m.work_items.add(after.work_items - before.work_items);
+  m.candidates.add(static_cast<std::int64_t>(candidate_count));
+  m.mappings_pruned_feasibility.add(
+      (after.mappings_candidates - before.mappings_candidates) -
+      (after.mappings_feasible - before.mappings_feasible));
+  m.shapes_pruned_util.add((after.shapes_considered - before.shapes_considered) -
+                           (after.shapes_after_prune - before.shapes_after_prune));
+  m.reuse_pruned_pow2.add(
+      (after.reuse_space_bruteforce - before.reuse_space_bruteforce) -
+      (after.reuse_space_pow2 - before.reuse_space_pow2));
+  m.reuse_evaluated.add(after.reuse_evaluated - before.reuse_evaluated);
+  m.reuse_rejected_bram.add(after.reuse_bram_rejected -
+                            before.reuse_bram_rejected);
+  m.rejected_soft_logic.add(after.soft_logic_rejected -
+                            before.soft_logic_rejected);
+  m.phase1_ms.observe(wall_seconds * 1e3);
 }
 
 /// Flattened, allocation-free evaluator for the DSE inner loop. All model
@@ -221,6 +282,7 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
   double best_traffic = 0.0;
   std::int64_t best_bram = 0;
   std::int64_t evaluated = 0;
+  std::int64_t bram_rejected = 0;
 
   // DFS over middle bounds. BRAM is monotone non-decreasing in every s_l, so
   // once a prefix with all-minimal suffix exceeds the budget, every larger
@@ -231,7 +293,10 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
       for (std::size_t l = 0; l < n; ++l) block[l] = current[l] * inner[l];
       const LeanModel::Eval eval = model.evaluate(block, eff, lanes, num_pes);
       ++evaluated;
-      if (eval.bram_blocks > bram_budget) return;
+      if (eval.bram_blocks > bram_budget) {
+        ++bram_rejected;
+        return;
+      }
       // Maximize throughput; among ties, prefer the reuse strategy with the
       // least total off-chip traffic ("balance data reuse and memory
       // bandwidth", §2.3), then the smaller buffers.
@@ -263,7 +328,10 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
   };
   dfs(dfs, 0);
 
-  if (stats != nullptr) stats->reuse_evaluated += evaluated;
+  if (stats != nullptr) {
+    stats->reuse_evaluated += evaluated;
+    stats->reuse_bram_rejected += bram_rejected;
+  }
   if (best_s.empty()) return false;
   *out = DesignPoint(nest, mapping, shape, std::move(best_s));
   return true;
@@ -363,15 +431,10 @@ bool DesignSpaceExplorer::best_reuse_strategy(const LoopNest& nest,
 
 std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
     const LoopNest& nest, DseStats* stats) const {
-  const auto start = Clock::now();
+  obs::ScopedSpan phase1_span("dse.phase1", "dse");
   DseStats local;
   DseStats* st = stats != nullptr ? stats : &local;
-
-  const ReuseMatrix reuse = analyze_reuse(nest);
-  st->mappings_candidates += num_candidate_mappings(nest);
-  const std::vector<SystolicMapping> mappings =
-      enumerate_feasible_mappings(nest, reuse);
-  st->mappings_feasible += static_cast<std::int64_t>(mappings.size());
+  const DseStats before = *st;
 
   // Flatten the sweep into (mapping, shape) work items so it can be
   // partitioned across workers. Each worker evaluates its ranges into
@@ -379,14 +442,24 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   // in item order, so the candidate list entering the sort is byte-identical
   // to the sequential sweep at any thread count (and integer stat counters
   // sum commutatively).
+  std::vector<SystolicMapping> mappings;
   std::vector<Phase1Item> items;
-  for (const SystolicMapping& mapping : mappings) {
-    const std::vector<ArrayShape> shapes = enumerate_shapes(
-        nest, mapping, device_, dtype_, options_, &st->shapes_considered);
-    st->shapes_after_prune += static_cast<std::int64_t>(shapes.size());
-    for (const ArrayShape& shape : shapes) {
-      items.push_back(Phase1Item{&mapping, shape});
+  {
+    obs::ScopedSpan enumerate_span("dse.phase1.enumerate", "dse");
+    const ReuseMatrix reuse = analyze_reuse(nest);
+    st->mappings_candidates += num_candidate_mappings(nest);
+    mappings = enumerate_feasible_mappings(nest, reuse);
+    st->mappings_feasible += static_cast<std::int64_t>(mappings.size());
+    for (const SystolicMapping& mapping : mappings) {
+      const std::vector<ArrayShape> shapes = enumerate_shapes(
+          nest, mapping, device_, dtype_, options_, &st->shapes_considered);
+      st->shapes_after_prune += static_cast<std::int64_t>(shapes.size());
+      for (const ArrayShape& shape : shapes) {
+        items.push_back(Phase1Item{&mapping, shape});
+      }
     }
+    enumerate_span.arg("mappings", static_cast<std::int64_t>(mappings.size()));
+    enumerate_span.arg("work_items", static_cast<std::int64_t>(items.size()));
   }
   st->work_items += static_cast<std::int64_t>(items.size());
 
@@ -402,7 +475,13 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   pool.for_each(
       static_cast<std::int64_t>(items.size()),
       [&](std::int64_t begin, std::int64_t end, int worker) {
-        const auto t0 = Clock::now();
+        // One shard span per dequeued range (~8 per worker) — granular
+        // enough to see load balance in the trace, far off the per-item
+        // hot path. Its clock is also the per-worker busy timer.
+        obs::ScopedSpan shard("dse.phase1.shard", "dse");
+        shard.arg("begin", begin);
+        shard.arg("end", end);
+        shard.arg("worker", worker);
         DseStats& ws = worker_stats[static_cast<std::size_t>(worker)];
         MiddleCandidateCache& cache = caches[static_cast<std::size_t>(worker)];
         for (std::int64_t i = begin; i < end; ++i) {
@@ -419,15 +498,18 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
           candidate.resources = model_resources(nest, design, device_, dtype_);
           if (options_.enforce_soft_logic &&
               !candidate.resources.report.fits()) {
+            ++ws.soft_logic_rejected;
             continue;
           }
           slots[static_cast<std::size_t>(i)] = std::move(candidate);
         }
-        busy[static_cast<std::size_t>(worker)] += seconds_since(t0);
+        busy[static_cast<std::size_t>(worker)] += shard.elapsed_seconds();
       });
 
   for (const DseStats& ws : worker_stats) {
     st->reuse_evaluated += ws.reuse_evaluated;
+    st->reuse_bram_rejected += ws.reuse_bram_rejected;
+    st->soft_logic_rejected += ws.soft_logic_rejected;
     st->reuse_space_pow2 += ws.reuse_space_pow2;
     st->reuse_space_bruteforce += ws.reuse_space_bruteforce;
   }
@@ -445,7 +527,11 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
               }
               return a.resources.bram_blocks < b.resources.bram_blocks;
             });
-  st->phase1_seconds += seconds_since(start);
+  const double wall = phase1_span.elapsed_seconds();
+  st->phase1_seconds += wall;
+  phase1_span.arg("work_items", st->work_items - before.work_items);
+  phase1_span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
+  publish_phase1_run(before, *st, candidates.size(), wall);
   return candidates;
 }
 
@@ -496,13 +582,24 @@ DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
       std::min<std::size_t>(all.size(), static_cast<std::size_t>(options_.top_k));
   result.top.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep));
 
-  const auto start = Clock::now();
-  run_phase2(nest, result.top);
-  const double phase2_wall = seconds_since(start);
+  double phase2_wall = 0.0;
+  {
+    obs::ScopedSpan phase2_span("dse.phase2", "dse");
+    phase2_span.arg("candidates", static_cast<std::int64_t>(result.top.size()));
+    run_phase2(nest, result.top);
+    phase2_wall = phase2_span.elapsed_seconds();
+  }
   result.stats.phase2_seconds += phase2_wall;
   // Phase 2 has no per-worker timers; its busy time is ~the wall time of the
   // sweep itself (the top-K list is short).
   result.stats.phase2_cpu_seconds += phase2_wall;
+
+  if (obs::metrics_enabled()) {
+    DseMetrics& m = DseMetrics::get();
+    m.explorations.add(1);
+    m.util_relaxations.add(result.stats.util_relaxations);
+    m.phase2_ms.observe(phase2_wall * 1e3);
+  }
   return result;
 }
 

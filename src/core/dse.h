@@ -81,12 +81,20 @@ struct DseCandidate {
 };
 
 /// Search-space statistics (the quantities behind the paper's §4 claims).
+/// This is the per-exploration view; each enumerate_phase1/explore call also
+/// publishes its deltas into the process-global obs::MetricsRegistry (the
+/// `dse_*` metrics of docs/OBSERVABILITY.md) and opens trace spans, so the
+/// CLI, daemon, benches and tests all read one instrumentation source.
 struct DseStats {
   std::int64_t mappings_candidates = 0;  ///< ordered loop triples examined
   std::int64_t mappings_feasible = 0;
   std::int64_t shapes_considered = 0;    ///< (mapping, t) within DSP capacity
   std::int64_t shapes_after_prune = 0;   ///< after Eq. 12
   std::int64_t reuse_evaluated = 0;      ///< s-vectors actually evaluated
+  /// Reuse strategies whose leaf evaluation exceeded the BRAM budget.
+  std::int64_t reuse_bram_rejected = 0;
+  /// Phase-1 candidates dropped by the soft-logic (LUT/FF) fit check.
+  std::int64_t soft_logic_rejected = 0;
   /// Size of the unpruned (all-integer s) reuse space for the surviving
   /// shapes — computed analytically, not enumerated.
   std::int64_t reuse_space_bruteforce = 0;

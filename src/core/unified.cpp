@@ -9,6 +9,8 @@
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
 #include "loopnest/reuse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -110,6 +112,7 @@ UnifiedDesign evaluate_unified_design(const Network& net,
 UnifiedDesign select_unified_design(const Network& net,
                                     const FpgaDevice& device, DataType dtype,
                                     const UnifiedOptions& options) {
+  obs::ScopedSpan select_span("unified.select", "unified");
   UnifiedDesign failure;
   if (net.layers.empty()) return failure;
 
@@ -148,27 +151,37 @@ UnifiedDesign select_unified_design(const Network& net,
     for (const ArrayShape& shape : shapes) pairs.emplace_back(mapping, shape);
   }
   std::vector<Scored> scored(pairs.size());
-  pool.for_each(
-      static_cast<std::int64_t>(pairs.size()),
-      [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
-        for (std::int64_t p = begin; p < end; ++p) {
-          const SystolicMapping& mapping = pairs[static_cast<std::size_t>(p)].first;
-          const ArrayShape& shape = pairs[static_cast<std::size_t>(p)].second;
-          double latency_s = 0.0;
-          for (std::size_t i = 0; i < net.layers.size(); ++i) {
-            std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
-            const DesignPoint probe(nests[i], mapping, shape, std::move(ones));
-            const double eff = dsp_efficiency(nests[i], probe);
-            const double gops = eff * static_cast<double>(shape.num_lanes()) *
-                                2.0 * freq * 1e-3;
-            latency_s +=
-                static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
+  {
+    obs::ScopedSpan shortlist_span("unified.shortlist", "unified");
+    shortlist_span.arg("pairs", static_cast<std::int64_t>(pairs.size()));
+    pool.for_each(
+        static_cast<std::int64_t>(pairs.size()),
+        [&](std::int64_t begin, std::int64_t end, int worker) {
+          obs::ScopedSpan shard("unified.shortlist.shard", "unified");
+          shard.arg("begin", begin);
+          shard.arg("end", end);
+          shard.arg("worker", worker);
+          for (std::int64_t p = begin; p < end; ++p) {
+            const SystolicMapping& mapping =
+                pairs[static_cast<std::size_t>(p)].first;
+            const ArrayShape& shape = pairs[static_cast<std::size_t>(p)].second;
+            double latency_s = 0.0;
+            for (std::size_t i = 0; i < net.layers.size(); ++i) {
+              std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
+              const DesignPoint probe(nests[i], mapping, shape,
+                                      std::move(ones));
+              const double eff = dsp_efficiency(nests[i], probe);
+              const double gops = eff * static_cast<double>(shape.num_lanes()) *
+                                  2.0 * freq * 1e-3;
+              latency_s +=
+                  static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
+            }
+            scored[static_cast<std::size_t>(p)] = Scored{
+                mapping, shape,
+                static_cast<double>(net.total_ops()) / latency_s * 1e-9};
           }
-          scored[static_cast<std::size_t>(p)] = Scored{
-              mapping, shape,
-              static_cast<double>(net.total_ops()) / latency_s * 1e-9};
-        }
-      });
+        });
+  }
   if (scored.empty()) return failure;
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
@@ -252,12 +265,20 @@ UnifiedDesign select_unified_design(const Network& net,
     dfs(dfs, 0);
     if (found) entry_best[idx] = std::move(best);
   };
-  pool.for_each(static_cast<std::int64_t>(shortlist),
-                [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
-                  for (std::int64_t i = begin; i < end; ++i) {
-                    search_entry(static_cast<std::size_t>(i));
-                  }
-                });
+  {
+    obs::ScopedSpan search_span("unified.search", "unified");
+    search_span.arg("shortlist", static_cast<std::int64_t>(shortlist));
+    pool.for_each(static_cast<std::int64_t>(shortlist),
+                  [&](std::int64_t begin, std::int64_t end, int worker) {
+                    obs::ScopedSpan shard("unified.search.shard", "unified");
+                    shard.arg("begin", begin);
+                    shard.arg("end", end);
+                    shard.arg("worker", worker);
+                    for (std::int64_t i = begin; i < end; ++i) {
+                      search_entry(static_cast<std::size_t>(i));
+                    }
+                  });
+  }
 
   std::vector<UnifiedCandidate> candidates;
   candidates.reserve(shortlist);
@@ -275,6 +296,8 @@ UnifiedDesign select_unified_design(const Network& net,
   // Stage 3 (phase 2 of Fig. 5): pseudo-P&R the top-K, pick best realized.
   const std::size_t keep = std::min<std::size_t>(
       candidates.size(), static_cast<std::size_t>(dse.top_k));
+  obs::ScopedSpan phase2_span("unified.phase2", "unified");
+  phase2_span.arg("candidates", static_cast<std::int64_t>(keep));
   UnifiedDesign best_result;
   for (std::size_t i = 0; i < keep; ++i) {
     const DesignPoint& design = candidates[i].design;
@@ -290,6 +313,14 @@ UnifiedDesign select_unified_design(const Network& net,
         realized_eval.aggregate_gops > best_result.aggregate_gops) {
       best_result = std::move(realized_eval);
     }
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    r.counter("unified_runs_total").add(1);
+    r.counter("unified_pairs_total")
+        .add(static_cast<std::int64_t>(pairs.size()));
+    r.counter("unified_shortlist_total")
+        .add(static_cast<std::int64_t>(shortlist));
   }
   return best_result;
 }

@@ -1,0 +1,247 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sasynth::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Minimal printf-to-string (obs sits below util, so no strformat here).
+std::string fmt(const char* format, ...) {
+  char buffer[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+/// Doubles in serialized output: %g with enough digits to round-trip the
+/// values we emit (bucket edges, sums, percentiles) deterministically.
+std::string fmt_double(double v) { return fmt("%.12g", v); }
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> kBuckets = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,  0.2,  0.5,   1.0,   2.0,
+      5.0,   10.0,  20.0,  50.0, 100., 200., 500., 1e3,  2e3,   5e3,
+      1e4,   2e4,   6e4};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double q) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0.0;
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(q * static_cast<double>(total) + 0.5));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::int64_t in_bucket = bucket_count(i);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    if (in_bucket <= 0) return upper;
+    const double frac = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_create(std::vector<Named<T>>& list,
+                                   const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Named<T>& entry : list) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  list.push_back(Named<T>{name, std::make_unique<T>()});
+  return *list.back().instrument;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return find_or_create(histograms_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Named<Histogram>& entry : histograms_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  histograms_.push_back(
+      Named<Histogram>{name, std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().instrument;
+}
+
+namespace {
+
+/// Snapshot of (name, instrument*) pairs sorted by name, so both serialized
+/// formats are independent of registration order.
+template <typename T, typename List>
+std::vector<std::pair<std::string, const T*>> sorted_view(const List& list) {
+  std::vector<std::pair<std::string, const T*>> view;
+  view.reserve(list.size());
+  for (const auto& entry : list) {
+    view.emplace_back(entry.name, entry.instrument.get());
+  }
+  std::sort(view.begin(), view.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return view;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += fmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prom(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : sorted_view<Counter>(counters_)) {
+    out += "# TYPE " + prefix + name + " counter\n";
+    out += prefix + name + " " + fmt("%lld", static_cast<long long>(c->value())) +
+           "\n";
+  }
+  for (const auto& [name, g] : sorted_view<Gauge>(gauges_)) {
+    out += "# TYPE " + prefix + name + " gauge\n";
+    out += prefix + name + " " + fmt("%lld", static_cast<long long>(g->value())) +
+           "\n";
+  }
+  for (const auto& [name, h] : sorted_view<Histogram>(histograms_)) {
+    out += "# TYPE " + prefix + name + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out += prefix + name + "_bucket{le=\"" + fmt_double(h->bounds()[i]) +
+             "\"} " + fmt("%lld", static_cast<long long>(cumulative)) + "\n";
+    }
+    cumulative += h->bucket_count(h->bounds().size());
+    out += prefix + name + "_bucket{le=\"+Inf\"} " +
+           fmt("%lld", static_cast<long long>(cumulative)) + "\n";
+    out += prefix + name + "_sum " + fmt_double(h->sum()) + "\n";
+    out += prefix + name + "_count " +
+           fmt("%lld", static_cast<long long>(h->count())) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : sorted_view<Counter>(counters_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": " + fmt("%lld", static_cast<long long>(c->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : sorted_view<Gauge>(gauges_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": " + fmt("%lld", static_cast<long long>(g->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : sorted_view<Histogram>(histograms_)) {
+    out += std::string(first ? "" : ",") + "\n    \"" + json_escape(name) +
+           "\": {\"count\": " + fmt("%lld", static_cast<long long>(h->count())) +
+           ", \"sum\": " + fmt_double(h->sum()) +
+           ", \"p50\": " + fmt_double(h->percentile(0.50)) +
+           ", \"p95\": " + fmt_double(h->percentile(0.95)) +
+           ", \"p99\": " + fmt_double(h->percentile(0.99)) + ", \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      const std::string le =
+          i < h->bounds().size() ? fmt_double(h->bounds()[i]) : "\"+Inf\"";
+      out += std::string(i == 0 ? "" : ", ") + "{\"le\": " + le +
+             ", \"count\": " +
+             fmt("%lld", static_cast<long long>(h->bucket_count(i))) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.instrument->reset();
+  for (auto& entry : gauges_) entry.instrument->reset();
+  for (auto& entry : histograms_) entry.instrument->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sasynth::obs

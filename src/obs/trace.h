@@ -1,0 +1,106 @@
+// Phase tracing: nestable spans recorded as Chrome trace_event "complete"
+// events, dumpable as JSON for chrome://tracing or https://ui.perfetto.dev.
+//
+// A span is an RAII scope (ScopedSpan) on one thread; the recorder stores
+// (name, category, thread, start, duration, args). Spans on the same thread
+// nest by time containment — exactly how the Chrome viewer draws them — so
+// "phase-1 sweep" naturally contains its per-shard spans. Timestamps come
+// from one steady clock anchored at the recorder's epoch; they never feed
+// back into any computation, so tracing cannot perturb DSE results.
+//
+// Cost model: with tracing disabled (the default), a ScopedSpan is two
+// steady_clock reads and one relaxed flag load — spans wrap phases and
+// work-item ranges, never model evaluations, so even the enabled path stays
+// under the <2% overhead budget (bench/bench_obs_overhead.cpp enforces it).
+// The recorder buffer is bounded; events beyond the capacity are counted as
+// dropped rather than grown without bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sasynth::obs {
+
+/// Global tracing switch, independent of the metrics switch (traces grow
+/// memory; metrics do not). Off by default.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// One completed span ("ph":"X" in the Chrome trace format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int tid = 0;         ///< stable small id per OS thread (first span = 0)
+  double ts_us = 0.0;  ///< start, microseconds since the recorder epoch
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 20);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends one event (thread-safe). Beyond capacity the event is dropped
+  /// and counted. Also the test hook for building traces with fixed
+  /// timestamps — serialization golden tests depend on that determinism.
+  void record(TraceEvent event);
+
+  /// Microseconds since this recorder's construction (its trace epoch).
+  double now_us() const;
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::int64_t dropped() const { return dropped_.load(); }
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}), events in recorded
+  /// order. Load in chrome://tracing or Perfetto.
+  std::string to_chrome_trace() const;
+
+  /// Stable per-thread integer id (assigned on first use, process-wide).
+  static int thread_id();
+
+  static TraceRecorder& global();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+/// RAII span against the global recorder. Also the single timing primitive
+/// of the codebase: elapsed_seconds() works whether or not tracing is
+/// enabled, so DseStats phase timers and the benches read the same clock the
+/// trace records.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "sasynth");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value pair to the emitted event (no-op when tracing was
+  /// disabled at construction).
+  void arg(const char* key, std::int64_t value);
+
+  /// Wall seconds since construction; always available.
+  double elapsed_seconds() const;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;  ///< tracing was on when the span opened
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+};
+
+}  // namespace sasynth::obs

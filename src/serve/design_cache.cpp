@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "core/design_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -13,7 +15,34 @@ namespace sasynth {
 
 namespace {
 constexpr const char* kCacheMagic = "sasynth-cache v1";
-}
+
+/// Cache metrics (docs/OBSERVABILITY.md). The DesignCacheStats struct stays
+/// the per-cache view returned over the wire; these are the process-global
+/// counterparts every cache instance feeds.
+struct CacheMetrics {
+  obs::Counter& probes;
+  obs::Counter& hits;
+  obs::Counter& disk_hits;
+  obs::Counter& load_failures;
+  obs::Counter& stores;
+  obs::Counter& evictions;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return new CacheMetrics{
+          r.counter("cache_probes_total"),
+          r.counter("cache_hits_total"),
+          r.counter("cache_disk_hits_total"),
+          r.counter("cache_load_failures_total"),
+          r.counter("cache_stores_total"),
+          r.counter("cache_evictions_total"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
 
 DesignCache::DesignCache(std::string dir, std::size_t capacity)
     : dir_(std::move(dir)), capacity_(capacity == 0 ? 1 : capacity) {}
@@ -26,6 +55,7 @@ std::string DesignCache::entry_path(std::uint64_t key) const {
 bool DesignCache::lookup(const std::string& canonical_request,
                          const LoopNest& nest, DesignPoint* out) {
   const std::uint64_t key = fnv1a64(canonical_request);
+  CacheMetrics::get().probes.add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end() && it->second.canonical == canonical_request) {
@@ -38,6 +68,7 @@ bool DesignCache::lookup(const std::string& canonical_request,
       *out = it->second.design;
       touch(it->second, key);
       ++stats_.hits;
+      CacheMetrics::get().hits.add(1);
       return true;
     }
     SA_LOG_WARN << "design cache: in-memory entry invalid for nest ("
@@ -48,6 +79,9 @@ bool DesignCache::lookup(const std::string& canonical_request,
     insert_locked(key, canonical_request, *out);
     ++stats_.hits;
     ++stats_.disk_hits;
+    CacheMetrics& cm = CacheMetrics::get();
+    cm.hits.add(1);
+    cm.disk_hits.add(1);
     return true;
   }
   ++stats_.misses;
@@ -60,6 +94,7 @@ void DesignCache::insert(const std::string& canonical_request,
   std::lock_guard<std::mutex> lock(mutex_);
   insert_locked(key, canonical_request, design);
   ++stats_.insertions;
+  CacheMetrics::get().stores.add(1);
   if (!dir_.empty()) store_to_disk(key, canonical_request, design);
 }
 
@@ -78,6 +113,7 @@ void DesignCache::insert_locked(std::uint64_t key,
     lru_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    CacheMetrics::get().evictions.add(1);
   }
   lru_.push_front(key);
   entries_.emplace(key, Entry{canonical_request, design, lru_.begin()});
@@ -92,6 +128,7 @@ void DesignCache::touch(Entry& entry, std::uint64_t key) {
 bool DesignCache::load_from_disk(std::uint64_t key,
                                  const std::string& canonical_request,
                                  const LoopNest& nest, DesignPoint* out) {
+  obs::ScopedSpan span("cache.disk_load", "serve");
   const std::string path = entry_path(key);
   std::ifstream in(path);
   if (!in) return false;  // no entry: a plain miss, not a failure
@@ -101,6 +138,7 @@ bool DesignCache::load_from_disk(std::uint64_t key,
 
   auto reject = [&](const char* why) {
     ++stats_.load_failures;
+    CacheMetrics::get().load_failures.add(1);
     SA_LOG_WARN << "design cache: discarding " << path << " (" << why
                 << "), falling back to a fresh DSE";
     return false;
@@ -151,6 +189,7 @@ bool DesignCache::load_from_disk(std::uint64_t key,
 void DesignCache::store_to_disk(std::uint64_t key,
                                 const std::string& canonical_request,
                                 const DesignPoint& design) {
+  obs::ScopedSpan span("cache.disk_store", "serve");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {

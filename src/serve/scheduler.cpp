@@ -3,25 +3,66 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sasynth {
+
+namespace {
+
+/// Scheduler metrics (docs/OBSERVABILITY.md): admission outcomes, the live
+/// queue depth, and the accept-to-execute queue wait.
+struct SchedMetrics {
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+  obs::Gauge& queue_depth;
+  obs::Histogram& queue_wait_ms;
+
+  static SchedMetrics& get() {
+    static SchedMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return new SchedMetrics{
+          r.counter("serve_admitted_total"),
+          r.counter("serve_rejected_total"),
+          r.gauge("serve_queue_depth"),
+          r.histogram("serve_queue_wait_ms"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 RequestScheduler::RequestScheduler(int jobs, std::int64_t queue_limit)
     : queue_limit_(std::max<std::int64_t>(1, queue_limit)), pool_(jobs) {}
 
 bool RequestScheduler::try_submit(std::function<void()> work) {
+  SchedMetrics& sm = SchedMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (pending_ >= queue_limit_) {
       ++rejected_;
+      sm.rejected.add(1);
       return false;
     }
     ++pending_;
     high_water_ = std::max(high_water_, pending_);
+    sm.admitted.add(1);
+    sm.queue_depth.set(pending_);
   }
-  pool_.submit([this, work = std::move(work)] {
+  const double accept_us =
+      obs::metrics_enabled() ? obs::TraceRecorder::global().now_us() : -1.0;
+  pool_.submit([this, accept_us, work = std::move(work)] {
+    SchedMetrics& m = SchedMetrics::get();
+    if (accept_us >= 0.0) {
+      m.queue_wait_ms.observe(
+          (obs::TraceRecorder::global().now_us() - accept_us) * 1e-3);
+    }
     work();
     std::lock_guard<std::mutex> lock(mutex_);
     --pending_;
+    m.queue_depth.set(pending_);
     idle_.notify_all();
   });
   return true;

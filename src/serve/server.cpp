@@ -1,6 +1,5 @@
 #include "serve/server.h"
 
-#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -10,6 +9,8 @@
 #include "core/resource_model.h"
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -18,19 +19,40 @@ namespace sasynth {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-std::int64_t elapsed_us(Clock::time_point start) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                               start)
-      .count();
-}
-
 void bump_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
   std::int64_t seen = slot.load();
   while (value > seen && !slot.compare_exchange_weak(seen, value)) {
   }
 }
+
+/// Process-global mirrors of ServerCounters (docs/OBSERVABILITY.md). The
+/// per-server struct stays the `stats` wire format; these aggregate across
+/// every server in the process and feed `stats --format=prom|json`.
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& ok;
+  obs::Counter& errors;
+  obs::Counter& commands;
+  obs::Counter& dse_runs;
+  obs::Counter& dse_work_items;
+  obs::Histogram& request_ms;
+
+  static ServeMetrics& get() {
+    static ServeMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return new ServeMetrics{
+          r.counter("serve_requests_total"),
+          r.counter("serve_ok_total"),
+          r.counter("serve_errors_total"),
+          r.counter("serve_commands_total"),
+          r.counter("serve_dse_runs_total"),
+          r.counter("serve_dse_work_items_total"),
+          r.histogram("serve_request_ms"),
+      };
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -41,13 +63,27 @@ SynthServer::SynthServer(ServeOptions options)
       scheduler_(options_.jobs, options_.queue_limit) {}
 
 std::string SynthServer::handle(const std::string& request_block) {
-  const Clock::time_point start = Clock::now();
+  // One span per request; its clock also feeds the wall_us counters and the
+  // serve_request_ms histogram, so `stats`, prom and the trace all agree.
+  obs::ScopedSpan span("serve.handle", "serve");
+  ServeMetrics& sm = ServeMetrics::get();
   counters_.requests.fetch_add(1);
+  sm.requests.add(1);
+
+  auto finish = [&](std::string response) {
+    const std::int64_t us =
+        static_cast<std::int64_t>(span.elapsed_seconds() * 1e6);
+    counters_.wall_us_total.fetch_add(us);
+    bump_max(counters_.wall_us_max, us);
+    sm.request_ms.observe(static_cast<double>(us) * 1e-3);
+    return response;
+  };
 
   const ParsedRequest parsed = parse_request_block(request_block);
   if (!parsed.ok) {
     counters_.errors.fetch_add(1);
-    return format_error_response(parsed.error);
+    sm.errors.add(1);
+    return finish(format_error_response(parsed.error));
   }
   const ServeRequest& request = parsed.request;
   const LoopNest nest = build_conv_nest(request.layer);
@@ -67,11 +103,14 @@ std::string SynthServer::handle(const std::string& request_block) {
     const DseResult result = explorer.explore(nest);
     counters_.dse_runs.fetch_add(1);
     counters_.dse_work_items.fetch_add(result.stats.work_items);
+    sm.dse_runs.add(1);
+    sm.dse_work_items.add(result.stats.work_items);
     if (result.empty()) {
       counters_.errors.fetch_add(1);
-      return format_error_response(
+      sm.errors.add(1);
+      return finish(format_error_response(
           "design space exploration found no valid design for this "
-          "layer/device");
+          "layer/device"));
     }
     design = result.best()->design;
     have_design = true;
@@ -92,10 +131,9 @@ std::string SynthServer::handle(const std::string& request_block) {
   const double latency_ms = layer_latency_ms(request.layer, realized);
 
   counters_.ok.fetch_add(1);
-  const std::int64_t us = elapsed_us(start);
-  counters_.wall_us_total.fetch_add(us);
-  bump_max(counters_.wall_us_max, us);
-  return format_ok_response(design, realized, resources.report, latency_ms);
+  sm.ok.add(1);
+  return finish(
+      format_ok_response(design, realized, resources.report, latency_ms));
 }
 
 std::string SynthServer::stats_text() const {
@@ -161,7 +199,11 @@ void SynthServer::serve(const LineSource& read_line,
         ready.erase(it);
         ++next_emit;
         lock.unlock();
-        write_response(text);
+        {
+          obs::ScopedSpan write_span("serve.session_write", "serve");
+          write_span.arg("bytes", static_cast<std::int64_t>(text.size()));
+          write_response(text);
+        }
         lock.lock();
       }
       if (done && ready.empty()) return;
@@ -187,25 +229,50 @@ void SynthServer::serve(const LineSource& read_line,
       if (!accepted) {
         counters_.requests.fetch_add(1);
         counters_.rejected.fetch_add(1);
+        ServeMetrics::get().requests.add(1);
         post(seq, format_retry_response(strformat(
                       "admission queue full (%lld in flight), retry later",
                       static_cast<long long>(scheduler_.queue_limit()))));
       }
-    } else if (command == "stats") {
+    } else if (command == "stats" || starts_with(command, "stats ")) {
       counters_.commands.fetch_add(1);
+      ServeMetrics::get().commands.add(1);
       scheduler_.drain();  // settle counters before reporting
-      post(next_seq++, stats_text());
+      if (command == "stats") {
+        post(next_seq++, stats_text());  // legacy sasynth-stats v1 block
+      } else {
+        // stats --format=prom|json renders the process-global registry
+        // (every instrumented subsystem, not just this server's counters).
+        // The trailing `end` line is protocol framing, stripped by clients.
+        const std::string arg = trim(command.substr(6));
+        if (arg == "--format=prom") {
+          post(next_seq++,
+               obs::MetricsRegistry::global().to_prom() + "end\n");
+        } else if (arg == "--format=json") {
+          post(next_seq++,
+               obs::MetricsRegistry::global().to_json() + "end\n");
+        } else {
+          counters_.errors.fetch_add(1);
+          ServeMetrics::get().errors.add(1);
+          post(next_seq++,
+               format_error_response("unknown stats argument '" + arg +
+                                     "' (expected --format=prom|json)"));
+        }
+      }
     } else if (command == "ping") {
       counters_.commands.fetch_add(1);
+      ServeMetrics::get().commands.add(1);
       post(next_seq++, "sasynth-pong v1\nend\n");
     } else if (command == "shutdown") {
       counters_.commands.fetch_add(1);
+      ServeMetrics::get().commands.add(1);
       stop_.store(true);
       scheduler_.drain();  // graceful: finish accepted work first
       post(next_seq++, "sasynth-bye v1\nend\n");
       break;
     } else {
       counters_.errors.fetch_add(1);
+      ServeMetrics::get().errors.add(1);
       post(next_seq++,
            format_error_response("unknown command '" + command + "'"));
     }

@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sasynth {
+
+namespace {
+
+/// Pool metrics (docs/OBSERVABILITY.md): range/task throughput plus the
+/// submit-to-dequeue queue wait. Handles resolved once per process.
+struct PoolMetrics {
+  obs::Counter& ranges;
+  obs::Counter& tasks;
+  obs::Histogram& task_wait_ms;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return new PoolMetrics{
+          r.counter("pool_ranges_total"),
+          r.counter("pool_tasks_total"),
+          r.histogram("pool_task_wait_ms"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 int ThreadPool::env_jobs() {
   const char* env = std::getenv("SASYNTH_JOBS");
@@ -41,7 +68,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_serial(std::int64_t count, const RangeBody& body) {
-  if (count > 0) body(0, count, 0);
+  if (count > 0) {
+    PoolMetrics::get().ranges.add(1);
+    body(0, count, 0);
+  }
 }
 
 void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
@@ -62,6 +92,7 @@ void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
     for (std::int64_t begin = 0; begin < count; begin += chunk) {
       queue_.push_back(Range{begin, std::min(begin + chunk, count)});
     }
+    PoolMetrics::get().ranges.add(static_cast<std::int64_t>(queue_.size()));
     body_ = &body;
     first_error_ = nullptr;
     inflight_ = 0;
@@ -78,18 +109,25 @@ void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& pm = PoolMetrics::get();
   if (jobs_ == 1) {
     // Inline mode: run on the caller so single-threaded flows stay
     // deterministic and need no synchronization.
+    pm.tasks.add(1);
+    pm.task_wait_ms.observe(0.0);
     try {
       task();
     } catch (...) {
     }
     return;
   }
+  // Sample the enqueue clock only when metrics are on; a negative stamp
+  // tells the dequeuing worker to skip the wait-time observation.
+  const double enqueue_us =
+      obs::metrics_enabled() ? obs::TraceRecorder::global().now_us() : -1.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(Task{std::move(task), enqueue_us});
   }
   work_ready_.notify_one();
 }
@@ -125,12 +163,18 @@ void ThreadPool::worker_loop(int worker) {
       if (queue_.empty() && inflight_ == 0) work_done_.notify_all();
       continue;
     }
-    std::function<void()> task = std::move(tasks_.front());
+    Task task = std::move(tasks_.front());
     tasks_.pop_front();
     ++task_inflight_;
     lock.unlock();
+    PoolMetrics& pm = PoolMetrics::get();
+    pm.tasks.add(1);
+    if (task.enqueue_us >= 0.0) {
+      pm.task_wait_ms.observe(
+          (obs::TraceRecorder::global().now_us() - task.enqueue_us) * 1e-3);
+    }
     try {
-      task();
+      task.fn();
     } catch (...) {
       // Submitted tasks own their errors (for_each keeps rethrow semantics).
     }

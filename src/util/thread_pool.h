@@ -80,7 +80,11 @@ class ThreadPool {
   std::vector<Range> queue_;        ///< pending ranges of the active for_each
   const RangeBody* body_ = nullptr; ///< active body (null when idle)
   std::int64_t inflight_ = 0;       ///< ranges dequeued but not finished
-  std::deque<std::function<void()>> tasks_;  ///< pending submit() tasks
+  struct Task {
+    std::function<void()> fn;
+    double enqueue_us = 0.0;  ///< obs clock at submit; < 0 when not sampled
+  };
+  std::deque<Task> tasks_;          ///< pending submit() tasks
   std::int64_t task_inflight_ = 0;  ///< tasks dequeued but not finished
   std::exception_ptr first_error_;
   bool shutdown_ = false;

@@ -1,7 +1,9 @@
 // End-to-end tests of the sasynth_cli binary (run via the shell; tests are
 // skipped if the binary is not where the build puts it).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -20,14 +22,23 @@ bool cli_available() {
 
 /// Runs the CLI with `args`, captures stdout, returns the exit status.
 int run_cli(const std::string& args, std::string* output) {
-  const std::string out_file = ::testing::TempDir() + "/sasynth_cli_out.txt";
+  // pid + counter keep the capture file unique per invocation: several test
+  // binaries (and ctest -j shards) share TempDir, and a shared fixed name
+  // races one process's read against another's truncation.
+  static std::atomic<int> next_capture{0};
+  const std::string out_file =
+      ::testing::TempDir() + "/sasynth_cli_out_" + std::to_string(::getpid()) +
+      "_" + std::to_string(next_capture.fetch_add(1)) + ".txt";
   const std::string command =
       std::string(kCliPath) + " " + args + " > " + out_file + " 2>&1";
   const int status = std::system(command.c_str());
-  std::ifstream in(out_file);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  *output = buffer.str();
+  {
+    std::ifstream in(out_file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    *output = buffer.str();
+  }
+  std::remove(out_file.c_str());
   return status;
 }
 

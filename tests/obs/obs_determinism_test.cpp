@@ -1,0 +1,131 @@
+// PR 3 acceptance: observability must never feed back into the search. The
+// DSE's explored designs are byte-identical with metrics + tracing on or
+// off, serial or parallel, and the registry deltas published by a run agree
+// with the DseStats the run hands back.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dse.h"
+#include "fpga/device.h"
+#include "loopnest/conv_nest.h"
+#include "nn/layer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace sasynth {
+namespace {
+
+LoopNest test_nest() {
+  ConvLayerDesc layer;
+  layer.name = "obs_test";
+  layer.in_maps = 16;
+  layer.out_maps = 16;
+  layer.out_rows = 8;
+  layer.out_cols = 8;
+  layer.kernel = 3;
+  return build_conv_nest(layer);
+}
+
+DseResult run_dse(const LoopNest& nest, int jobs) {
+  DseOptions options;
+  options.jobs = jobs;
+  options.min_dsp_util = 0.5;
+  const DesignSpaceExplorer explorer(tiny_test_device(), DataType::kFloat32,
+                                     options);
+  return explorer.explore(nest);
+}
+
+/// Round-trip-precision serialization of every explored design.
+std::string signature(const LoopNest& nest, const DseResult& result) {
+  std::string sig;
+  for (const DseCandidate& c : result.top) {
+    sig += c.design.to_string(nest);
+    sig += strformat(" est=%.17g realized=%.17g freq=%.17g\n",
+                     c.estimated_gops(), c.realized_gops(),
+                     c.realized_freq_mhz);
+  }
+  return sig;
+}
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+  }
+};
+
+TEST_F(ObsDeterminismTest, ResultsIdenticalWithObservabilityOnOrOff) {
+  const LoopNest nest = test_nest();
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+  const std::string off_j1 = signature(nest, run_dse(nest, 1));
+  const std::string off_j4 = signature(nest, run_dse(nest, 4));
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  const std::string on_j1 = signature(nest, run_dse(nest, 1));
+  const std::string on_j4 = signature(nest, run_dse(nest, 4));
+  ASSERT_FALSE(off_j1.empty());
+  EXPECT_EQ(off_j1, on_j1);
+  EXPECT_EQ(off_j4, on_j4);
+  EXPECT_EQ(off_j1, off_j4);  // the PR 1 any-jobs invariant still holds
+}
+
+TEST_F(ObsDeterminismTest, RegistryDeltasMatchDseStats) {
+  const LoopNest nest = test_nest();
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  // The registry is process-global and other tests in this binary may have
+  // published into it, so compare before/after deltas, not absolute values.
+  const std::int64_t runs_before =
+      registry.counter("dse_explorations_total").value();
+  const std::int64_t work_before =
+      registry.counter("dse_work_items_total").value();
+  const std::int64_t reuse_before =
+      registry.counter("dse_reuse_evaluated_total").value();
+  const std::int64_t cand_before =
+      registry.counter("dse_candidates_total").value();
+
+  const DseResult result = run_dse(nest, 2);
+  ASSERT_FALSE(result.empty());
+
+  EXPECT_EQ(registry.counter("dse_explorations_total").value() - runs_before,
+            1);
+  EXPECT_EQ(registry.counter("dse_work_items_total").value() - work_before,
+            result.stats.work_items);
+  EXPECT_EQ(registry.counter("dse_reuse_evaluated_total").value() -
+                reuse_before,
+            result.stats.reuse_evaluated);
+  // Phase 1 publishes its candidate count before the top-K cut, so the delta
+  // is at least the surviving top set.
+  EXPECT_GE(registry.counter("dse_candidates_total").value() - cand_before,
+            static_cast<std::int64_t>(result.top.size()));
+}
+
+TEST_F(ObsDeterminismTest, TraceSpansCoverTheExploration) {
+  const LoopNest nest = test_nest();
+  obs::TraceRecorder::global().clear();
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  const DseResult result = run_dse(nest, 2);
+  ASSERT_FALSE(result.empty());
+  obs::set_trace_enabled(false);
+
+  bool saw_phase1 = false;
+  bool saw_shard = false;
+  bool saw_phase2 = false;
+  for (const obs::TraceEvent& e : obs::TraceRecorder::global().snapshot()) {
+    if (e.name == "dse.phase1") saw_phase1 = true;
+    if (e.name == "dse.phase1.shard") saw_shard = true;
+    if (e.name == "dse.phase2") saw_phase2 = true;
+  }
+  EXPECT_TRUE(saw_phase1);
+  EXPECT_TRUE(saw_shard);
+  EXPECT_TRUE(saw_phase2);
+  obs::TraceRecorder::global().clear();
+}
+
+}  // namespace
+}  // namespace sasynth

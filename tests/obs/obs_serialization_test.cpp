@@ -1,0 +1,161 @@
+// Golden-file tests pinning the three serialized observability formats:
+// Prometheus text exposition, the JSON stats document, and Chrome
+// trace_event JSON. External consumers (scrapers, the CI doc-drift check,
+// Perfetto) parse these byte-for-byte, so any change here is a contract
+// change and must be deliberate.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sasynth::obs {
+namespace {
+
+class ObsSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+/// One of each instrument with small hand-checkable values.
+void populate(MetricsRegistry* registry) {
+  registry->counter("requests_total").add(3);
+  registry->gauge("queue_depth").set(2);
+  Histogram& hist = registry->histogram("latency_ms", {1.0, 5.0});
+  hist.observe(0.5);   // bucket le=1
+  hist.observe(2.0);   // bucket le=5
+  hist.observe(50.0);  // overflow
+}
+
+TEST_F(ObsSerializationTest, PromGolden) {
+  MetricsRegistry registry;
+  populate(&registry);
+  EXPECT_EQ(registry.to_prom(),
+            "# TYPE sasynth_requests_total counter\n"
+            "sasynth_requests_total 3\n"
+            "# TYPE sasynth_queue_depth gauge\n"
+            "sasynth_queue_depth 2\n"
+            "# TYPE sasynth_latency_ms histogram\n"
+            "sasynth_latency_ms_bucket{le=\"1\"} 1\n"
+            "sasynth_latency_ms_bucket{le=\"5\"} 2\n"
+            "sasynth_latency_ms_bucket{le=\"+Inf\"} 3\n"
+            "sasynth_latency_ms_sum 52.5\n"
+            "sasynth_latency_ms_count 3\n");
+}
+
+TEST_F(ObsSerializationTest, PromPrefixAndEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_prom(), "");
+  registry.counter("hits_total").add(1);
+  EXPECT_EQ(registry.to_prom("cache_"),
+            "# TYPE cache_hits_total counter\n"
+            "cache_hits_total 1\n");
+}
+
+TEST_F(ObsSerializationTest, PromSortsByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta_total").add(1);
+  registry.counter("alpha_total").add(2);
+  EXPECT_EQ(registry.to_prom(),
+            "# TYPE sasynth_alpha_total counter\n"
+            "sasynth_alpha_total 2\n"
+            "# TYPE sasynth_zeta_total counter\n"
+            "sasynth_zeta_total 1\n");
+}
+
+TEST_F(ObsSerializationTest, JsonGolden) {
+  MetricsRegistry registry;
+  populate(&registry);
+  // Percentiles for {0.5, 2, 50} over bounds {1, 5}: every rank lands in or
+  // past the le=5 bucket, so p50/p95/p99 all report 5.
+  EXPECT_EQ(
+      registry.to_json(),
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"requests_total\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"queue_depth\": 2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"latency_ms\": {\"count\": 3, \"sum\": 52.5, \"p50\": 5, "
+      "\"p95\": 5, \"p99\": 5, \"buckets\": [{\"le\": 1, \"count\": 1}, "
+      "{\"le\": 5, \"count\": 1}, {\"le\": \"+Inf\", \"count\": 1}]}\n"
+      "  }\n"
+      "}\n");
+}
+
+TEST_F(ObsSerializationTest, JsonEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_json(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST_F(ObsSerializationTest, JsonEscapesNames) {
+  MetricsRegistry registry;
+  registry.counter("we\"ird\\name").add(1);
+  EXPECT_EQ(registry.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"we\\\"ird\\\\name\": 1\n"
+            "  },\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST_F(ObsSerializationTest, ChromeTraceGolden) {
+  TraceRecorder recorder;
+  TraceEvent event;
+  event.name = "phase";
+  event.category = "dse";
+  event.tid = 0;
+  event.ts_us = 100.0;
+  event.dur_us = 50.0;
+  event.args.emplace_back("items", 3);
+  recorder.record(std::move(event));
+  EXPECT_EQ(recorder.to_chrome_trace(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+            "  {\"name\": \"phase\", \"cat\": \"dse\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": 0, \"ts\": 100.000, \"dur\": 50.000, "
+            "\"args\": {\"items\": 3}}\n"
+            "]}\n");
+}
+
+TEST_F(ObsSerializationTest, ChromeTraceMultipleEventsAndNoArgs) {
+  TraceRecorder recorder;
+  TraceEvent first;
+  first.name = "a\"b";  // quote must be escaped
+  first.category = "dse";
+  first.tid = 0;
+  first.ts_us = 100.0;
+  first.dur_us = 50.0;
+  recorder.record(std::move(first));
+  TraceEvent second;
+  second.name = "io";
+  second.category = "serve";
+  second.tid = 1;
+  second.ts_us = 200.5;
+  second.dur_us = 1.25;
+  recorder.record(std::move(second));
+  EXPECT_EQ(recorder.to_chrome_trace(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+            "  {\"name\": \"a\\\"b\", \"cat\": \"dse\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": 0, \"ts\": 100.000, \"dur\": 50.000},\n"
+            "  {\"name\": \"io\", \"cat\": \"serve\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": 1, \"ts\": 200.500, \"dur\": 1.250}\n"
+            "]}\n");
+}
+
+TEST_F(ObsSerializationTest, ChromeTraceEmpty) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.to_chrome_trace(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n");
+}
+
+}  // namespace
+}  // namespace sasynth::obs

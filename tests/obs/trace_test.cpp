@@ -1,0 +1,125 @@
+// TraceRecorder/ScopedSpan semantics: nesting by time containment,
+// completion-order recording, bounded buffers, and disabled-path behavior.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sasynth::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::global().clear();
+    set_trace_enabled(true);
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansRecordInnerFirstAndContained) {
+  // Each event's ts is reconstructed as end - dur from two clock reads, so
+  // zero-length spans can jitter by fractions of a microsecond. Millisecond
+  // sleeps make the expected ordering dominate that noise.
+  constexpr auto kTick = std::chrono::milliseconds(2);
+  {
+    ScopedSpan outer("outer", "test");
+    std::this_thread::sleep_for(kTick);
+    {
+      ScopedSpan inner("inner", "test");
+      std::this_thread::sleep_for(kTick);
+    }
+    std::this_thread::sleep_for(kTick);
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Complete events are emitted at destruction: inner closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Time containment is what makes the Chrome viewer nest them.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST_F(TraceTest, SpanArgsAreAttached) {
+  {
+    ScopedSpan span("with_args", "test");
+    span.arg("items", 42);
+    span.arg("worker", 3);
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "items");
+  EXPECT_EQ(events[0].args[0].second, 42);
+  EXPECT_EQ(events[0].args[1].first, "worker");
+  EXPECT_EQ(events[0].args[1].second, 3);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  {
+    ScopedSpan span("ghost", "test");
+    span.arg("ignored", 1);
+  }
+  EXPECT_EQ(TraceRecorder::global().size(), 0u);
+}
+
+TEST_F(TraceTest, ElapsedSecondsWorksWithTracingDisabled) {
+  set_trace_enabled(false);
+  ScopedSpan span("timer_only", "test");
+  const double a = span.elapsed_seconds();
+  const double b = span.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);  // monotone
+}
+
+TEST_F(TraceTest, BoundedBufferCountsDrops) {
+  TraceRecorder recorder(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.name = "event";
+    recorder.record(std::move(event));
+  }
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctStableIds) {
+  const int main_id = TraceRecorder::thread_id();
+  EXPECT_EQ(TraceRecorder::thread_id(), main_id);  // stable per thread
+  int other_id = main_id;
+  std::thread t([&other_id] { other_id = TraceRecorder::thread_id(); });
+  t.join();
+  EXPECT_NE(other_id, main_id);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span("worker_span", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(TraceRecorder::global().size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+}
+
+}  // namespace
+}  // namespace sasynth::obs

@@ -22,7 +22,12 @@
 //   --design F        skip the DSE: load the design from F, validate it for
 //                     this layer, and generate/evaluate it directly
 //   --print-kernel    dump the generated kernel to stdout
-//   --log-level NAME  debug|info|warn|error|off (default warn)
+//   --metrics-out F   enable metrics, dump the registry to F at exit
+//                     (.json = JSON, anything else = Prometheus text)
+//   --trace-out F     enable span recording, write Chrome trace JSON to F
+//                     at exit (load in chrome://tracing or Perfetto)
+//   --log-level NAME  debug|info|warn|error|off (default warn; unrecognized
+//                     names warn and fall back to info)
 //   --verbose         info-level logging (same as --log-level info)
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +39,8 @@
 
 #include "codegen/host_gen.h"
 #include "codegen/report_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/design_io.h"
 #include "core/mapping.h"
 #include "fpga/freq_model.h"
@@ -50,9 +57,8 @@ namespace {
 
 using namespace sasynth;
 
-[[noreturn]] void usage(const char* message = nullptr) {
-  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: sasynth_cli [options] (input.c | --layer "
                "I,O,R,C,K[,s[,g]])\n"
                "  --device NAME     %s\n"
@@ -64,10 +70,23 @@ using namespace sasynth;
                "or all cores)\n"
                "  --design-cache D  persistent design cache directory\n"
                "  --out DIR         write generated artifacts\n"
+               "  --save-design F   write the chosen design point to F\n"
+               "  --design F        skip the DSE, evaluate the design from F\n"
                "  --print-kernel    dump kernel source to stdout\n"
-               "  --log-level NAME  debug|info|warn|error|off\n"
+               "  --metrics-out F   dump metrics at exit (.json = JSON, else "
+               "Prometheus text)\n"
+               "  --trace-out F     record spans, write Chrome trace JSON at "
+               "exit\n"
+               "  --log-level NAME  debug|info|warn|error|off (default warn; "
+               "unrecognized\n"
+               "                    names warn and fall back to info)\n"
                "  --verbose         info logging\n",
                device_name_list());
+}
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -76,6 +95,31 @@ bool write_file(const std::filesystem::path& path, const std::string& text) {
   out << text;
   return static_cast<bool>(out);
 }
+
+/// Writes --metrics-out / --trace-out on scope exit, so every return path of
+/// main (including error exits after the flags were parsed) produces the
+/// dumps the user asked for.
+struct ObsDump {
+  std::string metrics_path;
+  std::string trace_path;
+
+  ~ObsDump() {
+    if (!metrics_path.empty()) {
+      const obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      const std::string text =
+          ends_with(metrics_path, ".json") ? r.to_json() : r.to_prom();
+      if (!write_file(metrics_path, text)) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty() &&
+        !write_file(trace_path,
+                    obs::TraceRecorder::global().to_chrome_trace())) {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+};
 
 }  // namespace
 
@@ -91,6 +135,7 @@ int main(int argc, char** argv) {
   std::string load_design_path;
   std::string design_cache_dir;
   bool print_kernel = false;
+  ObsDump obs_dump;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,13 +177,21 @@ int main(int argc, char** argv) {
       layer_spec = next_value("--layer");
     } else if (arg == "--print-kernel") {
       print_kernel = true;
+    } else if (arg == "--metrics-out") {
+      obs_dump.metrics_path = next_value("--metrics-out");
+      obs::set_metrics_enabled(true);
+    } else if (arg == "--trace-out") {
+      obs_dump.trace_path = next_value("--trace-out");
+      obs::set_trace_enabled(true);
     } else if (arg == "--log-level") {
       // parse_log_level warns (and falls back to info) on unknown names.
       set_log_level(parse_log_level(next_value("--log-level")));
     } else if (arg == "--verbose") {
       set_log_level(LogLevel::kInfo);
     } else if (arg == "--help" || arg == "-h") {
-      usage();
+      // Asked-for help goes to stdout and is a success, not a usage error.
+      print_usage(stdout);
+      return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(("unknown option " + arg).c_str());
     } else {

@@ -15,7 +15,14 @@
 //     --jobs N            worker threads (0 = SASYNTH_JOBS env or all cores)
 //     --queue N           admission queue bound (default 64); beyond it
 //                         requests get a retry response (backpressure)
-//     --log-level NAME    debug|info|warn|error|off (default warn)
+//     --metrics-out FILE  dump the metrics registry at exit (.json = JSON,
+//                         anything else = Prometheus text)
+//     --trace-out FILE    record spans, write Chrome trace JSON at exit
+//     --log-level NAME    debug|info|warn|error|off (default warn;
+//                         unrecognized names warn and fall back to info)
+//
+// Metrics are always on in the daemon (the registry is the `stats
+// --format=prom|json` data source); tracing only with --trace-out.
 //
 // Shutdown: the `shutdown` protocol command (or EOF on stdio) drains every
 // accepted request, flushes responses in order, then exits.
@@ -23,22 +30,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/tcp.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace {
 
 using namespace sasynth;
 
-[[noreturn]] void usage(const char* message = nullptr) {
-  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: sasynthd [options]\n"
                "  --port N            TCP on 127.0.0.1:N (0 = ephemeral); "
                "default stdio\n"
@@ -48,8 +58,42 @@ using namespace sasynth;
                "  --jobs N            worker threads (0 = SASYNTH_JOBS env or "
                "all cores)\n"
                "  --queue N           admission queue bound (default 64)\n"
-               "  --log-level NAME    debug|info|warn|error|off\n");
+               "  --metrics-out FILE  dump metrics at exit (.json = JSON, "
+               "else Prometheus text)\n"
+               "  --trace-out FILE    record spans, write Chrome trace JSON "
+               "at exit\n"
+               "  --log-level NAME    debug|info|warn|error|off (default "
+               "warn; unrecognized\n"
+               "                      names warn and fall back to info)\n");
+}
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  print_usage(stderr);
   std::exit(2);
+}
+
+/// Flushes the metrics registry / trace buffer to the --metrics-out and
+/// --trace-out paths (empty = skip). Failures warn; the serve exit status is
+/// not hostage to an unwritable dump path.
+void dump_observability(const std::string& metrics_path,
+                        const std::string& trace_path) {
+  auto write_or_warn = [](const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  };
+  if (!metrics_path.empty()) {
+    const obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    write_or_warn(metrics_path, ends_with(metrics_path, ".json")
+                                    ? r.to_json()
+                                    : r.to_prom());
+  }
+  if (!trace_path.empty()) {
+    write_or_warn(trace_path, obs::TraceRecorder::global().to_chrome_trace());
+  }
 }
 
 int serve_stdio(SynthServer& server) {
@@ -100,6 +144,8 @@ int serve_tcp(SynthServer& server, int port) {
 int main(int argc, char** argv) {
   ServeOptions options;
   int port = -1;  // -1 = stdio
+  std::string metrics_out_path;
+  std::string trace_out_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,14 +170,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue") {
       options.queue_limit = std::atoll(next_value("--queue").c_str());
       if (options.queue_limit < 1) usage("bad --queue");
+    } else if (arg == "--metrics-out") {
+      metrics_out_path = next_value("--metrics-out");
+    } else if (arg == "--trace-out") {
+      trace_out_path = next_value("--trace-out");
     } else if (arg == "--log-level") {
+      // parse_log_level warns (and falls back to info) on unknown names.
       set_log_level(parse_log_level(next_value("--log-level")));
     } else if (arg == "--help" || arg == "-h") {
-      usage();
+      // Asked-for help goes to stdout and is a success, not a usage error.
+      print_usage(stdout);
+      return 0;
     } else {
       usage(("unknown option " + arg).c_str());
     }
   }
+
+  // The registry is the data source of `stats --format=prom|json`, so the
+  // daemon always collects; span recording stays opt-in (--trace-out).
+  obs::set_metrics_enabled(true);
+  if (!trace_out_path.empty()) obs::set_trace_enabled(true);
 
   SynthServer server(options);
   SA_LOG_INFO << "sasynthd: jobs=" << server.scheduler().jobs()
@@ -141,6 +199,7 @@ int main(int argc, char** argv) {
                                                    : options.cache_dir.c_str())
                       : "<disabled>");
   const int status = port >= 0 ? serve_tcp(server, port) : serve_stdio(server);
+  dump_observability(metrics_out_path, trace_out_path);
   SA_LOG_INFO << "sasynthd: exiting\n";
   return status;
 }
