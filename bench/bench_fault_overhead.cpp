@@ -1,0 +1,112 @@
+// Fault-injection overhead gate: the disabled fault layer must be free.
+//
+// Two measurements, extending the bench_obs_overhead pattern (min-of-N wall
+// times, JSON artifact, non-zero exit on a blown gate):
+//   1. Micro: ns per disabled Site::fire() call — the cost every fallible
+//      I/O boundary pays on every call when no fault is armed. The contract
+//      is one relaxed atomic load; anything past a few ns is a regression.
+//   2. Serve-level: the warm-cache request latency, against which the
+//      per-request injection-site cost (a generous site-checks-per-request
+//      budget times the micro cost) must stay under 1%.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "faultinject/faultinject.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace sasynth;
+
+constexpr int kRepeats = 7;
+constexpr long long kMicroIters = 20'000'000;
+constexpr int kWarmRequests = 200;
+/// Upper bound on fire() checks one request can traverse (reads, writes,
+/// admission, task, cache probes — with slack for multi-chunk I/O).
+constexpr int kSitesPerRequest = 16;
+constexpr double kOverheadLimitPct = 1.0;
+
+const char* kRequest =
+    "sasynth-request v1\n"
+    "layer 16,16,8,8,3\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
+
+double min_fire_ns() {
+  fault::Site& s = fault::site(fault::kSiteTcpRead);
+  double best = 1e300;
+  long long sink = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double ms = bench::timed_ms("bench.fault_fire_disabled", [&] {
+      for (long long i = 0; i < kMicroIters; ++i) {
+        sink += static_cast<long long>(s.fire());
+      }
+    });
+    best = std::min(best, ms);
+  }
+  if (sink != 0) std::printf("unexpected: disabled site fired\n");
+  return best * 1e6 / static_cast<double>(kMicroIters);
+}
+
+double min_warm_request_us(SynthServer& server) {
+  double best = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double ms = bench::timed_ms("bench.warm_requests", [&] {
+      for (int i = 0; i < kWarmRequests; ++i) server.handle(kRequest);
+    });
+    best = std::min(best, ms);
+  }
+  return best * 1e3 / kWarmRequests;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fault-injection overhead: disabled sites on the serve path",
+      "ISSUE 4 acceptance (disabled fault layer < 1% of warm request)");
+
+  fault::disarm_all();  // the measured configuration: nothing armed
+
+  const double fire_ns = min_fire_ns();
+  std::printf("disabled Site::fire(): %.2f ns/call (min of %d x %lldM)\n",
+              fire_ns, kRepeats, kMicroIters / 1'000'000);
+
+  ServeOptions options;
+  options.jobs = 1;
+  options.cache_capacity = 16;
+  SynthServer server(options);
+  server.handle(kRequest);  // warm the cache: the DSE runs once, here
+  const double warm_us = min_warm_request_us(server);
+  std::printf("warm cached request: %.2f us (min of %d x %d requests)\n",
+              warm_us, kRepeats, kWarmRequests);
+
+  const double per_request_ns = fire_ns * kSitesPerRequest;
+  const double overhead_pct = per_request_ns / (warm_us * 1e3) * 100.0;
+  std::printf(
+      "%d site checks/request -> %.1f ns = %.4f%% of a warm request "
+      "(limit %.1f%%)\n",
+      kSitesPerRequest, per_request_ns, overhead_pct, kOverheadLimitPct);
+
+  std::FILE* out = std::fopen("BENCH_faultinject_overhead.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\"fire_disabled_ns\": %.4f, \"warm_request_us\": %.4f, "
+                 "\"sites_per_request\": %d, \"overhead_pct\": %.6f, "
+                 "\"limit_pct\": %.1f}\n",
+                 fire_ns, warm_us, kSitesPerRequest, overhead_pct,
+                 kOverheadLimitPct);
+    std::fclose(out);
+    std::printf("wrote BENCH_faultinject_overhead.json\n");
+  }
+
+  if (overhead_pct > kOverheadLimitPct) {
+    std::printf("ERROR: disabled fault layer costs %.4f%% > %.1f%%\n",
+                overhead_pct, kOverheadLimitPct);
+    return 1;
+  }
+  return 0;
+}

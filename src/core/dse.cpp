@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 
@@ -155,7 +156,13 @@ class LeanModel {
         for (std::size_t l = 0; l < num_loops_; ++l) {
           range += coeffs[l] * (block[l] - 1);
         }
-        footprint *= range;
+        if (!checked_mul(footprint, range, &footprint)) {
+          // A buffer footprint that overflows int64 cannot fit any device;
+          // reject the shape instead of feeding wrapped (possibly negative)
+          // sizes into the BRAM model below.
+          out.bram_blocks = std::numeric_limits<std::int64_t>::max();
+          return out;
+        }
       }
       const double bytes =
           2.0 * static_cast<double>(round_up_pow2(footprint)) *
@@ -262,8 +269,11 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
   for (std::size_t l = 0; l < n; ++l) {
     const std::int64_t cap = ceil_div(nest.loop(l).trip, inner[l]);
     candidates[l] = &cache.middles(cap, options.pow2_middle);
-    pow2_space *= static_cast<std::int64_t>(cache.pow2_covering(cap).size());
-    brute_space *= cap;
+    // Search-space sizes are reporting-only; saturate rather than wrap on
+    // pathologically deep nests.
+    pow2_space = sat_mul(
+        pow2_space, static_cast<std::int64_t>(cache.pow2_covering(cap).size()));
+    brute_space = sat_mul(brute_space, cap);
   }
   if (stats != nullptr) {
     stats->reuse_space_pow2 += pow2_space;
@@ -406,7 +416,11 @@ std::vector<ArrayShape> enumerate_shapes(const LoopNest& nest,
   for (std::int64_t rows = 1; rows <= row_cap; ++rows) {
     for (std::int64_t cols = 1; cols <= col_cap; ++cols) {
       for (const std::int64_t vec : vec_values) {
-        const std::int64_t lanes = rows * cols * vec;
+        std::int64_t lanes;
+        if (!checked_mul(rows, cols, &lanes) ||
+            !checked_mul(lanes, vec, &lanes)) {
+          continue;  // overflowed lane count certainly exceeds any capacity
+        }
         if (lanes > capacity) continue;
         ++considered_count;
         if (lanes < min_lanes) continue;  // Eq. 12

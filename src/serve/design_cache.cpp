@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/design_io.h"
+#include "faultinject/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -108,7 +109,23 @@ void DesignCache::insert_locked(std::uint64_t key,
     touch(it->second, key);
     return;
   }
+  static fault::Site& evict_site = fault::site(fault::kSiteCacheEvict);
   while (entries_.size() >= capacity_) {
+    if (evict_site.fire() != fault::ErrorKind::kNone) {
+      // Injected eviction failure: degrade by dropping the whole memory
+      // tier, as if the process had just restarted. Correctness is
+      // untouched — every later lookup falls through to disk or to a fresh
+      // DSE, both of which yield byte-identical responses.
+      SA_LOG_WARN << "design cache: injected eviction fault, dropping all "
+                  << entries_.size() << " in-memory entries";
+      fault::note_degraded();
+      const std::int64_t dropped = static_cast<std::int64_t>(entries_.size());
+      stats_.evictions += dropped;
+      CacheMetrics::get().evictions.add(dropped);
+      entries_.clear();
+      lru_.clear();
+      break;
+    }
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     entries_.erase(victim);
@@ -129,20 +146,41 @@ bool DesignCache::load_from_disk(std::uint64_t key,
                                  const std::string& canonical_request,
                                  const LoopNest& nest, DesignPoint* out) {
   obs::ScopedSpan span("cache.disk_load", "serve");
+  static fault::Site& load_site = fault::site(fault::kSiteCacheLoad);
   const std::string path = entry_path(key);
   std::ifstream in(path);
   if (!in) return false;  // no entry: a plain miss, not a failure
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  std::string text = buffer.str();
 
   auto reject = [&](const char* why) {
     ++stats_.load_failures;
     CacheMetrics::get().load_failures.add(1);
+    fault::note_degraded();
     SA_LOG_WARN << "design cache: discarding " << path << " (" << why
                 << "), falling back to a fresh DSE";
     return false;
   };
+
+  // A disk error mid-read leaves a prefix in `text`; parsing it could
+  // resurrect a stale half-entry, so it is a failure, not a short file.
+  if (in.bad()) return reject("read error");
+  switch (load_site.fire()) {
+    case fault::ErrorKind::kNone:
+      break;
+    case fault::ErrorKind::kCorrupt:
+      // Flip bytes at the quarter points (sparing newlines, which carry the
+      // framing): wherever they land — magic, key, canonical request, or
+      // design blob — a validation layer below must catch it.
+      for (const std::size_t at :
+           {text.size() / 4, text.size() / 2, (3 * text.size()) / 4}) {
+        if (at < text.size() && text[at] != '\n') text[at] ^= 0x15;
+      }
+      break;
+    default:  // error/eintr/...: the read itself failed
+      return reject("injected read error");
+  }
 
   // Header, key, canonical request ("req " lines), then the design blob.
   const std::vector<std::string> lines = split(text, '\n');
@@ -190,11 +228,23 @@ void DesignCache::store_to_disk(std::uint64_t key,
                                 const std::string& canonical_request,
                                 const DesignPoint& design) {
   obs::ScopedSpan span("cache.disk_store", "serve");
+  static fault::Site& store_site = fault::site(fault::kSiteCacheStore);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
     SA_LOG_WARN << "design cache: cannot create " << dir_ << " ("
                 << ec.message() << "), running in-memory only";
+    fault::note_degraded();
+    return;
+  }
+  const fault::ErrorKind injected = store_site.fire();
+  if (injected != fault::ErrorKind::kNone) {
+    // ENOSPC & friends: the entry simply is not persisted. The in-memory
+    // tier still has it; a later cold process re-runs the DSE — slower,
+    // byte-identical.
+    SA_LOG_WARN << "design cache: injected " << fault::kind_name(injected)
+                << " writing " << entry_path(key) << ", entry not persisted";
+    fault::note_degraded();
     return;
   }
   std::string text = std::string(kCacheMagic) + "\n";
@@ -212,8 +262,15 @@ void DesignCache::store_to_disk(std::uint64_t key,
   {
     std::ofstream outf(tmp, std::ios::trunc);
     outf << text;
+    // Flush and close before judging success: a full disk often only
+    // surfaces when buffered bytes hit the kernel, and renaming a
+    // short-written tmp would publish a torn entry under the real key.
+    outf.flush();
+    outf.close();
     if (!outf) {
       SA_LOG_WARN << "design cache: cannot write " << tmp;
+      fault::note_degraded();
+      std::filesystem::remove(tmp, ec);
       return;
     }
   }
@@ -221,6 +278,7 @@ void DesignCache::store_to_disk(std::uint64_t key,
   if (ec) {
     SA_LOG_WARN << "design cache: cannot rename " << tmp << " -> " << path
                 << " (" << ec.message() << ")";
+    fault::note_degraded();
     std::filesystem::remove(tmp, ec);
   }
 }

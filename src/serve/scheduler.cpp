@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "faultinject/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace sasynth {
 
@@ -38,12 +40,18 @@ RequestScheduler::RequestScheduler(int jobs, std::int64_t queue_limit)
     : queue_limit_(std::max<std::int64_t>(1, queue_limit)), pool_(jobs) {}
 
 bool RequestScheduler::try_submit(std::function<void()> work) {
+  static fault::Site& admit_site = fault::site(fault::kSiteSchedAdmit);
   SchedMetrics& sm = SchedMetrics::get();
+  const bool admit_fault = admit_site.fire() != fault::ErrorKind::kNone;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (pending_ >= queue_limit_) {
+    if (admit_fault || pending_ >= queue_limit_) {
+      // An injected admission failure is indistinguishable from a full
+      // queue on purpose: the caller's retry-response path is exactly what
+      // the fault is exercising.
       ++rejected_;
       sm.rejected.add(1);
+      if (admit_fault) fault::note_degraded();
       return false;
     }
     ++pending_;
@@ -59,7 +67,19 @@ bool RequestScheduler::try_submit(std::function<void()> work) {
       m.queue_wait_ms.observe(
           (obs::TraceRecorder::global().now_us() - accept_us) * 1e-3);
     }
-    work();
+    try {
+      work();
+    } catch (const std::exception& e) {
+      // A throwing work item must not leak its admission slot: pending_
+      // would never reach zero again and every later drain() would hang
+      // the session. The error itself is the submitter's to handle.
+      SA_LOG_WARN << "scheduler: work item threw (" << e.what()
+                  << "), releasing its admission slot";
+      fault::note_degraded();
+    } catch (...) {
+      SA_LOG_WARN << "scheduler: work item threw, releasing its admission slot";
+      fault::note_degraded();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     --pending_;
     m.queue_depth.set(pending_);

@@ -7,6 +7,7 @@
 
 #include "core/perf_model.h"
 #include "core/resource_model.h"
+#include "faultinject/faultinject.h"
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
 #include "obs/metrics.h"
@@ -190,14 +191,21 @@ void SynthServer::serve(const LineSource& read_line,
   std::thread writer([&] {
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
-      ready_cv.wait(lock,
-                    [&] { return done || ready.count(next_emit) > 0; });
-      while (true) {
-        const auto it = ready.find(next_emit);
-        if (it == ready.end()) break;
+      ready_cv.wait(lock, [&] {
+        return done ||
+               (!ready.empty() && ready.begin()->first == next_emit);
+      });
+      while (!ready.empty()) {
+        const auto it = ready.begin();  // smallest outstanding seq
+        // Before `done`, wait for the exact next sequence number. After
+        // `done` no response can still arrive, so flush whatever exists in
+        // order even across a hole — every request task is expected to
+        // post something, but a missing seq must degrade to a skipped
+        // response, never to this loop spinning forever.
+        if (it->first != next_emit && !done) break;
+        next_emit = it->first + 1;
         std::string text = std::move(it->second);
         ready.erase(it);
-        ++next_emit;
         lock.unlock();
         {
           obs::ScopedSpan write_span("serve.session_write", "serve");
@@ -224,7 +232,21 @@ void SynthServer::serve(const LineSource& read_line,
       const std::uint64_t seq = next_seq++;
       const bool accepted = scheduler_.try_submit(
           [this, &post, seq, block = std::move(block)] {
-            post(seq, handle(block));
+            // Always post *something* for this seq: the ordered writer
+            // stalls the whole session on a missing sequence number, so a
+            // throwing handler degrades to an error response, not a hole.
+            std::string response;
+            try {
+              fault::raise_if_armed(fault::kSitePoolTask);
+              response = handle(block);
+            } catch (const std::exception& e) {
+              counters_.errors.fetch_add(1);
+              ServeMetrics::get().errors.add(1);
+              fault::note_degraded();
+              response = format_error_response(std::string("internal error: ") +
+                                               e.what());
+            }
+            post(seq, std::move(response));
           });
       if (!accepted) {
         counters_.requests.fetch_add(1);

@@ -5,63 +5,114 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "faultinject/faultinject.h"
+#include "util/logging.h"
 
 namespace sasynth {
+
+namespace {
+
+/// accept(2) failures the listener must ride out rather than die on:
+/// resource pressure (fd/buffer exhaustion) or a connection that aborted
+/// while parked in the backlog.
+bool accept_errno_is_transient(int err) {
+  return err == ECONNABORTED || err == EMFILE || err == ENFILE ||
+         err == ENOBUFS || err == ENOMEM || err == EPROTO;
+}
+
+}  // namespace
 
 TcpListener::~TcpListener() { close_listener(); }
 
 bool TcpListener::listen_on(int port, std::string* error) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    // Not fatal — the bind may still succeed — but never silent: without
+    // REUSEADDR a quick daemon restart can spuriously fail with EADDRINUSE.
+    SA_LOG_WARN << "setsockopt(SO_REUSEADDR): " << std::strerror(errno);
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     *error = std::string("bind: ") + std::strerror(errno);
-    close_listener();
+    ::close(fd);
     return false;
   }
-  if (::listen(fd_, 16) < 0) {
+  if (::listen(fd, 16) < 0) {
     *error = std::string("listen: ") + std::strerror(errno);
-    close_listener();
+    ::close(fd);
     return false;
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+  // Publish only a fully set-up listener; error paths never expose the fd.
+  fd_.store(fd, std::memory_order_release);
   return true;
 }
 
 int TcpListener::accept_client() {
-  if (fd_ < 0) return -1;
+  static fault::Site& accept_site = fault::site(fault::kSiteTcpAccept);
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
-    if (client >= 0) return client;
-    if (errno == EINTR) continue;
-    return -1;  // listener closed or fatal
+    // Re-load each attempt: close_listener() from another thread swaps the
+    // fd out atomically, and the retry paths below must observe that.
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return -1;
+    int err;
+    if (accept_site.fire() != fault::ErrorKind::kNone) {
+      err = ECONNABORTED;  // every injected kind acts as a transient failure
+    } else {
+      const int client = ::accept(fd, nullptr, nullptr);
+      if (client >= 0) return client;
+      err = errno;
+    }
+    if (err == EINTR) continue;
+    if (accept_errno_is_transient(err)) {
+      SA_LOG_WARN << "accept: " << std::strerror(err) << ", retrying";
+      fault::note_degraded();
+      // Brief backoff: under fd exhaustion an immediate retry would spin
+      // without giving any session a chance to release one.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    // EBADF/EINVAL is the normal close_listener() path; anything else gets
+    // its errno into the log instead of a silent -1.
+    if (err != EBADF && err != EINVAL) {
+      SA_LOG_ERROR << "accept: " << std::strerror(err)
+                   << ", stopping the accept loop";
+    }
+    return -1;
   }
 }
 
 void TcpListener::close_listener() {
-  if (fd_ >= 0) {
+  // exchange() makes close idempotent and race-free against a concurrent
+  // accept_client: exactly one caller wins the fd and closes it.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
     // shutdown() unblocks a thread parked in accept() before close().
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
 bool FdLineReader::read_line(std::string* out) {
+  static fault::Site& read_site = fault::site(fault::kSiteTcpRead);
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -76,11 +127,40 @@ bool FdLineReader::read_line(std::string* out) {
       return true;
     }
     char chunk[4096];
-    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    std::size_t want = sizeof(chunk);
+    ssize_t n;
+    switch (read_site.fire()) {
+      case fault::ErrorKind::kNone:
+        n = ::read(fd_, chunk, want);
+        break;
+      case fault::ErrorKind::kEintr:
+        n = -1;
+        errno = EINTR;
+        break;
+      case fault::ErrorKind::kShortRead:
+        want = 1;  // the kernel is allowed to return any prefix
+        n = ::read(fd_, chunk, want);
+        break;
+      default:  // epipe/corrupt/enospc/error: a fatal transport error
+        n = -1;
+        errno = EIO;
+        break;
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      // A read error is not EOF: whatever sits in the buffer is the prefix
+      // of a request we never fully received. Delivering it as a complete
+      // line would hand the parser a truncated request, so drop it and
+      // report failure through failed().
+      SA_LOG_WARN << "session read error: " << std::strerror(errno)
+                  << ", dropping " << buffer_.size() << " buffered bytes";
+      fault::note_degraded();
+      failed_ = true;
       eof_ = true;
-    } else if (n == 0) {
+      buffer_.clear();
+      return false;
+    }
+    if (n == 0) {
       eof_ = true;
     } else {
       buffer_.append(chunk, static_cast<std::size_t>(n));
@@ -89,9 +169,27 @@ bool FdLineReader::read_line(std::string* out) {
 }
 
 bool write_all_fd(int fd, const std::string& data) {
+  static fault::Site& write_site = fault::site(fault::kSiteTcpWrite);
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    std::size_t want = data.size() - written;
+    const fault::ErrorKind injected = write_site.fire();
+    if (injected == fault::ErrorKind::kEintr) continue;  // retryable, like EINTR
+    if (injected == fault::ErrorKind::kShortRead) {
+      want = 1;  // short write: the kernel took one byte
+    } else if (injected != fault::ErrorKind::kNone) {
+      errno = EPIPE;  // epipe/error/...: the peer is gone
+      return false;
+    }
+    // send(MSG_NOSIGNAL) so a vanished peer surfaces as EPIPE on this call
+    // instead of SIGPIPE killing the whole daemon; pipes and regular fds
+    // (tests, stdio plumbing) are not sockets, so fall back to write(2)
+    // for them — writes to broken pipes are covered by the SIG_IGN the
+    // daemon installs at startup.
+    ssize_t n = ::send(fd, data.data() + written, want, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data.data() + written, want);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -103,10 +201,27 @@ bool write_all_fd(int fd, const std::string& data) {
 
 void serve_fd_session(SynthServer& server, int fd) {
   FdLineReader reader(fd);
-  server.serve([&reader](std::string* line) { return reader.read_line(line); },
-               [fd](const std::string& response) {
-                 (void)write_all_fd(fd, response);
-               });
+  std::atomic<bool> write_failed{false};
+  server.serve(
+      [&](std::string* line) {
+        // After a failed write the peer cannot receive answers, so reading
+        // further requests would only do work nobody collects.
+        if (write_failed.load(std::memory_order_relaxed)) return false;
+        return reader.read_line(line);
+      },
+      [fd, &write_failed](const std::string& response) {
+        if (write_failed.load(std::memory_order_relaxed)) return;
+        if (!write_all_fd(fd, response)) {
+          // First failed write ends the session: no retries into a dead
+          // peer, and shutdown() unblocks the session thread if it is
+          // parked in read(2) waiting for the next request.
+          SA_LOG_WARN << "session write failed (" << std::strerror(errno)
+                      << "), ending session";
+          fault::note_degraded();
+          write_failed.store(true, std::memory_order_relaxed);
+          ::shutdown(fd, SHUT_RDWR);
+        }
+      });
   ::close(fd);
 }
 

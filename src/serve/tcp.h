@@ -7,6 +7,7 @@
 // client/server pair without colliding.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "serve/server.h"
@@ -32,34 +33,47 @@ class TcpListener {
   /// closed (the shutdown path) or on a fatal error.
   int accept_client();
 
-  /// Closes the listening socket; unblocks accept_client. Idempotent.
+  /// Closes the listening socket; unblocks accept_client. Idempotent and
+  /// safe to call while another thread is blocked in accept_client (the fd
+  /// handoff is atomic — exactly one caller closes).
   void close_listener();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 
 /// Buffered line reader over a socket/pipe fd. Lines are '\n'-terminated;
-/// a trailing unterminated line is delivered at EOF.
+/// a trailing unterminated line is delivered at clean EOF. A read *error* is
+/// different from EOF: any buffered partial line is dropped (a truncated
+/// request must never reach the parser as if it were complete), read_line
+/// returns false, and failed() reports true.
 class FdLineReader {
  public:
   explicit FdLineReader(int fd) : fd_(fd) {}
 
-  /// False at EOF or on a read error.
+  /// False at EOF or on a read error; failed() distinguishes the two.
   bool read_line(std::string* out);
+
+  /// True once a non-EINTR read error ended the stream.
+  bool failed() const { return failed_; }
 
  private:
   int fd_;
   std::string buffer_;
   bool eof_ = false;
+  bool failed_ = false;
 };
 
-/// Writes all of `data` to `fd`; false on error.
+/// Writes all of `data` to `fd`; false on error. Sockets are written with
+/// send(MSG_NOSIGNAL) so a disconnected peer yields EPIPE here instead of a
+/// process-killing SIGPIPE; non-socket fds fall back to write(2).
 bool write_all_fd(int fd, const std::string& data);
 
-/// Runs one server session over a connected socket and closes it. Shared by
-/// the daemon's connection threads and the TCP tests.
+/// Runs one server session over a connected socket and closes it. The first
+/// failed write ends the session (the peer is gone; no work is done for
+/// responses nobody can receive). Shared by the daemon's connection threads
+/// and the TCP tests.
 void serve_fd_session(SynthServer& server, int fd);
 
 }  // namespace sasynth

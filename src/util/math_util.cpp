@@ -1,6 +1,7 @@
 #include "util/math_util.h"
 
 #include <cassert>
+#include <limits>
 
 namespace sasynth {
 
@@ -16,6 +17,10 @@ std::int64_t round_up(std::int64_t a, std::int64_t b) {
 
 std::int64_t round_up_pow2(std::int64_t a) {
   assert(a >= 1);
+  // 2^62 is the largest int64 power of two; shifting it again would move a
+  // bit into the sign position (UB). Anything above it saturates.
+  constexpr std::int64_t kMaxPow2 = std::int64_t{1} << 62;
+  if (a > kMaxPow2) return std::numeric_limits<std::int64_t>::max();
   std::int64_t p = 1;
   while (p < a) p <<= 1;
   return p;
@@ -49,14 +54,35 @@ std::int64_t gcd(std::int64_t a, std::int64_t b) {
   return a;
 }
 
+bool checked_mul(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return r;
+}
+
+bool checked_product(const std::vector<std::int64_t>& v, std::int64_t* out) {
+  std::int64_t p = 1;
+  for (const std::int64_t x : v) {
+    if (__builtin_mul_overflow(p, x, &p)) return false;
+  }
+  *out = p;
+  return true;
+}
+
 std::int64_t lcm(std::int64_t a, std::int64_t b) {
   if (a == 0 || b == 0) return 0;
-  return a / gcd(a, b) * b;
+  return sat_mul(a / gcd(a, b), b);
 }
 
 std::int64_t product(const std::vector<std::int64_t>& v) {
-  std::int64_t p = 1;
-  for (const std::int64_t x : v) p *= x;
+  std::int64_t p;
+  if (!checked_product(v, &p)) return std::numeric_limits<std::int64_t>::max();
   return p;
 }
 

@@ -18,7 +18,9 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b);
 /// Rounds `a` up to the next multiple of `b`. Precondition: b > 0, a >= 0.
 std::int64_t round_up(std::int64_t a, std::int64_t b);
 
-/// Smallest power of two >= a (a >= 1). round_up_pow2(1) == 1.
+/// Smallest power of two >= a (a >= 1). round_up_pow2(1) == 1. Saturates to
+/// INT64_MAX when the next power of two does not fit in int64 (a > 2^62) —
+/// shifting past the sign bit would be undefined behavior.
 /// This models the Intel OpenCL flow's buffer allocation, which rounds
 /// memory sizes up to powers of two (paper §3.3, Eq. 6).
 std::int64_t round_up_pow2(std::int64_t a);
@@ -35,10 +37,25 @@ int ceil_log2(std::int64_t a);
 /// Greatest common divisor (non-negative inputs).
 std::int64_t gcd(std::int64_t a, std::int64_t b);
 
-/// Least common multiple. Precondition: results fit in int64.
+/// Checked multiply: *out = a * b and true, or false when the product does
+/// not fit in int64 (*out unspecified). Non-negative inputs.
+bool checked_mul(std::int64_t a, std::int64_t b, std::int64_t* out);
+
+/// Saturating multiply for non-negative inputs: a * b, or INT64_MAX on
+/// overflow. A footprint/size that saturates always fails any resource
+/// budget check, which is exactly the right outcome for an overflowed model.
+std::int64_t sat_mul(std::int64_t a, std::int64_t b);
+
+/// Checked product of extents: false when the running product overflows
+/// int64. Empty product is 1.
+bool checked_product(const std::vector<std::int64_t>& v, std::int64_t* out);
+
+/// Least common multiple; saturates to INT64_MAX if the result does not fit
+/// (a saturated LCM fails every divisibility/resource test downstream).
 std::int64_t lcm(std::int64_t a, std::int64_t b);
 
-/// Product of a vector of extents. Empty product is 1.
+/// Product of a vector of extents, saturating to INT64_MAX on overflow.
+/// Empty product is 1.
 std::int64_t product(const std::vector<std::int64_t>& v);
 
 /// All divisors of n in increasing order. Precondition: n >= 1.

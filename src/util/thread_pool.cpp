@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "faultinject/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace sasynth {
 
@@ -117,7 +119,12 @@ void ThreadPool::submit(std::function<void()> task) {
     pm.task_wait_ms.observe(0.0);
     try {
       task();
+    } catch (const std::exception& e) {
+      SA_LOG_WARN << "thread pool: inline task threw (" << e.what() << ")";
+      fault::note_degraded();
     } catch (...) {
+      SA_LOG_WARN << "thread pool: inline task threw";
+      fault::note_degraded();
     }
     return;
   }
@@ -175,8 +182,14 @@ void ThreadPool::worker_loop(int worker) {
     }
     try {
       task.fn();
+    } catch (const std::exception& e) {
+      // Submitted tasks own their errors (for_each keeps rethrow semantics),
+      // but a swallowed throw is still a degraded event worth counting.
+      SA_LOG_WARN << "thread pool: task threw (" << e.what() << ")";
+      fault::note_degraded();
     } catch (...) {
-      // Submitted tasks own their errors (for_each keeps rethrow semantics).
+      SA_LOG_WARN << "thread pool: task threw";
+      fault::note_degraded();
     }
     lock.lock();
     --task_inflight_;

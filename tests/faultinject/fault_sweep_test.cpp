@@ -1,0 +1,340 @@
+// The fault sweep: every injection point crossed with every error kind,
+// driven through real TCP sessions against a disk-backed server.
+//
+// The contract under test (ISSUE: failure-path hardening):
+//   * no crash, no hang, for any (site, kind);
+//   * benign kinds (EINTR, short read/write) are invisible — the transcript
+//     is byte-identical to the clean reference;
+//   * recoverable faults (cache disk errors, transient accept failures)
+//     degrade silently: the transcript stays byte-identical and
+//     `degraded_total` counts the fallback;
+//   * surfaced faults (admission failure, task failure) yield a clean
+//     retry/error response and the session keeps serving;
+//   * fatal transport faults end the session cleanly (no partial request is
+//     ever parsed);
+//   * after disarming, a fresh server over the same cache produces a
+//     byte-identical transcript (retries are deterministic).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultinject/faultinject.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+
+namespace sasynth {
+namespace {
+
+const char* kRequestA =
+    "sasynth-request v1\n"
+    "layer 16,16,8,8,3\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
+const char* kRequestB =
+    "sasynth-request v1\n"
+    "layer 8,16,4,4,3\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Client-side writer on raw write(2): the client must NOT go through
+/// write_all_fd, whose tcp.write injection site belongs to the server under
+/// test — a shared site would consume the armed fault on the client's send.
+bool client_send_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a fatal-read fault makes the server close the socket
+    // mid-script, and that must surface as EPIPE, not SIGPIPE in the test.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return out;
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_all();
+    obs::set_metrics_enabled(true);
+  }
+  void TearDown() override { fault::disarm_all(); }
+
+  /// One cache directory shared by every sweep iteration: responses are
+  /// derived deterministically from (request, design), so it does not matter
+  /// whether a particular run got its design from memory, disk, or a fresh
+  /// DSE — the bytes on the wire are identical. Sharing the warm directory
+  /// keeps the 48-iteration sweep fast.
+  static std::string shared_cache_dir() {
+    static const std::string dir = [] {
+      // Per-pid: ctest runs each test case as its own process, possibly in
+      // parallel, and two processes sweeping one directory race remove_all
+      // against each other's stores.
+      const std::filesystem::path p =
+          std::filesystem::path(::testing::TempDir()) /
+          ("sasynth_fault_sweep_" + std::to_string(::getpid()));
+      std::filesystem::remove_all(p);
+      return p.string();
+    }();
+    return dir;
+  }
+
+  /// remove_all that tolerates entries vanishing underneath it.
+  static void reset_cache_dir() {
+    std::error_code ec;
+    std::filesystem::remove_all(shared_cache_dir(), ec);
+  }
+
+  static ServeOptions sweep_options() {
+    ServeOptions options;
+    options.jobs = 1;
+    options.cache_dir = shared_cache_dir();
+    // Capacity 1 forces an eviction on the second distinct request, so the
+    // cache.evict site actually fires during the sweep.
+    options.cache_capacity = 1;
+    return options;
+  }
+
+  /// A session that exercises every serve-side site: a command (ping), a
+  /// disk-warm request, a second request (evicts + stores), and a repeat of
+  /// the first (reloads from disk after the eviction).
+  static std::string session_script() {
+    return std::string("ping\n") + kRequestA + kRequestB + kRequestA +
+           "shutdown\n";
+  }
+
+  /// Runs one full TCP client/server session and returns what the client
+  /// received. Joins everything: if this returns, nothing hung.
+  static std::string run_tcp_session(SynthServer& server) {
+    TcpListener listener;
+    std::string error;
+    EXPECT_TRUE(listener.listen_on(0, &error)) << error;
+    std::thread session([&] {
+      const int fd = listener.accept_client();
+      if (fd >= 0) serve_fd_session(server, fd);
+    });
+    const int client = connect_loopback(listener.port());
+    EXPECT_GE(client, 0);
+    std::string transcript;
+    if (client >= 0) {
+      client_send_all(client, session_script());
+      ::shutdown(client, SHUT_WR);
+      transcript = read_to_eof(client);
+      ::close(client);
+    }
+    session.join();
+    listener.close_listener();
+    return transcript;
+  }
+
+  /// The clean-run transcript (computed once; also warms the shared cache
+  /// directory so later iterations skip most DSE work).
+  static const std::string& reference() {
+    static const std::string ref = [] {
+      SynthServer server(sweep_options());
+      return run_tcp_session(server);
+    }();
+    return ref;
+  }
+
+  static obs::Counter& degraded_counter() {
+    return obs::MetricsRegistry::global().counter("degraded_total");
+  }
+};
+
+/// How a (site, kind) pair is expected to surface.
+enum class Outcome {
+  kInvisible,   ///< transcript byte-identical, no degradation recorded
+  kDegraded,    ///< transcript byte-identical, degraded_total incremented
+  kSurfaced,    ///< clean retry/error response; session keeps serving
+  kSessionEnd,  ///< transport gone: session ends cleanly, nothing parsed
+};
+
+Outcome expected_outcome(const std::string& site, fault::ErrorKind kind) {
+  const bool benign = kind == fault::ErrorKind::kEintr ||
+                      kind == fault::ErrorKind::kShortRead;
+  if (site == fault::kSiteTcpRead || site == fault::kSiteTcpWrite) {
+    return benign ? Outcome::kInvisible : Outcome::kSessionEnd;
+  }
+  if (site == fault::kSiteSchedAdmit) return Outcome::kSurfaced;
+  if (site == fault::kSitePoolTask) return Outcome::kSurfaced;
+  // tcp.accept treats every kind as a transient accept failure; cache sites
+  // always fall back (fresh DSE / skip persist / drop memory tier).
+  return Outcome::kDegraded;
+}
+
+TEST_F(FaultSweepTest, EverySiteTimesEveryKindDegradesGracefully) {
+  const std::string& ref = reference();
+  ASSERT_NE(ref.find("sasynth-pong v1"), std::string::npos) << ref;
+  ASSERT_NE(ref.find("sasynth-response v1 ok"), std::string::npos) << ref;
+  ASSERT_NE(ref.find("sasynth-bye v1"), std::string::npos) << ref;
+
+  const fault::ErrorKind kinds[] = {
+      fault::ErrorKind::kShortRead, fault::ErrorKind::kEintr,
+      fault::ErrorKind::kEpipe,     fault::ErrorKind::kEnospc,
+      fault::ErrorKind::kCorrupt,   fault::ErrorKind::kError,
+  };
+
+  for (const std::string& site_name : fault::known_sites()) {
+    for (const fault::ErrorKind kind : kinds) {
+      SCOPED_TRACE(site_name + ":" + fault::kind_name(kind));
+      fault::disarm_all();
+
+      // Reset the disk tier to "request A only" so every cache site has
+      // work each iteration: A loads from disk (cache.load), B is cold and
+      // must be explored + stored (cache.store), and capacity 1 forces an
+      // eviction when B lands (cache.evict).
+      reset_cache_dir();
+      {
+        SynthServer prewarm(sweep_options());
+        prewarm.handle(kRequestA);
+      }
+
+      fault::FaultSpec spec;
+      spec.kind = kind;
+      spec.after = 1;
+      spec.count = 1;
+      fault::arm(site_name, spec);
+
+      const std::int64_t degraded_before = degraded_counter().value();
+      SynthServer server(sweep_options());
+      const std::string transcript = run_tcp_session(server);
+      const std::int64_t degraded =
+          degraded_counter().value() - degraded_before;
+      const std::int64_t injected = fault::injected_total();
+
+      switch (expected_outcome(site_name, kind)) {
+        case Outcome::kInvisible:
+          EXPECT_GT(injected, 0);
+          EXPECT_EQ(transcript, ref);
+          break;
+        case Outcome::kDegraded:
+          EXPECT_GT(injected, 0);
+          EXPECT_EQ(transcript, ref);
+          EXPECT_GT(degraded, 0);
+          break;
+        case Outcome::kSurfaced:
+          EXPECT_GT(injected, 0);
+          EXPECT_GT(degraded, 0);
+          // The faulted request gets a clean protocol response...
+          if (site_name == fault::kSiteSchedAdmit) {
+            EXPECT_NE(transcript.find("sasynth-response v1 retry"),
+                      std::string::npos)
+                << transcript;
+          } else {
+            EXPECT_NE(transcript.find("internal error"), std::string::npos)
+                << transcript;
+          }
+          // ...and the session keeps serving: later requests succeed and
+          // the shutdown handshake completes.
+          EXPECT_NE(transcript.find("sasynth-response v1 ok"),
+                    std::string::npos)
+              << transcript;
+          EXPECT_NE(transcript.find("sasynth-bye v1"), std::string::npos)
+              << transcript;
+          break;
+        case Outcome::kSessionEnd:
+          EXPECT_GT(injected, 0);
+          EXPECT_GT(degraded, 0);
+          // The very first read/write failed, so the client saw nothing —
+          // crucially, no partial or garbage response.
+          EXPECT_TRUE(transcript.empty()) << transcript;
+          break;
+      }
+
+      // Retry determinism: disarm and replay the identical stream against a
+      // fresh server over the same cache directory — byte-identical.
+      fault::disarm_all();
+      SynthServer retry_server(sweep_options());
+      EXPECT_EQ(run_tcp_session(retry_server), ref);
+    }
+  }
+}
+
+/// The tcp.accept site rides out a whole burst of transient failures, not
+/// just one: the listener must keep retrying until the kernel hands it the
+/// parked connection.
+TEST_F(FaultSweepTest, AcceptSurvivesATransientErrorBurst) {
+  const std::string& ref = reference();  // computed before arming
+  fault::FaultSpec spec;
+  spec.kind = fault::ErrorKind::kError;
+  spec.after = 1;
+  spec.count = 3;  // three consecutive failed accepts, then the real one
+  fault::arm(fault::kSiteTcpAccept, spec);
+
+  SynthServer server(sweep_options());
+  const std::string transcript = run_tcp_session(server);
+  EXPECT_EQ(fault::site(fault::kSiteTcpAccept).injected(), 3);
+  EXPECT_EQ(transcript, ref);
+}
+
+/// EINTR storms on the transport are fully absorbed: a long run of
+/// interrupted reads/writes never surfaces in the transcript.
+TEST_F(FaultSweepTest, EintrStormIsInvisible) {
+  const std::string& ref = reference();  // computed before arming
+  std::string error;
+  ASSERT_TRUE(
+      fault::parse_and_arm("tcp.read:eintr@1x20,tcp.write:eintr@2x20", &error))
+      << error;
+  SynthServer server(sweep_options());
+  EXPECT_EQ(run_tcp_session(server), ref);
+  EXPECT_GE(fault::injected_total(), 40);
+}
+
+/// A cache directory that fails on every disk operation still serves every
+/// request correctly — the server just re-runs the DSE each time.
+TEST_F(FaultSweepTest, AllDiskFaultsFallBackToFreshDse) {
+  const std::string& ref = reference();  // computed before arming
+  std::string error;
+  ASSERT_TRUE(fault::parse_and_arm(
+                  "cache.load:error@1x*,cache.store:enospc@1x*", &error))
+      << error;
+  SynthServer server(sweep_options());
+  EXPECT_EQ(run_tcp_session(server), ref);
+  EXPECT_GT(server.counters().dse_runs.load(), 0);
+}
+
+}  // namespace
+}  // namespace sasynth

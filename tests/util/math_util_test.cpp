@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace sasynth {
 namespace {
 
@@ -70,6 +72,64 @@ TEST(Product, EmptyIsOne) {
   EXPECT_EQ(product({}), 1);
   EXPECT_EQ(product({3}), 3);
   EXPECT_EQ(product({2, 3, 4}), 24);
+}
+
+// Satellite: overflow is detected, never wrapped. A DSE footprint that does
+// not fit in int64 must read as "infinitely large" (fails every budget),
+// not as a small or negative number.
+TEST(CheckedMul, DetectsOverflow) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  std::int64_t out = 0;
+  EXPECT_TRUE(checked_mul(6, 7, &out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(checked_mul(max, 1, &out));
+  EXPECT_EQ(out, max);
+  EXPECT_TRUE(checked_mul(0, max, &out));
+  EXPECT_EQ(out, 0);
+  EXPECT_FALSE(checked_mul(max, 2, &out));
+  EXPECT_FALSE(checked_mul(std::int64_t{1} << 32, std::int64_t{1} << 32, &out));
+  EXPECT_FALSE(checked_mul(std::int64_t{3037000500}, std::int64_t{3037000500},
+                           &out));  // ~sqrt(INT64_MAX), squared just overflows
+}
+
+TEST(SatMul, SaturatesAtInt64Max) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(sat_mul(6, 7), 42);
+  EXPECT_EQ(sat_mul(max, 1), max);
+  EXPECT_EQ(sat_mul(max, 2), max);
+  EXPECT_EQ(sat_mul(std::int64_t{1} << 40, std::int64_t{1} << 40), max);
+}
+
+TEST(CheckedProduct, DetectsOverflow) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(checked_product({}, &out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(checked_product({1 << 20, 1 << 20, 1 << 20}, &out));
+  EXPECT_EQ(out, std::int64_t{1} << 60);
+  EXPECT_FALSE(checked_product({1 << 20, 1 << 20, 1 << 20, 16}, &out));
+}
+
+TEST(Product, SaturatesInsteadOfWrapping) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(product({std::int64_t{1} << 32, std::int64_t{1} << 32}), max);
+  EXPECT_EQ(product({max, max, max}), max);
+}
+
+TEST(GcdLcm, LcmSaturatesInsteadOfOverflowing) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  // Two coprime values near 2^62: their true LCM is their product, which
+  // does not fit — pre-fix this wrapped into garbage (UB).
+  const std::int64_t a = (std::int64_t{1} << 62) - 1;
+  const std::int64_t b = (std::int64_t{1} << 62) - 3;
+  EXPECT_EQ(lcm(a, b), max);
+  EXPECT_EQ(lcm(max, max), max);  // equal inputs still exact
+}
+
+TEST(RoundUpPow2, SaturatesAbove2To62) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(round_up_pow2(std::int64_t{1} << 62), std::int64_t{1} << 62);
+  EXPECT_EQ(round_up_pow2((std::int64_t{1} << 62) + 1), max);  // pre-fix: UB
+  EXPECT_EQ(round_up_pow2(max), max);
 }
 
 TEST(Divisors, SortedComplete) {

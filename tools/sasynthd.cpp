@@ -28,6 +28,7 @@
 // accepted request, flushes responses in order, then exits.
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "faultinject/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -186,10 +188,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A client that disconnects mid-response must surface as EPIPE on the
+  // write (handled per-session), never as a SIGPIPE killing every other
+  // session in the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
   // The registry is the data source of `stats --format=prom|json`, so the
   // daemon always collects; span recording stays opt-in (--trace-out).
   obs::set_metrics_enabled(true);
   if (!trace_out_path.empty()) obs::set_trace_enabled(true);
+
+  // Deterministic fault injection (docs/SERVING.md, "Failure modes"): the
+  // SASYNTH_FAULTS spec arms named failure sites for harness runs.
+  const int armed = fault::install_from_env();
+  if (armed > 0) {
+    SA_LOG_WARN << "sasynthd: SASYNTH_FAULTS armed " << armed
+                << " fault injection site(s)";
+  }
 
   SynthServer server(options);
   SA_LOG_INFO << "sasynthd: jobs=" << server.scheduler().jobs()
