@@ -36,6 +36,7 @@ struct DseMetrics {
   obs::Counter& reuse_rejected_bram;
   obs::Counter& rejected_soft_logic;
   obs::Counter& util_relaxations;
+  obs::Counter& cancelled;
   obs::Histogram& phase1_ms;
   obs::Histogram& phase2_ms;
 
@@ -54,6 +55,7 @@ struct DseMetrics {
           r.counter("dse_reuse_rejected_bram_total"),
           r.counter("dse_candidates_rejected_soft_logic_total"),
           r.counter("dse_util_relaxations_total"),
+          r.counter("dse_cancelled_total"),
           r.histogram("dse_phase1_ms"),
           r.histogram("dse_phase2_ms"),
       };
@@ -368,6 +370,7 @@ std::string DseStats::summary() const {
                      static_cast<long long>(util_relaxations),
                      effective_min_dsp_util);
   }
+  if (cancelled) out += "; cancelled (partial sweep)";
   return out;
 }
 
@@ -499,6 +502,17 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
         DseStats& ws = worker_stats[static_cast<std::size_t>(worker)];
         MiddleCandidateCache& cache = caches[static_cast<std::size_t>(worker)];
         for (std::int64_t i = begin; i < end; ++i) {
+          // Cooperative cancellation poll, per work item: one relaxed load
+          // (plus a clock read only when a deadline is armed) against an
+          // item that costs orders of magnitude more. cut(i) folds in the
+          // deterministic item cut, an expired deadline, and an explicit
+          // request_cancel(); the rest of this shard — and, via the same
+          // check at its own first item, every later shard — is skipped,
+          // leaving the already-filled slots as the best-so-far partial.
+          if (options_.cancel.cut(i)) {
+            ws.cancelled = true;
+            break;
+          }
           const Phase1Item& item = items[static_cast<std::size_t>(i)];
           DesignPoint design;
           if (!best_reuse_impl(nest, model, device_, options_, *item.mapping,
@@ -526,6 +540,7 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
     st->soft_logic_rejected += ws.soft_logic_rejected;
     st->reuse_space_pow2 += ws.reuse_space_pow2;
     st->reuse_space_bruteforce += ws.reuse_space_bruteforce;
+    st->cancelled = st->cancelled || ws.cancelled;
   }
   for (const double b : busy) st->phase1_cpu_seconds += b;
 
@@ -558,6 +573,11 @@ void DesignSpaceExplorer::run_phase2(const LoopNest& nest,
   pool.for_each(static_cast<std::int64_t>(candidates.size()),
                 [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
                   for (std::int64_t i = begin; i < end; ++i) {
+                    // Deadline poll only (the deterministic item cut indexes
+                    // phase-1 work items, not this top-K list): candidates
+                    // the cut skips keep realized_freq_mhz == 0 and best()
+                    // falls back to the estimated ranking.
+                    if (options_.cancel.cancelled()) return;
                     DseCandidate& candidate =
                         candidates[static_cast<std::size_t>(i)];
                     candidate.realized_freq_mhz = pseudo_pnr_frequency_mhz(
@@ -574,17 +594,22 @@ DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
   DseResult result;
   result.stats.effective_min_dsp_util = options_.min_dsp_util;
   std::vector<DseCandidate> all = enumerate_phase1(nest, &result.stats);
-  if (all.empty() && options_.auto_relax_util && options_.min_dsp_util > 0.0) {
+  if (all.empty() && !result.stats.cancelled && options_.auto_relax_util &&
+      options_.min_dsp_util > 0.0) {
     // The utilization floor excluded every feasible shape (tiny layer or
     // tight device); relax c_s and retry — the paper's phase 1 rerun knob.
+    // A cancelled empty sweep must not enter this loop: "found nothing
+    // before the deadline" is a timeout, not evidence that c_s is too
+    // aggressive, and each retry re-sweeps the whole space.
     DseOptions relaxed = options_;
-    while (all.empty() && relaxed.min_dsp_util > 1e-3) {
+    while (all.empty() && !result.stats.cancelled &&
+           relaxed.min_dsp_util > 1e-3) {
       relaxed.min_dsp_util /= 2.0;
       ++result.stats.util_relaxations;
       const DesignSpaceExplorer retry(device_, dtype_, relaxed);
       all = retry.enumerate_phase1(nest, &result.stats);
     }
-    if (all.empty()) {
+    if (all.empty() && !result.stats.cancelled) {
       relaxed.min_dsp_util = 0.0;
       ++result.stats.util_relaxations;
       const DesignSpaceExplorer retry(device_, dtype_, relaxed);
@@ -608,11 +633,19 @@ DseResult DesignSpaceExplorer::explore(const LoopNest& nest) const {
   // sweep itself (the top-K list is short).
   result.stats.phase2_cpu_seconds += phase2_wall;
 
+  // A deadline that expired during phase 2 is still a cancellation (some
+  // realized numbers are missing); the deterministic item cut, by contrast,
+  // only marks phase 1.
+  if (options_.cancel.cancelled()) result.stats.cancelled = true;
+  result.status =
+      result.stats.cancelled ? DseStatus::kCancelled : DseStatus::kOk;
+
   if (obs::metrics_enabled()) {
     DseMetrics& m = DseMetrics::get();
     m.explorations.add(1);
     m.util_relaxations.add(result.stats.util_relaxations);
     m.phase2_ms.observe(phase2_wall * 1e3);
+    if (result.status == DseStatus::kCancelled) m.cancelled.add(1);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "fpga/device.h"
 #include "loopnest/loop_nest.h"
 #include "nn/layer.h"
+#include "util/deadline.h"
 
 namespace sasynth {
 
@@ -65,7 +66,23 @@ struct DseOptions {
   /// concurrency; 1 forces the serial path. Results are bit-identical at any
   /// value (deterministic merge).
   int jobs = 0;
+
+  /// Cooperative cancellation (util/deadline.h). The sweeps poll this token
+  /// at work-item granularity; once it reports cancelled (explicit request,
+  /// expired deadline, or a deterministic item cut) the exploration stops
+  /// early and returns the best-so-far candidates with
+  /// DseResult::status == DseStatus::kCancelled. The default token is inert
+  /// (never cancels, zero polling cost beyond a relaxed load). Like `jobs`,
+  /// the token is execution policy, not part of the request identity — it is
+  /// excluded from canonical_request_text().
+  CancelToken cancel;
 };
+
+/// Outcome of an exploration: kOk = the search space was fully swept;
+/// kCancelled = the token fired mid-sweep and `top` holds only the
+/// candidates evaluated before the cut (best-so-far, deterministically
+/// merged — never a silent truncation).
+enum class DseStatus { kOk, kCancelled };
 
 /// One explored design with its phase-1 estimate and (after phase 2) its
 /// realized clock and throughput.
@@ -107,6 +124,9 @@ struct DseStats {
   /// The c_s that actually produced the result (after any relaxation);
   /// negative until explore() runs.
   double effective_min_dsp_util = -1.0;
+  /// True when the cancel token fired during the sweep: the counters above
+  /// cover only the portion of the space visited before the cut.
+  bool cancelled = false;
   /// Resolved worker count of the last explore (0 until a sweep runs).
   int jobs_used = 0;
   double phase1_seconds = 0.0;      ///< wall time
@@ -121,9 +141,12 @@ struct DseStats {
 
 struct DseResult {
   /// Top candidates sorted by estimated throughput (desc), each with phase-2
-  /// realized numbers filled in.
+  /// realized numbers filled in (candidates the cancel cut skipped in
+  /// phase 2 keep realized_freq_mhz == 0; best() then falls back to the
+  /// estimated ranking).
   std::vector<DseCandidate> top;
   DseStats stats;
+  DseStatus status = DseStatus::kOk;
 
   /// Highest realized throughput (empty result if nothing valid was found).
   const DseCandidate* best() const;

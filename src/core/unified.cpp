@@ -1,6 +1,7 @@
 #include "core/unified.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <optional>
@@ -139,10 +140,17 @@ UnifiedDesign select_unified_design(const Network& net,
   // (sum of per-layer latencies assuming s = 1 efficiency — an optimistic
   // but shape-faithful proxy). Parallel over pairs; each body scores all
   // layers for its pair.
+  // Cooperative cancellation (options.dse.cancel): polled at item
+  // granularity in every stage below. Items the cut skips leave their slots
+  // untouched, so a cancelled selection is the best of the prefix actually
+  // scored — same contract as DseStatus::kCancelled in the per-layer DSE.
+  const CancelToken& cancel = dse.cancel;
+  std::atomic<bool> cancelled{false};
+
   struct Scored {
     SystolicMapping mapping;
     ArrayShape shape;
-    double score;  ///< aggregate compute-bound Gops
+    double score = -1.0;  ///< aggregate compute-bound Gops; < 0 = not scored
   };
   std::vector<std::pair<SystolicMapping, ArrayShape>> pairs;
   for (const SystolicMapping& mapping : mappings) {
@@ -162,6 +170,10 @@ UnifiedDesign select_unified_design(const Network& net,
           shard.arg("end", end);
           shard.arg("worker", worker);
           for (std::int64_t p = begin; p < end; ++p) {
+            if (cancel.cut(p)) {
+              cancelled.store(true, std::memory_order_relaxed);
+              break;
+            }
             const SystolicMapping& mapping =
                 pairs[static_cast<std::size_t>(p)].first;
             const ArrayShape& shape = pairs[static_cast<std::size_t>(p)].second;
@@ -182,7 +194,15 @@ UnifiedDesign select_unified_design(const Network& net,
           }
         });
   }
-  if (scored.empty()) return failure;
+  // Drop slots the cancellation cut never scored: a default-constructed
+  // Scored must not reach the shortlist as if it were a real pair.
+  scored.erase(std::remove_if(scored.begin(), scored.end(),
+                              [](const Scored& s) { return s.score < 0.0; }),
+               scored.end());
+  if (scored.empty()) {
+    failure.cancelled = cancelled.load() || cancel.cancelled();
+    return failure;
+  }
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
   const std::size_t shortlist = std::min<std::size_t>(
@@ -275,6 +295,13 @@ UnifiedDesign select_unified_design(const Network& net,
                     shard.arg("end", end);
                     shard.arg("worker", worker);
                     for (std::int64_t i = begin; i < end; ++i) {
+                      // Deadline/explicit-cancel poll per shortlist entry
+                      // (the deterministic cut indexes stage-1 pairs, so it
+                      // does not apply here).
+                      if (cancel.cancelled()) {
+                        cancelled.store(true, std::memory_order_relaxed);
+                        return;
+                      }
                       search_entry(static_cast<std::size_t>(i));
                     }
                   });
@@ -285,7 +312,10 @@ UnifiedDesign select_unified_design(const Network& net,
   for (std::optional<UnifiedCandidate>& e : entry_best) {
     if (e.has_value()) candidates.push_back(std::move(*e));
   }
-  if (candidates.empty()) return failure;
+  if (candidates.empty()) {
+    failure.cancelled = cancelled.load() || cancel.cancelled();
+    return failure;
+  }
 
   std::sort(candidates.begin(), candidates.end(),
             [](const UnifiedCandidate& a, const UnifiedCandidate& b) {
@@ -300,6 +330,10 @@ UnifiedDesign select_unified_design(const Network& net,
   phase2_span.arg("candidates", static_cast<std::int64_t>(keep));
   UnifiedDesign best_result;
   for (std::size_t i = 0; i < keep; ++i) {
+    if (cancel.cancelled()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      break;
+    }
     const DesignPoint& design = candidates[i].design;
     // Resource report from the worst-case layer for the frequency model.
     UnifiedDesign eval =
@@ -314,6 +348,7 @@ UnifiedDesign select_unified_design(const Network& net,
       best_result = std::move(realized_eval);
     }
   }
+  best_result.cancelled = cancelled.load() || cancel.cancelled();
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& r = obs::MetricsRegistry::global();
     r.counter("unified_runs_total").add(1);
@@ -321,6 +356,7 @@ UnifiedDesign select_unified_design(const Network& net,
         .add(static_cast<std::int64_t>(pairs.size()));
     r.counter("unified_shortlist_total")
         .add(static_cast<std::int64_t>(shortlist));
+    if (best_result.cancelled) r.counter("unified_cancelled_total").add(1);
   }
   return best_result;
 }

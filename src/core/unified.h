@@ -51,6 +51,9 @@ struct UnifiedDesign {
   double total_latency_ms = 0.0;    ///< one image through all conv layers
   double aggregate_gops = 0.0;      ///< total ops / total latency
   bool valid = false;
+  /// True when options.dse.cancel fired mid-selection: the result (possibly
+  /// still valid) came from the portion of the space visited before the cut.
+  bool cancelled = false;
 
   std::string summary(const Network& net) const;
 };

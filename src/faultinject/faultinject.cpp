@@ -54,6 +54,7 @@ const char* kind_name(ErrorKind kind) {
     case ErrorKind::kEnospc: return "enospc";
     case ErrorKind::kCorrupt: return "corrupt";
     case ErrorKind::kError: return "error";
+    case ErrorKind::kStall: return "stall";
   }
   return "none";
 }
@@ -61,7 +62,8 @@ const char* kind_name(ErrorKind kind) {
 bool parse_kind(const std::string& name, ErrorKind* out) {
   for (const ErrorKind kind :
        {ErrorKind::kShortRead, ErrorKind::kEintr, ErrorKind::kEpipe,
-        ErrorKind::kEnospc, ErrorKind::kCorrupt, ErrorKind::kError}) {
+        ErrorKind::kEnospc, ErrorKind::kCorrupt, ErrorKind::kError,
+        ErrorKind::kStall}) {
     if (name == kind_name(kind)) {
       *out = kind;
       return true;
@@ -172,7 +174,7 @@ bool parse_entry(const std::string& entry, FaultSpec* spec, std::string* name,
 
   if (!parse_kind(rest, &spec->kind)) {
     *error = "'" + rest + "' is not a fault kind (short_read, eintr, epipe, "
-             "enospc, corrupt, error)";
+             "enospc, corrupt, error, stall)";
     return false;
   }
   auto parse_positive = [](const std::string& text, std::int64_t* out) {

@@ -24,7 +24,7 @@
 //   SASYNTH_FAULTS=site:kind[@after][xcount]
 //
 //   site   one of known_sites() (e.g. tcp.read, cache.store, sched.admit)
-//   kind   short_read | eintr | epipe | enospc | corrupt | error
+//   kind   short_read | eintr | epipe | enospc | corrupt | error | stall
 //   @after first site call that fires, 1-based (default 1 = the next call)
 //   xcount how many consecutive calls fire (default 1; x* = every call
 //          from `after` on)
@@ -59,6 +59,10 @@ enum class ErrorKind {
   kEnospc,     ///< disk write fails as if the volume filled (ENOSPC)
   kCorrupt,    ///< the bytes read are corrupted in flight
   kError,      ///< generic fatal I/O error (EIO)
+  kStall,      ///< the peer goes silent (slow-loris); tcp.read/tcp.write
+               ///< model it as an elapsed I/O timeout when one is armed,
+               ///< a brief real delay otherwise; other sites treat it as
+               ///< kError like any unimplemented kind
 };
 
 /// Canonical spec-string name of a kind ("short_read", ...); "none" for

@@ -27,6 +27,7 @@ struct CacheMetrics {
   obs::Counter& load_failures;
   obs::Counter& stores;
   obs::Counter& evictions;
+  obs::Counter& disk_store_failures;
 
   static CacheMetrics& get() {
     static CacheMetrics* m = [] {
@@ -38,6 +39,7 @@ struct CacheMetrics {
           r.counter("cache_load_failures_total"),
           r.counter("cache_stores_total"),
           r.counter("cache_evictions_total"),
+          r.counter("cache_disk_store_failures_total"),
       };
     }();
     return *m;
@@ -229,12 +231,20 @@ void DesignCache::store_to_disk(std::uint64_t key,
                                 const DesignPoint& design) {
   obs::ScopedSpan span("cache.disk_store", "serve");
   static fault::Site& store_site = fault::site(fault::kSiteCacheStore);
+  // Every early return below is one failed persist; the caller already
+  // counted the insertion, so this is the only place that keeps the stats
+  // honest about what actually reached disk. (Called under mutex_.)
+  auto count_failure = [this] {
+    ++stats_.disk_store_failures;
+    CacheMetrics::get().disk_store_failures.add(1);
+    fault::note_degraded();
+  };
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
     SA_LOG_WARN << "design cache: cannot create " << dir_ << " ("
                 << ec.message() << "), running in-memory only";
-    fault::note_degraded();
+    count_failure();
     return;
   }
   const fault::ErrorKind injected = store_site.fire();
@@ -244,7 +254,7 @@ void DesignCache::store_to_disk(std::uint64_t key,
     // byte-identical.
     SA_LOG_WARN << "design cache: injected " << fault::kind_name(injected)
                 << " writing " << entry_path(key) << ", entry not persisted";
-    fault::note_degraded();
+    count_failure();
     return;
   }
   std::string text = std::string(kCacheMagic) + "\n";
@@ -269,7 +279,7 @@ void DesignCache::store_to_disk(std::uint64_t key,
     outf.close();
     if (!outf) {
       SA_LOG_WARN << "design cache: cannot write " << tmp;
-      fault::note_degraded();
+      count_failure();
       std::filesystem::remove(tmp, ec);
       return;
     }
@@ -278,7 +288,7 @@ void DesignCache::store_to_disk(std::uint64_t key,
   if (ec) {
     SA_LOG_WARN << "design cache: cannot rename " << tmp << " -> " << path
                 << " (" << ec.message() << ")";
-    fault::note_degraded();
+    count_failure();
     std::filesystem::remove(tmp, ec);
   }
 }

@@ -40,6 +40,11 @@ struct DesignCacheStats {
   std::int64_t load_failures = 0; ///< corrupt/mismatched disk entries skipped
   std::int64_t insertions = 0;
   std::int64_t evictions = 0;     ///< in-memory LRU evictions
+  /// insert() calls whose on-disk persist failed (directory creation, write,
+  /// or rename). The insertion itself still counts — the memory tier has the
+  /// entry — so `insertions - disk_store_failures` bounds what a fresh
+  /// process can possibly find on disk.
+  std::int64_t disk_store_failures = 0;
 };
 
 class DesignCache {

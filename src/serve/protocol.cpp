@@ -160,6 +160,7 @@ ParsedRequest parse_request_block(const std::string& block) {
   }
 
   bool have_layer = false;
+  bool have_deadline = false;
   for (std::string line = next_line(); !line.empty() && line != kBlockEnd;
        line = next_line()) {
     const std::vector<std::string> parts = split_ws(line);
@@ -187,6 +188,17 @@ ParsedRequest parse_request_block(const std::string& block) {
       const std::string error =
           apply_option(&result.request, parts[1], parts[2]);
       if (!error.empty()) return fail(error);
+    } else if (field == "deadline_ms") {
+      // Strict by design: a garbled deadline silently treated as "none"
+      // would turn a client's 50 ms budget into an unbounded request.
+      if (have_deadline) return fail("duplicate deadline_ms field");
+      std::int64_t ms = 0;
+      if (parts.size() != 2 || !parse_int64(parts[1], &ms)) {
+        return fail("deadline_ms expects one integer value (milliseconds)");
+      }
+      if (ms < 0) return fail("deadline_ms must be >= 0");
+      result.request.deadline_ms = ms;
+      have_deadline = true;
     } else {
       return fail("unknown request field '" + field + "'");
     }
@@ -259,6 +271,25 @@ std::string format_error_response(const std::string& message) {
 std::string format_retry_response(const std::string& message) {
   return std::string(kResponseMagic) + " retry " + message + "\n" + kBlockEnd +
          "\n";
+}
+
+std::string format_timeout_response(const std::string& message) {
+  return std::string(kResponseMagic) + " timeout " + message + "\n" +
+         kBlockEnd + "\n";
+}
+
+std::string format_timeout_response(const std::string& message,
+                                    const DesignPoint& design,
+                                    const PerfEstimate& realized,
+                                    const ResourceReport& resources,
+                                    double latency_ms) {
+  // Verdict line + the exact ok-payload layout: the full-response formatter
+  // already ends with "end\n", so splice its body after the timeout verdict.
+  const std::string body =
+      format_ok_response(design, realized, resources, latency_ms);
+  const std::size_t first_newline = body.find('\n');
+  return std::string(kResponseMagic) + " timeout " + message + "\n" +
+         body.substr(first_newline + 1);
 }
 
 }  // namespace sasynth

@@ -8,10 +8,13 @@
 //   device <name>            (optional, default arria10_gt1150)
 //   dtype <name>             (optional, default float32)
 //   option <key> <value>     (optional, repeatable; see kOptionKeys below)
+//   deadline_ms <N>          (optional, at most once; N >= 0 milliseconds of
+//                            end-to-end budget — see docs/SERVING.md
+//                            "Deadlines & overload")
 //   end
 //
-// Outside a block, the bare commands `stats`, `ping` and `shutdown` are
-// recognized by the server session.
+// Outside a block, the bare commands `stats`, `ping`, `health` and
+// `shutdown` are recognized by the server session.
 //
 // A successful response carries the chosen design point (as an embeddable
 // `sasynth-design v1` blob), the predicted performance at the realized
@@ -37,6 +40,16 @@
 //   sasynth-response v1 retry <message>     (admission queue full; back off)
 //
 // followed by `end`.
+//
+// A deadline that expires before the exploration completes yields a timeout
+// verdict. When a best-so-far design exists it follows the verdict line in
+// exactly the ok-payload layout (design blob, perf, resource), so clients
+// parse one shape for both:
+//
+//   sasynth-response v1 timeout <message>   [+ optional design payload]
+//
+// also `end`-terminated. Timeout messages are fixed strings (no numbers), so
+// a timed-out request is deterministic for a given cancellation point.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +70,7 @@ namespace sasynth {
 inline constexpr const char* kRequestMagic = "sasynth-request v1";
 inline constexpr const char* kResponseMagic = "sasynth-response v1";
 inline constexpr const char* kStatsMagic = "sasynth-stats v1";
+inline constexpr const char* kHealthMagic = "sasynth-health v1";
 inline constexpr const char* kBlockEnd = "end";
 
 /// One synthesis request, fully resolved (defaults applied).
@@ -65,6 +79,14 @@ struct ServeRequest {
   FpgaDevice device;
   DataType dtype = DataType::kFloat32;
   DseOptions dse;
+  /// End-to-end budget in milliseconds; -1 = none given (the server may
+  /// substitute --default-deadline). 0 is legal and means "already expired":
+  /// the scheduler sheds it at admission with a deterministic timeout
+  /// verdict, without ever consulting the cache or paying for a DSE. Like
+  /// dse.jobs, the deadline is execution policy — it never enters
+  /// canonical_request_text(), so a deadlined request hits the same cache
+  /// entry as the plain one.
+  std::int64_t deadline_ms = -1;
 
   ServeRequest();
 };
@@ -103,5 +125,16 @@ std::string format_ok_response(const DesignPoint& design,
                                double latency_ms);
 std::string format_error_response(const std::string& message);
 std::string format_retry_response(const std::string& message);
+
+/// Timeout verdict without a payload (the deadline expired before any
+/// candidate existed — at admission, in the queue, or in an empty sweep).
+std::string format_timeout_response(const std::string& message);
+
+/// Timeout verdict carrying the best-so-far design in the ok-payload layout.
+std::string format_timeout_response(const std::string& message,
+                                    const DesignPoint& design,
+                                    const PerfEstimate& realized,
+                                    const ResourceReport& resources,
+                                    double latency_ms);
 
 }  // namespace sasynth

@@ -8,6 +8,13 @@
 // backpressure, the client decides when to come back. drain() blocks until
 // every accepted request has finished; sessions call it before `stats`,
 // `shutdown` and at EOF so counters are settled and shutdown is graceful.
+//
+// Deadlines make the scheduler shed dead work at both ends of the queue:
+// admission refuses a request whose deadline already expired (kExpired,
+// `serve_rejected_expired_total`), and a request that expires while queued
+// is handed to its work callback with shed=true at dequeue
+// (`serve_shed_expired_total`) so the session can answer `timeout` without
+// paying for a DSE nobody is waiting for.
 #pragma once
 
 #include <condition_variable>
@@ -15,9 +22,14 @@
 #include <functional>
 #include <mutex>
 
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace sasynth {
+
+/// try_submit outcome. kExpired is not backpressure: the queue may be empty;
+/// the request simply arrived dead.
+enum class Admission { kAccepted, kQueueFull, kExpired };
 
 class RequestScheduler {
  public:
@@ -29,12 +41,24 @@ class RequestScheduler {
   RequestScheduler(const RequestScheduler&) = delete;
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
-  /// Runs `work` on a pool worker. Returns false — without queuing — when
-  /// the admission queue is full.
-  bool try_submit(std::function<void()> work);
+  /// One accepted request. `shed` is true when the deadline expired between
+  /// admission and dequeue — the callback must answer (the ordered writer
+  /// needs every seq) but should skip the real work.
+  using Work = std::function<void(bool shed)>;
+
+  /// Admits `work` onto a pool worker unless the queue is full or `deadline`
+  /// has already expired. `token` (optional) rides along to the pool so
+  /// queue-side expiry is visible in `pool_tasks_expired_total`.
+  Admission try_submit(Work work, Deadline deadline = Deadline(),
+                       CancelToken token = CancelToken());
 
   /// Blocks until every accepted work item has completed.
   void drain();
+
+  /// drain() bounded by `timeout_ms` (<= 0 returns immediately). True when
+  /// the queue drained; false when work was still in flight at the timeout —
+  /// the caller decides whether to wait harder or abandon ship.
+  bool drain_for(std::int64_t timeout_ms);
 
   int jobs() const { return pool_.jobs(); }
   std::int64_t queue_limit() const { return queue_limit_; }
@@ -45,8 +69,15 @@ class RequestScheduler {
   /// Highest pending() ever observed (the queue-depth high-water counter).
   std::int64_t high_water() const;
 
-  /// try_submit refusals.
+  /// try_submit refusals with a live deadline (queue full).
   std::int64_t rejected() const;
+
+  /// try_submit refusals because the deadline was already expired.
+  std::int64_t rejected_expired() const;
+
+  /// Accepted requests whose deadline expired before dequeue (work ran with
+  /// shed=true).
+  std::int64_t shed_expired() const;
 
  private:
   std::int64_t queue_limit_;
@@ -55,6 +86,8 @@ class RequestScheduler {
   std::int64_t pending_ = 0;
   std::int64_t high_water_ = 0;
   std::int64_t rejected_ = 0;
+  std::int64_t rejected_expired_ = 0;
+  std::int64_t shed_expired_ = 0;
   // Declared last: workers may still touch the fields above while the pool
   // drains during destruction.
   ThreadPool pool_;

@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -33,10 +35,14 @@ struct ServeMetrics {
   obs::Counter& requests;
   obs::Counter& ok;
   obs::Counter& errors;
+  obs::Counter& timeouts;
   obs::Counter& commands;
   obs::Counter& dse_runs;
   obs::Counter& dse_work_items;
   obs::Histogram& request_ms;
+  /// Budget left when a deadlined request finished (0 for timeouts): how
+  /// close production deadlines run to the edge.
+  obs::Histogram& deadline_slack_ms;
 
   static ServeMetrics& get() {
     static ServeMetrics* m = [] {
@@ -45,15 +51,24 @@ struct ServeMetrics {
           r.counter("serve_requests_total"),
           r.counter("serve_ok_total"),
           r.counter("serve_errors_total"),
+          r.counter("serve_timeouts_total"),
           r.counter("serve_commands_total"),
           r.counter("serve_dse_runs_total"),
           r.counter("serve_dse_work_items_total"),
           r.histogram("serve_request_ms"),
+          r.histogram("request_deadline_slack_ms"),
       };
     }();
     return *m;
   }
 };
+
+/// Fixed timeout messages (no numbers/timestamps), keyed by where the
+/// deadline fired, so timed-out responses stay deterministic.
+constexpr const char* kTimeoutAtAdmission = "deadline expired before admission";
+constexpr const char* kTimeoutInQueue = "deadline expired waiting in queue";
+constexpr const char* kTimeoutInDse =
+    "deadline exceeded during design space exploration";
 
 }  // namespace
 
@@ -64,6 +79,11 @@ SynthServer::SynthServer(ServeOptions options)
       scheduler_(options_.jobs, options_.queue_limit) {}
 
 std::string SynthServer::handle(const std::string& request_block) {
+  return handle(request_block, CancelToken());
+}
+
+std::string SynthServer::handle(const std::string& request_block,
+                                CancelToken cancel) {
   // One span per request; its clock also feeds the wall_us counters and the
   // serve_request_ms histogram, so `stats`, prom and the trace all agree.
   obs::ScopedSpan span("serve.handle", "serve");
@@ -77,6 +97,10 @@ std::string SynthServer::handle(const std::string& request_block) {
     counters_.wall_us_total.fetch_add(us);
     bump_max(counters_.wall_us_max, us);
     sm.request_ms.observe(static_cast<double>(us) * 1e-3);
+    if (!cancel.deadline().unbounded()) {
+      sm.deadline_slack_ms.observe(static_cast<double>(
+          std::max<std::int64_t>(0, cancel.deadline().remaining_ms())));
+    }
     return response;
   };
 
@@ -86,14 +110,22 @@ std::string SynthServer::handle(const std::string& request_block) {
     sm.errors.add(1);
     return finish(format_error_response(parsed.error));
   }
-  const ServeRequest& request = parsed.request;
+  // Mutable copy so the session's cancel token rides into the DSE. The token
+  // (like dse.jobs) is execution policy: canonical_request_text never sees
+  // it, so the cache key is unchanged.
+  ServeRequest request = parsed.request;
+  request.dse.cancel = cancel;
   const LoopNest nest = build_conv_nest(request.layer);
   const std::string canonical = canonical_request_text(request);
 
   DesignPoint design;
+  bool timed_out = false;
   bool have_design =
       options_.cache_enabled && cache_.lookup(canonical, nest, &design);
   if (have_design) {
+    // A cache hit always answers `ok`, even when the token already fired:
+    // the lookup runs before any DSE work, so it beats every budget that
+    // survived admission.
     SA_LOG_INFO << "cache hit key="
                 << strformat("%016llx", static_cast<unsigned long long>(
                                             fnv1a64(canonical)))
@@ -106,7 +138,15 @@ std::string SynthServer::handle(const std::string& request_block) {
     counters_.dse_work_items.fetch_add(result.stats.work_items);
     sm.dse_runs.add(1);
     sm.dse_work_items.add(result.stats.work_items);
+    timed_out = result.status == DseStatus::kCancelled;
     if (result.empty()) {
+      if (timed_out) {
+        // The deadline fired before any candidate survived: a payload-free
+        // timeout, not an error — the layer may be perfectly synthesizable.
+        counters_.timeouts.fetch_add(1);
+        sm.timeouts.add(1);
+        return finish(format_timeout_response(kTimeoutInDse));
+      }
       counters_.errors.fetch_add(1);
       sm.errors.add(1);
       return finish(format_error_response(
@@ -115,8 +155,12 @@ std::string SynthServer::handle(const std::string& request_block) {
     }
     design = result.best()->design;
     have_design = true;
-    if (options_.cache_enabled) cache_.insert(canonical, design);
-    SA_LOG_INFO << "cache miss, explored " << result.stats.work_items
+    // A partial sweep must never poison the cache: the next (undeadlined)
+    // request for this key has to run the full exploration and store the
+    // true optimum.
+    if (options_.cache_enabled && !timed_out) cache_.insert(canonical, design);
+    SA_LOG_INFO << "cache " << (timed_out ? "skip (partial sweep)" : "miss")
+                << ", explored " << result.stats.work_items
                 << " work items, layer=" << request.layer.summary();
   }
 
@@ -131,6 +175,12 @@ std::string SynthServer::handle(const std::string& request_block) {
       nest, design, request.device, request.dtype, realized_freq);
   const double latency_ms = layer_latency_ms(request.layer, realized);
 
+  if (timed_out) {
+    counters_.timeouts.fetch_add(1);
+    sm.timeouts.add(1);
+    return finish(format_timeout_response(kTimeoutInDse, design, realized,
+                                          resources.report, latency_ms));
+  }
   counters_.ok.fetch_add(1);
   sm.ok.add(1);
   return finish(
@@ -147,6 +197,9 @@ std::string SynthServer::stats_text() const {
   line("ok", counters_.ok.load());
   line("errors", counters_.errors.load());
   line("rejected", counters_.rejected.load());
+  line("timeouts", counters_.timeouts.load());
+  line("rejected_expired", counters_.rejected_expired.load());
+  line("shed_expired", counters_.shed_expired.load());
   line("commands", counters_.commands.load());
   line("cache_hits", cache.hits);
   line("cache_misses", cache.misses);
@@ -154,6 +207,7 @@ std::string SynthServer::stats_text() const {
   line("cache_load_failures", cache.load_failures);
   line("cache_insertions", cache.insertions);
   line("cache_evictions", cache.evictions);
+  line("cache_disk_store_failures", cache.disk_store_failures);
   line("cache_entries", static_cast<long long>(cache_.size()));
   line("dse_runs", counters_.dse_runs.load());
   line("dse_work_items", counters_.dse_work_items.load());
@@ -166,6 +220,44 @@ std::string SynthServer::stats_text() const {
                    static_cast<double>(counters_.wall_us_max.load()) / 1000.0);
   out += std::string(kBlockEnd) + "\n";
   return out;
+}
+
+std::string SynthServer::health_text() const {
+  // No drain, no locks beyond the scheduler's own: a probe must get an
+  // answer while the queue is jammed — that is the whole point of having a
+  // second command next to `stats`. (Probes should use a dedicated
+  // connection: responses are per-session ordered, so a probe sharing a
+  // session with slow requests queues behind them.)
+  const std::int64_t pending = scheduler_.pending();
+  const std::int64_t limit = scheduler_.queue_limit();
+  const std::int64_t uptime_s =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string out = std::string(kHealthMagic) + "\n";
+  out += strformat("status %s\n", draining_.load() ? "draining" : "ok");
+  out += strformat("uptime_s %lld\n", static_cast<long long>(uptime_s));
+  out += strformat("queue_depth %lld\n", static_cast<long long>(pending));
+  out += strformat("queue_limit %lld\n", static_cast<long long>(limit));
+  out += strformat("jobs %d\n", scheduler_.jobs());
+  out += strformat("requests %lld\n",
+                   static_cast<long long>(counters_.requests.load()));
+  out += strformat("timeouts %lld\n",
+                   static_cast<long long>(counters_.timeouts.load()));
+  out += strformat("rejected %lld\n",
+                   static_cast<long long>(counters_.rejected.load()));
+  out += strformat("rejected_expired %lld\n",
+                   static_cast<long long>(counters_.rejected_expired.load()));
+  out += strformat("shed_expired %lld\n",
+                   static_cast<long long>(counters_.shed_expired.load()));
+  out += strformat("shedding %d\n", pending >= limit ? 1 : 0);
+  out += std::string(kBlockEnd) + "\n";
+  return out;
+}
+
+void SynthServer::begin_drain() {
+  draining_.store(true);
+  SA_LOG_INFO << "server: drain requested, sessions stop reading";
 }
 
 void SynthServer::serve(const LineSource& read_line,
@@ -219,7 +311,7 @@ void SynthServer::serve(const LineSource& read_line,
   });
 
   std::string line;
-  while (!stop_.load() && read_line(&line)) {
+  while (!stop_.load() && !draining_.load() && read_line(&line)) {
     const std::string command = trim(line);
     if (command.empty()) continue;
 
@@ -229,16 +321,44 @@ void SynthServer::serve(const LineSource& read_line,
         block += line + "\n";
         if (trim(line) == kBlockEnd) break;
       }
+      // Resolve the request's end-to-end budget up front: an explicit
+      // deadline_ms wins, else --default-deadline, else unbounded. The
+      // session parses the block a second time here (handle() re-parses for
+      // purity); that cost is noise next to a DSE.
+      std::int64_t budget_ms = -1;
+      {
+        const ParsedRequest peek = parse_request_block(block);
+        if (peek.ok && peek.request.deadline_ms >= 0) {
+          budget_ms = peek.request.deadline_ms;
+        } else if (peek.ok && options_.default_deadline_ms > 0) {
+          budget_ms = options_.default_deadline_ms;
+        }
+      }
+      const Deadline deadline =
+          budget_ms >= 0 ? Deadline::after_ms(budget_ms) : Deadline();
+      const CancelToken token = budget_ms >= 0
+                                    ? CancelToken::with_deadline(deadline)
+                                    : CancelToken();
       const std::uint64_t seq = next_seq++;
-      const bool accepted = scheduler_.try_submit(
-          [this, &post, seq, block = std::move(block)] {
+      const Admission admission = scheduler_.try_submit(
+          [this, &post, seq, token, block = std::move(block)](bool shed) {
             // Always post *something* for this seq: the ordered writer
             // stalls the whole session on a missing sequence number, so a
             // throwing handler degrades to an error response, not a hole.
             std::string response;
+            if (shed) {
+              // Expired while queued: answer without paying for the DSE.
+              counters_.requests.fetch_add(1);
+              counters_.timeouts.fetch_add(1);
+              counters_.shed_expired.fetch_add(1);
+              ServeMetrics::get().requests.add(1);
+              ServeMetrics::get().timeouts.add(1);
+              post(seq, format_timeout_response(kTimeoutInQueue));
+              return;
+            }
             try {
               fault::raise_if_armed(fault::kSitePoolTask);
-              response = handle(block);
+              response = handle(block, token);
             } catch (const std::exception& e) {
               counters_.errors.fetch_add(1);
               ServeMetrics::get().errors.add(1);
@@ -247,15 +367,29 @@ void SynthServer::serve(const LineSource& read_line,
                                                e.what());
             }
             post(seq, std::move(response));
-          });
-      if (!accepted) {
+          },
+          deadline, token);
+      if (admission == Admission::kQueueFull) {
         counters_.requests.fetch_add(1);
         counters_.rejected.fetch_add(1);
         ServeMetrics::get().requests.add(1);
         post(seq, format_retry_response(strformat(
                       "admission queue full (%lld in flight), retry later",
                       static_cast<long long>(scheduler_.queue_limit()))));
+      } else if (admission == Admission::kExpired) {
+        // Dead on arrival (deadline_ms 0, or a queue-side client stall ate
+        // the whole budget before the block finished framing).
+        counters_.requests.fetch_add(1);
+        counters_.timeouts.fetch_add(1);
+        counters_.rejected_expired.fetch_add(1);
+        ServeMetrics::get().requests.add(1);
+        ServeMetrics::get().timeouts.add(1);
+        post(seq, format_timeout_response(kTimeoutAtAdmission));
       }
+    } else if (command == "health") {
+      counters_.commands.fetch_add(1);
+      ServeMetrics::get().commands.add(1);
+      post(next_seq++, health_text());  // never drains — see health_text()
     } else if (command == "stats" || starts_with(command, "stats ")) {
       counters_.commands.fetch_add(1);
       ServeMetrics::get().commands.add(1);

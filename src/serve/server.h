@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -17,6 +18,7 @@
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
+#include "util/deadline.h"
 
 namespace sasynth {
 
@@ -31,6 +33,14 @@ struct ServeOptions {
   /// On-disk store directory; empty = in-memory LRU only.
   std::string cache_dir;
   std::size_t cache_capacity = 1024;
+  /// Deadline applied to requests that carry no deadline_ms field, in
+  /// milliseconds; 0 = none (requests without a deadline run unbounded).
+  std::int64_t default_deadline_ms = 0;
+  /// Transport read/write timeout for fd-based sessions (serve_fd_session),
+  /// milliseconds; 0 = no timeout. A stalled client (slow-loris) loses its
+  /// session when the timer fires — the daemon and every other session keep
+  /// going.
+  std::int64_t io_timeout_ms = 0;
 };
 
 /// Monotonic per-server counters, exposed through the `stats` command.
@@ -39,7 +49,11 @@ struct ServerCounters {
   std::atomic<std::int64_t> ok{0};
   std::atomic<std::int64_t> errors{0};
   std::atomic<std::int64_t> rejected{0};   ///< backpressure refusals
-  std::atomic<std::int64_t> commands{0};   ///< stats/ping/shutdown lines
+  std::atomic<std::int64_t> timeouts{0};   ///< timeout verdicts (all causes)
+  /// Deadline-shedding split of `timeouts`: dead on arrival vs died queued.
+  std::atomic<std::int64_t> rejected_expired{0};
+  std::atomic<std::int64_t> shed_expired{0};
+  std::atomic<std::int64_t> commands{0};   ///< stats/ping/health/shutdown
   std::atomic<std::int64_t> dse_runs{0};
   /// Sum of DseStats::work_items over all fresh explorations — the flatness
   /// of this counter across a warm-cache replay is the proof that cache hits
@@ -61,6 +75,13 @@ class SynthServer {
   /// Returns the full response text. Thread-safe.
   std::string handle(const std::string& request_block);
 
+  /// Same, under a cancel token: the DSE polls `cancel` and a fired token
+  /// yields a `timeout` verdict (with the best-so-far design when one
+  /// exists) that is never stored into the DesignCache. Cache hits answer
+  /// `ok` even if the token already fired — the lookup precedes any DSE
+  /// work, so it beats every realistic budget.
+  std::string handle(const std::string& request_block, CancelToken cancel);
+
   /// Runs one session: frames request blocks and commands from `read_line`
   /// (false = EOF), fans requests through the scheduler, and emits responses
   /// through `write_response` in request order from a dedicated writer
@@ -72,8 +93,21 @@ class SynthServer {
   /// wall-clock fields).
   std::string stats_text() const;
 
+  /// `health` command payload. Unlike `stats` it does NOT drain first — an
+  /// overloaded daemon must still answer its health probe instantly.
+  std::string health_text() const;
+
   /// True once any session processed `shutdown` — transports stop accepting.
   bool stop_requested() const { return stop_.load(); }
+
+  /// Graceful-drain entry (SIGTERM path): flips the server into draining
+  /// mode — sessions stop reading further input, health reports `draining` —
+  /// without waiting. The caller bounds the actual drain via
+  /// scheduler().drain_for().
+  void begin_drain();
+
+  /// True between begin_drain() and process exit.
+  bool draining() const { return draining_.load(); }
 
   const ServeOptions& options() const { return options_; }
   const ServerCounters& counters() const { return counters_; }
@@ -85,6 +119,9 @@ class SynthServer {
   DesignCache cache_;
   ServerCounters counters_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();  ///< uptime_s origin for `health`
   // Declared last so in-flight request lambdas (which touch the members
   // above) finish before anything else is torn down.
   RequestScheduler scheduler_;

@@ -1,10 +1,13 @@
 #include "serve/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -12,6 +15,7 @@
 #include <thread>
 
 #include "faultinject/faultinject.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sasynth {
@@ -26,6 +30,36 @@ bool accept_errno_is_transient(int err) {
          err == ENOBUFS || err == ENOMEM || err == EPROTO;
 }
 
+/// Transport-level timeout counter (docs/OBSERVABILITY.md): reads and
+/// writes that gave up after --io-timeout.
+obs::Counter& io_timeouts_counter() {
+  static obs::Counter* c =
+      &obs::MetricsRegistry::global().counter("io_timeouts_total");
+  return *c;
+}
+
+enum class WaitResult { kReady, kTimeout, kAbort };
+
+/// Parks in poll() until `fd` is ready for `events`, the deadline passes, or
+/// `abort` turns true. ~250 ms ticks so the abort predicate is honored even
+/// with no timeout configured. poll() errors other than EINTR report kReady
+/// and let the actual read/send surface the errno.
+WaitResult wait_fd(int fd, short events, const Deadline& deadline,
+                   const std::function<bool()>& abort) {
+  for (;;) {
+    if (abort && abort()) return WaitResult::kAbort;
+    if (deadline.expired()) return WaitResult::kTimeout;
+    const int tick = static_cast<int>(std::max<std::int64_t>(
+        1, std::min<std::int64_t>(250, deadline.remaining_ms())));
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int r = ::poll(&p, 1, tick);
+    if (r > 0) return WaitResult::kReady;  // ready, or POLLHUP/POLLERR
+    if (r < 0 && errno != EINTR) return WaitResult::kReady;
+  }
+}
+
 }  // namespace
 
 TcpListener::~TcpListener() { close_listener(); }
@@ -33,7 +67,8 @@ TcpListener::~TcpListener() { close_listener(); }
 bool TcpListener::listen_on(int port, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
+    *error = std::string("socket: ") + std::strerror(errno) + " (errno " +
+             std::to_string(errno) + ")";
     return false;
   }
   const int one = 1;
@@ -48,12 +83,16 @@ bool TcpListener::listen_on(int port, std::string* error) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    *error = std::string("bind: ") + std::strerror(errno);
+    // EADDRINUSE is the classic operator mistake (port already taken) — the
+    // errno number rides along so the one-line fatal is grep-able.
+    *error = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+             std::strerror(errno) + " (errno " + std::to_string(errno) + ")";
     ::close(fd);
     return false;
   }
   if (::listen(fd, 16) < 0) {
-    *error = std::string("listen: ") + std::strerror(errno);
+    *error = std::string("listen: ") + std::strerror(errno) + " (errno " +
+             std::to_string(errno) + ")";
     ::close(fd);
     return false;
   }
@@ -113,6 +152,19 @@ void TcpListener::close_listener() {
 
 bool FdLineReader::read_line(std::string* out) {
   static fault::Site& read_site = fault::site(fault::kSiteTcpRead);
+  // A timeout ends the stream exactly like a read error (buffered prefix
+  // dropped, failed() true) plus the timed_out() mark and its counter.
+  auto fail_timeout = [&] {
+    SA_LOG_WARN << "session read timed out after " << timeout_ms_
+                << " ms, dropping " << buffer_.size() << " buffered bytes";
+    io_timeouts_counter().add(1);
+    fault::note_degraded();
+    failed_ = true;
+    timed_out_ = true;
+    eof_ = true;
+    buffer_.clear();
+    return false;
+  };
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -129,10 +181,38 @@ bool FdLineReader::read_line(std::string* out) {
     char chunk[4096];
     std::size_t want = sizeof(chunk);
     ssize_t n;
-    switch (read_site.fire()) {
+    const fault::ErrorKind injected = read_site.fire();
+    if (injected == fault::ErrorKind::kStall) {
+      // A peer that went quiet mid-request. With a timeout configured this
+      // is exactly the case the timer exists for — model it as the timer
+      // having elapsed. Without one, stall for real (briefly) and proceed.
+      if (timeout_ms_ > 0) return fail_timeout();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    switch (injected) {
       case fault::ErrorKind::kNone:
+      case fault::ErrorKind::kStall: {
+        if (timeout_ms_ > 0 || abort_) {
+          const Deadline deadline = timeout_ms_ > 0
+                                        ? Deadline::after_ms(timeout_ms_)
+                                        : Deadline();
+          switch (wait_fd(fd_, POLLIN, deadline, abort_)) {
+            case WaitResult::kTimeout:
+              return fail_timeout();
+            case WaitResult::kAbort:
+              // Server-initiated (drain/shutdown): a clean end of input, not
+              // a transport failure — but a half-read request still must
+              // not reach the parser.
+              eof_ = true;
+              buffer_.clear();
+              return false;
+            case WaitResult::kReady:
+              break;
+          }
+        }
         n = ::read(fd_, chunk, want);
         break;
+      }
       case fault::ErrorKind::kEintr:
         n = -1;
         errno = EINTR;
@@ -148,6 +228,8 @@ bool FdLineReader::read_line(std::string* out) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Nonblocking fd raced poll() (or spurious wakeup): wait again.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       // A read error is not EOF: whatever sits in the buffer is the prefix
       // of a request we never fully received. Delivering it as a complete
       // line would hand the parser a truncated request, so drop it and
@@ -168,7 +250,7 @@ bool FdLineReader::read_line(std::string* out) {
   }
 }
 
-bool write_all_fd(int fd, const std::string& data) {
+bool write_all_fd(int fd, const std::string& data, std::int64_t timeout_ms) {
   static fault::Site& write_site = fault::site(fault::kSiteTcpWrite);
   std::size_t written = 0;
   while (written < data.size()) {
@@ -177,8 +259,27 @@ bool write_all_fd(int fd, const std::string& data) {
     if (injected == fault::ErrorKind::kEintr) continue;  // retryable, like EINTR
     if (injected == fault::ErrorKind::kShortRead) {
       want = 1;  // short write: the kernel took one byte
+    } else if (injected == fault::ErrorKind::kStall) {
+      // Peer stopped draining its receive buffer. Same modeling as the read
+      // side: with a timeout it *is* the timeout; without one, a brief real
+      // stall.
+      if (timeout_ms > 0) {
+        io_timeouts_counter().add(1);
+        fault::note_degraded();
+        errno = ETIMEDOUT;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     } else if (injected != fault::ErrorKind::kNone) {
       errno = EPIPE;  // epipe/error/...: the peer is gone
+      return false;
+    }
+    if (timeout_ms > 0 &&
+        wait_fd(fd, POLLOUT, Deadline::after_ms(timeout_ms), nullptr) ==
+            WaitResult::kTimeout) {
+      io_timeouts_counter().add(1);
+      fault::note_degraded();
+      errno = ETIMEDOUT;
       return false;
     }
     // send(MSG_NOSIGNAL) so a vanished peer surfaces as EPIPE on this call
@@ -192,6 +293,7 @@ bool write_all_fd(int fd, const std::string& data) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // poll again
       return false;
     }
     written += static_cast<std::size_t>(n);
@@ -200,7 +302,18 @@ bool write_all_fd(int fd, const std::string& data) {
 }
 
 void serve_fd_session(SynthServer& server, int fd) {
-  FdLineReader reader(fd);
+  const std::int64_t io_timeout_ms = server.options().io_timeout_ms;
+  if (io_timeout_ms > 0) {
+    // Timed writes need a nonblocking fd: poll(POLLOUT) promises only *some*
+    // send-buffer space, and a blocking send() of more than that would wedge
+    // past the timeout. The read path polls before every read, so it never
+    // sees a spurious EAGAIN it can't handle.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  FdLineReader reader(fd, io_timeout_ms, [&server] {
+    return server.stop_requested() || server.draining();
+  });
   std::atomic<bool> write_failed{false};
   server.serve(
       [&](std::string* line) {
@@ -209,9 +322,9 @@ void serve_fd_session(SynthServer& server, int fd) {
         if (write_failed.load(std::memory_order_relaxed)) return false;
         return reader.read_line(line);
       },
-      [fd, &write_failed](const std::string& response) {
+      [fd, io_timeout_ms, &write_failed](const std::string& response) {
         if (write_failed.load(std::memory_order_relaxed)) return;
-        if (!write_all_fd(fd, response)) {
+        if (!write_all_fd(fd, response, io_timeout_ms)) {
           // First failed write ends the session: no retries into a dead
           // peer, and shutdown() unblocks the session thread if it is
           // parked in read(2) waiting for the next request.

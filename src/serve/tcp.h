@@ -8,9 +8,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/server.h"
+#include "util/deadline.h"
 
 namespace sasynth {
 
@@ -48,32 +51,53 @@ class TcpListener {
 /// different from EOF: any buffered partial line is dropped (a truncated
 /// request must never reach the parser as if it were complete), read_line
 /// returns false, and failed() reports true.
+///
+/// With `timeout_ms` > 0 the reader waits in ~250 ms poll() ticks and gives
+/// up once no byte has arrived for that long (the slow-loris guard: a client
+/// holding a half-sent request cannot park a session thread forever). A
+/// timeout counts in `io_timeouts_total` and ends the stream like a read
+/// error. The optional `abort` predicate is checked every tick; when it
+/// returns true the stream ends as a clean EOF — how a draining daemon
+/// unparks sessions blocked on idle clients.
 class FdLineReader {
  public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
+  explicit FdLineReader(int fd, std::int64_t timeout_ms = 0,
+                        std::function<bool()> abort = {})
+      : fd_(fd), timeout_ms_(timeout_ms), abort_(std::move(abort)) {}
 
   /// False at EOF or on a read error; failed() distinguishes the two.
   bool read_line(std::string* out);
 
-  /// True once a non-EINTR read error ended the stream.
+  /// True once a non-EINTR read error (or an I/O timeout) ended the stream.
   bool failed() const { return failed_; }
+
+  /// True when the stream ended because the read timeout elapsed.
+  bool timed_out() const { return timed_out_; }
 
  private:
   int fd_;
+  std::int64_t timeout_ms_ = 0;  ///< 0 = wait forever
+  std::function<bool()> abort_;
   std::string buffer_;
   bool eof_ = false;
   bool failed_ = false;
+  bool timed_out_ = false;
 };
 
 /// Writes all of `data` to `fd`; false on error. Sockets are written with
 /// send(MSG_NOSIGNAL) so a disconnected peer yields EPIPE here instead of a
 /// process-killing SIGPIPE; non-socket fds fall back to write(2).
-bool write_all_fd(int fd, const std::string& data);
+/// With `timeout_ms` > 0 each blocked stretch is bounded by poll(POLLOUT):
+/// a peer that stops reading (full receive window) fails the write with
+/// ETIMEDOUT and a tick in `io_timeouts_total` instead of wedging the
+/// session's writer thread.
+bool write_all_fd(int fd, const std::string& data, std::int64_t timeout_ms = 0);
 
 /// Runs one server session over a connected socket and closes it. The first
 /// failed write ends the session (the peer is gone; no work is done for
-/// responses nobody can receive). Shared by the daemon's connection threads
-/// and the TCP tests.
+/// responses nobody can receive). Applies the server's io_timeout_ms to both
+/// directions and wakes from idle reads when the server stops or drains.
+/// Shared by the daemon's connection threads and the TCP tests.
 void serve_fd_session(SynthServer& server, int fd);
 
 }  // namespace sasynth

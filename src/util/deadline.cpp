@@ -1,0 +1,72 @@
+#include "util/deadline.h"
+
+#include <algorithm>
+
+namespace sasynth {
+
+Deadline Deadline::after_ms(std::int64_t ms) {
+  Deadline d;
+  d.bounded_ = true;
+  d.when_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(std::max<std::int64_t>(0, ms));
+  return d;
+}
+
+bool Deadline::expired() const {
+  if (!bounded_) return false;
+  return std::chrono::steady_clock::now() >= when_;
+}
+
+std::int64_t Deadline::remaining_ms() const {
+  if (!bounded_) {
+    // Large enough that min(remaining, anything-sane) picks the other side,
+    // small enough that adding a poll tick to it cannot overflow.
+    return std::int64_t{1} << 53;
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             when_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+CancelToken CancelToken::cancellable() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::with_deadline(Deadline deadline) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  return CancelToken(std::move(state));
+}
+
+void CancelToken::request_cancel() {
+  if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const {
+  if (!state_) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  if (state_->deadline.expired()) {
+    // Latch the expiry: later polls skip the clock read, and copies that
+    // race with a request_cancel() agree on the outcome.
+    state_->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Deadline CancelToken::deadline() const {
+  return state_ ? state_->deadline : Deadline();
+}
+
+void CancelToken::set_cut_at_item(std::int64_t index) {
+  if (state_) state_->cut_at.store(index, std::memory_order_relaxed);
+}
+
+bool CancelToken::cut(std::int64_t item_index) const {
+  if (!state_) return false;
+  const std::int64_t cut_at = state_->cut_at.load(std::memory_order_relaxed);
+  if (cut_at >= 0 && item_index >= cut_at) return true;
+  return cancelled();
+}
+
+}  // namespace sasynth

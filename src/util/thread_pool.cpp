@@ -17,6 +17,7 @@ namespace {
 struct PoolMetrics {
   obs::Counter& ranges;
   obs::Counter& tasks;
+  obs::Counter& tasks_expired;
   obs::Histogram& task_wait_ms;
 
   static PoolMetrics& get() {
@@ -25,6 +26,7 @@ struct PoolMetrics {
       return new PoolMetrics{
           r.counter("pool_ranges_total"),
           r.counter("pool_tasks_total"),
+          r.counter("pool_tasks_expired_total"),
           r.histogram("pool_task_wait_ms"),
       };
     }();
@@ -110,13 +112,14 @@ void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, CancelToken token) {
   PoolMetrics& pm = PoolMetrics::get();
   if (jobs_ == 1) {
     // Inline mode: run on the caller so single-threaded flows stay
     // deterministic and need no synchronization.
     pm.tasks.add(1);
     pm.task_wait_ms.observe(0.0);
+    if (token.cancelled()) pm.tasks_expired.add(1);
     try {
       task();
     } catch (const std::exception& e) {
@@ -134,7 +137,7 @@ void ThreadPool::submit(std::function<void()> task) {
       obs::metrics_enabled() ? obs::TraceRecorder::global().now_us() : -1.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push_back(Task{std::move(task), enqueue_us});
+    tasks_.push_back(Task{std::move(task), enqueue_us, std::move(token)});
   }
   work_ready_.notify_one();
 }
@@ -180,6 +183,7 @@ void ThreadPool::worker_loop(int worker) {
       pm.task_wait_ms.observe(
           (obs::TraceRecorder::global().now_us() - task.enqueue_us) * 1e-3);
     }
+    if (task.token.cancelled()) pm.tasks_expired.add(1);
     try {
       task.fn();
     } catch (const std::exception& e) {

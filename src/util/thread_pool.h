@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace sasynth {
 
 class ThreadPool {
@@ -48,7 +50,12 @@ class ThreadPool {
   /// single-threaded servers deterministic. Tasks own their errors: an
   /// exception escaping a task is swallowed, not rethrown (unlike for_each).
   /// A task must not call for_each, submit, or wait_tasks on its own pool.
-  void submit(std::function<void()> task);
+  ///
+  /// Tasks may carry a CancelToken: the pool still runs a cancelled task
+  /// (the owner decides what shedding means), but a task observed cancelled
+  /// at dequeue is counted in `pool_tasks_expired_total` — the queue-side
+  /// view of work that waited past its deadline.
+  void submit(std::function<void()> task, CancelToken token = CancelToken());
 
   /// Blocks until every task queued via submit() has finished. Independent
   /// of for_each (ranges and tasks are tracked separately).
@@ -83,6 +90,7 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     double enqueue_us = 0.0;  ///< obs clock at submit; < 0 when not sampled
+    CancelToken token;        ///< inert unless the submitter passed one
   };
   std::deque<Task> tasks_;          ///< pending submit() tasks
   std::int64_t task_inflight_ = 0;  ///< tasks dequeued but not finished

@@ -1,0 +1,154 @@
+// Cooperative cancellation of the DSE: a fired CancelToken must end the
+// sweep early with DseStatus::kCancelled and a *deterministic* partial
+// result — the item-index cut makes the truncated top-K bit-identical at any
+// worker count, which is what lets a timed-out service response stay a pure
+// function of (request, cancellation point).
+#include <gtest/gtest.h>
+
+#include "core/dse.h"
+#include "core/unified.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "util/deadline.h"
+
+namespace sasynth {
+namespace {
+
+TEST(DseCancelTest, InertTokenChangesNothing) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  DseOptions options;
+  options.min_dsp_util = 0.85;
+  options.jobs = 1;
+  const DseResult result =
+      DesignSpaceExplorer(arria10_gt1150(), DataType::kFloat32, options)
+          .explore(nest);
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result.status, DseStatus::kOk);
+  EXPECT_FALSE(result.stats.cancelled);
+  EXPECT_EQ(result.stats.summary().find("cancelled"), std::string::npos);
+}
+
+TEST(DseCancelTest, PreCancelledTokenYieldsEmptyCancelledResult) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  DseOptions options;
+  options.min_dsp_util = 0.85;
+  options.jobs = 1;
+  options.auto_relax_util = true;  // must NOT retry a cancelled empty sweep
+  options.cancel = CancelToken::with_deadline(Deadline::after_ms(0));
+  const DseResult result =
+      DesignSpaceExplorer(arria10_gt1150(), DataType::kFloat32, options)
+          .explore(nest);
+  EXPECT_EQ(result.status, DseStatus::kCancelled);
+  EXPECT_TRUE(result.stats.cancelled);
+  EXPECT_TRUE(result.empty());
+  // A cancelled empty sweep is "ran out of time", not "space exhausted":
+  // the auto-relax loop must not burn the remaining budget re-sweeping.
+  EXPECT_EQ(result.stats.util_relaxations, 0);
+  EXPECT_NE(result.stats.summary().find("cancelled"), std::string::npos);
+}
+
+TEST(DseCancelTest, CutPartialResultIsBitIdenticalAcrossJobs) {
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  DseOptions options;
+  options.min_dsp_util = 0.80;
+  options.jobs = 1;
+
+  // Measure the full sweep once to place the cut strictly inside it.
+  const DseResult full =
+      DesignSpaceExplorer(arria10_gt1150(), DataType::kFloat32, options)
+          .explore(nest);
+  ASSERT_FALSE(full.empty());
+  ASSERT_GT(full.stats.work_items, 4);
+  const std::int64_t cut = full.stats.work_items / 2;
+
+  auto run_with_cut = [&](int jobs) {
+    DseOptions cut_options = options;
+    cut_options.jobs = jobs;
+    cut_options.cancel = CancelToken::cancellable();
+    cut_options.cancel.set_cut_at_item(cut);
+    return DesignSpaceExplorer(arria10_gt1150(), DataType::kFloat32,
+                               cut_options)
+        .explore(nest);
+  };
+
+  const DseResult serial = run_with_cut(1);
+  EXPECT_EQ(serial.status, DseStatus::kCancelled);
+  EXPECT_TRUE(serial.stats.cancelled);
+  ASSERT_FALSE(serial.empty());
+  // work_items counts the enumerated plan (fixed before evaluation starts),
+  // so it is identical to the full run — the cut truncates evaluation, not
+  // enumeration. That is exactly what keeps the cut index meaningful.
+  EXPECT_EQ(serial.stats.work_items, full.stats.work_items);
+
+  for (const int jobs : {2, 4}) {
+    const DseResult parallel = run_with_cut(jobs);
+    EXPECT_EQ(parallel.status, DseStatus::kCancelled) << "jobs=" << jobs;
+    ASSERT_EQ(parallel.top.size(), serial.top.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.top.size(); ++i) {
+      EXPECT_EQ(parallel.top[i].design, serial.top[i].design)
+          << "jobs=" << jobs << " rank " << i;
+      EXPECT_EQ(parallel.top[i].estimate.throughput_gops,
+                serial.top[i].estimate.throughput_gops)
+          << "jobs=" << jobs << " rank " << i;
+      EXPECT_EQ(parallel.top[i].realized_freq_mhz,
+                serial.top[i].realized_freq_mhz)
+          << "jobs=" << jobs << " rank " << i;
+    }
+    EXPECT_EQ(parallel.stats.work_items, serial.stats.work_items)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(DseCancelTest, PartialResultIsPrefixOptimal) {
+  // The cut result must equal a full sweep over a space that simply ends at
+  // the cut — i.e. best-so-far, not an arbitrary subset. We verify the
+  // invariant cheaply: every cut design also appears in the full sweep's
+  // candidate dump.
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  DseOptions options;
+  options.min_dsp_util = 0.85;
+  options.jobs = 1;
+  DseStats full_stats;
+  const DesignSpaceExplorer explorer(arria10_gt1150(), DataType::kFloat32,
+                                     options);
+  const std::vector<DseCandidate> all =
+      explorer.enumerate_phase1(nest, &full_stats);
+  ASSERT_FALSE(all.empty());
+
+  DseOptions cut_options = options;
+  cut_options.cancel = CancelToken::cancellable();
+  cut_options.cancel.set_cut_at_item(full_stats.work_items / 2);
+  const DseResult partial =
+      DesignSpaceExplorer(arria10_gt1150(), DataType::kFloat32, cut_options)
+          .explore(nest);
+  for (const DseCandidate& got : partial.top) {
+    bool found = false;
+    for (const DseCandidate& candidate : all) {
+      if (candidate.design == got.design) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "cancelled result contains a design the full sweep "
+                          "never produced";
+  }
+}
+
+TEST(UnifiedCancelTest, PreCancelledSelectionReportsCancelled) {
+  const Network net = make_tiny_testnet();
+  UnifiedOptions options;
+  options.dse.min_dsp_util = 0.5;
+  options.dse.max_rows = 8;
+  options.dse.max_cols = 8;
+  options.dse.max_vec = 8;
+  options.shape_shortlist = 12;
+  options.dse.jobs = 1;
+  options.dse.cancel = CancelToken::with_deadline(Deadline::after_ms(0));
+  const UnifiedDesign cancelled = select_unified_design(
+      net, tiny_test_device(), DataType::kFloat32, options);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_FALSE(cancelled.valid);
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -196,6 +196,10 @@ Outcome expected_outcome(const std::string& site, fault::ErrorKind kind) {
   const bool benign = kind == fault::ErrorKind::kEintr ||
                       kind == fault::ErrorKind::kShortRead;
   if (site == fault::kSiteTcpRead || site == fault::kSiteTcpWrite) {
+    // The sweep sessions run without an I/O timeout, so a stall is a brief
+    // real delay and then the call proceeds — invisible. The timed flavor
+    // (stall == elapsed timeout, session ends) is covered separately below.
+    if (kind == fault::ErrorKind::kStall) return Outcome::kInvisible;
     return benign ? Outcome::kInvisible : Outcome::kSessionEnd;
   }
   if (site == fault::kSiteSchedAdmit) return Outcome::kSurfaced;
@@ -215,6 +219,7 @@ TEST_F(FaultSweepTest, EverySiteTimesEveryKindDegradesGracefully) {
       fault::ErrorKind::kShortRead, fault::ErrorKind::kEintr,
       fault::ErrorKind::kEpipe,     fault::ErrorKind::kEnospc,
       fault::ErrorKind::kCorrupt,   fault::ErrorKind::kError,
+      fault::ErrorKind::kStall,
   };
 
   for (const std::string& site_name : fault::known_sites()) {
@@ -321,6 +326,39 @@ TEST_F(FaultSweepTest, EintrStormIsInvisible) {
   SynthServer server(sweep_options());
   EXPECT_EQ(run_tcp_session(server), ref);
   EXPECT_GE(fault::injected_total(), 40);
+}
+
+/// With an I/O timeout configured, a stalled peer is modeled as the timer
+/// having elapsed: the session ends cleanly before anything is parsed, the
+/// degradation is recorded, and io_timeouts_total counts the firing.
+TEST_F(FaultSweepTest, StallWithIoTimeoutEndsTheSession) {
+  const std::string& ref = reference();  // computed before arming
+  fault::FaultSpec spec;
+  spec.kind = fault::ErrorKind::kStall;
+  spec.after = 1;
+  spec.count = 1;
+  fault::arm(fault::kSiteTcpRead, spec);
+
+  obs::Counter& io_timeouts =
+      obs::MetricsRegistry::global().counter("io_timeouts_total");
+  const std::int64_t timeouts_before = io_timeouts.value();
+  const std::int64_t degraded_before = degraded_counter().value();
+
+  ServeOptions options = sweep_options();
+  options.io_timeout_ms = 30000;  // never actually waited: stall == elapsed
+  SynthServer server(options);
+  const std::string transcript = run_tcp_session(server);
+  // First read stalled out, so the client saw nothing — and no partial
+  // request was ever parsed.
+  EXPECT_TRUE(transcript.empty()) << transcript;
+  EXPECT_EQ(fault::site(fault::kSiteTcpRead).injected(), 1);
+  EXPECT_EQ(io_timeouts.value() - timeouts_before, 1);
+  EXPECT_GT(degraded_counter().value() - degraded_before, 0);
+
+  // Disarmed replay over the same cache: byte-identical to the reference.
+  fault::disarm_all();
+  SynthServer retry_server(sweep_options());
+  EXPECT_EQ(run_tcp_session(retry_server), ref);
 }
 
 /// A cache directory that fails on every disk operation still serves every

@@ -176,6 +176,50 @@ TEST_F(DesignCacheTest, StaleEntryForADifferentNestIsRejected) {
   EXPECT_GE(fresh.stats().load_failures, 1);
 }
 
+TEST_F(DesignCacheTest, DiskStoreFailureIsCountedAndMemoryTierSurvives) {
+  // Park a regular file where the cache directory should go: every disk
+  // store fails (create_directories cannot succeed), even when running as
+  // root — unlike permission tricks.
+  const std::string blocker = temp_dir("storefail_blocker");
+  std::ofstream(blocker) << "not a directory";
+  const std::string dir = blocker + "/sub";
+
+  DesignCache cache(dir, 8);
+  cache.insert("req-a", sys1());
+  cache.insert("req-b", sys2());
+  DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 2);
+  EXPECT_EQ(stats.disk_store_failures, 2);
+
+  // The memory tier is untouched by the disk failure.
+  DesignPoint out;
+  ASSERT_TRUE(cache.lookup("req-a", nest_, &out));
+  EXPECT_EQ(out, sys1());
+
+  // The accounting invariant: insertions - disk_store_failures bounds what a
+  // fresh process can find on disk. Here that is zero, and indeed:
+  DesignCache fresh(dir, 8);
+  EXPECT_FALSE(fresh.lookup("req-a", nest_, &out));
+  EXPECT_FALSE(fresh.lookup("req-b", nest_, &out));
+  EXPECT_EQ(fresh.stats().disk_hits, 0);
+}
+
+TEST_F(DesignCacheTest, HealthyStoresCountNoFailures) {
+  const std::string dir = temp_dir("storefail_healthy");
+  DesignCache cache(dir, 8);
+  cache.insert("req-a", sys1());
+  EXPECT_EQ(cache.stats().insertions, 1);
+  EXPECT_EQ(cache.stats().disk_store_failures, 0);
+}
+
+TEST_F(DesignCacheTest, MemoryOnlyCacheNeverCountsStoreFailures) {
+  // No directory configured: there is no disk tier to fail, so insertions
+  // must not be misreported as failed stores.
+  DesignCache cache("", 8);
+  cache.insert("req-a", sys1());
+  EXPECT_EQ(cache.stats().disk_store_failures, 0);
+}
+
 TEST_F(DesignCacheTest, MemoryOnlyWhenDirEmpty) {
   DesignCache cache("", 8);
   cache.insert("req-a", sys1());

@@ -164,5 +164,68 @@ TEST(FormatResponseTest, ErrorAndRetryShape) {
             "sasynth-response v1 retry busy\nend\n");
 }
 
+TEST(FormatResponseTest, TimeoutWithoutPayload) {
+  EXPECT_EQ(format_timeout_response("too slow"),
+            "sasynth-response v1 timeout too slow\nend\n");
+}
+
+TEST(ParseDeadlineTest, ValidValues) {
+  const ParsedRequest none =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  ASSERT_TRUE(none.ok);
+  EXPECT_EQ(none.request.deadline_ms, -1);  // -1 = no deadline given
+
+  const ParsedRequest zero = parse_request_block(
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms 0\nend\n");
+  ASSERT_TRUE(zero.ok) << zero.error;
+  EXPECT_EQ(zero.request.deadline_ms, 0);  // 0 = already expired, still legal
+
+  const ParsedRequest plain = parse_request_block(
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms 1500\nend\n");
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(plain.request.deadline_ms, 1500);
+}
+
+TEST(ParseDeadlineTest, Rejections) {
+  // Strict on purpose: a garbled deadline treated as "none" would silently
+  // turn a bounded request into an unbounded one.
+  const char* bad[] = {
+      // negative
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms -1\nend\n",
+      // non-numeric / trailing garbage
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms soon\nend\n",
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms 100ms\nend\n",
+      // missing / extra values
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms\nend\n",
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms 1 2\nend\n",
+      // int64 overflow
+      "sasynth-request v1\nlayer 16,16,8,8,3\n"
+      "deadline_ms 99999999999999999999999\nend\n",
+      // duplicate field
+      "sasynth-request v1\nlayer 16,16,8,8,3\n"
+      "deadline_ms 5\ndeadline_ms 10\nend\n",
+  };
+  for (const char* block : bad) {
+    const ParsedRequest parsed = parse_request_block(block);
+    EXPECT_FALSE(parsed.ok) << block;
+    EXPECT_FALSE(parsed.error.empty()) << block;
+  }
+}
+
+TEST(ParseDeadlineTest, DeadlineDoesNotFragmentTheCacheKey) {
+  const ParsedRequest plain =
+      parse_request_block("sasynth-request v1\nlayer 16,16,8,8,3\nend\n");
+  const ParsedRequest deadlined = parse_request_block(
+      "sasynth-request v1\nlayer 16,16,8,8,3\ndeadline_ms 250\nend\n");
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(deadlined.ok);
+  // Deadlines are execution policy, like jobs: same canonical text, same
+  // cache entry.
+  EXPECT_EQ(canonical_request_text(plain.request),
+            canonical_request_text(deadlined.request));
+  EXPECT_EQ(request_cache_key(plain.request),
+            request_cache_key(deadlined.request));
+}
+
 }  // namespace
 }  // namespace sasynth

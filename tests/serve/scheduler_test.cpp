@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -35,7 +36,7 @@ class Gate {
 TEST(RequestSchedulerTest, InlineAtOneJob) {
   RequestScheduler scheduler(/*jobs=*/1, /*queue_limit=*/4);
   std::atomic<int> ran{0};
-  EXPECT_TRUE(scheduler.try_submit([&] { ++ran; }));
+  EXPECT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) { ++ran; }));
   // jobs=1 executes on the submitting thread: complete before return.
   EXPECT_EQ(ran.load(), 1);
   EXPECT_EQ(scheduler.pending(), 0);
@@ -48,7 +49,7 @@ TEST(RequestSchedulerTest, DrainWaitsForAllAcceptedWork) {
   RequestScheduler scheduler(/*jobs=*/2, /*queue_limit=*/16);
   std::atomic<int> ran{0};
   for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(scheduler.try_submit([&] { ++ran; }));
+    ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) { ++ran; }));
   }
   scheduler.drain();
   EXPECT_EQ(ran.load(), 8);
@@ -61,17 +62,17 @@ TEST(RequestSchedulerTest, RefusesBeyondTheAdmissionLimit) {
   RequestScheduler scheduler(/*jobs=*/2, /*queue_limit=*/2);
   Gate gate;
   std::atomic<int> ran{0};
-  ASSERT_TRUE(scheduler.try_submit([&] {
+  ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) {
     gate.wait();
     ++ran;
   }));
-  ASSERT_TRUE(scheduler.try_submit([&] {
+  ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) {
     gate.wait();
     ++ran;
   }));
   // Two in flight == the limit: the third is refused, not queued.
   std::atomic<int> extra{0};
-  EXPECT_FALSE(scheduler.try_submit([&] { ++extra; }));
+  EXPECT_EQ(Admission::kQueueFull, scheduler.try_submit([&](bool) { ++extra; }));
   EXPECT_EQ(scheduler.rejected(), 1);
   EXPECT_EQ(scheduler.high_water(), 2);
 
@@ -81,7 +82,7 @@ TEST(RequestSchedulerTest, RefusesBeyondTheAdmissionLimit) {
   EXPECT_EQ(extra.load(), 0);  // the refused lambda never runs
 
   // Capacity is available again after the drain.
-  EXPECT_TRUE(scheduler.try_submit([&] { ++ran; }));
+  EXPECT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) { ++ran; }));
   scheduler.drain();
   EXPECT_EQ(ran.load(), 3);
 }
@@ -91,12 +92,65 @@ TEST(RequestSchedulerTest, QueueLimitClampedToOne) {
   EXPECT_EQ(scheduler.queue_limit(), 1);
 }
 
+TEST(RequestSchedulerTest, ExpiredDeadlineRefusedAtAdmission) {
+  RequestScheduler scheduler(/*jobs=*/1, /*queue_limit=*/4);
+  std::atomic<int> ran{0};
+  // An already-expired deadline never runs the work, never takes a slot,
+  // and is distinguished from backpressure.
+  EXPECT_EQ(Admission::kExpired,
+            scheduler.try_submit([&](bool) { ++ran; }, Deadline::after_ms(0)));
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(scheduler.rejected_expired(), 1);
+  EXPECT_EQ(scheduler.rejected(), 0);
+  EXPECT_EQ(scheduler.pending(), 0);
+  // A live deadline is admitted normally.
+  EXPECT_EQ(Admission::kAccepted,
+            scheduler.try_submit([&](bool shed) { ran += shed ? 0 : 1; },
+                                 Deadline::after_ms(60000)));
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(scheduler.shed_expired(), 0);
+}
+
+TEST(RequestSchedulerTest, DeadlineExpiringInQueueShedsAtDequeue) {
+  RequestScheduler scheduler(/*jobs=*/2, /*queue_limit=*/16);
+  Gate gate;
+  std::atomic<int> held{0};
+  // Fill both workers so later submissions sit in the queue.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) {
+      ++held;
+      gate.wait();
+    }));
+  }
+  while (held.load() < 2) std::this_thread::yield();
+  // Admitted live, but the 1 ms budget is gone long before a worker frees
+  // up — the callback must still run (ordered responses) with shed=true.
+  std::atomic<int> shed_count{0};
+  std::atomic<int> full_runs{0};
+  ASSERT_EQ(Admission::kAccepted, scheduler.try_submit(
+                                      [&](bool shed) {
+                                        if (shed) {
+                                          ++shed_count;
+                                        } else {
+                                          ++full_runs;
+                                        }
+                                      },
+                                      Deadline::after_ms(1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.open();
+  scheduler.drain();
+  EXPECT_EQ(shed_count.load(), 1);
+  EXPECT_EQ(full_runs.load(), 0);
+  EXPECT_EQ(scheduler.shed_expired(), 1);
+}
+
 TEST(RequestSchedulerTest, DestructionDrainsInFlightWork) {
   std::atomic<int> ran{0};
   {
     RequestScheduler scheduler(/*jobs=*/2, /*queue_limit=*/16);
     for (int i = 0; i < 6; ++i) {
-      ASSERT_TRUE(scheduler.try_submit([&] { ++ran; }));
+      ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) { ++ran; }));
     }
     // No drain: the destructor must finish accepted work, not drop it.
   }

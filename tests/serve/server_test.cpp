@@ -168,7 +168,7 @@ TEST(SynthServerTest, BackpressureAnswersRetryDeterministically) {
   std::mutex mutex;
   std::condition_variable cv;
   bool open = false;
-  ASSERT_TRUE(server.scheduler().try_submit([&] {
+  ASSERT_EQ(Admission::kAccepted, server.scheduler().try_submit([&](bool) {
     std::unique_lock<std::mutex> lock(mutex);
     cv.wait(lock, [&] { return open; });
   }));

@@ -1,0 +1,97 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sasynth {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  const Deadline d;
+  EXPECT_TRUE(d.unbounded());
+  EXPECT_FALSE(d.expired());
+  // The unbounded sentinel is huge but finite, so min() against real
+  // budgets needs no branching.
+  EXPECT_GT(d.remaining_ms(), std::int64_t{1} << 50);
+}
+
+TEST(DeadlineTest, ZeroMeansAlreadyExpired) {
+  const Deadline d = Deadline::after_ms(0);
+  EXPECT_FALSE(d.unbounded());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, NegativeClampsToExpired) {
+  const Deadline d = Deadline::after_ms(-500);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  const Deadline d = Deadline::after_ms(60000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0);
+  EXPECT_LE(d.remaining_ms(), 60000);
+}
+
+TEST(DeadlineTest, ExpiresWithTheClock) {
+  const Deadline d = Deadline::after_ms(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(CancelTokenTest, DefaultTokenIsInert) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.deadline().unbounded());
+  // No shared state: request_cancel and cut-setting are harmless no-ops.
+  token.request_cancel();
+  token.set_cut_at_item(0);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.cut(0));
+  EXPECT_FALSE(token.cut(1 << 20));
+}
+
+TEST(CancelTokenTest, RequestCancelReachesEveryCopy) {
+  CancelToken token = CancelToken::cancellable();
+  CancelToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelTokenTest, DeadlineExpiryCancels) {
+  const CancelToken token =
+      CancelToken::with_deadline(Deadline::after_ms(0));
+  EXPECT_TRUE(token.cancelled());
+  const CancelToken alive =
+      CancelToken::with_deadline(Deadline::after_ms(60000));
+  EXPECT_FALSE(alive.cancelled());
+}
+
+TEST(CancelTokenTest, CutIsExactOnItemIndexes) {
+  CancelToken token = CancelToken::cancellable();
+  EXPECT_FALSE(token.cut(0));
+  token.set_cut_at_item(3);
+  EXPECT_FALSE(token.cut(0));
+  EXPECT_FALSE(token.cut(2));
+  EXPECT_TRUE(token.cut(3));
+  EXPECT_TRUE(token.cut(4));
+  // cut() folds in cancelled(): after an explicit cancel every index cuts.
+  EXPECT_FALSE(token.cut(1));
+  token.request_cancel();
+  EXPECT_TRUE(token.cut(1));
+}
+
+TEST(CancelTokenTest, CancelledIsVisibleAcrossThreads) {
+  CancelToken token = CancelToken::cancellable();
+  std::thread canceller([&token] { token.request_cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace sasynth

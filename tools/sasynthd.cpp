@@ -7,14 +7,20 @@
 //
 // Usage:
 //   sasynthd [options]
-//     --port N            serve TCP on 127.0.0.1:N (0 = ephemeral, printed
-//                         on stderr); default is stdio
+//     --port N            serve TCP on 127.0.0.1:N (0 = ephemeral, the
+//                         chosen port is printed on stdout); default is stdio
 //     --cache DIR         persistent design cache directory
 //     --cache-capacity N  in-memory LRU entries (default 1024)
 //     --no-cache          disable the design cache entirely
 //     --jobs N            worker threads (0 = SASYNTH_JOBS env or all cores)
 //     --queue N           admission queue bound (default 64); beyond it
 //                         requests get a retry response (backpressure)
+//     --default-deadline MS  deadline for requests without deadline_ms
+//                         (0 = none, the default)
+//     --io-timeout MS     per-read/write transport timeout for TCP sessions
+//                         (default 30000; 0 = never time out)
+//     --drain-timeout MS  bound on the SIGTERM/SIGINT graceful drain
+//                         (default 5000)
 //     --metrics-out FILE  dump the metrics registry at exit (.json = JSON,
 //                         anything else = Prometheus text)
 //     --trace-out FILE    record spans, write Chrome trace JSON at exit
@@ -25,9 +31,14 @@
 // --format=prom|json` data source); tracing only with --trace-out.
 //
 // Shutdown: the `shutdown` protocol command (or EOF on stdio) drains every
-// accepted request, flushes responses in order, then exits.
+// accepted request, flushes responses in order, then exits. SIGTERM/SIGINT
+// trigger the same drain bounded by --drain-timeout: stop accepting, finish
+// in-flight work, dump observability, exit 0 (or 1 if the bound expired with
+// work still in flight).
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +71,12 @@ void print_usage(std::FILE* out) {
                "  --jobs N            worker threads (0 = SASYNTH_JOBS env or "
                "all cores)\n"
                "  --queue N           admission queue bound (default 64)\n"
+               "  --default-deadline MS  deadline for requests without "
+               "deadline_ms (0 = none)\n"
+               "  --io-timeout MS     TCP per-read/write timeout (default "
+               "30000; 0 = off)\n"
+               "  --drain-timeout MS  SIGTERM/SIGINT graceful drain bound "
+               "(default 5000)\n"
                "  --metrics-out FILE  dump metrics at exit (.json = JSON, "
                "else Prometheus text)\n"
                "  --trace-out FILE    record spans, write Chrome trace JSON "
@@ -98,7 +115,66 @@ void dump_observability(const std::string& metrics_path,
   }
 }
 
-int serve_stdio(SynthServer& server) {
+/// Last signal delivered (0 = none). Written by the async handler, polled by
+/// the drain watcher — the handler itself does nothing non-async-signal-safe.
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+/// The TCP listener currently accepting (null in stdio mode); the drain
+/// watcher closes it so no new connection slips in mid-drain.
+std::atomic<TcpListener*> g_listener{nullptr};
+
+/// Polls g_signal (~50 ms) and runs the graceful drain when it fires:
+/// stop accepting, stop reading (begin_drain), wait up to drain_timeout_ms
+/// for in-flight requests, dump observability, exit. _Exit skips static
+/// destructors on purpose — session threads may still be parked on dead
+/// clients, and a clean drain must not hang on them.
+class DrainWatcher {
+ public:
+  DrainWatcher(SynthServer& server, std::int64_t drain_timeout_ms,
+               std::string metrics_out, std::string trace_out)
+      : thread_([&server, drain_timeout_ms,
+                 metrics_out = std::move(metrics_out),
+                 trace_out = std::move(trace_out), this] {
+          while (!stop_.load()) {
+            const int sig = g_signal.load();
+            if (sig != 0) {
+              std::fprintf(stderr,
+                           "sasynthd: received %s, draining (up to %lld ms)\n",
+                           sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                           static_cast<long long>(drain_timeout_ms));
+              std::fflush(stderr);
+              server.begin_drain();
+              if (TcpListener* l = g_listener.load()) l->close_listener();
+              const bool drained =
+                  server.scheduler().drain_for(drain_timeout_ms);
+              dump_observability(metrics_out, trace_out);
+              std::fprintf(stderr,
+                           drained
+                               ? "sasynthd: drained, exiting\n"
+                               : "sasynthd: drain timeout with work still in "
+                                 "flight, exiting\n");
+              std::fflush(nullptr);
+              std::_Exit(drained ? 0 : 1);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }) {}
+
+  ~DrainWatcher() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+int serve_stdio(SynthServer& server, std::int64_t drain_timeout_ms,
+                const std::string& metrics_out, const std::string& trace_out) {
+  DrainWatcher watcher(server, drain_timeout_ms, metrics_out, trace_out);
   server.serve(
       [](std::string* line) {
         return static_cast<bool>(std::getline(std::cin, *line));
@@ -110,17 +186,24 @@ int serve_stdio(SynthServer& server) {
   return 0;
 }
 
-int serve_tcp(SynthServer& server, int port) {
+int serve_tcp(SynthServer& server, int port, std::int64_t drain_timeout_ms,
+              const std::string& metrics_out, const std::string& trace_out) {
   TcpListener listener;
   std::string error;
   if (!listener.listen_on(port, &error)) {
+    // One line, fatal: an operator restarting into EADDRINUSE needs the
+    // reason and the errno, not a stack of log noise.
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  // Flushed immediately so wrappers (tests, scripts) can scrape the port.
-  std::fprintf(stderr, "sasynthd listening on 127.0.0.1:%d\n",
-               listener.port());
-  std::fflush(stderr);
+  g_listener.store(&listener);
+  // On stdout (not stderr) and flushed immediately: with --port 0 the
+  // kernel-chosen port IS the program's output, and wrappers scrape it.
+  std::printf("sasynthd listening on 127.0.0.1:%d\n", listener.port());
+  std::fflush(stdout);
+  // Constructed after the listener, so the watcher is joined (or has
+  // _Exit-ed) before the listener it closes is destroyed.
+  DrainWatcher watcher(server, drain_timeout_ms, metrics_out, trace_out);
 
   std::vector<std::thread> sessions;
   for (;;) {
@@ -145,7 +228,9 @@ int serve_tcp(SynthServer& server, int port) {
 
 int main(int argc, char** argv) {
   ServeOptions options;
-  int port = -1;  // -1 = stdio
+  options.io_timeout_ms = 30000;  // daemon default; library default stays 0
+  int port = -1;                  // -1 = stdio
+  std::int64_t drain_timeout_ms = 5000;
   std::string metrics_out_path;
   std::string trace_out_path;
 
@@ -172,6 +257,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue") {
       options.queue_limit = std::atoll(next_value("--queue").c_str());
       if (options.queue_limit < 1) usage("bad --queue");
+    } else if (arg == "--default-deadline") {
+      options.default_deadline_ms =
+          std::atoll(next_value("--default-deadline").c_str());
+      if (options.default_deadline_ms < 0) usage("bad --default-deadline");
+    } else if (arg == "--io-timeout") {
+      options.io_timeout_ms = std::atoll(next_value("--io-timeout").c_str());
+      if (options.io_timeout_ms < 0) usage("bad --io-timeout");
+    } else if (arg == "--drain-timeout") {
+      drain_timeout_ms = std::atoll(next_value("--drain-timeout").c_str());
+      if (drain_timeout_ms < 0) usage("bad --drain-timeout");
     } else if (arg == "--metrics-out") {
       metrics_out_path = next_value("--metrics-out");
     } else if (arg == "--trace-out") {
@@ -192,6 +287,10 @@ int main(int argc, char** argv) {
   // write (handled per-session), never as a SIGPIPE killing every other
   // session in the process.
   std::signal(SIGPIPE, SIG_IGN);
+  // SIGTERM/SIGINT run the bounded graceful drain (DrainWatcher above)
+  // instead of the default instant kill.
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
   // The registry is the data source of `stats --format=prom|json`, so the
   // daemon always collects; span recording stays opt-in (--trace-out).
@@ -213,7 +312,11 @@ int main(int argc, char** argv) {
                       ? (options.cache_dir.empty() ? "<memory>"
                                                    : options.cache_dir.c_str())
                       : "<disabled>");
-  const int status = port >= 0 ? serve_tcp(server, port) : serve_stdio(server);
+  const int status =
+      port >= 0 ? serve_tcp(server, port, drain_timeout_ms, metrics_out_path,
+                            trace_out_path)
+                : serve_stdio(server, drain_timeout_ms, metrics_out_path,
+                              trace_out_path);
   dump_observability(metrics_out_path, trace_out_path);
   SA_LOG_INFO << "sasynthd: exiting\n";
   return status;
