@@ -26,6 +26,9 @@ int main() {
   DseOptions options;
   options.assumed_freq_mhz = 280.0;
   options.min_dsp_util = 0.70;
+  // Fig 7a plots the full candidate space; branch-and-bound pruning drops
+  // everything below the top-K floor from the dump, so it must stay off.
+  options.bound_prune = false;
   const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
   DseStats stats;
   const std::vector<DseCandidate> all = explorer.enumerate_phase1(nest, &stats);

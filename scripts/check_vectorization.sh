@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Guard the SoA fast path: compile src/core/lean_batch.cpp with the
+# compiler's vectorization report enabled and fail unless the Eq. 1/8
+# bound loops actually vectorized. The batched LeanModel only earns its
+# keep while `batch_pt_bounds` compiles to SIMD — a refactor that
+# reintroduces a lane-serial dependency (or hides the loop behind a call)
+# would silently fall back to scalar code and this script is what catches
+# it in CI.
+#
+# The check is element-wise arithmetic only (no reductions), so forcing
+# vectorization on cannot reassociate or fuse anything: results stay
+# bit-identical to the scalar model (tests/core/dse_prune_equivalence_test
+# pins that separately).
+#
+# Usage: scripts/check_vectorization.sh [compiler]
+#   CXX or argv1 overrides the compiler (default g++). Works with GCC
+#   (-fopt-info-vec-optimized) and Clang (-Rpass=loop-vectorize).
+set -u
+
+cd "$(dirname "$0")/.."
+
+CXX_BIN=${1:-${CXX:-g++}}
+SOURCE=src/core/lean_batch.cpp
+
+fail() { echo "check_vectorization: FAIL: $*" >&2; exit 1; }
+
+command -v "$CXX_BIN" >/dev/null 2>&1 || fail "compiler not found: $CXX_BIN"
+[ -f "$SOURCE" ] || fail "missing $SOURCE"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+if "$CXX_BIN" --version 2>/dev/null | grep -qi clang; then
+  report_flags="-Rpass=loop-vectorize"
+  pattern="vectorized loop"
+else
+  report_flags="-fopt-info-vec-optimized"
+  pattern="loop vectorized"
+fi
+
+log="$workdir/vec.log"
+if ! "$CXX_BIN" -std=c++20 -O2 -ftree-vectorize $report_flags -I src \
+    -c "$SOURCE" -o "$workdir/lean_batch.o" 2> "$log"; then
+  cat "$log" >&2
+  fail "compilation of $SOURCE failed"
+fi
+
+hits=$(grep -c "$pattern" "$log" || true)
+if [ "${hits:-0}" -eq 0 ]; then
+  cat "$log" >&2
+  fail "no '$pattern' report for $SOURCE — the SoA bound loop went scalar"
+fi
+
+echo "check_vectorization: OK ($CXX_BIN reported $hits vectorized loop(s) in $SOURCE)"

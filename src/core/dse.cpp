@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <numeric>
 #include <optional>
 #include <unordered_map>
 
+#include "core/lean_batch.h"
 #include "core/mapping.h"
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
@@ -32,6 +35,10 @@ struct DseMetrics {
   obs::Counter& mappings_pruned_feasibility;  ///< Eq. 2/3/11
   obs::Counter& shapes_pruned_util;           ///< Eq. 12 floor
   obs::Counter& reuse_pruned_pow2;            ///< pow2 middle-bound rule
+  obs::Counter& items_pruned_bound;           ///< branch-and-bound rule
+  obs::Counter& bound_seed_evals;             ///< floor-seeding evaluations
+  obs::Counter& reuse_subtrees_pruned;        ///< within-DFS corner-bound rule
+  obs::Counter& reuse_bound_evals;            ///< corner evaluations spent
   obs::Counter& reuse_evaluated;
   obs::Counter& reuse_rejected_bram;
   obs::Counter& rejected_soft_logic;
@@ -51,6 +58,10 @@ struct DseMetrics {
           r.counter("dse_mappings_pruned_feasibility_total"),
           r.counter("dse_shapes_pruned_util_total"),
           r.counter("dse_reuse_pruned_pow2_total"),
+          r.counter("dse_items_pruned_bound_total"),
+          r.counter("dse_bound_seed_evals_total"),
+          r.counter("dse_reuse_subtrees_pruned_total"),
+          r.counter("dse_reuse_bound_evals_total"),
           r.counter("dse_reuse_evaluated_total"),
           r.counter("dse_reuse_rejected_bram_total"),
           r.counter("dse_candidates_rejected_soft_logic_total"),
@@ -81,6 +92,13 @@ void publish_phase1_run(const DseStats& before, const DseStats& after,
   m.reuse_pruned_pow2.add(
       (after.reuse_space_bruteforce - before.reuse_space_bruteforce) -
       (after.reuse_space_pow2 - before.reuse_space_pow2));
+  m.items_pruned_bound.add(after.items_pruned_bound -
+                           before.items_pruned_bound);
+  m.bound_seed_evals.add(after.bound_seed_evaluated -
+                         before.bound_seed_evaluated);
+  m.reuse_subtrees_pruned.add(after.reuse_subtrees_pruned -
+                              before.reuse_subtrees_pruned);
+  m.reuse_bound_evals.add(after.reuse_bound_evals - before.reuse_bound_evals);
   m.reuse_evaluated.add(after.reuse_evaluated - before.reuse_evaluated);
   m.reuse_rejected_bram.add(after.reuse_bram_rejected -
                             before.reuse_bram_rejected);
@@ -192,7 +210,38 @@ class LeanModel {
     return out;
   }
 
+  /// BRAM blocks only, bit-identical to evaluate()'s bram_blocks (same
+  /// operations in the same order). The DFS prefix prune needs nothing
+  /// else, and skipping the throughput/traffic arithmetic roughly halves
+  /// the cost of the interior of the reuse search.
+  std::int64_t bram_only(const std::vector<std::int64_t>& block,
+                         std::int64_t num_pes) const {
+    std::int64_t bram = 0;
+    for (const AccessInfo& info : accesses_) {
+      std::int64_t footprint = 1;
+      for (const auto& coeffs : info.dims) {
+        std::int64_t range = 1;
+        for (std::size_t l = 0; l < num_loops_; ++l) {
+          range += coeffs[l] * (block[l] - 1);
+        }
+        if (!checked_mul(footprint, range, &footprint)) {
+          return std::numeric_limits<std::int64_t>::max();
+        }
+      }
+      const double bytes =
+          2.0 * static_cast<double>(round_up_pow2(footprint)) *
+          info.bytes_per_elem;
+      bram += static_cast<std::int64_t>(
+                  std::ceil(bytes / static_cast<double>(device_.bram_bytes()))) +
+              device_.bram_const_per_buffer;
+    }
+    bram += static_cast<std::int64_t>(
+        std::ceil(device_.bram_per_pe * static_cast<double>(num_pes)));
+    return bram;
+  }
+
   const std::vector<std::int64_t>& trips() const { return trips_; }
+  std::int64_t total_iterations() const { return total_iters_; }
 
  private:
   struct AccessInfo {
@@ -253,12 +302,17 @@ struct Phase1Item {
 
 /// Optimal middle bounds for a fixed (mapping, shape) — the inner loop of
 /// phase 1. The LeanModel and candidate cache are hoisted by the caller so
-/// the sweep constructs neither per work item.
+/// the sweep constructs neither per work item. Writes the winning middle
+/// bounds to `out_s` (the caller builds the DesignPoint, and the sweep memo
+/// stores the raw bounds).
 bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
                      const FpgaDevice& device, const DseOptions& options,
                      const SystolicMapping& mapping, const ArrayShape& shape,
-                     MiddleCandidateCache& cache, DesignPoint* out,
-                     DseStats* stats) {
+                     MiddleCandidateCache& cache,
+                     std::vector<std::int64_t>* out_s, DseStats* stats,
+                     double floor_gops =
+                         -std::numeric_limits<double>::infinity(),
+                     bool mt_monotone = false) {
   const std::size_t n = nest.num_loops();
   std::vector<std::int64_t> inner(n, 1);
   inner[mapping.row_loop] = shape.rows;
@@ -295,12 +349,41 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
   std::int64_t best_bram = 0;
   std::int64_t evaluated = 0;
   std::int64_t bram_rejected = 0;
+  std::int64_t bound_evals = 0;
+  std::int64_t subtrees_pruned = 0;
+
+  // Corner-bound subtree skip. With a finite floor and a stride-1 access
+  // structure, MT — and therefore min(PT, MT) — is monotone non-decreasing
+  // in every middle bound, so the throughput of a subtree's maximal corner
+  // (current prefix, every remaining loop at its largest candidate)
+  // upper-bounds every leaf beneath it. A corner strictly below the floor
+  // (with margin covering both the FP rounding of the corner evaluation and
+  // the 1e-12 tie window of the best-leaf selection) proves no leaf in the
+  // subtree can reach the top-K floor or tie with a leaf that does, so the
+  // subtree is skipped. The reported best may then understate an item whose
+  // true best lies below the floor — such items can never enter the top-K,
+  // which stays bit-identical to the exhaustive sweep (docs/MODEL.md).
+  const bool floor_skip = mt_monotone && std::isfinite(floor_gops);
 
   // DFS over middle bounds. BRAM is monotone non-decreasing in every s_l, so
   // once a prefix with all-minimal suffix exceeds the budget, every larger
   // choice at the current level can be skipped.
   std::vector<std::int64_t> current(n, 1);
   auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    // Depth 0 is covered by the caller's per-item bound (same corner).
+    if (floor_skip && depth > 0 && depth < n) {
+      for (std::size_t l = 0; l < n; ++l) {
+        block[l] = (l < depth ? current[l] : candidates[l]->back()) * inner[l];
+      }
+      const LeanModel::Eval corner =
+          model.evaluate(block, eff, lanes, num_pes);
+      ++bound_evals;
+      if (corner.bram_blocks != std::numeric_limits<std::int64_t>::max() &&
+          corner.throughput_gops * (1.0 + 1e-9) + 1e-12 < floor_gops) {
+        ++subtrees_pruned;
+        return;
+      }
+    }
     if (depth == n) {
       for (std::size_t l = 0; l < n; ++l) block[l] = current[l] * inner[l];
       const LeanModel::Eval eval = model.evaluate(block, eff, lanes, num_pes);
@@ -328,12 +411,14 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
     }
     for (const std::int64_t s : *candidates[depth]) {
       current[depth] = s;
-      // Prune: lower-bound BRAM with minimal suffix.
+      // Prune: lower-bound BRAM with minimal suffix (BRAM-only evaluation —
+      // throughput is irrelevant to this cut).
       for (std::size_t l = 0; l < n; ++l) {
         block[l] = (l <= depth ? current[l] : 1) * inner[l];
       }
-      const LeanModel::Eval lb = model.evaluate(block, eff, lanes, num_pes);
-      if (lb.bram_blocks > bram_budget) break;  // candidates are ascending
+      if (model.bram_only(block, num_pes) > bram_budget) {
+        break;  // candidates are ascending
+      }
       self(self, depth + 1);
     }
     current[depth] = 1;
@@ -343,13 +428,68 @@ bool best_reuse_impl(const LoopNest& nest, const LeanModel& model,
   if (stats != nullptr) {
     stats->reuse_evaluated += evaluated;
     stats->reuse_bram_rejected += bram_rejected;
+    stats->reuse_bound_evals += bound_evals;
+    stats->reuse_subtrees_pruned += subtrees_pruned;
   }
   if (best_s.empty()) return false;
-  *out = DesignPoint(nest, mapping, shape, std::move(best_s));
+  *out_s = std::move(best_s);
   return true;
 }
 
+/// Per-item key text for the sweep memo (the context text carries
+/// everything else).
+std::string item_key_text(const SystolicMapping& mapping,
+                          const ArrayShape& shape) {
+  return strformat("m=%zu,%zu,%zu t=%lldx%lldx%lld",
+                   mapping.row_loop, mapping.col_loop, mapping.vec_loop,
+                   static_cast<long long>(shape.rows),
+                   static_cast<long long>(shape.cols),
+                   static_cast<long long>(shape.vec));
+}
+
 }  // namespace
+
+std::string sweep_context_text(const LoopNest& nest, const FpgaDevice& device,
+                               DataType dtype, const DseOptions& options,
+                               bool include_trips) {
+  // Every input the reuse DFS reads, rendered exactly (%.17g round-trips a
+  // double). Two work items with equal context + item texts are therefore
+  // the same computation, which is what makes an exact-tier memo hit
+  // bit-identical to re-running the DFS.
+  std::string out = strformat(
+      "sweep-ctx v1 trips=%d loops=%zu\n", include_trips ? 1 : 0,
+      nest.num_loops());
+  for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+    if (include_trips) {
+      out += strformat("loop %lld\n",
+                       static_cast<long long>(nest.loop(l).trip));
+    }
+  }
+  for (std::size_t a = 0; a < nest.num_accesses(); ++a) {
+    const AccessFunction& f = nest.accesses()[a].access;
+    out += strformat("access bpe=%.17g",
+                     bytes_per_element(dtype, nest, a));
+    for (const AffineExpr& dim : f.indices) {
+      out += " [";
+      for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+        out += strformat("%lld,", static_cast<long long>(dim.coeff(l)));
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  out += strformat(
+      "device bram_blocks=%lld bram_kbits=%lld c_b=%lld c_p=%.17g "
+      "bw_total=%.17g bw_port=%.17g\n",
+      static_cast<long long>(device.bram_blocks),
+      static_cast<long long>(device.bram_kbits),
+      static_cast<long long>(device.bram_const_per_buffer), device.bram_per_pe,
+      device.bw_total_gbs, device.bw_port_gbs);
+  out += strformat("freq=%.17g pow2_middle=%d max_bram_util=%.17g\n",
+                   options.assumed_freq_mhz, options.pow2_middle ? 1 : 0,
+                   options.max_bram_util);
+  return out;
+}
 
 std::string DseStats::summary() const {
   std::string out = strformat(
@@ -365,6 +505,21 @@ std::string DseStats::summary() const {
       static_cast<long long>(reuse_space_bruteforce),
       static_cast<long long>(work_items), jobs_used, phase1_seconds,
       phase1_cpu_seconds, phase2_seconds);
+  if (items_pruned_bound > 0 || bound_seed_evaluated > 0) {
+    out += strformat("; B&B pruned %lld items (%lld seed evals)",
+                     static_cast<long long>(items_pruned_bound),
+                     static_cast<long long>(bound_seed_evaluated));
+  }
+  if (reuse_subtrees_pruned > 0) {
+    out += strformat("; corner bound skipped %lld subtrees (%lld bound evals)",
+                     static_cast<long long>(reuse_subtrees_pruned),
+                     static_cast<long long>(reuse_bound_evals));
+  }
+  if (memo_exact_hits > 0 || memo_hint_seeds > 0) {
+    out += strformat("; sweep memo %lld exact hits, %lld hint seeds",
+                     static_cast<long long>(memo_exact_hits),
+                     static_cast<long long>(memo_hint_seeds));
+  }
   if (util_relaxations > 0) {
     out += strformat("; c_s relaxed %lldx to %.3f",
                      static_cast<long long>(util_relaxations),
@@ -442,8 +597,13 @@ bool DesignSpaceExplorer::best_reuse_strategy(const LoopNest& nest,
                                               DseStats* stats) const {
   const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
   MiddleCandidateCache cache;
-  return best_reuse_impl(nest, model, device_, options_, mapping, shape, cache,
-                         out, stats);
+  std::vector<std::int64_t> best_s;
+  if (!best_reuse_impl(nest, model, device_, options_, mapping, shape, cache,
+                       &best_s, stats)) {
+    return false;
+  }
+  *out = DesignPoint(nest, mapping, shape, std::move(best_s));
+  return true;
 }
 
 std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
@@ -481,6 +641,24 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   st->work_items += static_cast<std::int64_t>(items.size());
 
   const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
+  // Stride-1 access structure (every affine coefficient 0 or 1): the
+  // precondition of the MT-monotonicity rules — the per-item MT bound
+  // refinement and the within-DFS corner-bound subtree skip (docs/MODEL.md,
+  // "Dominance pruning").
+  bool mt_monotone = true;
+  for (std::size_t a = 0; a < nest.num_accesses() && mt_monotone; ++a) {
+    const AccessFunction& f = nest.accesses()[a].access;
+    for (const AffineExpr& dim : f.indices) {
+      for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+        const std::int64_t c = dim.coeff(l);
+        if (c < 0 || c > 1) {
+          mt_monotone = false;
+          break;
+        }
+      }
+      if (!mt_monotone) break;
+    }
+  }
   ThreadPool pool(options_.jobs);
   st->jobs_used = pool.jobs();
   const std::size_t workers = static_cast<std::size_t>(pool.jobs());
@@ -488,6 +666,263 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   std::vector<DseStats> worker_stats(workers);
   std::vector<MiddleCandidateCache> caches(workers);
   std::vector<double> busy(workers, 0.0);
+
+  // Bound pass: the Eq. 8 compute-bound PT of every item, batched through
+  // the SoA kernel. PT depends only on the shape t (efficiency is a function
+  // of t alone; the middle bounds s never raise it), so pt_gops[i] is an
+  // admissible upper bound on the throughput of every reuse strategy of item
+  // i — and bit-identical to the pt_gops estimate_performance would report
+  // for any candidate of that item.
+  ShapeBatch batch;
+  batch.resize(items.size());
+  {
+    obs::ScopedSpan bound_span("dse.phase1.bound", "dse");
+    bound_span.arg("items", static_cast<std::int64_t>(items.size()));
+    std::vector<std::int64_t> inner(nest.num_loops(), 1);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const Phase1Item& item = items[i];
+      std::fill(inner.begin(), inner.end(), 1);
+      inner[item.mapping->row_loop] = item.shape.rows;
+      inner[item.mapping->col_loop] = item.shape.cols;
+      inner[item.mapping->vec_loop] = item.shape.vec;
+      batch.rows[i] = item.shape.rows;
+      batch.cols[i] = item.shape.cols;
+      batch.vec[i] = item.shape.vec;
+      batch.lanes[i] = static_cast<double>(item.shape.num_lanes());
+      batch.executed[i] =
+          static_cast<double>(executed_iterations_for_inner(nest, inner));
+    }
+    batch_pt_bounds(batch, static_cast<double>(nest.total_iterations()),
+                    options_.assumed_freq_mhz * 1e-3);
+  }
+
+  // Sweep-memo keys. The exact tier keys on the full DFS input (trips
+  // included) and replays results verbatim; the hint tier drops the trips so
+  // layers differing only in H/W can seed each other's floors.
+  SweepMemo* const memo = options_.sweep_memo;
+  std::string exact_ctx;
+  std::string hint_ctx;
+  std::vector<std::string> item_keys;
+  if (memo != nullptr) {
+    exact_ctx =
+        sweep_context_text(nest, device_, dtype_, options_, /*include_trips=*/true);
+    hint_ctx = sweep_context_text(nest, device_, dtype_, options_,
+                                  /*include_trips=*/false);
+    item_keys.resize(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      item_keys[i] = item_key_text(*items[i].mapping, items[i].shape);
+    }
+  }
+
+  // Resolves one work item into its slot: sweep-memo exact tier first, then
+  // the reuse DFS. Identical inputs produce identical slot bytes either way,
+  // so a warm memo never changes a result, only the time to reach it. A
+  // finite `floor` arms the corner-bound subtree skip inside the DFS; the
+  // result may then understate an item whose true best lies below the floor,
+  // so such runs are never stored into the memo — only exact (floor-free)
+  // results are shared across requests.
+  auto evaluate_item = [&](std::int64_t i, MiddleCandidateCache& cache,
+                           DseStats& ws, double floor) {
+    const Phase1Item& item = items[static_cast<std::size_t>(i)];
+    std::vector<std::int64_t> best_s;
+    bool found = false;
+    SweepMemo::ExactResult cached;
+    if (memo != nullptr &&
+        memo->lookup_exact(exact_ctx, item_keys[static_cast<std::size_t>(i)],
+                           &cached)) {
+      ++ws.memo_exact_hits;
+      found = cached.found_fit;
+      best_s = std::move(cached.best_s);
+    } else {
+      found = best_reuse_impl(nest, model, device_, options_, *item.mapping,
+                              item.shape, cache, &best_s, &ws, floor,
+                              mt_monotone);
+      if (memo != nullptr && !(mt_monotone && std::isfinite(floor))) {
+        SweepMemo::ExactResult fresh;
+        fresh.found_fit = found;
+        fresh.best_s = best_s;
+        const std::string& key = item_keys[static_cast<std::size_t>(i)];
+        memo->store_exact(exact_ctx, key, fresh);
+        if (found) memo->store_hint(hint_ctx, key, best_s);
+      }
+    }
+    if (!found) return;
+    DseCandidate candidate;
+    candidate.design =
+        DesignPoint(nest, *item.mapping, item.shape, std::move(best_s));
+    candidate.estimate = estimate_performance(nest, candidate.design, device_,
+                                              dtype_, options_.assumed_freq_mhz);
+    candidate.resources =
+        model_resources(nest, candidate.design, device_, dtype_);
+    if (options_.enforce_soft_logic && !candidate.resources.report.fits()) {
+      ++ws.soft_logic_rejected;
+      return;
+    }
+    slots[static_cast<std::size_t>(i)] = std::move(candidate);
+  };
+
+  // Branch-and-bound floor. A sequential seed pass fully evaluates the top_k
+  // items with the highest bounds; the K-th largest accepted throughput
+  // becomes the prune floor for the parallel sweep. Every contribution is
+  // the real throughput of a distinct item (at most one per item, each <=
+  // that item's best), so the floor never exceeds the true K-th best
+  // estimate and no exhaustive top-K member is pruned (docs/MODEL.md). The
+  // seed pass is sequential and ignores the deterministic item cut (it polls
+  // only cancelled()), which keeps the floor — and therefore every prune
+  // decision — a pure function of the request at any jobs value and any cut
+  // position.
+  const bool prune =
+      options_.bound_prune && options_.top_k > 0 && !items.empty() &&
+      !options_.cancel.cancelled();
+  std::vector<char> resolved(items.size(), 0);
+  std::vector<double> bounds;
+  double floor_gops = -std::numeric_limits<double>::infinity();
+  DseStats seed_stats;
+  if (prune) {
+    obs::ScopedSpan seed_span("dse.phase1.seed", "dse");
+    bounds = batch.pt_gops;
+    // MT refinement of the bound. When every access coefficient is 0 or 1
+    // (stride-1 structure), prod(block)/footprint_a is monotone
+    // non-decreasing in every middle bound, so the MT of the maximal grid
+    // point upper-bounds the MT of every reachable reuse strategy — in real
+    // arithmetic. Each MT evaluation is a handful of IEEE operations
+    // (relative error far below 1e-13), so inflating by 1e-9 provably
+    // absorbs the rounding slack: bound >= min(PT, MT(s)) >= the item's best
+    // throughput, bit for bit. Items with a strided access keep the PT-only
+    // bound (docs/MODEL.md, "Dominance pruning").
+    if (mt_monotone) {
+      const std::size_t n = nest.num_loops();
+      std::vector<std::int64_t> inner(n, 1);
+      std::vector<std::int64_t> block(n, 0);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const Phase1Item& item = items[i];
+        std::fill(inner.begin(), inner.end(), 1);
+        inner[item.mapping->row_loop] = item.shape.rows;
+        inner[item.mapping->col_loop] = item.shape.cols;
+        inner[item.mapping->vec_loop] = item.shape.vec;
+        for (std::size_t l = 0; l < n; ++l) {
+          const std::int64_t cap = ceil_div(nest.loop(l).trip, inner[l]);
+          const std::int64_t s_max = options_.pow2_middle
+                                         ? caches[0].pow2_covering(cap).back()
+                                         : cap;
+          block[l] = s_max * inner[l];
+        }
+        const LeanModel::Eval top = model.evaluate(
+            block, model.efficiency(inner), item.shape.num_lanes(),
+            item.shape.num_pes());
+        if (top.bram_blocks == std::numeric_limits<std::int64_t>::max()) {
+          continue;  // footprint overflowed: keep the PT-only bound
+        }
+        bounds[i] = std::min(bounds[i], top.mt_gops * (1.0 + 1e-9));
+      }
+    }
+    const std::size_t top_k = static_cast<std::size_t>(options_.top_k);
+    std::vector<std::int64_t> order(items.size());
+    std::iota(order.begin(), order.end(), std::int64_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::int64_t a, std::int64_t b) {
+                const double pa = bounds[static_cast<std::size_t>(a)];
+                const double pb = bounds[static_cast<std::size_t>(b)];
+                if (pa != pb) return pa > pb;
+                return a < b;
+              });
+    // Walk the bound-sorted order until top_k items produced accepted
+    // candidates: when the highest-bound items are BRAM-infeasible or
+    // soft-logic-rejected (common on wide layers), stopping after top_k
+    // ranks would leave fewer than K contributions and no floor at all. The
+    // walk length is a deterministic function of the request, so prune
+    // decisions stay jobs-invariant.
+    std::vector<double> contributions;
+    contributions.reserve(top_k);
+    std::size_t seed_n = 0;
+    while (seed_n < items.size() && contributions.size() < top_k) {
+      if (options_.cancel.cancelled()) {
+        seed_stats.cancelled = true;
+        break;
+      }
+      const std::int64_t idx = order[seed_n++];
+      evaluate_item(idx, caches[0], seed_stats,
+                    -std::numeric_limits<double>::infinity());
+      resolved[static_cast<std::size_t>(idx)] = 1;
+      ++seed_stats.bound_seed_evaluated;
+      const auto& slot = slots[static_cast<std::size_t>(idx)];
+      if (slot.has_value()) contributions.push_back(slot->estimated_gops());
+    }
+
+    // Hint tier: middle bounds remembered from sweeps over other nests with
+    // the same access structure (H/W-only-differing layers). Each hint is
+    // clamped into this item's candidate grid and fully evaluated, so a
+    // contribution is an achievable throughput of that item; with
+    // max_bram_util <= 1.0 the soft-logic verdict is shape-invariant among
+    // budget-fitting designs, so an accepted hint implies the item's DFS
+    // best is accepted too — the floor stays admissible. Gated on an inert
+    // cancel token: a truncated partial result must not depend on what a
+    // shared cache happened to contain.
+    if (memo != nullptr && options_.cancel.inert() &&
+        options_.max_bram_util <= 1.0) {
+      const std::size_t hint_end = std::min(items.size(), seed_n + 4 * top_k);
+      const std::int64_t bram_budget = static_cast<std::int64_t>(
+          options_.max_bram_util * static_cast<double>(device_.bram_blocks));
+      const std::size_t n = nest.num_loops();
+      std::vector<std::int64_t> hint_s;
+      std::vector<std::int64_t> inner(n, 1);
+      std::vector<std::int64_t> block(n, 0);
+      for (std::size_t r = seed_n; r < hint_end; ++r) {
+        const std::size_t idx = static_cast<std::size_t>(order[r]);
+        hint_s.clear();
+        if (!memo->lookup_hint(hint_ctx, item_keys[idx], &hint_s)) continue;
+        if (hint_s.size() != n) continue;
+        const Phase1Item& item = items[idx];
+        std::fill(inner.begin(), inner.end(), 1);
+        inner[item.mapping->row_loop] = item.shape.rows;
+        inner[item.mapping->col_loop] = item.shape.cols;
+        inner[item.mapping->vec_loop] = item.shape.vec;
+        bool ok = true;
+        for (std::size_t l = 0; l < n; ++l) {
+          const std::int64_t cap = ceil_div(nest.loop(l).trip, inner[l]);
+          std::int64_t s = std::min(hint_s[l], cap);
+          if (s < 1) s = 1;
+          if (options_.pow2_middle) {
+            // Clamp into the pow2 grid: largest power of two <= s, then cap
+            // at the covering bound (the grid's last element).
+            s = std::int64_t{1} << floor_log2(s);
+            const std::int64_t covering =
+                caches[0].pow2_covering(cap).back();
+            if (s > covering) s = covering;
+          }
+          if (s < 1 || s > std::max<std::int64_t>(cap, 1)) {
+            ok = false;
+            break;
+          }
+          hint_s[l] = s;
+          block[l] = s * inner[l];
+        }
+        if (!ok) continue;
+        if (model.bram_only(block, item.shape.num_pes()) > bram_budget) {
+          continue;
+        }
+        DesignPoint hinted(nest, *item.mapping, item.shape, hint_s);
+        const PerfEstimate est = estimate_performance(
+            nest, hinted, device_, dtype_, options_.assumed_freq_mhz);
+        if (options_.enforce_soft_logic) {
+          const ResourceUsage res =
+              model_resources(nest, hinted, device_, dtype_);
+          if (!res.report.fits()) continue;
+        }
+        contributions.push_back(est.throughput_gops);
+        ++seed_stats.memo_hint_seeds;
+      }
+    }
+
+    if (contributions.size() >= top_k) {
+      std::nth_element(contributions.begin(),
+                       contributions.begin() + static_cast<std::ptrdiff_t>(top_k - 1),
+                       contributions.end(), std::greater<double>());
+      floor_gops = contributions[top_k - 1];
+    }
+    seed_span.arg("seeded", static_cast<std::int64_t>(seed_n));
+    seed_span.arg("hints", seed_stats.memo_hint_seeds);
+  }
 
   pool.for_each(
       static_cast<std::int64_t>(items.size()),
@@ -513,33 +948,32 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
             ws.cancelled = true;
             break;
           }
-          const Phase1Item& item = items[static_cast<std::size_t>(i)];
-          DesignPoint design;
-          if (!best_reuse_impl(nest, model, device_, options_, *item.mapping,
-                               item.shape, cache, &design, &ws)) {
+          if (resolved[static_cast<std::size_t>(i)]) continue;
+          // Branch-and-bound: strictly below the floor means no reuse
+          // strategy of this item can enter the top-K (ties survive, so the
+          // K-boundary ordering matches the exhaustive sweep bit for bit).
+          if (prune && bounds[static_cast<std::size_t>(i)] < floor_gops) {
+            ++ws.items_pruned_bound;
             continue;
           }
-          DseCandidate candidate;
-          candidate.design = design;
-          candidate.estimate = estimate_performance(
-              nest, design, device_, dtype_, options_.assumed_freq_mhz);
-          candidate.resources = model_resources(nest, design, device_, dtype_);
-          if (options_.enforce_soft_logic &&
-              !candidate.resources.report.fits()) {
-            ++ws.soft_logic_rejected;
-            continue;
-          }
-          slots[static_cast<std::size_t>(i)] = std::move(candidate);
+          evaluate_item(i, cache, ws, floor_gops);
         }
         busy[static_cast<std::size_t>(worker)] += shard.elapsed_seconds();
       });
 
+  worker_stats.push_back(seed_stats);
   for (const DseStats& ws : worker_stats) {
     st->reuse_evaluated += ws.reuse_evaluated;
     st->reuse_bram_rejected += ws.reuse_bram_rejected;
     st->soft_logic_rejected += ws.soft_logic_rejected;
     st->reuse_space_pow2 += ws.reuse_space_pow2;
     st->reuse_space_bruteforce += ws.reuse_space_bruteforce;
+    st->items_pruned_bound += ws.items_pruned_bound;
+    st->bound_seed_evaluated += ws.bound_seed_evaluated;
+    st->reuse_subtrees_pruned += ws.reuse_subtrees_pruned;
+    st->reuse_bound_evals += ws.reuse_bound_evals;
+    st->memo_exact_hits += ws.memo_exact_hits;
+    st->memo_hint_seeds += ws.memo_hint_seeds;
     st->cancelled = st->cancelled || ws.cancelled;
   }
   for (const double b : busy) st->phase1_cpu_seconds += b;
@@ -549,13 +983,16 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   for (std::optional<DseCandidate>& slot : slots) {
     if (slot.has_value()) candidates.push_back(std::move(*slot));
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const DseCandidate& a, const DseCandidate& b) {
-              if (a.estimated_gops() != b.estimated_gops()) {
-                return a.estimated_gops() > b.estimated_gops();
-              }
-              return a.resources.bram_blocks < b.resources.bram_blocks;
-            });
+  // stable_sort: slots arrive in item order, so candidates tied on both sort
+  // keys keep that order — including across the pruned/exhaustive pair,
+  // whose surviving lists agree on every item at or above the floor.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const DseCandidate& a, const DseCandidate& b) {
+                     if (a.estimated_gops() != b.estimated_gops()) {
+                       return a.estimated_gops() > b.estimated_gops();
+                     }
+                     return a.resources.bram_blocks < b.resources.bram_blocks;
+                   });
   const double wall = phase1_span.elapsed_seconds();
   st->phase1_seconds += wall;
   phase1_span.arg("work_items", st->work_items - before.work_items);

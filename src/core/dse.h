@@ -16,6 +16,7 @@
 #include "core/design_point.h"
 #include "core/perf_model.h"
 #include "core/resource_model.h"
+#include "core/sweep_memo.h"
 #include "fpga/datatype.h"
 #include "fpga/device.h"
 #include "loopnest/loop_nest.h"
@@ -60,6 +61,25 @@ struct DseOptions {
   /// this layer/device), halve the floor and retry until a design appears or
   /// the floor reaches zero. Keeps the push-button flow push-button.
   bool auto_relax_util = true;
+
+  /// Branch-and-bound pruning of the phase-1 sweep: work items whose
+  /// compute-bound PT (Eq. 8, an admissible upper bound on every reuse
+  /// strategy of the item — see phase1_pt_bound_gops) is strictly below a
+  /// floor derived from a sequential seed pass over the top_k most
+  /// promising items are skipped without running their reuse DFS. The
+  /// final top_k candidates are bit-identical to the exhaustive sweep
+  /// (docs/MODEL.md, "Dominance pruning"); only the tail of the full
+  /// enumerate_phase1 dump shrinks. Disable for exhaustive-baseline
+  /// measurements and full design-space dumps (Fig. 7a).
+  bool bound_prune = true;
+
+  /// Optional cross-request sweep memo (serve/sweep_cache.h). Like `cancel`
+  /// and `jobs` this is execution policy, not request identity: a memo hit
+  /// never changes a response byte (exact tier replays the identical DFS
+  /// result; hint tier only tightens the branch-and-bound floor with
+  /// achievable candidates, and only on tokens that cannot fire). Excluded
+  /// from canonical_request_text(). Not owned; may be null.
+  SweepMemo* sweep_memo = nullptr;
 
   /// Worker threads for the phase-1 sweep and phase-2 re-ranking. 0 resolves
   /// through the SASYNTH_JOBS environment variable, then hardware
@@ -119,6 +139,27 @@ struct DseStats {
   std::int64_t reuse_space_pow2 = 0;
   /// (mapping, shape) work items dispatched to the phase-1 sweep.
   std::int64_t work_items = 0;
+  /// Work items skipped by the branch-and-bound rule: their Eq. 8 bound
+  /// fell strictly below the seeded top-K floor, so no reuse strategy of
+  /// theirs could enter the top-K (new dominance rule; docs/MODEL.md).
+  std::int64_t items_pruned_bound = 0;
+  /// Work items fully evaluated by the sequential seed pass that
+  /// establishes the branch-and-bound floor (the walk down the bound-sorted
+  /// order stops once top_k items produced accepted candidates).
+  std::int64_t bound_seed_evaluated = 0;
+  /// Reuse-DFS subtrees skipped because the throughput of their maximal
+  /// corner fell below the floor (valid only for stride-1 access structures,
+  /// where MT is monotone non-decreasing in every middle bound;
+  /// docs/MODEL.md, "Dominance pruning").
+  std::int64_t reuse_subtrees_pruned = 0;
+  /// Corner evaluations spent deciding subtree skips (the overhead side of
+  /// `reuse_subtrees_pruned`; not part of `reuse_evaluated`).
+  std::int64_t reuse_bound_evals = 0;
+  /// Sweep-memo exact-tier hits: items answered from a previous sweep's
+  /// DFS result instead of re-running it (0 without a sweep_memo).
+  std::int64_t memo_exact_hits = 0;
+  /// Sweep-memo hint-tier floor contributions accepted (0 without a memo).
+  std::int64_t memo_hint_seeds = 0;
   /// auto_relax_util floor halvings taken before a design appeared.
   std::int64_t util_relaxations = 0;
   /// The c_s that actually produced the result (after any relaxation);
@@ -188,6 +229,19 @@ class DesignSpaceExplorer {
   DataType dtype_;
   DseOptions options_;
 };
+
+/// Canonical text of everything the phase-1 reuse DFS reads for one sweep:
+/// loop structure (trips included iff `include_trips`), access coefficient
+/// matrices and per-access byte widths, the device's BRAM/bandwidth
+/// parameters, and the sweep options the DFS consumes (assumed clock, pow2
+/// restriction, BRAM ceiling — min_dsp_util is deliberately excluded: the
+/// DFS never reads it, so auto-relax retries share entries). Two work items
+/// with equal context and item texts are the same computation; the sweep
+/// memo (core/sweep_memo.h) keys its exact tier on the trip-bearing form and
+/// its hint tier on the trip-free form.
+std::string sweep_context_text(const LoopNest& nest, const FpgaDevice& device,
+                               DataType dtype, const DseOptions& options,
+                               bool include_trips);
 
 /// All PE-array shapes for `mapping` that pass the capacity and Eq. 12
 /// utilization constraints. `considered` (optional) counts pre-prune shapes.

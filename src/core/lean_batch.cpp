@@ -1,0 +1,32 @@
+// SoA kernel for the phase-1 bound pass. Kept in its own translation unit
+// so the build can check (scripts/check_vectorization.sh) that this loop
+// vectorizes at the CI optimization level — a silent regression to scalar
+// code would erase the batching win without failing any test.
+#include "core/lean_batch.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SASYNTH_RESTRICT __restrict__
+#else
+#define SASYNTH_RESTRICT
+#endif
+
+namespace sasynth {
+
+void batch_pt_bounds(const double* SASYNTH_RESTRICT executed,
+                     const double* SASYNTH_RESTRICT lanes, double total_iters,
+                     double freq_ghz, double* SASYNTH_RESTRICT pt_gops,
+                     std::size_t n) {
+  // Division and multiplication only: element-wise IEEE results are
+  // identical to the scalar expression, so vectorization cannot change a
+  // single bit of any bound.
+  for (std::size_t i = 0; i < n; ++i) {
+    pt_gops[i] = ((total_iters / executed[i]) * lanes[i]) * 2.0 * freq_ghz;
+  }
+}
+
+void batch_pt_bounds(ShapeBatch& batch, double total_iters, double freq_ghz) {
+  batch_pt_bounds(batch.executed.data(), batch.lanes.data(), total_iters,
+                  freq_ghz, batch.pt_gops.data(), batch.size());
+}
+
+}  // namespace sasynth

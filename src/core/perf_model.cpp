@@ -3,12 +3,34 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/math_util.h"
 #include "util/strings.h"
 
 namespace sasynth {
 
 double dsp_efficiency(const LoopNest& nest, const DesignPoint& design) {
   return design.tiling().efficiency(nest);
+}
+
+std::int64_t executed_iterations_for_inner(
+    const LoopNest& nest, const std::vector<std::int64_t>& inner) {
+  std::int64_t executed = 1;
+  for (std::size_t l = 0; l < nest.num_loops(); ++l) {
+    executed =
+        sat_mul(executed, ceil_div(nest.loop(l).trip, inner[l]) * inner[l]);
+  }
+  return executed;
+}
+
+double phase1_pt_bound_gops(const LoopNest& nest,
+                            const std::vector<std::int64_t>& inner,
+                            std::int64_t lanes, double freq_mhz) {
+  // Same expression shape as estimate_performance: eff from the int64
+  // executed product, then eff * lanes * 2.0 * freq_ghz left to right.
+  const double eff = static_cast<double>(nest.total_iterations()) /
+                     static_cast<double>(executed_iterations_for_inner(nest, inner));
+  const double freq_ghz = freq_mhz * 1e-3;
+  return eff * static_cast<double>(lanes) * 2.0 * freq_ghz;
 }
 
 PerfEstimate estimate_performance(const LoopNest& nest,

@@ -64,4 +64,27 @@ std::int64_t modeled_compute_cycles(const LoopNest& nest,
 /// DSP efficiency alone (Eq. 1) — convenience wrapper over the tiling.
 double dsp_efficiency(const LoopNest& nest, const DesignPoint& design);
 
+/// Executed (padded) iterations for the inner bounds `t` alone (Eq. 1
+/// denominator): prod_l ceil(N_l / t_l) * t_l. This matches
+/// TilingSpec::executed_iterations for any middle bounds s, because the
+/// middle loops clip and only the array-shape quantization pads. The
+/// product saturates to INT64_MAX instead of overflowing (a saturated
+/// denominator makes the bound *larger*, so it stays admissible).
+std::int64_t executed_iterations_for_inner(const LoopNest& nest,
+                                           const std::vector<std::int64_t>& inner);
+
+/// Admissible upper bound on the phase-1 throughput of *every* reuse
+/// strategy of one (mapping, shape) work item: the compute-bound PT of
+/// Eq. 8, which is independent of the middle bounds s (Eff depends only on
+/// t). Since T = min(PT, MT) <= PT, no candidate of the item can estimate
+/// above this value. The arithmetic replicates estimate_performance's
+/// pt_gops expression operation for operation, so the bound is not merely
+/// >= the estimate — it is bit-identical to the PT every candidate of the
+/// item reports, which is what makes the branch-and-bound prune in
+/// enumerate_phase1 exact under floating-point comparison (docs/MODEL.md,
+/// "Dominance pruning").
+double phase1_pt_bound_gops(const LoopNest& nest,
+                            const std::vector<std::int64_t>& inner,
+                            std::int64_t lanes, double freq_mhz);
+
 }  // namespace sasynth

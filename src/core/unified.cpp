@@ -6,6 +6,7 @@
 #include <cmath>
 #include <optional>
 
+#include "core/lean_batch.h"
 #include "core/mapping.h"
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
@@ -162,6 +163,33 @@ UnifiedDesign select_unified_design(const Network& net,
   {
     obs::ScopedSpan shortlist_span("unified.shortlist", "unified");
     shortlist_span.arg("pairs", static_cast<std::int64_t>(pairs.size()));
+    // Per-layer compute-bound rate of every pair, batched through the SoA
+    // kernel (the probe DesignPoint + TilingSpec the scalar loop built per
+    // (pair, layer) reduced to one exact int64 product and one vectorized
+    // flat loop per layer).
+    std::vector<std::vector<double>> layer_gops(net.layers.size());
+    {
+      ShapeBatch batch;
+      batch.resize(pairs.size());
+      std::vector<std::int64_t> inner;
+      for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        inner.assign(nests[i].num_loops(), 1);
+        for (std::size_t p = 0; p < pairs.size(); ++p) {
+          const SystolicMapping& mapping = pairs[p].first;
+          const ArrayShape& shape = pairs[p].second;
+          std::fill(inner.begin(), inner.end(), 1);
+          inner[mapping.row_loop] = shape.rows;
+          inner[mapping.col_loop] = shape.cols;
+          inner[mapping.vec_loop] = shape.vec;
+          batch.lanes[p] = static_cast<double>(shape.num_lanes());
+          batch.executed[p] = static_cast<double>(
+              executed_iterations_for_inner(nests[i], inner));
+        }
+        batch_pt_bounds(batch, static_cast<double>(nests[i].total_iterations()),
+                        freq * 1e-3);
+        layer_gops[i] = batch.pt_gops;
+      }
+    }
     pool.for_each(
         static_cast<std::int64_t>(pairs.size()),
         [&](std::int64_t begin, std::int64_t end, int worker) {
@@ -174,22 +202,15 @@ UnifiedDesign select_unified_design(const Network& net,
               cancelled.store(true, std::memory_order_relaxed);
               break;
             }
-            const SystolicMapping& mapping =
-                pairs[static_cast<std::size_t>(p)].first;
-            const ArrayShape& shape = pairs[static_cast<std::size_t>(p)].second;
             double latency_s = 0.0;
             for (std::size_t i = 0; i < net.layers.size(); ++i) {
-              std::vector<std::int64_t> ones(nests[i].num_loops(), 1);
-              const DesignPoint probe(nests[i], mapping, shape,
-                                      std::move(ones));
-              const double eff = dsp_efficiency(nests[i], probe);
-              const double gops = eff * static_cast<double>(shape.num_lanes()) *
-                                  2.0 * freq * 1e-3;
+              const double gops = layer_gops[i][static_cast<std::size_t>(p)];
               latency_s +=
                   static_cast<double>(net.layers[i].total_ops()) / (gops * 1e9);
             }
             scored[static_cast<std::size_t>(p)] = Scored{
-                mapping, shape,
+                pairs[static_cast<std::size_t>(p)].first,
+                pairs[static_cast<std::size_t>(p)].second,
                 static_cast<double>(net.total_ops()) / latency_s * 1e-9};
           }
         });

@@ -99,6 +99,7 @@ std::string apply_option(ServeRequest* request, const std::string& key,
   if (key == "pow2_vec") return want_bool(&dse.pow2_vec_only);
   if (key == "soft_logic") return want_bool(&dse.enforce_soft_logic);
   if (key == "auto_relax") return want_bool(&dse.auto_relax_util);
+  if (key == "bound_prune") return want_bool(&dse.bound_prune);
   return "unknown option '" + key + "'";
 }
 
@@ -233,6 +234,10 @@ std::string canonical_request_text(const ServeRequest& request) {
   out += strformat("max_bram_util %.17g\n", d.max_bram_util);
   out += strformat("soft_logic %d\n", d.enforce_soft_logic ? 1 : 0);
   out += strformat("auto_relax %d\n", d.auto_relax_util ? 1 : 0);
+  // In the key even though the final top-K is provably identical either way:
+  // a deadline-truncated sweep's best-so-far partial is not, and a cache must
+  // never conflate two requests whose failure payloads can differ.
+  out += strformat("bound_prune %d\n", d.bound_prune ? 1 : 0);
   return out;
 }
 

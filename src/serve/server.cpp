@@ -76,6 +76,7 @@ SynthServer::SynthServer(ServeOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_enabled ? options_.cache_dir : std::string(),
              options_.cache_capacity),
+      sweep_cache_(options_.sweep_cache_capacity),
       scheduler_(options_.jobs, options_.queue_limit) {}
 
 std::string SynthServer::handle(const std::string& request_block) {
@@ -115,6 +116,12 @@ std::string SynthServer::handle(const std::string& request_block,
   // it, so the cache key is unchanged.
   ServeRequest request = parsed.request;
   request.dse.cancel = cancel;
+  // Like the token: execution policy, invisible to the canonical text. The
+  // DSE consults the sweep cache per work item (exact replay + bound-floor
+  // hints); a warm cache shortens the sweep without touching its result.
+  if (options_.sweep_cache_capacity > 0) {
+    request.dse.sweep_memo = &sweep_cache_;
+  }
   const LoopNest nest = build_conv_nest(request.layer);
   const std::string canonical = canonical_request_text(request);
 
@@ -209,6 +216,14 @@ std::string SynthServer::stats_text() const {
   line("cache_evictions", cache.evictions);
   line("cache_disk_store_failures", cache.disk_store_failures);
   line("cache_entries", static_cast<long long>(cache_.size()));
+  const SweepCacheStats sweep = sweep_cache_.stats();
+  line("sweep_cache_exact_hits", sweep.exact_hits);
+  line("sweep_cache_exact_misses", sweep.exact_misses);
+  line("sweep_cache_hint_hits", sweep.hint_hits);
+  line("sweep_cache_hint_misses", sweep.hint_misses);
+  line("sweep_cache_insertions", sweep.insertions);
+  line("sweep_cache_evictions", sweep.evictions);
+  line("sweep_cache_entries", static_cast<long long>(sweep_cache_.size()));
   line("dse_runs", counters_.dse_runs.load());
   line("dse_work_items", counters_.dse_work_items.load());
   line("queue_depth_high_water", scheduler_.high_water());

@@ -18,6 +18,7 @@
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
+#include "serve/sweep_cache.h"
 #include "util/deadline.h"
 
 namespace sasynth {
@@ -33,6 +34,13 @@ struct ServeOptions {
   /// On-disk store directory; empty = in-memory LRU only.
   std::string cache_dir;
   std::size_t cache_capacity = 1024;
+  /// Entry bound of the cross-request SweepCache (serve/sweep_cache.h), the
+  /// incremental-DSE tier below the exact-match DesignCache: per-(mapping,
+  /// shape) sweep results shared across requests. 0 disables it. Unlike the
+  /// DesignCache it is not gated on `cache_enabled` — a warm sweep cache can
+  /// change only DSE time, never a response byte, so it is execution policy
+  /// rather than a response cache.
+  std::size_t sweep_cache_capacity = 65536;
   /// Deadline applied to requests that carry no deadline_ms field, in
   /// milliseconds; 0 = none (requests without a deadline run unbounded).
   std::int64_t default_deadline_ms = 0;
@@ -112,11 +120,13 @@ class SynthServer {
   const ServeOptions& options() const { return options_; }
   const ServerCounters& counters() const { return counters_; }
   DesignCache& cache() { return cache_; }
+  SweepCache& sweep_cache() { return sweep_cache_; }
   RequestScheduler& scheduler() { return scheduler_; }
 
  private:
   ServeOptions options_;
   DesignCache cache_;
+  SweepCache sweep_cache_;
   ServerCounters counters_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> draining_{false};

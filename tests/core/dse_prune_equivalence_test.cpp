@@ -1,0 +1,217 @@
+// Differential proof-by-test for the branch-and-bound phase-1 sweep: the
+// pruned search must return the exhaustive sweep's top-K bit for bit —
+// designs, order, and every estimate field — at any worker count. The
+// default run covers a calibrated layer subset that keeps tier-1 fast; set
+// SASYNTH_PRUNE_EQUIV_FULL=1 to sweep every deduplicated layer of every
+// bundled network (the CI prune-equivalence job does), and
+// SASYNTH_PRUNE_REPORT=<path> to dump the per-rule prune counters as JSON.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dse.h"
+#include "core/lean_batch.h"
+#include "core/perf_model.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+
+namespace sasynth {
+namespace {
+
+std::vector<DseCandidate> run_phase1(const LoopNest& nest, bool prune,
+                                     int jobs, DseStats* stats) {
+  DseOptions options;
+  options.jobs = jobs;
+  options.bound_prune = prune;
+  const DesignSpaceExplorer explorer(arria10_gt1150(), DataType::kFloat32,
+                                     options);
+  return explorer.enumerate_phase1(nest, stats);
+}
+
+/// Top-K comparison at full bit precision. The exhaustive list bounds K:
+/// pruning may drop or understate everything below the floor, never the
+/// head of the list.
+void expect_topk_identical(const std::vector<DseCandidate>& exhaustive,
+                           const std::vector<DseCandidate>& pruned,
+                           std::size_t top_k, const std::string& label) {
+  const std::size_t k =
+      std::min(top_k, std::min(exhaustive.size(), pruned.size()));
+  ASSERT_GE(pruned.size(), std::min(top_k, exhaustive.size())) << label;
+  for (std::size_t i = 0; i < k; ++i) {
+    const DseCandidate& want = exhaustive[i];
+    const DseCandidate& got = pruned[i];
+    EXPECT_EQ(want.design, got.design) << label << " rank " << i;
+    EXPECT_EQ(want.estimate.throughput_gops, got.estimate.throughput_gops)
+        << label << " rank " << i;
+    EXPECT_EQ(want.estimate.pt_gops, got.estimate.pt_gops)
+        << label << " rank " << i;
+    EXPECT_EQ(want.estimate.mt_gops, got.estimate.mt_gops)
+        << label << " rank " << i;
+    EXPECT_EQ(want.estimate.eff, got.estimate.eff) << label << " rank " << i;
+    EXPECT_EQ(want.resources.bram_blocks, got.resources.bram_blocks)
+        << label << " rank " << i;
+  }
+}
+
+/// Deduplicated layer list (repeated inception branches collapse).
+std::vector<ConvLayerDesc> unique_layers(const Network& net) {
+  std::vector<ConvLayerDesc> out;
+  std::set<std::string> seen;
+  for (const ConvLayerDesc& layer : net.layers) {
+    const std::string key = std::to_string(layer.in_maps) + "," +
+                            std::to_string(layer.out_maps) + "," +
+                            std::to_string(layer.out_rows) + "," +
+                            std::to_string(layer.out_cols) + "," +
+                            std::to_string(layer.kernel) + "," +
+                            std::to_string(layer.stride) + "," +
+                            std::to_string(layer.groups);
+    if (seen.insert(key).second) out.push_back(layer);
+  }
+  return out;
+}
+
+TEST(DsePruneEquivalenceTest, TopKIdenticalOnAlexNetTail) {
+  // conv4 and conv5 at the paper's c_s = 0.80, serial and parallel. These
+  // are the layers where the floor prunes >97% of the work items, so any
+  // admissibility bug (a floor above the true K-th best) shows up here
+  // first.
+  const Network net = make_alexnet();
+  for (const char* name : {"conv4", "conv5"}) {
+    const ConvLayerDesc* layer = net.find_layer(name);
+    ASSERT_NE(layer, nullptr) << name;
+    const LoopNest nest = build_conv_nest(*layer);
+    DseStats ex_stats;
+    const std::vector<DseCandidate> exhaustive =
+        run_phase1(nest, /*prune=*/false, /*jobs=*/1, &ex_stats);
+    ASSERT_FALSE(exhaustive.empty()) << name;
+    for (const int jobs : {1, 4}) {
+      DseStats pr_stats;
+      const std::vector<DseCandidate> pruned =
+          run_phase1(nest, /*prune=*/true, jobs, &pr_stats);
+      expect_topk_identical(exhaustive, pruned, 14,
+                            std::string(name) + " jobs=" +
+                                std::to_string(jobs));
+      EXPECT_GT(pr_stats.items_pruned_bound, 0) << name;
+      // The prune must pay for itself in model evaluations, not just time.
+      EXPECT_LT(pr_stats.reuse_evaluated + pr_stats.reuse_bound_evals,
+                ex_stats.reuse_evaluated)
+          << name;
+    }
+  }
+}
+
+TEST(DsePruneEquivalenceTest, SeedWalkFormsFloorPastInfeasibleHead) {
+  // AlexNet conv2: the highest-bound work items are all rejected (BRAM or
+  // soft logic), so a seed pass that stopped after top_k ranks would gather
+  // no contributions and never form a floor. The walk must continue down
+  // the bound order until K items produced accepted candidates.
+  const Network net = make_alexnet();
+  const ConvLayerDesc* conv2 = net.find_layer("conv2");
+  ASSERT_NE(conv2, nullptr);
+  const LoopNest nest = build_conv_nest(*conv2);
+  DseStats stats;
+  const std::vector<DseCandidate> pruned =
+      run_phase1(nest, /*prune=*/true, /*jobs=*/1, &stats);
+  ASSERT_FALSE(pruned.empty());
+  EXPECT_GT(stats.bound_seed_evaluated, 14);
+  EXPECT_GT(stats.items_pruned_bound, 0);
+}
+
+TEST(DsePruneEquivalenceTest, BatchBoundMatchesScalarModelBitExact) {
+  // The three PT expressions — the SoA kernel, the scalar bound helper, and
+  // estimate_performance's Eq. 8 — must agree to the last bit; the
+  // branch-and-bound comparison against the floor is exact only because
+  // they do.
+  const LoopNest nest = build_conv_nest(alexnet_conv5());
+  DseOptions options;
+  options.min_dsp_util = 0.90;
+  options.jobs = 1;
+  const DesignSpaceExplorer explorer(arria10_gt1150(), DataType::kFloat32,
+                                     options);
+  const std::vector<DseCandidate> candidates =
+      explorer.enumerate_phase1(nest, nullptr);
+  ASSERT_FALSE(candidates.empty());
+
+  ShapeBatch batch;
+  batch.resize(candidates.size());
+  std::vector<std::int64_t> inner(nest.num_loops(), 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const DesignPoint& design = candidates[i].design;
+    std::fill(inner.begin(), inner.end(), 1);
+    inner[design.mapping().row_loop] = design.shape().rows;
+    inner[design.mapping().col_loop] = design.shape().cols;
+    inner[design.mapping().vec_loop] = design.shape().vec;
+    batch.lanes[i] = static_cast<double>(design.num_lanes());
+    batch.executed[i] =
+        static_cast<double>(executed_iterations_for_inner(nest, inner));
+  }
+  const double freq_mhz = options.assumed_freq_mhz;
+  batch_pt_bounds(batch, static_cast<double>(nest.total_iterations()),
+                  freq_mhz * 1e-3);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const DesignPoint& design = candidates[i].design;
+    std::fill(inner.begin(), inner.end(), 1);
+    inner[design.mapping().row_loop] = design.shape().rows;
+    inner[design.mapping().col_loop] = design.shape().cols;
+    inner[design.mapping().vec_loop] = design.shape().vec;
+    const double scalar =
+        phase1_pt_bound_gops(nest, inner, design.num_lanes(), freq_mhz);
+    EXPECT_EQ(batch.pt_gops[i], scalar) << "item " << i;
+    EXPECT_EQ(scalar, candidates[i].estimate.pt_gops) << "item " << i;
+  }
+}
+
+TEST(DsePruneEquivalenceTest, FullNetworkSweepWhenRequested) {
+  // Exhaustive differential over every deduplicated layer of every bundled
+  // network. Minutes of work — opt-in via SASYNTH_PRUNE_EQUIV_FULL=1 (the
+  // CI prune-equivalence job runs it under ASan/UBSan).
+  if (std::getenv("SASYNTH_PRUNE_EQUIV_FULL") == nullptr) {
+    GTEST_SKIP() << "set SASYNTH_PRUNE_EQUIV_FULL=1 for the full sweep";
+  }
+  std::string report;
+  for (const char* name : {"alexnet", "vgg16", "googlenet"}) {
+    const Network net = std::string(name) == "alexnet" ? make_alexnet()
+                        : std::string(name) == "vgg16" ? make_vgg16()
+                                                       : make_googlenet();
+    DseStats ex_total;
+    DseStats pr_total;
+    for (const ConvLayerDesc& layer : unique_layers(net)) {
+      const LoopNest nest = build_conv_nest(layer);
+      const std::vector<DseCandidate> exhaustive =
+          run_phase1(nest, /*prune=*/false, /*jobs=*/0, &ex_total);
+      const std::vector<DseCandidate> pruned =
+          run_phase1(nest, /*prune=*/true, /*jobs=*/0, &pr_total);
+      expect_topk_identical(exhaustive, pruned, 14,
+                            std::string(name) + "/" + layer.name);
+    }
+    report += std::string(report.empty() ? "" : ",\n") + "  \"" + name +
+              "\": {\"reuse_evaluated_exhaustive\": " +
+              std::to_string(ex_total.reuse_evaluated) +
+              ", \"reuse_evaluated_pruned\": " +
+              std::to_string(pr_total.reuse_evaluated) +
+              ", \"items_pruned_bound\": " +
+              std::to_string(pr_total.items_pruned_bound) +
+              ", \"bound_seed_evaluated\": " +
+              std::to_string(pr_total.bound_seed_evaluated) +
+              ", \"reuse_subtrees_pruned\": " +
+              std::to_string(pr_total.reuse_subtrees_pruned) +
+              ", \"reuse_bound_evals\": " +
+              std::to_string(pr_total.reuse_bound_evals) + "}";
+    // Pruning must never evaluate more reuse strategies than the
+    // exhaustive sweep, even counting the corner-bound overhead.
+    EXPECT_LT(pr_total.reuse_evaluated + pr_total.reuse_bound_evals,
+              ex_total.reuse_evaluated)
+        << name;
+  }
+  if (const char* path = std::getenv("SASYNTH_PRUNE_REPORT")) {
+    std::ofstream out(path);
+    out << "{\n" << report << "\n}\n";
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

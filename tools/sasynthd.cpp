@@ -12,6 +12,8 @@
 //     --cache DIR         persistent design cache directory
 //     --cache-capacity N  in-memory LRU entries (default 1024)
 //     --no-cache          disable the design cache entirely
+//     --sweep-cache-capacity N  incremental-DSE sweep-memo entries
+//                         (default 65536; 0 disables the tier)
 //     --jobs N            worker threads (0 = SASYNTH_JOBS env or all cores)
 //     --queue N           admission queue bound (default 64); beyond it
 //                         requests get a retry response (backpressure)
@@ -68,6 +70,8 @@ void print_usage(std::FILE* out) {
                "  --cache DIR         persistent design cache directory\n"
                "  --cache-capacity N  in-memory LRU entries (default 1024)\n"
                "  --no-cache          disable the design cache\n"
+               "  --sweep-cache-capacity N  incremental-DSE sweep entries "
+               "(default 65536; 0 = off)\n"
                "  --jobs N            worker threads (0 = SASYNTH_JOBS env or "
                "all cores)\n"
                "  --queue N           admission queue bound (default 64)\n"
@@ -249,6 +253,11 @@ int main(int argc, char** argv) {
       const int capacity = std::atoi(next_value("--cache-capacity").c_str());
       if (capacity < 1) usage("bad --cache-capacity");
       options.cache_capacity = static_cast<std::size_t>(capacity);
+    } else if (arg == "--sweep-cache-capacity") {
+      const long long capacity =
+          std::atoll(next_value("--sweep-cache-capacity").c_str());
+      if (capacity < 0) usage("bad --sweep-cache-capacity");
+      options.sweep_cache_capacity = static_cast<std::size_t>(capacity);
     } else if (arg == "--no-cache") {
       options.cache_enabled = false;
     } else if (arg == "--jobs") {
