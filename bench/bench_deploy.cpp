@@ -1,0 +1,172 @@
+// Deployment-flexibility cost study: what does serving AlexNet + VGG-16 +
+// GoogLeNet from shared bitstreams cost against the bespoke ideal?
+//
+// Three operating points on the Arria 10 GT1150:
+//   bespoke   — one unified design per network (three bitstreams, each
+//               network on its own: the paper's §5.3 flow, the upper bound)
+//   flexible  — one design for the whole mix (K=1 fleet: a single
+//               reprogram-free board serves all three networks)
+//   fleet K=3 — the fleet optimizer may ship three designs and assigns each
+//               network to its best one (should recover most of bespoke)
+//
+// Reports weighted latency (equal traffic shares) and per-network Gops, and
+// cross-checks fleet-selection determinism across jobs counts.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/unified.h"
+#include "deploy/fleet.h"
+#include "fpga/device.h"
+#include "nn/network.h"
+
+using namespace sasynth;
+
+namespace {
+
+struct MixPoint {
+  std::string label;
+  double weighted_latency_ms = 0.0;
+  double weighted_gops = 0.0;
+  int num_designs = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs_flag(argc, argv);
+  bench::print_header("Fixed-fleet deployment vs bespoke synthesis",
+                      "ISSUE 7 (runtime-flexible deployment; extends §5.3)");
+
+  const FpgaDevice device = arria10_gt1150();
+  const DataType dtype = DataType::kFloat32;
+  const std::vector<deploy::WorkloadEntry> workload = {
+      {make_alexnet(), 1.0}, {make_vgg16(), 1.0}, {make_googlenet(), 1.0}};
+
+  UnifiedOptions unified_options;
+  unified_options.dse.min_dsp_util = 0.70;
+  unified_options.dse.jobs = jobs;
+  unified_options.shape_shortlist = 16;
+
+  // Bespoke bound: each network on its own unified design (one bitstream
+  // per network; reprogramming between networks assumed free).
+  double bespoke_weighted_ms = 0.0;
+  std::vector<double> bespoke_gops;
+  const double bespoke_ms = bench::timed_ms("bench.deploy.bespoke", [&] {
+    for (const deploy::WorkloadEntry& entry : workload) {
+      const UnifiedDesign own = select_unified_design(entry.net, device, dtype,
+                                                      unified_options);
+      if (!own.valid) {
+        std::printf("ERROR: no unified design for %s\n",
+                    entry.net.name.c_str());
+        std::exit(1);
+      }
+      bespoke_weighted_ms += entry.weight * own.total_latency_ms;
+      bespoke_gops.push_back(own.aggregate_gops);
+    }
+  });
+
+  deploy::FleetOptions fleet_options;
+  fleet_options.unified = unified_options;
+
+  auto run_fleet = [&](int num_designs, const char* span) {
+    fleet_options.num_designs = num_designs;
+    deploy::FleetResult fleet;
+    const double ms = bench::timed_ms(span, [&] {
+      fleet = deploy::select_fleet(workload, device, dtype, fleet_options);
+    });
+    if (!fleet.valid) {
+      std::printf("ERROR: fleet K=%d failed: %s\n", num_designs,
+                  fleet.error.c_str());
+      std::exit(1);
+    }
+    std::printf("\nK=%d selection (%.0f ms):\n%s\n", num_designs, ms,
+                fleet.summary().c_str());
+    return fleet;
+  };
+
+  const deploy::FleetResult flexible =
+      run_fleet(1, "bench.deploy.flexible");
+  const deploy::FleetResult fleet3 = run_fleet(3, "bench.deploy.fleet3");
+
+  // Determinism cross-check: the K=3 selection must be bit-identical when
+  // the candidate enumeration runs serial.
+  bool deterministic = true;
+  {
+    deploy::FleetOptions serial = fleet_options;
+    serial.num_designs = 3;
+    serial.unified.dse.jobs = 1;
+    serial.unified.jobs = 1;
+    const deploy::FleetResult replay =
+        deploy::select_fleet(workload, device, dtype, serial);
+    deterministic = replay.valid &&
+                    replay.designs.size() == fleet3.designs.size() &&
+                    replay.weighted_latency_ms == fleet3.weighted_latency_ms;
+    for (std::size_t d = 0; deterministic && d < replay.designs.size(); ++d) {
+      deterministic = replay.designs[d].signature() ==
+                      fleet3.designs[d].signature();
+    }
+  }
+
+  const MixPoint points[] = {
+      {"bespoke (3 bitstreams)", bespoke_weighted_ms, 0.0, 3},
+      {"flexible (K=1)", flexible.weighted_latency_ms, flexible.weighted_gops,
+       1},
+      {"fleet (K=3)", fleet3.weighted_latency_ms, fleet3.weighted_gops, 3},
+  };
+  std::printf("\n%-24s %10s %14s\n", "mode", "designs", "weighted ms");
+  for (const MixPoint& p : points) {
+    std::printf("%-24s %10d %14.3f\n", p.label.c_str(), p.num_designs,
+                p.weighted_latency_ms);
+  }
+  const double flexible_penalty =
+      flexible.weighted_latency_ms / bespoke_weighted_ms;
+  const double fleet_penalty =
+      fleet3.weighted_latency_ms / bespoke_weighted_ms;
+  std::printf(
+      "\nlatency vs bespoke: flexible %.2fx, fleet %.2fx "
+      "(bespoke selection took %.0f ms)\n",
+      flexible_penalty, fleet_penalty, bespoke_ms);
+  bench::print_note(
+      "bespoke assumes free reprogramming between networks; the fleet rows "
+      "are what one (K=1) or three (K=3) fixed bitstreams actually deliver.");
+
+  std::FILE* out = std::fopen("BENCH_deploy.json", "w");
+  if (out != nullptr) {
+    std::fprintf(
+        out,
+        "{\"device\": \"%s\", \"jobs\": %d, "
+        "\"bespoke_weighted_ms\": %.6f, "
+        "\"flexible_weighted_ms\": %.6f, \"flexible_weighted_gops\": %.3f, "
+        "\"fleet3_weighted_ms\": %.6f, \"fleet3_weighted_gops\": %.3f, "
+        "\"flexible_penalty\": %.4f, \"fleet3_penalty\": %.4f, "
+        "\"alexnet_bespoke_gops\": %.3f, \"vgg16_bespoke_gops\": %.3f, "
+        "\"googlenet_bespoke_gops\": %.3f, "
+        "\"deterministic\": %s}\n",
+        device.name.c_str(), jobs, bespoke_weighted_ms,
+        flexible.weighted_latency_ms, flexible.weighted_gops,
+        fleet3.weighted_latency_ms, fleet3.weighted_gops, flexible_penalty,
+        fleet_penalty, bespoke_gops[0], bespoke_gops[1], bespoke_gops[2],
+        deterministic ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_deploy.json\n");
+  }
+
+  if (!deterministic) {
+    std::printf("ERROR: fleet selection not deterministic across jobs\n");
+    return 1;
+  }
+  // Sanity: a bigger fleet can only help, and the flexible single design can
+  // never beat the bespoke-per-network bound.
+  if (fleet3.weighted_latency_ms >
+      flexible.weighted_latency_ms * (1.0 + 1e-9)) {
+    std::printf("ERROR: K=3 fleet worse than K=1\n");
+    return 1;
+  }
+  if (flexible_penalty < 1.0 - 1e-9) {
+    std::printf("ERROR: flexible design beats the bespoke bound\n");
+    return 1;
+  }
+  return 0;
+}

@@ -23,8 +23,10 @@ bool parse_strict_int64(const std::string& token, std::int64_t* out) {
 }
 }  // namespace
 
-std::string save_design_text(const DesignPoint& design) {
+std::string save_design_text(const DesignPoint& design,
+                             const std::string& device_name) {
   std::string out = std::string(kMagic) + "\n";
+  if (!device_name.empty()) out += "device " + device_name + "\n";
   out += strformat("mapping row=%zu col=%zu vec=%zu\n",
                    design.mapping().row_loop, design.mapping().col_loop,
                    design.mapping().vec_loop);
@@ -40,8 +42,12 @@ std::string save_design_text(const DesignPoint& design) {
   return out;
 }
 
-DesignLoadResult load_design_text(const std::string& text,
-                                  const LoopNest& nest) {
+std::string save_design_text(const DesignPoint& design) {
+  return save_design_text(design, std::string());
+}
+
+DesignLoadResult load_design_text(const std::string& text, const LoopNest& nest,
+                                  DesignLoadMode mode) {
   DesignLoadResult result;
   auto fail = [&](const std::string& msg) {
     result.error = msg;
@@ -60,8 +66,17 @@ DesignLoadResult load_design_text(const std::string& text,
 
   if (next_line() != kMagic) return fail("missing 'sasynth-design v1' header");
 
-  // mapping row=.. col=.. vec=..
-  const std::vector<std::string> mapping_parts = split_ws(next_line());
+  // Optional `device <name>` line, then mapping row=.. col=.. vec=..
+  std::string line = next_line();
+  {
+    const std::vector<std::string> parts = split_ws(line);
+    if (!parts.empty() && parts[0] == "device") {
+      if (parts.size() != 2) return fail("malformed device line");
+      result.device_name = parts[1];
+      line = next_line();
+    }
+  }
+  const std::vector<std::string> mapping_parts = split_ws(line);
   if (mapping_parts.size() != 4 || mapping_parts[0] != "mapping") {
     return fail("malformed mapping line");
   }
@@ -121,7 +136,9 @@ DesignLoadResult load_design_text(const std::string& text,
   }
 
   DesignPoint design(nest, mapping, shape, std::move(middle));
-  const std::string validation = design.validate(nest);
+  const std::string validation = mode == DesignLoadMode::kStrict
+                                     ? design.validate(nest)
+                                     : design.validate_folded(nest);
   if (!validation.empty()) return fail("invalid design: " + validation);
   result.design = std::move(design);
   result.ok = true;

@@ -6,6 +6,7 @@
 // text block:
 //
 //   sasynth-design v1
+//   device <name>                  (optional)
 //   mapping row=<loop> col=<loop> vec=<loop>
 //   shape <rows> <cols> <vec>
 //   middle <s_0> <s_1> ... <s_n-1>
@@ -21,17 +22,34 @@
 
 namespace sasynth {
 
-/// Serializes a design point.
+/// Serializes a design point (the original three-line body; no device line —
+/// this is the wire form cached serve responses pin byte for byte).
 std::string save_design_text(const DesignPoint& design);
+
+/// Serializes with a `device <name>` line after the magic, recording which
+/// device the design was synthesized for. Loaders that know their target
+/// device can reject mismatches (sasynth_cli --fixed-design does).
+std::string save_design_text(const DesignPoint& design,
+                             const std::string& device_name);
+
+enum class DesignLoadMode {
+  /// The design must fully validate against the nest, including the
+  /// block-trip economy cap — the bespoke path.
+  kStrict,
+  /// Structural validation only (validate_folded): the design may come from
+  /// a different layer and be folded onto this nest by src/deploy.
+  kFolded,
+};
 
 struct DesignLoadResult {
   bool ok = false;
   std::string error;
   DesignPoint design;
+  std::string device_name;  ///< empty when the text carries no device line
 };
 
 /// Parses and validates against `nest` (loop count, bounds).
-DesignLoadResult load_design_text(const std::string& text,
-                                  const LoopNest& nest);
+DesignLoadResult load_design_text(const std::string& text, const LoopNest& nest,
+                                  DesignLoadMode mode = DesignLoadMode::kStrict);
 
 }  // namespace sasynth

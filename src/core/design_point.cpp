@@ -59,6 +59,18 @@ std::string DesignPoint::validate(const LoopNest& nest) const {
   return tiling_.validate(nest);
 }
 
+std::string DesignPoint::validate_folded(const LoopNest& nest) const {
+  if (mapping_.row_loop >= nest.num_loops() ||
+      mapping_.col_loop >= nest.num_loops() ||
+      mapping_.vec_loop >= nest.num_loops()) {
+    return "mapping loop out of range";
+  }
+  if (shape_.rows < 1 || shape_.cols < 1 || shape_.vec < 1) {
+    return "array shape extents must be >= 1";
+  }
+  return tiling_.validate_structure(nest);
+}
+
 bool DesignPoint::operator==(const DesignPoint& other) const {
   return mapping_ == other.mapping_ && shape_ == other.shape_ &&
          tiling_ == other.tiling_;

@@ -59,6 +59,12 @@ class DesignPoint {
   /// Validates against the nest. Empty string when valid.
   std::string validate(const LoopNest& nest) const;
 
+  /// Folded-execution validation: mapping in range, shape/bounds >= 1, but
+  /// no block-trip economy cap — the check a design must pass to *execute*
+  /// on a nest it was not synthesized for (src/deploy). Every design that
+  /// passes validate() passes validate_folded().
+  std::string validate_folded(const LoopNest& nest) const;
+
   bool operator==(const DesignPoint& other) const;
 
  private:

@@ -80,6 +80,30 @@ PerfEstimate estimate_performance(const LoopNest& nest,
   return perf;
 }
 
+FoldedPerfEstimate estimate_folded_performance(const LoopNest& nest,
+                                               const DesignPoint& design,
+                                               const FpgaDevice& device,
+                                               DataType dtype,
+                                               double freq_mhz) {
+  assert(design.validate_folded(nest).empty());
+  FoldedPerfEstimate out;
+  out.perf = estimate_performance(nest, design, device, dtype, freq_mhz);
+  out.effective_iterations = nest.total_iterations();
+  out.executed_iterations = design.tiling().executed_iterations(nest);
+  out.padded_iterations = out.executed_iterations - out.effective_iterations;
+  out.waste_ratio = static_cast<double>(out.padded_iterations) /
+                    static_cast<double>(out.executed_iterations);
+  return out;
+}
+
+std::string FoldedPerfEstimate::summary() const {
+  return perf.summary() +
+         strformat(" waste=%.2f%% (%lld of %lld iterations padded)",
+                   waste_ratio * 100.0,
+                   static_cast<long long>(padded_iterations),
+                   static_cast<long long>(executed_iterations));
+}
+
 double layer_latency_ms(const ConvLayerDesc& layer, const PerfEstimate& perf) {
   assert(perf.throughput_gops > 0.0);
   const double ops = static_cast<double>(layer.total_ops());

@@ -52,6 +52,30 @@ PerfEstimate estimate_performance(const LoopNest& nest,
                                   const FpgaDevice& device, DataType dtype,
                                   double freq_mhz);
 
+/// Folded-execution estimate: the performance model applied to a fixed
+/// design executing a layer it was not necessarily synthesized for
+/// (src/deploy). `design` must pass validate_folded(nest); typically it is
+/// the retargeted design a deploy::FoldPlan produced. The PerfEstimate is
+/// computed by the exact same arithmetic as estimate_performance — when the
+/// fold plan degenerates to identity (a layer on its own bespoke design) the
+/// numbers reproduce the bespoke estimate bit for bit — plus explicit
+/// DIVCEIL padding accounting: executed vs effective iterations and the
+/// wasted-lane/pad-cycle fraction.
+struct FoldedPerfEstimate {
+  PerfEstimate perf;
+  std::int64_t effective_iterations = 0;  ///< the layer's true iterations
+  std::int64_t executed_iterations = 0;   ///< padded to the array quantum
+  std::int64_t padded_iterations = 0;     ///< executed - effective
+  double waste_ratio = 0.0;               ///< padded / executed = 1 - eff
+
+  std::string summary() const;
+};
+
+FoldedPerfEstimate estimate_folded_performance(const LoopNest& nest,
+                                               const DesignPoint& design,
+                                               const FpgaDevice& device,
+                                               DataType dtype, double freq_mhz);
+
 /// Runtime of one full layer (all groups, sequentially) in milliseconds.
 double layer_latency_ms(const ConvLayerDesc& layer, const PerfEstimate& perf);
 

@@ -19,11 +19,7 @@
 
 namespace sasynth {
 
-namespace {
-
-/// Builds a synthetic nest whose trip counts are the per-position maxima over
-/// all layers — the envelope used for shape caps and reuse-candidate bounds.
-LoopNest envelope_nest(const std::vector<LoopNest>& nests) {
+LoopNest unified_envelope_nest(const std::vector<LoopNest>& nests) {
   assert(!nests.empty());
   LoopNest env;
   for (std::size_t l = 0; l < nests.front().num_loops(); ++l) {
@@ -34,6 +30,8 @@ LoopNest envelope_nest(const std::vector<LoopNest>& nests) {
   for (const ArrayAccess& a : nests.front().accesses()) env.add_access(a);
   return env;
 }
+
+namespace {
 
 /// Aggregate over layers for one fully specified design.
 struct AggregateEval {
@@ -111,19 +109,19 @@ UnifiedDesign evaluate_unified_design(const Network& net,
   return result;
 }
 
-UnifiedDesign select_unified_design(const Network& net,
-                                    const FpgaDevice& device, DataType dtype,
-                                    const UnifiedOptions& options) {
-  obs::ScopedSpan select_span("unified.select", "unified");
-  UnifiedDesign failure;
-  if (net.layers.empty()) return failure;
+std::vector<UnifiedCandidate> enumerate_unified_candidates(
+    const Network& net, const FpgaDevice& device, DataType dtype,
+    const UnifiedOptions& options, bool* cancelled_out) {
+  if (cancelled_out != nullptr) *cancelled_out = false;
+  std::vector<UnifiedCandidate> none;
+  if (net.layers.empty()) return none;
 
   std::vector<LoopNest> nests;
   nests.reserve(net.layers.size());
   for (const ConvLayerDesc& layer : net.layers) {
     nests.push_back(build_conv_nest(layer));
   }
-  const LoopNest env = envelope_nest(nests);
+  const LoopNest env = unified_envelope_nest(nests);
   const ReuseMatrix reuse = analyze_reuse(env);
   const std::vector<SystolicMapping> mappings =
       enumerate_feasible_mappings(env, reuse);
@@ -221,8 +219,10 @@ UnifiedDesign select_unified_design(const Network& net,
                               [](const Scored& s) { return s.score < 0.0; }),
                scored.end());
   if (scored.empty()) {
-    failure.cancelled = cancelled.load() || cancel.cancelled();
-    return failure;
+    if (cancelled_out != nullptr) {
+      *cancelled_out = cancelled.load() || cancel.cancelled();
+    }
+    return none;
   }
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
@@ -233,12 +233,6 @@ UnifiedDesign select_unified_design(const Network& net,
   const std::int64_t bram_budget = static_cast<std::int64_t>(
       dse.max_bram_util * static_cast<double>(device.bram_blocks));
 
-  struct UnifiedCandidate {
-    DesignPoint design;
-    double est_gops = 0.0;
-    double traffic = 0.0;
-    std::int64_t max_bram = 0;
-  };
   // Stage 2 is the expensive half (a DFS over middle bounds re-evaluating
   // every layer at each leaf); each shortlist entry is independent, so the
   // entries fan out across the pool into per-entry slots.
@@ -279,8 +273,9 @@ UnifiedDesign select_unified_design(const Network& net,
         const bool better =
             !found || eval.aggregate_gops > best.est_gops + 1e-12 ||
             (eval.aggregate_gops > best.est_gops - 1e-12 &&
-             (eval.dram_traffic_bytes < best.traffic * (1.0 - 1e-12) ||
-              (eval.dram_traffic_bytes <= best.traffic * (1.0 + 1e-12) &&
+             (eval.dram_traffic_bytes < best.dram_traffic_bytes * (1.0 - 1e-12) ||
+              (eval.dram_traffic_bytes <=
+                   best.dram_traffic_bytes * (1.0 + 1e-12) &&
                eval.max_bram < best.max_bram)));
         if (better) {
           best = UnifiedCandidate{design, eval.aggregate_gops,
@@ -334,8 +329,10 @@ UnifiedDesign select_unified_design(const Network& net,
     if (e.has_value()) candidates.push_back(std::move(*e));
   }
   if (candidates.empty()) {
-    failure.cancelled = cancelled.load() || cancel.cancelled();
-    return failure;
+    if (cancelled_out != nullptr) {
+      *cancelled_out = cancelled.load() || cancel.cancelled();
+    }
+    return none;
   }
 
   std::sort(candidates.begin(), candidates.end(),
@@ -343,10 +340,41 @@ UnifiedDesign select_unified_design(const Network& net,
               if (a.est_gops != b.est_gops) return a.est_gops > b.est_gops;
               return a.max_bram < b.max_bram;
             });
+  if (cancelled_out != nullptr) {
+    *cancelled_out = cancelled.load() || cancel.cancelled();
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    r.counter("unified_pairs_total")
+        .add(static_cast<std::int64_t>(pairs.size()));
+    r.counter("unified_shortlist_total")
+        .add(static_cast<std::int64_t>(shortlist));
+  }
+  return candidates;
+}
+
+UnifiedDesign select_unified_design(const Network& net,
+                                    const FpgaDevice& device, DataType dtype,
+                                    const UnifiedOptions& options) {
+  obs::ScopedSpan select_span("unified.select", "unified");
+  UnifiedDesign failure;
+  if (net.layers.empty()) return failure;
+
+  const DseOptions& dse = options.dse;
+  const CancelToken& cancel = dse.cancel;
+  bool enum_cancelled = false;
+  const std::vector<UnifiedCandidate> candidates = enumerate_unified_candidates(
+      net, device, dtype, options, &enum_cancelled);
+  std::atomic<bool> cancelled{enum_cancelled};
+  if (candidates.empty()) {
+    failure.cancelled = cancelled.load() || cancel.cancelled();
+    return failure;
+  }
 
   // Stage 3 (phase 2 of Fig. 5): pseudo-P&R the top-K, pick best realized.
   const std::size_t keep = std::min<std::size_t>(
       candidates.size(), static_cast<std::size_t>(dse.top_k));
+  const double freq = dse.assumed_freq_mhz;
   obs::ScopedSpan phase2_span("unified.phase2", "unified");
   phase2_span.arg("candidates", static_cast<std::int64_t>(keep));
   UnifiedDesign best_result;
@@ -373,10 +401,6 @@ UnifiedDesign select_unified_design(const Network& net,
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& r = obs::MetricsRegistry::global();
     r.counter("unified_runs_total").add(1);
-    r.counter("unified_pairs_total")
-        .add(static_cast<std::int64_t>(pairs.size()));
-    r.counter("unified_shortlist_total")
-        .add(static_cast<std::int64_t>(shortlist));
     if (best_result.cancelled) r.counter("unified_cancelled_total").add(1);
   }
   return best_result;

@@ -58,6 +58,32 @@ struct UnifiedDesign {
   std::string summary(const Network& net) const;
 };
 
+/// Synthetic nest whose per-position trip counts are the maxima over all
+/// input nests — the envelope the unified selection searches over. Exposed
+/// for src/deploy and the serve fleet-cache path, which validates cached
+/// fleet designs against the workload envelope.
+LoopNest unified_envelope_nest(const std::vector<LoopNest>& nests);
+
+/// One stage-2 survivor of the unified search: a fully specified design with
+/// its aggregate estimate at the assumed clock. The fleet optimizer
+/// (src/deploy/fleet.cpp) consumes these as its candidate pool.
+struct UnifiedCandidate {
+  DesignPoint design;
+  double est_gops = 0.0;  ///< aggregate Gops at dse.assumed_freq_mhz
+  double dram_traffic_bytes = 0.0;
+  std::int64_t max_bram = 0;
+};
+
+/// Stages 1+2 of select_unified_design: shortlist (mapping, shape) pairs by
+/// the compute-bound score, search the unified reuse strategy for each
+/// shortlisted pair, and return the survivors sorted best-first (est_gops
+/// desc, max_bram asc tie-break). Deterministic at any jobs count.
+/// `cancelled` (may be null) reports whether options.dse.cancel cut the
+/// enumeration early; the returned prefix is still deterministic.
+std::vector<UnifiedCandidate> enumerate_unified_candidates(
+    const Network& net, const FpgaDevice& device, DataType dtype,
+    const UnifiedOptions& options = {}, bool* cancelled = nullptr);
+
 /// Evaluates a given design on every layer of the network at `freq_mhz`
 /// (the evaluation half of the selector; also used to score the paper's
 /// published configurations in the benches).

@@ -84,6 +84,8 @@ inline constexpr const char* kSiteCacheStore = "cache.store";
 inline constexpr const char* kSiteCacheEvict = "cache.evict";
 inline constexpr const char* kSiteSchedAdmit = "sched.admit";
 inline constexpr const char* kSitePoolTask = "pool.task";
+inline constexpr const char* kSiteDeployPlan = "deploy.plan";
+inline constexpr const char* kSiteDeploySelect = "deploy.select";
 
 /// Every site name above, in a stable order.
 const std::vector<std::string>& known_sites();

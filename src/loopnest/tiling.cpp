@@ -116,6 +116,17 @@ std::string TilingSpec::validate(const LoopNest& nest) const {
   return "";
 }
 
+std::string TilingSpec::validate_structure(const LoopNest& nest) const {
+  if (num_loops() != nest.num_loops()) {
+    return "tiling spec loop count does not match nest";
+  }
+  for (std::size_t l = 0; l < num_loops(); ++l) {
+    if (middle_[l] < 1) return "middle bound must be >= 1";
+    if (inner_[l] < 1) return "inner bound must be >= 1";
+  }
+  return "";
+}
+
 std::string TilingSpec::to_string() const {
   std::vector<std::string> s_str;
   std::vector<std::string> t_str;

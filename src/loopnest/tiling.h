@@ -88,6 +88,13 @@ class TilingSpec {
   /// Validates against a nest: size match, s/t >= 1, block <= padded trip.
   std::string validate(const LoopNest& nest) const;
 
+  /// Structural validation only: size match and s/t >= 1, without the
+  /// block-trip economy cap. A design folded onto a *smaller* layer than it
+  /// was synthesized for legitimately has block trips far beyond the trip
+  /// count (the hardware cannot shrink below t); the fold plan charges the
+  /// waste instead of rejecting the configuration.
+  std::string validate_structure(const LoopNest& nest) const;
+
   /// "s=(4,4,13,1,3,3) t=(11,13,1,1,1,8)" style rendering.
   std::string to_string() const;
 

@@ -114,4 +114,21 @@ Network make_tiny_testnet() {
   return net;
 }
 
+bool parse_network_name(const std::string& name, Network* out) {
+  if (name == "alexnet") {
+    *out = make_alexnet();
+  } else if (name == "vgg16") {
+    *out = make_vgg16();
+  } else if (name == "googlenet") {
+    *out = make_googlenet();
+  } else if (name == "tiny") {
+    *out = make_tiny_testnet();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* network_name_list() { return "alexnet|vgg16|googlenet|tiny"; }
+
 }  // namespace sasynth

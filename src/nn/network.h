@@ -51,4 +51,12 @@ Network make_googlenet();
 /// A small synthetic network for tests: every dimension <= 8.
 Network make_tiny_testnet();
 
+/// Builds a bundled network by canonical name: "alexnet", "vgg16",
+/// "googlenet" or "tiny" (the test network). Returns false (out untouched)
+/// on an unknown name — the list a caller should echo is network_name_list().
+bool parse_network_name(const std::string& name, Network* out);
+
+/// "alexnet|vgg16|googlenet|tiny" for usage/error messages.
+const char* network_name_list();
+
 }  // namespace sasynth

@@ -44,10 +44,11 @@ bool parse_bool(const std::string& token, bool* out) {
   return false;
 }
 
-/// One `option <key> <value>` setter. Returns an error message or "".
-std::string apply_option(ServeRequest* request, const std::string& key,
-                         const std::string& value) {
-  DseOptions& dse = request->dse;
+}  // namespace
+
+std::string apply_dse_option(DseOptions* dse_out, const std::string& key,
+                             const std::string& value) {
+  DseOptions& dse = *dse_out;
   auto want_double = [&](double* out, double lo, double hi) -> std::string {
     double v = 0.0;
     if (!parse_double(value, &v) || v < lo || v > hi) {
@@ -102,8 +103,6 @@ std::string apply_option(ServeRequest* request, const std::string& key,
   if (key == "bound_prune") return want_bool(&dse.bound_prune);
   return "unknown option '" + key + "'";
 }
-
-}  // namespace
 
 ServeRequest::ServeRequest() : device(arria10_gt1150()) {
   // Serving default: one thread per request — the server parallelizes across
@@ -187,7 +186,7 @@ ParsedRequest parse_request_block(const std::string& block) {
     } else if (field == "option") {
       if (parts.size() != 3) return fail("option expects <key> <value>");
       const std::string error =
-          apply_option(&result.request, parts[1], parts[2]);
+          apply_dse_option(&result.request.dse, parts[1], parts[2]);
       if (!error.empty()) return fail(error);
     } else if (field == "deadline_ms") {
       // Strict by design: a garbled deadline silently treated as "none"
@@ -209,20 +208,8 @@ ParsedRequest parse_request_block(const std::string& block) {
   return result;
 }
 
-std::string canonical_request_text(const ServeRequest& request) {
-  const ConvLayerDesc& l = request.layer;
-  const DseOptions& d = request.dse;
+std::string canonical_dse_options_text(const DseOptions& d) {
   std::string out;
-  out += strformat("layer %lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
-                   static_cast<long long>(l.in_maps),
-                   static_cast<long long>(l.out_maps),
-                   static_cast<long long>(l.out_rows),
-                   static_cast<long long>(l.out_cols),
-                   static_cast<long long>(l.kernel),
-                   static_cast<long long>(l.stride),
-                   static_cast<long long>(l.groups));
-  out += "device " + request.device.name + "\n";
-  out += "dtype " + data_type_name(request.dtype) + "\n";
   out += strformat("freq %.17g\n", d.assumed_freq_mhz);
   out += strformat("min_util %.17g\n", d.min_dsp_util);
   out += strformat("pow2_middle %d\n", d.pow2_middle ? 1 : 0);
@@ -238,6 +225,23 @@ std::string canonical_request_text(const ServeRequest& request) {
   // a deadline-truncated sweep's best-so-far partial is not, and a cache must
   // never conflate two requests whose failure payloads can differ.
   out += strformat("bound_prune %d\n", d.bound_prune ? 1 : 0);
+  return out;
+}
+
+std::string canonical_request_text(const ServeRequest& request) {
+  const ConvLayerDesc& l = request.layer;
+  std::string out;
+  out += strformat("layer %lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+                   static_cast<long long>(l.in_maps),
+                   static_cast<long long>(l.out_maps),
+                   static_cast<long long>(l.out_rows),
+                   static_cast<long long>(l.out_cols),
+                   static_cast<long long>(l.kernel),
+                   static_cast<long long>(l.stride),
+                   static_cast<long long>(l.groups));
+  out += "device " + request.device.name + "\n";
+  out += "dtype " + data_type_name(request.dtype) + "\n";
+  out += canonical_dse_options_text(request.dse);
   return out;
 }
 

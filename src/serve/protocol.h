@@ -107,6 +107,17 @@ bool parse_layer_fields(const std::string& spec, ConvLayerDesc* out,
 /// all produce ok=false with a message.
 ParsedRequest parse_request_block(const std::string& block);
 
+/// One `option <key> <value>` setter over a DseOptions. Shared by the
+/// synthesis and deploy (deploy_protocol.h) request parsers so both speak
+/// the same option vocabulary. Returns an error message or "".
+std::string apply_dse_option(DseOptions* dse, const std::string& key,
+                             const std::string& value);
+
+/// The canonical option lines (freq..bound_prune, fixed order, %.17g
+/// doubles) shared by canonical_request_text and the deploy canonical text.
+/// `dse.jobs` and cancellation state are execution policy and excluded.
+std::string canonical_dse_options_text(const DseOptions& dse);
+
 /// Canonical text form of the complete request tuple
 /// (layer, device, dtype, options) — the DesignCache key material. Every
 /// option is rendered explicitly (a request omitting an option hashes equal

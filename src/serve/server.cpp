@@ -9,9 +9,12 @@
 
 #include "core/perf_model.h"
 #include "core/resource_model.h"
+#include "core/unified.h"
+#include "deploy/fleet.h"
 #include "faultinject/faultinject.h"
 #include "fpga/freq_model.h"
 #include "loopnest/conv_nest.h"
+#include "nn/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -69,6 +72,8 @@ constexpr const char* kTimeoutAtAdmission = "deadline expired before admission";
 constexpr const char* kTimeoutInQueue = "deadline expired waiting in queue";
 constexpr const char* kTimeoutInDse =
     "deadline exceeded during design space exploration";
+constexpr const char* kTimeoutInFleet =
+    "deadline exceeded during fleet selection";
 
 }  // namespace
 
@@ -192,6 +197,128 @@ std::string SynthServer::handle(const std::string& request_block,
   sm.ok.add(1);
   return finish(
       format_ok_response(design, realized, resources.report, latency_ms));
+}
+
+std::string SynthServer::handle_deploy(const std::string& request_block) {
+  return handle_deploy(request_block, CancelToken());
+}
+
+std::string SynthServer::handle_deploy(const std::string& request_block,
+                                       CancelToken cancel) {
+  obs::ScopedSpan span("serve.handle_deploy", "serve");
+  ServeMetrics& sm = ServeMetrics::get();
+  counters_.requests.fetch_add(1);
+  sm.requests.add(1);
+
+  auto finish = [&](std::string response) {
+    const std::int64_t us =
+        static_cast<std::int64_t>(span.elapsed_seconds() * 1e6);
+    counters_.wall_us_total.fetch_add(us);
+    bump_max(counters_.wall_us_max, us);
+    sm.request_ms.observe(static_cast<double>(us) * 1e-3);
+    if (!cancel.deadline().unbounded()) {
+      sm.deadline_slack_ms.observe(static_cast<double>(
+          std::max<std::int64_t>(0, cancel.deadline().remaining_ms())));
+    }
+    return response;
+  };
+
+  const ParsedDeployRequest parsed = parse_deploy_request_block(request_block);
+  if (!parsed.ok) {
+    counters_.errors.fetch_add(1);
+    sm.errors.add(1);
+    return finish(format_error_response(parsed.error));
+  }
+  // Like handle(): the cancel token is execution policy, never key material.
+  DeployRequest request = parsed.request;
+  request.dse.cancel = cancel;
+
+  // Resolve the network names (validated at parse time) into the workload.
+  std::vector<deploy::WorkloadEntry> workload;
+  workload.reserve(request.workload.size());
+  std::vector<LoopNest> all_nests;
+  for (const DeployWorkloadItem& item : request.workload) {
+    deploy::WorkloadEntry entry;
+    parse_network_name(item.network, &entry.net);
+    entry.weight = item.weight;
+    for (const ConvLayerDesc& layer : entry.net.layers) {
+      all_nests.push_back(build_conv_nest(layer));
+    }
+    workload.push_back(std::move(entry));
+  }
+  // Cached fleet designs validate against the workload envelope: every
+  // candidate was searched inside a source envelope whose trips the merged
+  // envelope dominates, so the strict per-loop bound caps hold there too.
+  const LoopNest env = unified_envelope_nest(all_nests);
+  const std::string canonical = canonical_deploy_request_text(request);
+
+  std::vector<DesignPoint> designs;
+  bool have_fleet = options_.cache_enabled;
+  if (have_fleet) {
+    for (int i = 0; i < request.fleet_size; ++i) {
+      DesignPoint design;
+      if (!cache_.lookup(
+              deploy_cache_entry_text(canonical, i, request.fleet_size), env,
+              &design)) {
+        have_fleet = false;
+        break;
+      }
+      designs.push_back(std::move(design));
+    }
+  }
+  if (have_fleet) {
+    // All K hit: like handle(), a full cache hit answers `ok` even when the
+    // token already fired — no selection work is left to cancel.
+    SA_LOG_INFO << "deploy cache hit key="
+                << strformat("%016llx", static_cast<unsigned long long>(
+                                            fnv1a64(canonical)))
+                << " fleet=" << request.fleet_size;
+  } else {
+    designs.clear();
+    deploy::FleetOptions fleet_options;
+    fleet_options.unified.dse = request.dse;
+    fleet_options.num_designs = request.fleet_size;
+    const deploy::FleetResult selected = deploy::select_fleet(
+        workload, request.device, request.dtype, fleet_options);
+    if (selected.cancelled) {
+      // No partial payload: unlike a truncated sweep there is no meaningful
+      // best-so-far fleet, and partial results are never cached.
+      counters_.timeouts.fetch_add(1);
+      sm.timeouts.add(1);
+      return finish(format_timeout_response(kTimeoutInFleet));
+    }
+    if (!selected.valid) {
+      counters_.errors.fetch_add(1);
+      sm.errors.add(1);
+      return finish(format_error_response(selected.error));
+    }
+    designs = selected.designs;
+    // A fleet smaller than K (candidate pool ran out) is answered but not
+    // cached: the lookup path expects exactly K derived entries.
+    if (options_.cache_enabled &&
+        static_cast<int>(designs.size()) == request.fleet_size) {
+      for (int i = 0; i < request.fleet_size; ++i) {
+        cache_.insert(
+            deploy_cache_entry_text(canonical, i, request.fleet_size),
+            designs[i]);
+      }
+    }
+    SA_LOG_INFO << "deploy cache miss, selected fleet of " << designs.size()
+                << " for " << workload.size() << " network(s)";
+  }
+
+  // Both paths answer through the pure evaluator, so a cached response is
+  // byte-identical to a freshly selected one.
+  const deploy::FleetResult evaluated =
+      deploy::evaluate_fleet(workload, designs, request.device, request.dtype);
+  if (!evaluated.valid) {
+    counters_.errors.fetch_add(1);
+    sm.errors.add(1);
+    return finish(format_error_response(evaluated.error));
+  }
+  counters_.ok.fetch_add(1);
+  sm.ok.add(1);
+  return finish(format_deploy_ok_response(evaluated));
 }
 
 std::string SynthServer::stats_text() const {
@@ -325,12 +452,74 @@ void SynthServer::serve(const LineSource& read_line,
     }
   });
 
+  // Shared admission path of both block types (synthesis and deploy):
+  // create the deadline token, submit through the scheduler, degrade to
+  // retry/timeout verdicts on backpressure or expiry.
+  auto submit_block = [&](std::string block, std::int64_t budget_ms,
+                          bool is_deploy) {
+    const Deadline deadline =
+        budget_ms >= 0 ? Deadline::after_ms(budget_ms) : Deadline();
+    const CancelToken token = budget_ms >= 0
+                                  ? CancelToken::with_deadline(deadline)
+                                  : CancelToken();
+    const std::uint64_t seq = next_seq++;
+    const Admission admission = scheduler_.try_submit(
+        [this, &post, seq, token, is_deploy,
+         block = std::move(block)](bool shed) {
+          // Always post *something* for this seq: the ordered writer
+          // stalls the whole session on a missing sequence number, so a
+          // throwing handler degrades to an error response, not a hole.
+          std::string response;
+          if (shed) {
+            // Expired while queued: answer without paying for the work.
+            counters_.requests.fetch_add(1);
+            counters_.timeouts.fetch_add(1);
+            counters_.shed_expired.fetch_add(1);
+            ServeMetrics::get().requests.add(1);
+            ServeMetrics::get().timeouts.add(1);
+            post(seq, format_timeout_response(kTimeoutInQueue));
+            return;
+          }
+          try {
+            fault::raise_if_armed(fault::kSitePoolTask);
+            response =
+                is_deploy ? handle_deploy(block, token) : handle(block, token);
+          } catch (const std::exception& e) {
+            counters_.errors.fetch_add(1);
+            ServeMetrics::get().errors.add(1);
+            fault::note_degraded();
+            response = format_error_response(std::string("internal error: ") +
+                                             e.what());
+          }
+          post(seq, std::move(response));
+        },
+        deadline, token);
+    if (admission == Admission::kQueueFull) {
+      counters_.requests.fetch_add(1);
+      counters_.rejected.fetch_add(1);
+      ServeMetrics::get().requests.add(1);
+      post(seq, format_retry_response(strformat(
+                    "admission queue full (%lld in flight), retry later",
+                    static_cast<long long>(scheduler_.queue_limit()))));
+    } else if (admission == Admission::kExpired) {
+      // Dead on arrival (deadline_ms 0, or a queue-side client stall ate
+      // the whole budget before the block finished framing).
+      counters_.requests.fetch_add(1);
+      counters_.timeouts.fetch_add(1);
+      counters_.rejected_expired.fetch_add(1);
+      ServeMetrics::get().requests.add(1);
+      ServeMetrics::get().timeouts.add(1);
+      post(seq, format_timeout_response(kTimeoutAtAdmission));
+    }
+  };
+
   std::string line;
   while (!stop_.load() && !draining_.load() && read_line(&line)) {
     const std::string command = trim(line);
     if (command.empty()) continue;
 
-    if (command == kRequestMagic) {
+    if (command == kRequestMagic || command == kDeployRequestMagic) {
+      const bool is_deploy = command == kDeployRequestMagic;
       std::string block = command + "\n";
       while (read_line(&line)) {
         block += line + "\n";
@@ -338,69 +527,26 @@ void SynthServer::serve(const LineSource& read_line,
       }
       // Resolve the request's end-to-end budget up front: an explicit
       // deadline_ms wins, else --default-deadline, else unbounded. The
-      // session parses the block a second time here (handle() re-parses for
-      // purity); that cost is noise next to a DSE.
+      // session parses the block a second time here (the handlers re-parse
+      // for purity); that cost is noise next to a DSE or fleet selection.
       std::int64_t budget_ms = -1;
-      {
+      std::int64_t requested_ms = -1;
+      bool peek_ok = false;
+      if (is_deploy) {
+        const ParsedDeployRequest peek = parse_deploy_request_block(block);
+        peek_ok = peek.ok;
+        requested_ms = peek.request.deadline_ms;
+      } else {
         const ParsedRequest peek = parse_request_block(block);
-        if (peek.ok && peek.request.deadline_ms >= 0) {
-          budget_ms = peek.request.deadline_ms;
-        } else if (peek.ok && options_.default_deadline_ms > 0) {
-          budget_ms = options_.default_deadline_ms;
-        }
+        peek_ok = peek.ok;
+        requested_ms = peek.request.deadline_ms;
       }
-      const Deadline deadline =
-          budget_ms >= 0 ? Deadline::after_ms(budget_ms) : Deadline();
-      const CancelToken token = budget_ms >= 0
-                                    ? CancelToken::with_deadline(deadline)
-                                    : CancelToken();
-      const std::uint64_t seq = next_seq++;
-      const Admission admission = scheduler_.try_submit(
-          [this, &post, seq, token, block = std::move(block)](bool shed) {
-            // Always post *something* for this seq: the ordered writer
-            // stalls the whole session on a missing sequence number, so a
-            // throwing handler degrades to an error response, not a hole.
-            std::string response;
-            if (shed) {
-              // Expired while queued: answer without paying for the DSE.
-              counters_.requests.fetch_add(1);
-              counters_.timeouts.fetch_add(1);
-              counters_.shed_expired.fetch_add(1);
-              ServeMetrics::get().requests.add(1);
-              ServeMetrics::get().timeouts.add(1);
-              post(seq, format_timeout_response(kTimeoutInQueue));
-              return;
-            }
-            try {
-              fault::raise_if_armed(fault::kSitePoolTask);
-              response = handle(block, token);
-            } catch (const std::exception& e) {
-              counters_.errors.fetch_add(1);
-              ServeMetrics::get().errors.add(1);
-              fault::note_degraded();
-              response = format_error_response(std::string("internal error: ") +
-                                               e.what());
-            }
-            post(seq, std::move(response));
-          },
-          deadline, token);
-      if (admission == Admission::kQueueFull) {
-        counters_.requests.fetch_add(1);
-        counters_.rejected.fetch_add(1);
-        ServeMetrics::get().requests.add(1);
-        post(seq, format_retry_response(strformat(
-                      "admission queue full (%lld in flight), retry later",
-                      static_cast<long long>(scheduler_.queue_limit()))));
-      } else if (admission == Admission::kExpired) {
-        // Dead on arrival (deadline_ms 0, or a queue-side client stall ate
-        // the whole budget before the block finished framing).
-        counters_.requests.fetch_add(1);
-        counters_.timeouts.fetch_add(1);
-        counters_.rejected_expired.fetch_add(1);
-        ServeMetrics::get().requests.add(1);
-        ServeMetrics::get().timeouts.add(1);
-        post(seq, format_timeout_response(kTimeoutAtAdmission));
+      if (peek_ok && requested_ms >= 0) {
+        budget_ms = requested_ms;
+      } else if (peek_ok && options_.default_deadline_ms > 0) {
+        budget_ms = options_.default_deadline_ms;
       }
+      submit_block(std::move(block), budget_ms, is_deploy);
     } else if (command == "health") {
       counters_.commands.fetch_add(1);
       ServeMetrics::get().commands.add(1);

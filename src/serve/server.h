@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "serve/deploy_protocol.h"
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
@@ -89,6 +90,15 @@ class SynthServer {
   /// `ok` even if the token already fired — the lookup precedes any DSE
   /// work, so it beats every realistic budget.
   std::string handle(const std::string& request_block, CancelToken cancel);
+
+  /// Handles one `sasynth-deploy v1` block (deploy_protocol.h): parse ->
+  /// per-design cache lookups (all K must hit) -> (on miss) fleet selection
+  /// + cache insert -> deploy::evaluate_fleet -> format. Hit and miss paths
+  /// both answer through evaluate_fleet, so cached responses are
+  /// byte-identical to fresh ones. Thread-safe.
+  std::string handle_deploy(const std::string& request_block);
+  std::string handle_deploy(const std::string& request_block,
+                            CancelToken cancel);
 
   /// Runs one session: frames request blocks and commands from `read_line`
   /// (false = EOF), fans requests through the scheduler, and emits responses

@@ -17,7 +17,10 @@ PerfSimResult simulate_performance(const LoopNest& nest,
                                    const DesignPoint& design,
                                    const FpgaDevice& device, DataType dtype,
                                    const PerfSimOptions& options) {
-  assert(design.validate(nest).empty());
+  // Folded validation: the simulator executes any structurally sound tiling,
+  // including a fixed design folded onto a layer it was not synthesized for
+  // (src/deploy) — boundary clipping already handles non-dividing bounds.
+  assert(design.validate_folded(nest).empty());
   const TilingSpec& tiling = design.tiling();
   const DdrModel ddr(device, options.freq_mhz);
 

@@ -1,0 +1,155 @@
+// The differential gate for folded execution (ISSUE 7 acceptance):
+//
+//  1. Every unique layer of AlexNet, VGG-16 and GoogLeNet, folded onto that
+//     network's own unified design, must agree between the folded analytical
+//     estimate and the cycle-level simulator within the same tolerances the
+//     bespoke path is held to (tests/integration/model_vs_sim_test.cpp).
+//  2. Every unique layer executed on its *own* bespoke DSE design must
+//     reproduce the bespoke prediction exactly — the fold is an identity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dse.h"
+#include "core/perf_model.h"
+#include "core/unified.h"
+#include "deploy/fold.h"
+#include "fpga/device.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
+#include "sim/perf_sim.h"
+
+namespace sasynth {
+namespace {
+
+using deploy::FoldPlan;
+using deploy::plan_fold;
+
+/// Layers deduplicated by their dimension signature: folding is a function
+/// of the nest, so repeated VGG/GoogLeNet shapes add runtime, not coverage.
+std::vector<ConvLayerDesc> unique_layers(const Network& net) {
+  std::vector<ConvLayerDesc> out;
+  std::set<std::string> seen;
+  for (const ConvLayerDesc& layer : net.layers) {
+    ConvLayerDesc dims = layer;
+    dims.name.clear();  // dedup on dimensions only
+    if (seen.insert(dims.summary()).second) out.push_back(layer);
+  }
+  return out;
+}
+
+/// True when any middle block clips (granules % s != 0) — the regime where
+/// the simulator's clipped-footprint transfers diverge most from the
+/// model's full-block assumption.
+bool plan_clips(const FoldPlan& plan) {
+  for (const deploy::LoopFold& f : plan.loops) {
+    if (f.granules % f.middle != 0) return true;
+  }
+  return false;
+}
+
+bool plan_pads(const FoldPlan& plan) {
+  for (const deploy::LoopFold& f : plan.loops) {
+    if (f.pad != 0) return true;
+  }
+  return false;
+}
+
+/// Model-vs-simulator agreement for every unique layer of `net` folded onto
+/// the network's unified design — the flexible-deployment analogue of the
+/// bespoke differential test, at the same 250 MHz / zero-DDR-overhead
+/// operating point and the same tolerance structure: 2% for clean tilings,
+/// a wider band once clipping or padding is in play.
+void run_folded_differential(const Network& net) {
+  const FpgaDevice device = arria10_gt1150();
+  UnifiedOptions options;
+  options.dse.min_dsp_util = 0.70;
+  options.shape_shortlist = 16;
+  const UnifiedDesign unified =
+      select_unified_design(net, device, DataType::kFloat32, options);
+  ASSERT_TRUE(unified.valid) << net.name;
+
+  PerfSimOptions sim_options;
+  sim_options.freq_mhz = 250.0;
+  sim_options.ddr_overhead_cycles = 0;
+
+  for (const ConvLayerDesc& layer : unique_layers(net)) {
+    SCOPED_TRACE(net.name + "/" + layer.name);
+    const LoopNest nest = build_conv_nest(layer);
+    const FoldPlan plan = plan_fold(nest, unified.design);
+    ASSERT_TRUE(plan.feasible) << plan.error;
+
+    const FoldedPerfEstimate model = estimate_folded_performance(
+        nest, plan.design, device, DataType::kFloat32, 250.0);
+    const PerfSimResult board =
+        simulate_performance(nest, plan.design, device, DataType::kFloat32,
+                             sim_options);
+    ASSERT_GT(model.perf.throughput_gops, 0.0);
+    const double ratio = board.achieved_gops / model.perf.throughput_gops;
+    if (!plan_clips(plan) && !plan_pads(plan)) {
+      EXPECT_NEAR(ratio, 1.0, 0.02) << plan.summary();
+    } else {
+      // Clipped/padded folds sit in a regime the bespoke DSE avoids by
+      // construction, and the divergence runs both ways: partial blocks
+      // still pay full fill/drain and per-block transfer setup in the
+      // simulator while the roofline charges steady-state rates (model
+      // optimistic, observed up to ~40% on heavily padded GoogLeNet/VGG
+      // shapes), but on memory-bound layers the simulator moves clipped
+      // block footprints where the model charges full-block DRAM traffic
+      // (sim faster, observed up to ~7%).
+      EXPECT_GE(ratio, 0.55) << plan.summary();
+      EXPECT_LE(ratio, 1.10) << plan.summary();
+    }
+  }
+}
+
+TEST(DeployDifferential, AlexNetFoldedModelMatchesSim) {
+  run_folded_differential(make_alexnet());
+}
+
+TEST(DeployDifferential, Vgg16FoldedModelMatchesSim) {
+  run_folded_differential(make_vgg16());
+}
+
+TEST(DeployDifferential, GoogLeNetFoldedModelMatchesSim) {
+  run_folded_differential(make_googlenet());
+}
+
+TEST(DeployDifferential, EveryUniqueLayerIsIdentityOnItsBespokeDesign) {
+  // Exact reproduction, not a tolerance: fold plan == bespoke design, and
+  // the folded estimate at the bespoke realized clock equals the bespoke
+  // realized numbers bit for bit. The tiny device keeps 70+ per-layer DSE
+  // runs affordable; the identity clamp is device-independent arithmetic.
+  const FpgaDevice device = tiny_test_device();
+  DseOptions options;
+  options.min_dsp_util = 0.5;
+  options.top_k = 4;
+  const DesignSpaceExplorer explorer(device, DataType::kFloat32, options);
+  for (const Network& net :
+       {make_alexnet(), make_vgg16(), make_googlenet()}) {
+    for (const ConvLayerDesc& layer : unique_layers(net)) {
+      SCOPED_TRACE(net.name + "/" + layer.name);
+      const LoopNest nest = build_conv_nest(layer);
+      const DseResult result = explorer.explore(nest);
+      ASSERT_FALSE(result.empty());
+      const DseCandidate* best = result.best();
+      ASSERT_NE(best, nullptr);
+      const FoldPlan plan = plan_fold(nest, best->design);
+      ASSERT_TRUE(plan.feasible) << plan.error;
+      EXPECT_TRUE(plan.identity);
+      EXPECT_TRUE(plan.design == best->design);
+      const FoldedPerfEstimate folded = estimate_folded_performance(
+          nest, plan.design, device, DataType::kFloat32,
+          best->realized_freq_mhz);
+      EXPECT_EQ(folded.perf.throughput_gops, best->realized.throughput_gops);
+      EXPECT_EQ(folded.perf.eff, best->realized.eff);
+      EXPECT_EQ(folded.perf.mt_gops, best->realized.mt_gops);
+      EXPECT_EQ(folded.perf.memory_bound, best->realized.memory_bound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sasynth

@@ -47,6 +47,15 @@ const char* kRequestB =
     "device tiny\n"
     "option min_util 0.5\n"
     "end\n";
+/// Exercises the deploy sites (deploy.select fires at selection entry,
+/// deploy.plan on the first per-layer fold of the latency matrix).
+const char* kDeployRequest =
+    "sasynth-deploy v1\n"
+    "network tiny\n"
+    "fleet 1\n"
+    "device tiny\n"
+    "option min_util 0.5\n"
+    "end\n";
 
 int connect_loopback(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -138,11 +147,12 @@ class FaultSweepTest : public ::testing::Test {
   }
 
   /// A session that exercises every serve-side site: a command (ping), a
-  /// disk-warm request, a second request (evicts + stores), and a repeat of
-  /// the first (reloads from disk after the eviction).
+  /// disk-warm request, a second request (evicts + stores), a repeat of
+  /// the first (reloads from disk after the eviction), and a deploy
+  /// request (fleet selection; crosses deploy.select and deploy.plan).
   static std::string session_script() {
     return std::string("ping\n") + kRequestA + kRequestB + kRequestA +
-           "shutdown\n";
+           kDeployRequest + "shutdown\n";
   }
 
   /// Runs one full TCP client/server session and returns what the client
@@ -204,6 +214,11 @@ Outcome expected_outcome(const std::string& site, fault::ErrorKind kind) {
   }
   if (site == fault::kSiteSchedAdmit) return Outcome::kSurfaced;
   if (site == fault::kSitePoolTask) return Outcome::kSurfaced;
+  // Deploy faults abort that one request (clean `internal error` response);
+  // the session and every other request keep working.
+  if (site == fault::kSiteDeployPlan || site == fault::kSiteDeploySelect) {
+    return Outcome::kSurfaced;
+  }
   // tcp.accept treats every kind as a transient accept failure; cache sites
   // always fall back (fresh DSE / skip persist / drop memory tier).
   return Outcome::kDegraded;

@@ -204,11 +204,12 @@ TEST_F(FaultInjectTest, KnownSitesCoverEveryConstant) {
   for (const char* name :
        {fault::kSiteTcpRead, fault::kSiteTcpWrite, fault::kSiteTcpAccept,
         fault::kSiteCacheLoad, fault::kSiteCacheStore, fault::kSiteCacheEvict,
-        fault::kSiteSchedAdmit, fault::kSitePoolTask}) {
+        fault::kSiteSchedAdmit, fault::kSitePoolTask, fault::kSiteDeployPlan,
+        fault::kSiteDeploySelect}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), name), sites.end())
         << name;
   }
-  EXPECT_EQ(sites.size(), 8u);
+  EXPECT_EQ(sites.size(), 10u);
 }
 
 }  // namespace

@@ -21,6 +21,15 @@
 //   --save-design F   write the chosen design point to F (sasynth-design v1)
 //   --design F        skip the DSE: load the design from F, validate it for
 //                     this layer, and generate/evaluate it directly
+//   --fixed-design F  deployment mode: load a fixed design from F and fold
+//                     every layer of --network onto it (src/deploy); rejects
+//                     a design whose recorded device differs from --device
+//   --network NAME    network for --fixed-design:
+//                     alexnet|vgg16|googlenet|tiny
+//   --deploy MIX      fleet mode: pick --fleet designs for a weighted
+//                     workload "net[:weight],net[:weight],..." (networks as
+//                     in --network; weights default 1)
+//   --fleet K         fleet size for --deploy (default 1)
 //   --print-kernel    dump the generated kernel to stdout
 //   --metrics-out F   enable metrics, dump the registry to F at exit
 //                     (.json = JSON, anything else = Prometheus text)
@@ -39,6 +48,10 @@
 
 #include "codegen/host_gen.h"
 #include "codegen/report_gen.h"
+#include "deploy/fleet.h"
+#include "deploy/fold.h"
+#include "loopnest/conv_nest.h"
+#include "nn/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "core/design_io.h"
@@ -72,6 +85,12 @@ void print_usage(std::FILE* out) {
                "  --out DIR         write generated artifacts\n"
                "  --save-design F   write the chosen design point to F\n"
                "  --design F        skip the DSE, evaluate the design from F\n"
+               "  --fixed-design F  fold every layer of --network onto the "
+               "design from F\n"
+               "  --network NAME    network for --fixed-design: %s\n"
+               "  --deploy MIX      select a design fleet for "
+               "\"net[:weight],...\"\n"
+               "  --fleet K         fleet size for --deploy (default 1)\n"
                "  --print-kernel    dump kernel source to stdout\n"
                "  --metrics-out F   dump metrics at exit (.json = JSON, else "
                "Prometheus text)\n"
@@ -81,7 +100,7 @@ void print_usage(std::FILE* out) {
                "unrecognized\n"
                "                    names warn and fall back to info)\n"
                "  --verbose         info logging\n",
-               device_name_list());
+               device_name_list(), network_name_list());
 }
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -134,6 +153,10 @@ int main(int argc, char** argv) {
   std::string save_design_path;
   std::string load_design_path;
   std::string design_cache_dir;
+  std::string fixed_design_path;
+  std::string network_name;
+  std::string deploy_mix;
+  int fleet_size = 1;
   bool print_kernel = false;
   ObsDump obs_dump;
 
@@ -173,6 +196,15 @@ int main(int argc, char** argv) {
       save_design_path = next_value("--save-design");
     } else if (arg == "--design") {
       load_design_path = next_value("--design");
+    } else if (arg == "--fixed-design") {
+      fixed_design_path = next_value("--fixed-design");
+    } else if (arg == "--network") {
+      network_name = next_value("--network");
+    } else if (arg == "--deploy") {
+      deploy_mix = next_value("--deploy");
+    } else if (arg == "--fleet") {
+      fleet_size = std::atoi(next_value("--fleet").c_str());
+      if (fleet_size < 1) usage("bad --fleet");
     } else if (arg == "--layer") {
       layer_spec = next_value("--layer");
     } else if (arg == "--print-kernel") {
@@ -197,6 +229,109 @@ int main(int argc, char** argv) {
     } else {
       input_path = arg;
     }
+  }
+
+  // Deployment modes run on whole networks (src/deploy) and need no input
+  // source; they return before the loop-nest front end.
+  if (!fixed_design_path.empty()) {
+    if (network_name.empty()) {
+      usage("--fixed-design needs --network (which model to fold onto it)");
+    }
+    Network net;
+    if (!parse_network_name(network_name, &net)) {
+      usage(("unknown --network (expected " +
+             std::string(network_name_list()) + ")")
+                .c_str());
+    }
+    std::ifstream design_in(fixed_design_path);
+    if (!design_in) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   fixed_design_path.c_str());
+      return 1;
+    }
+    std::stringstream design_text;
+    design_text << design_in.rdbuf();
+    // Folded load: the design may come from any layer's bespoke synthesis;
+    // structural validation only, against any of the network's nests.
+    const LoopNest probe = build_conv_nest(net.layers.front());
+    const DesignLoadResult loaded = load_design_text(
+        design_text.str(), probe, DesignLoadMode::kFolded);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: %s: %s\n", fixed_design_path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    if (!loaded.device_name.empty() &&
+        loaded.device_name != options.device.name) {
+      std::fprintf(stderr,
+                   "error: %s was synthesized for device '%s' but --device "
+                   "is '%s' (resource and frequency models do not transfer; "
+                   "pass --device %s to evaluate it there)\n",
+                   fixed_design_path.c_str(), loaded.device_name.c_str(),
+                   options.device.name.c_str(), loaded.device_name.c_str());
+      return 1;
+    }
+    const deploy::FixedDesignEval eval = deploy::evaluate_fixed_design(
+        net, loaded.design, options.device, options.dtype);
+    std::printf("%s", eval.summary(net).c_str());
+    if (!eval.valid) {
+      std::fprintf(stderr, "error: %s\n", eval.error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!deploy_mix.empty()) {
+    std::vector<deploy::WorkloadEntry> workload;
+    for (const std::string& part : split(deploy_mix, ',')) {
+      const std::vector<std::string> fields = split(trim(part), ':');
+      deploy::WorkloadEntry entry;
+      if (fields.empty() || fields.size() > 2 ||
+          !parse_network_name(trim(fields[0]), &entry.net)) {
+        usage(("--deploy: bad entry '" + part + "' (expected net[:weight], "
+               "networks: " + std::string(network_name_list()) + ")")
+                  .c_str());
+      }
+      if (fields.size() == 2) {
+        entry.weight = std::atof(trim(fields[1]).c_str());
+        if (!(entry.weight > 0.0)) {
+          usage(("--deploy: bad weight in '" + part + "'").c_str());
+        }
+      }
+      workload.push_back(std::move(entry));
+    }
+    deploy::FleetOptions fleet_options;
+    fleet_options.unified.dse = options.dse;
+    fleet_options.num_designs = fleet_size;
+    const deploy::FleetResult fleet = deploy::select_fleet(
+        workload, options.device, options.dtype, fleet_options);
+    if (!fleet.valid) {
+      std::fprintf(stderr, "error: %s\n", fleet.error.c_str());
+      return 1;
+    }
+    std::printf("%s", fleet.summary().c_str());
+    if (!save_design_path.empty()) {
+      // One file per design: F for design 0, F.1, F.2, ... for the rest.
+      bool ok = true;
+      for (std::size_t d = 0; d < fleet.designs.size(); ++d) {
+        const std::string path =
+            d == 0 ? save_design_path
+                   : save_design_path + "." + std::to_string(d);
+        ok &= write_file(path,
+                         save_design_text(fleet.designs[d],
+                                          options.device.name));
+        if (ok) std::printf("design %zu saved to %s\n", d, path.c_str());
+      }
+      if (!ok) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     save_design_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+  if (!network_name.empty()) {
+    usage("--network only applies to --fixed-design");
   }
 
   std::string source;
@@ -326,7 +461,8 @@ int main(int argc, char** argv) {
 
   if (!save_design_path.empty()) {
     std::ofstream out(save_design_path);
-    out << save_design_text(result.best.design);
+    // Record the device so --fixed-design can reject cross-device loads.
+    out << save_design_text(result.best.design, options.device.name);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n",
                    save_design_path.c_str());
