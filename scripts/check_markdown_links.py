@@ -3,8 +3,10 @@
 
 Scans the tracked *.md files (top level plus docs/) for inline links
 `[text](target)`. External links (http/https/mailto) are skipped — CI must
-not depend on network reachability — and `#anchor` fragments are stripped
-before the filesystem check. Exits 1 listing every broken link.
+not depend on network reachability. A `#anchor` fragment on a markdown
+target (including pure in-page anchors) must match a heading in that file
+under GitHub's slugging rules — a renamed section breaks its deep links
+silently otherwise. Exits 1 listing every broken link.
 
 Usage: scripts/check_markdown_links.py [repo_root]
 """
@@ -15,6 +17,7 @@ from pathlib import Path
 
 # Inline links only; reference-style links are not used in this repo.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*$")
 SKIP_SCHEMES = ("http://", "https://", "mailto:")
 
 
@@ -23,7 +26,31 @@ def markdown_files(root: Path):
     yield from sorted((root / "docs").glob("*.md"))
 
 
-def check_file(md: Path, root: Path):
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(md: Path, cache: dict) -> set:
+    if md not in cache:
+        slugs = set()
+        in_fence = False
+        for line in md.read_text(encoding="utf-8").splitlines():
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1)))
+        cache[md] = slugs
+    return cache[md]
+
+
+def check_file(md: Path, root: Path, slug_cache: dict):
     broken = []
     text = md.read_text(encoding="utf-8")
     for line_no, line in enumerate(text.splitlines(), start=1):
@@ -31,12 +58,17 @@ def check_file(md: Path, root: Path):
             target = match.group(1)
             if target.startswith(SKIP_SCHEMES):
                 continue
-            path_part = target.split("#", 1)[0]
-            if not path_part:  # pure in-page anchor
-                continue
-            resolved = (md.parent / path_part).resolve()
-            if not resolved.exists():
+            path_part, _, anchor = target.partition("#")
+            where = md if not path_part else (md.parent / path_part).resolve()
+            if path_part and not where.exists():
                 broken.append(f"{md.relative_to(root)}:{line_no}: {target}")
+                continue
+            if anchor and where.suffix == ".md":
+                if github_slug(anchor) not in heading_slugs(where, slug_cache):
+                    broken.append(
+                        f"{md.relative_to(root)}:{line_no}: {target} "
+                        f"(no heading matches #{anchor})"
+                    )
     return broken
 
 
@@ -44,9 +76,10 @@ def main():
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     broken = []
     checked = 0
+    slug_cache = {}
     for md in markdown_files(root):
         checked += 1
-        broken.extend(check_file(md, root))
+        broken.extend(check_file(md, root, slug_cache))
     if broken:
         print(f"{len(broken)} broken markdown link(s):")
         for entry in broken:

@@ -86,6 +86,15 @@ inline constexpr const char* kSiteSchedAdmit = "sched.admit";
 inline constexpr const char* kSitePoolTask = "pool.task";
 inline constexpr const char* kSiteDeployPlan = "deploy.plan";
 inline constexpr const char* kSiteDeploySelect = "deploy.select";
+/// Event-loop internals (serve/event_loop.h). `loop.poll` fires per
+/// epoll_wait/poll call — any injected kind models a transient poller error
+/// the loop must absorb and retry. `loop.wakeup` fires per cross-thread
+/// wakeup — an injected kind models a *lost* eventfd/self-pipe write, which
+/// the loop's bounded wait tick must recover from (a completion may be
+/// delayed, never dropped). Neither site exists on the blocking
+/// thread-per-session path, so the blocking fault sweep skips them.
+inline constexpr const char* kSiteLoopPoll = "loop.poll";
+inline constexpr const char* kSiteLoopWakeup = "loop.wakeup";
 
 /// Every site name above, in a stable order.
 const std::vector<std::string>& known_sites();

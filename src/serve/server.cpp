@@ -40,6 +40,9 @@ struct ServeMetrics {
   obs::Counter& errors;
   obs::Counter& timeouts;
   obs::Counter& commands;
+  /// Requests answered by coalescing onto an identical in-flight request
+  /// (singleflight followers) — the across-concurrency twin of cache_hits.
+  obs::Counter& coalesced;
   obs::Counter& dse_runs;
   obs::Counter& dse_work_items;
   obs::Histogram& request_ms;
@@ -56,6 +59,7 @@ struct ServeMetrics {
           r.counter("serve_errors_total"),
           r.counter("serve_timeouts_total"),
           r.counter("serve_commands_total"),
+          r.counter("serve_coalesced_total"),
           r.counter("serve_dse_runs_total"),
           r.counter("serve_dse_work_items_total"),
           r.histogram("serve_request_ms"),
@@ -74,6 +78,18 @@ constexpr const char* kTimeoutInDse =
     "deadline exceeded during design space exploration";
 constexpr const char* kTimeoutInFleet =
     "deadline exceeded during fleet selection";
+
+/// Singleflight sharing policy: ok/error/retry verdicts are pure functions
+/// of the request text and may be handed to every coalesced follower
+/// byte-for-byte. A timeout verdict reflects the *leader's* deadline — a
+/// follower with a different (or no) budget must never receive it, so the
+/// flight completes unshared and each follower answers under its own token.
+bool response_is_shareable(const std::string& response) {
+  const std::string magic = std::string(kResponseMagic) + " ";
+  return starts_with(response, magic + "ok") ||
+         starts_with(response, magic + "error") ||
+         starts_with(response, magic + "retry");
+}
 
 }  // namespace
 
@@ -334,6 +350,7 @@ std::string SynthServer::stats_text() const {
   line("timeouts", counters_.timeouts.load());
   line("rejected_expired", counters_.rejected_expired.load());
   line("shed_expired", counters_.shed_expired.load());
+  line("coalesced", counters_.coalesced.load());
   line("commands", counters_.commands.load());
   line("cache_hits", cache.hits);
   line("cache_misses", cache.misses);
@@ -402,6 +419,223 @@ void SynthServer::begin_drain() {
   SA_LOG_INFO << "server: drain requested, sessions stop reading";
 }
 
+void SynthServer::submit_session_block(std::string block, bool is_deploy,
+                                       std::uint64_t seq, PostResponse post) {
+  // Resolve the request's end-to-end budget up front: an explicit
+  // deadline_ms wins, else --default-deadline, else unbounded. The block is
+  // parsed a second time here (the handlers re-parse for purity); that cost
+  // is noise next to a DSE or fleet selection. The same parse yields the
+  // canonical text — the singleflight key, identical to the DesignCache key
+  // material, so both dedup layers agree on what "the same request" means.
+  std::int64_t budget_ms = -1;
+  std::int64_t requested_ms = -1;
+  bool peek_ok = false;
+  std::string canonical;
+  if (is_deploy) {
+    const ParsedDeployRequest peek = parse_deploy_request_block(block);
+    peek_ok = peek.ok;
+    requested_ms = peek.request.deadline_ms;
+    if (peek.ok) canonical = canonical_deploy_request_text(peek.request);
+  } else {
+    const ParsedRequest peek = parse_request_block(block);
+    peek_ok = peek.ok;
+    requested_ms = peek.request.deadline_ms;
+    if (peek.ok) canonical = canonical_request_text(peek.request);
+  }
+  if (peek_ok && requested_ms >= 0) {
+    budget_ms = requested_ms;
+  } else if (peek_ok && options_.default_deadline_ms > 0) {
+    budget_ms = options_.default_deadline_ms;
+  }
+
+  const Deadline deadline =
+      budget_ms >= 0 ? Deadline::after_ms(budget_ms) : Deadline();
+  const CancelToken token = budget_ms >= 0
+                                ? CancelToken::with_deadline(deadline)
+                                : CancelToken();
+
+  // Coalesce parseable requests only: a malformed block has no canonical
+  // text, and its error response is cheap enough to not be worth sharing.
+  const bool coalescible = peek_ok;
+  if (coalescible) {
+    const SingleFlight::Role role = singleflight_.join(
+        canonical,
+        [this, block, is_deploy, seq, token, post](
+            const std::string& response, bool shared) {
+          deliver_coalesced(block, is_deploy, seq, token, post, response,
+                            shared);
+        });
+    if (role == SingleFlight::Role::kFollower) {
+      // No scheduler slot, no DSE: the leader's completion answers this seq
+      // (or tells us to answer ourselves). The follower's own token still
+      // governs its verdict — see deliver_coalesced.
+      counters_.coalesced.fetch_add(1);
+      ServeMetrics::get().coalesced.add(1);
+      return;
+    }
+  }
+
+  const Admission admission = scheduler_.try_submit(
+      [this, post, seq, token, is_deploy, coalescible, canonical,
+       block = std::move(block)](bool shed) {
+        // Always post *something* for this seq: the ordered writer stalls
+        // the whole session on a missing sequence number, so a throwing
+        // handler degrades to an error response, not a hole.
+        std::string response;
+        if (shed) {
+          // Expired while queued: answer without paying for the work.
+          counters_.requests.fetch_add(1);
+          counters_.timeouts.fetch_add(1);
+          counters_.shed_expired.fetch_add(1);
+          ServeMetrics::get().requests.add(1);
+          ServeMetrics::get().timeouts.add(1);
+          response = format_timeout_response(kTimeoutInQueue);
+        } else {
+          try {
+            fault::raise_if_armed(fault::kSitePoolTask);
+            response =
+                is_deploy ? handle_deploy(block, token) : handle(block, token);
+          } catch (const std::exception& e) {
+            counters_.errors.fetch_add(1);
+            ServeMetrics::get().errors.add(1);
+            fault::note_degraded();
+            response = format_error_response(std::string("internal error: ") +
+                                             e.what());
+          }
+        }
+        // The leader's own session gets its response before followers are
+        // delivered: complete() may re-execute followers synchronously
+        // (unshared path), and the leader must not wait behind them.
+        post(seq, response);
+        if (coalescible) {
+          singleflight_.complete(canonical, response,
+                                 response_is_shareable(response));
+        }
+      },
+      deadline, token);
+  if (admission == Admission::kQueueFull) {
+    counters_.requests.fetch_add(1);
+    counters_.rejected.fetch_add(1);
+    ServeMetrics::get().requests.add(1);
+    const std::string response = format_retry_response(
+        strformat("admission queue full (%lld in flight), retry later",
+                  static_cast<long long>(scheduler_.queue_limit())));
+    post(seq, response);
+    // Backpressure is shareable: the queue is full for every coalesced
+    // session alike, and none of them held a slot.
+    if (coalescible) singleflight_.complete(canonical, response, true);
+  } else if (admission == Admission::kExpired) {
+    // Dead on arrival (deadline_ms 0, or a queue-side client stall ate the
+    // whole budget before the block finished framing).
+    counters_.requests.fetch_add(1);
+    counters_.timeouts.fetch_add(1);
+    counters_.rejected_expired.fetch_add(1);
+    ServeMetrics::get().requests.add(1);
+    ServeMetrics::get().timeouts.add(1);
+    post(seq, format_timeout_response(kTimeoutAtAdmission));
+    // A timeout is the leader's verdict only — followers re-execute.
+    if (coalescible) {
+      singleflight_.complete(canonical, format_timeout_response(
+                                            kTimeoutAtAdmission), false);
+    }
+  }
+}
+
+void SynthServer::deliver_coalesced(const std::string& block, bool is_deploy,
+                                    std::uint64_t seq,
+                                    const CancelToken& token,
+                                    const PostResponse& post,
+                                    const std::string& response, bool shared) {
+  ServeMetrics& sm = ServeMetrics::get();
+  if (shared) {
+    if (token.cancelled()) {
+      // The follower's own deadline fired while it waited on the leader: its
+      // budget is the verdict that counts, never a late shared result. Same
+      // accounting as queue-side shedding — the request died waiting.
+      counters_.requests.fetch_add(1);
+      counters_.timeouts.fetch_add(1);
+      counters_.shed_expired.fetch_add(1);
+      sm.requests.add(1);
+      sm.timeouts.add(1);
+      post(seq, format_timeout_response(kTimeoutInQueue));
+      return;
+    }
+    const std::string magic = std::string(kResponseMagic) + " ";
+    counters_.requests.fetch_add(1);
+    sm.requests.add(1);
+    if (starts_with(response, magic + "ok")) {
+      counters_.ok.fetch_add(1);
+      sm.ok.add(1);
+    } else if (starts_with(response, magic + "retry")) {
+      counters_.rejected.fetch_add(1);
+    } else {
+      counters_.errors.fetch_add(1);
+      sm.errors.add(1);
+    }
+    post(seq, response);
+    return;
+  }
+  // The leader's verdict was not shareable (its deadline fired). Answer this
+  // session under its own token with a direct handle() call — not through
+  // the scheduler, because this may run inside the leader's pool task and a
+  // task must never submit to its own pool. The cost is bounded: the first
+  // re-execution that completes populates the DesignCache for the rest.
+  std::string own;
+  try {
+    own = is_deploy ? handle_deploy(block, token) : handle(block, token);
+  } catch (const std::exception& e) {
+    counters_.errors.fetch_add(1);
+    sm.errors.add(1);
+    fault::note_degraded();
+    own = format_error_response(std::string("internal error: ") + e.what());
+  }
+  post(seq, std::move(own));
+}
+
+std::string SynthServer::handle_command(const std::string& command) {
+  ServeMetrics& sm = ServeMetrics::get();
+  if (command == "health") {
+    counters_.commands.fetch_add(1);
+    sm.commands.add(1);
+    return health_text();  // never drains — see health_text()
+  }
+  if (command == "stats" || starts_with(command, "stats ")) {
+    counters_.commands.fetch_add(1);
+    sm.commands.add(1);
+    scheduler_.drain();  // settle counters before reporting
+    if (command == "stats") return stats_text();  // legacy sasynth-stats v1
+    // stats --format=prom|json renders the process-global registry (every
+    // instrumented subsystem, not just this server's counters). The
+    // trailing `end` line is protocol framing, stripped by clients.
+    const std::string arg = trim(command.substr(6));
+    if (arg == "--format=prom") {
+      return obs::MetricsRegistry::global().to_prom() + "end\n";
+    }
+    if (arg == "--format=json") {
+      return obs::MetricsRegistry::global().to_json() + "end\n";
+    }
+    counters_.errors.fetch_add(1);
+    sm.errors.add(1);
+    return format_error_response("unknown stats argument '" + arg +
+                                 "' (expected --format=prom|json)");
+  }
+  if (command == "ping") {
+    counters_.commands.fetch_add(1);
+    sm.commands.add(1);
+    return "sasynth-pong v1\nend\n";
+  }
+  if (command == "shutdown") {
+    counters_.commands.fetch_add(1);
+    sm.commands.add(1);
+    stop_.store(true);
+    scheduler_.drain();  // graceful: finish accepted work first
+    return "sasynth-bye v1\nend\n";
+  }
+  counters_.errors.fetch_add(1);
+  sm.errors.add(1);
+  return format_error_response("unknown command '" + command + "'");
+}
+
 void SynthServer::serve(const LineSource& read_line,
                         const ResponseSink& write_response) {
   std::mutex mutex;
@@ -409,12 +643,18 @@ void SynthServer::serve(const LineSource& read_line,
   std::map<std::uint64_t, std::string> ready;  ///< seq -> finished response
   std::uint64_t next_seq = 0;                  ///< session thread only
   std::uint64_t next_emit = 0;
+  std::uint64_t posted = 0;  ///< responses received for this session's seqs
   bool done = false;
 
+  // Every submitted seq posts exactly once (submit_session_block's
+  // contract), and a coalesced follower may be posted from another session's
+  // thread — so the session must not tear this frame down until the post
+  // count catches up with next_seq (see the wait below scheduler_.drain()).
   auto post = [&](std::uint64_t seq, std::string response) {
     {
       std::lock_guard<std::mutex> lock(mutex);
       ready.emplace(seq, std::move(response));
+      ++posted;
     }
     ready_cv.notify_all();
   };
@@ -452,67 +692,6 @@ void SynthServer::serve(const LineSource& read_line,
     }
   });
 
-  // Shared admission path of both block types (synthesis and deploy):
-  // create the deadline token, submit through the scheduler, degrade to
-  // retry/timeout verdicts on backpressure or expiry.
-  auto submit_block = [&](std::string block, std::int64_t budget_ms,
-                          bool is_deploy) {
-    const Deadline deadline =
-        budget_ms >= 0 ? Deadline::after_ms(budget_ms) : Deadline();
-    const CancelToken token = budget_ms >= 0
-                                  ? CancelToken::with_deadline(deadline)
-                                  : CancelToken();
-    const std::uint64_t seq = next_seq++;
-    const Admission admission = scheduler_.try_submit(
-        [this, &post, seq, token, is_deploy,
-         block = std::move(block)](bool shed) {
-          // Always post *something* for this seq: the ordered writer
-          // stalls the whole session on a missing sequence number, so a
-          // throwing handler degrades to an error response, not a hole.
-          std::string response;
-          if (shed) {
-            // Expired while queued: answer without paying for the work.
-            counters_.requests.fetch_add(1);
-            counters_.timeouts.fetch_add(1);
-            counters_.shed_expired.fetch_add(1);
-            ServeMetrics::get().requests.add(1);
-            ServeMetrics::get().timeouts.add(1);
-            post(seq, format_timeout_response(kTimeoutInQueue));
-            return;
-          }
-          try {
-            fault::raise_if_armed(fault::kSitePoolTask);
-            response =
-                is_deploy ? handle_deploy(block, token) : handle(block, token);
-          } catch (const std::exception& e) {
-            counters_.errors.fetch_add(1);
-            ServeMetrics::get().errors.add(1);
-            fault::note_degraded();
-            response = format_error_response(std::string("internal error: ") +
-                                             e.what());
-          }
-          post(seq, std::move(response));
-        },
-        deadline, token);
-    if (admission == Admission::kQueueFull) {
-      counters_.requests.fetch_add(1);
-      counters_.rejected.fetch_add(1);
-      ServeMetrics::get().requests.add(1);
-      post(seq, format_retry_response(strformat(
-                    "admission queue full (%lld in flight), retry later",
-                    static_cast<long long>(scheduler_.queue_limit()))));
-    } else if (admission == Admission::kExpired) {
-      // Dead on arrival (deadline_ms 0, or a queue-side client stall ate
-      // the whole budget before the block finished framing).
-      counters_.requests.fetch_add(1);
-      counters_.timeouts.fetch_add(1);
-      counters_.rejected_expired.fetch_add(1);
-      ServeMetrics::get().requests.add(1);
-      ServeMetrics::get().timeouts.add(1);
-      post(seq, format_timeout_response(kTimeoutAtAdmission));
-    }
-  };
-
   std::string line;
   while (!stop_.load() && !draining_.load() && read_line(&line)) {
     const std::string command = trim(line);
@@ -525,79 +704,21 @@ void SynthServer::serve(const LineSource& read_line,
         block += line + "\n";
         if (trim(line) == kBlockEnd) break;
       }
-      // Resolve the request's end-to-end budget up front: an explicit
-      // deadline_ms wins, else --default-deadline, else unbounded. The
-      // session parses the block a second time here (the handlers re-parse
-      // for purity); that cost is noise next to a DSE or fleet selection.
-      std::int64_t budget_ms = -1;
-      std::int64_t requested_ms = -1;
-      bool peek_ok = false;
-      if (is_deploy) {
-        const ParsedDeployRequest peek = parse_deploy_request_block(block);
-        peek_ok = peek.ok;
-        requested_ms = peek.request.deadline_ms;
-      } else {
-        const ParsedRequest peek = parse_request_block(block);
-        peek_ok = peek.ok;
-        requested_ms = peek.request.deadline_ms;
-      }
-      if (peek_ok && requested_ms >= 0) {
-        budget_ms = requested_ms;
-      } else if (peek_ok && options_.default_deadline_ms > 0) {
-        budget_ms = options_.default_deadline_ms;
-      }
-      submit_block(std::move(block), budget_ms, is_deploy);
-    } else if (command == "health") {
-      counters_.commands.fetch_add(1);
-      ServeMetrics::get().commands.add(1);
-      post(next_seq++, health_text());  // never drains — see health_text()
-    } else if (command == "stats" || starts_with(command, "stats ")) {
-      counters_.commands.fetch_add(1);
-      ServeMetrics::get().commands.add(1);
-      scheduler_.drain();  // settle counters before reporting
-      if (command == "stats") {
-        post(next_seq++, stats_text());  // legacy sasynth-stats v1 block
-      } else {
-        // stats --format=prom|json renders the process-global registry
-        // (every instrumented subsystem, not just this server's counters).
-        // The trailing `end` line is protocol framing, stripped by clients.
-        const std::string arg = trim(command.substr(6));
-        if (arg == "--format=prom") {
-          post(next_seq++,
-               obs::MetricsRegistry::global().to_prom() + "end\n");
-        } else if (arg == "--format=json") {
-          post(next_seq++,
-               obs::MetricsRegistry::global().to_json() + "end\n");
-        } else {
-          counters_.errors.fetch_add(1);
-          ServeMetrics::get().errors.add(1);
-          post(next_seq++,
-               format_error_response("unknown stats argument '" + arg +
-                                     "' (expected --format=prom|json)"));
-        }
-      }
-    } else if (command == "ping") {
-      counters_.commands.fetch_add(1);
-      ServeMetrics::get().commands.add(1);
-      post(next_seq++, "sasynth-pong v1\nend\n");
-    } else if (command == "shutdown") {
-      counters_.commands.fetch_add(1);
-      ServeMetrics::get().commands.add(1);
-      stop_.store(true);
-      scheduler_.drain();  // graceful: finish accepted work first
-      post(next_seq++, "sasynth-bye v1\nend\n");
-      break;
+      submit_session_block(std::move(block), is_deploy, next_seq++, post);
     } else {
-      counters_.errors.fetch_add(1);
-      ServeMetrics::get().errors.add(1);
-      post(next_seq++,
-           format_error_response("unknown command '" + command + "'"));
+      post(next_seq++, handle_command(command));
+      if (command == "shutdown") break;
     }
   }
 
   scheduler_.drain();
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    // A coalesced follower's response arrives from its *leader's* thread,
+    // which drain() does not always cover (the admission-refusal completions
+    // run on the leader's session thread). Wait for every submitted seq to
+    // have posted before tearing down the frame `post` points into.
+    std::unique_lock<std::mutex> lock(mutex);
+    ready_cv.wait(lock, [&] { return posted == next_seq; });
     done = true;
   }
   ready_cv.notify_all();

@@ -19,6 +19,7 @@
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
+#include "serve/singleflight.h"
 #include "serve/sweep_cache.h"
 #include "util/deadline.h"
 
@@ -59,9 +60,14 @@ struct ServerCounters {
   std::atomic<std::int64_t> errors{0};
   std::atomic<std::int64_t> rejected{0};   ///< backpressure refusals
   std::atomic<std::int64_t> timeouts{0};   ///< timeout verdicts (all causes)
-  /// Deadline-shedding split of `timeouts`: dead on arrival vs died queued.
+  /// Deadline-shedding split of `timeouts`: dead on arrival vs died queued
+  /// (including coalesced followers whose own deadline fired while waiting
+  /// on a leader).
   std::atomic<std::int64_t> rejected_expired{0};
   std::atomic<std::int64_t> shed_expired{0};
+  /// Requests answered by joining another session's identical in-flight
+  /// request (singleflight) instead of executing their own.
+  std::atomic<std::int64_t> coalesced{0};
   std::atomic<std::int64_t> commands{0};   ///< stats/ping/health/shutdown
   std::atomic<std::int64_t> dse_runs{0};
   /// Sum of DseStats::work_items over all fresh explorations — the flatness
@@ -107,6 +113,33 @@ class SynthServer {
   /// and flushed. Multiple sessions may run concurrently on one server.
   void serve(const LineSource& read_line, const ResponseSink& write_response);
 
+  /// Delivers the response for one session sequence number. May be invoked
+  /// on any thread (a pool worker, another session's thread, or inline from
+  /// submit_session_block), exactly once per submitted seq.
+  using PostResponse =
+      std::function<void(std::uint64_t seq, std::string response)>;
+
+  /// Session-block admission shared by the blocking serve() session and the
+  /// event loop (serve/event_loop.h): resolves the request's end-to-end
+  /// budget (explicit deadline_ms wins, else --default-deadline, else
+  /// unbounded), coalesces identical in-flight requests through the
+  /// singleflight table, and submits leaders through the scheduler. `post`
+  /// is called exactly once with the response for `seq` — possibly before
+  /// this returns (inline execution, admission refusal) and possibly on
+  /// another thread. A coalesced follower costs no scheduler slot; it is
+  /// answered from the leader's completion (shareable verdicts) or by
+  /// re-executing under its own cancel token (the leader timed out — a
+  /// timeout reflects the leader's budget, never the follower's).
+  void submit_session_block(std::string block, bool is_deploy,
+                            std::uint64_t seq, PostResponse post);
+
+  /// Dispatches one bare protocol command (`ping`, `health`, `stats`,
+  /// `stats --format=prom|json`, `shutdown`, or unknown) and returns its
+  /// response text. `stats` and `shutdown` drain the scheduler first (the
+  /// documented blocking points); `shutdown` also flips stop_requested().
+  /// Shared by both transports so command semantics cannot drift.
+  std::string handle_command(const std::string& command);
+
   /// `stats` command payload (drained sessions make it deterministic up to
   /// wall-clock fields).
   std::string stats_text() const;
@@ -132,12 +165,20 @@ class SynthServer {
   DesignCache& cache() { return cache_; }
   SweepCache& sweep_cache() { return sweep_cache_; }
   RequestScheduler& scheduler() { return scheduler_; }
+  SingleFlight& singleflight() { return singleflight_; }
 
  private:
+  /// Follower-side delivery of a completed flight (see submit_session_block).
+  void deliver_coalesced(const std::string& block, bool is_deploy,
+                         std::uint64_t seq, const CancelToken& token,
+                         const PostResponse& post, const std::string& response,
+                         bool shared);
+
   ServeOptions options_;
   DesignCache cache_;
   SweepCache sweep_cache_;
   ServerCounters counters_;
+  SingleFlight singleflight_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point start_ =

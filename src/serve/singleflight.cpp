@@ -1,0 +1,42 @@
+#include "serve/singleflight.h"
+
+#include <utility>
+
+namespace sasynth {
+
+SingleFlight::Role SingleFlight::join(const std::string& key,
+                                      OnResult on_result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    flights_.emplace(key, std::vector<OnResult>());
+    return Role::kLeader;
+  }
+  it->second.push_back(std::move(on_result));
+  return Role::kFollower;
+}
+
+std::int64_t SingleFlight::complete(const std::string& key,
+                                    const std::string& response,
+                                    bool shareable) {
+  std::vector<OnResult> followers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return 0;
+    followers = std::move(it->second);
+    flights_.erase(it);
+  }
+  // Callbacks run outside the lock: a follower's unshared path re-executes
+  // the request, which may take arbitrarily long and must not block new
+  // flights from opening (including one for this same key).
+  for (OnResult& cb : followers) cb(response, shareable);
+  return static_cast<std::int64_t>(followers.size());
+}
+
+std::int64_t SingleFlight::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(flights_.size());
+}
+
+}  // namespace sasynth

@@ -1,0 +1,65 @@
+// In-flight request coalescing ("singleflight"): N concurrent sessions
+// asking for the same canonical request text share one execution.
+//
+// The DesignCache deduplicates identical requests across *time*; this table
+// deduplicates them across *in-flight concurrency*. The first session to
+// join a key becomes the leader and runs the request; sessions that join
+// while the leader is in flight become followers and park a callback. When
+// the leader completes, every follower callback is invoked exactly once —
+// either with the leader's response (`shared=true`, only for verdicts that
+// are pure functions of the request text: ok/error/retry) or with
+// `shared=false`, which tells the follower to produce its own answer (the
+// leader's verdict was a timeout, which reflects the *leader's* deadline and
+// must never be handed to a session with a different budget — see
+// docs/SERVING.md "Concurrency model & coalescing").
+//
+// Keying on the canonical request text (the DesignCache key material) keeps
+// the two dedup layers consistent: execution policy (deadline_ms, dse.jobs)
+// is excluded from both, so a deadlined request coalesces with a plain one
+// and each still gets a verdict that honors its own budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sasynth {
+
+class SingleFlight {
+ public:
+  enum class Role { kLeader, kFollower };
+
+  /// Follower completion callback. `shared` true: `response` is the leader's
+  /// (shareable) response, deliver it. `shared` false: the leader's verdict
+  /// was not shareable — run the request yourself (`response` is the
+  /// leader's verdict, for logging only).
+  using OnResult =
+      std::function<void(const std::string& response, bool shared)>;
+
+  /// Joins the flight for `key`. Returns kLeader when no flight was open —
+  /// the caller now owns the key and MUST eventually call complete() exactly
+  /// once (on any thread), or followers wait forever. Returns kFollower when
+  /// a leader is already in flight; `on_result` is parked and will be
+  /// invoked exactly once by that leader's complete(). A leader's own
+  /// callback is never stored — the leader already has its response.
+  Role join(const std::string& key, OnResult on_result);
+
+  /// Closes the flight for `key` and invokes every parked follower callback
+  /// (outside the table lock, on the calling thread, in join order) with
+  /// (`response`, `shareable`). Returns the number of followers notified.
+  /// Unknown keys are a harmless no-op returning 0.
+  std::int64_t complete(const std::string& key, const std::string& response,
+                        bool shareable);
+
+  /// Open flights right now (leaders in progress).
+  std::int64_t inflight() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<OnResult>> flights_;
+};
+
+}  // namespace sasynth

@@ -90,7 +90,12 @@ bool TcpListener::listen_on(int port, std::string* error) {
     ::close(fd);
     return false;
   }
-  if (::listen(fd, 16) < 0) {
+  // Full SOMAXCONN backlog: the event-loop daemon absorbs connection storms
+  // (hundreds of simultaneous connects), and a short backlog turns the
+  // overflow into kernel-level handshake resets that no server-side
+  // backpressure policy ever sees. Admission control belongs to
+  // --max-connections and the request queue, not the SYN queue.
+  if (::listen(fd, SOMAXCONN) < 0) {
     *error = std::string("listen: ") + std::strerror(errno) + " (errno " +
              std::to_string(errno) + ")";
     ::close(fd);

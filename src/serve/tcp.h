@@ -32,6 +32,11 @@ class TcpListener {
   /// The bound port (valid after listen_on succeeds).
   int port() const { return port_; }
 
+  /// The listening fd (-1 before listen_on / after close_listener). The
+  /// event loop registers it with its poller for non-blocking accepts; the
+  /// blocking path never needs it.
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
   /// Blocks for the next client; returns its fd, or -1 once the listener is
   /// closed (the shutdown path) or on a fatal error.
   int accept_client();

@@ -53,8 +53,9 @@ int ThreadPool::resolve_jobs(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-ThreadPool::ThreadPool(int jobs) : jobs_(resolve_jobs(jobs)) {
-  if (jobs_ == 1) return;  // inline mode: no threads, no queue
+ThreadPool::ThreadPool(int jobs, bool inline_single)
+    : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ == 1 && inline_single) return;  // inline mode: no threads
   threads_.reserve(static_cast<std::size_t>(jobs_));
   for (int w = 0; w < jobs_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -114,7 +115,7 @@ void ThreadPool::for_each(std::int64_t count, const RangeBody& body,
 
 void ThreadPool::submit(std::function<void()> task, CancelToken token) {
   PoolMetrics& pm = PoolMetrics::get();
-  if (jobs_ == 1) {
+  if (threads_.empty()) {
     // Inline mode: run on the caller so single-threaded flows stay
     // deterministic and need no synchronization.
     pm.tasks.add(1);
@@ -143,7 +144,7 @@ void ThreadPool::submit(std::function<void()> task, CancelToken token) {
 }
 
 void ThreadPool::wait_tasks() {
-  if (jobs_ == 1) return;
+  if (threads_.empty()) return;
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return tasks_.empty() && task_inflight_ == 0; });
 }

@@ -205,11 +205,12 @@ TEST_F(FaultInjectTest, KnownSitesCoverEveryConstant) {
        {fault::kSiteTcpRead, fault::kSiteTcpWrite, fault::kSiteTcpAccept,
         fault::kSiteCacheLoad, fault::kSiteCacheStore, fault::kSiteCacheEvict,
         fault::kSiteSchedAdmit, fault::kSitePoolTask, fault::kSiteDeployPlan,
-        fault::kSiteDeploySelect}) {
+        fault::kSiteDeploySelect, fault::kSiteLoopPoll,
+        fault::kSiteLoopWakeup}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), name), sites.end())
         << name;
   }
-  EXPECT_EQ(sites.size(), 10u);
+  EXPECT_EQ(sites.size(), 12u);
 }
 
 }  // namespace

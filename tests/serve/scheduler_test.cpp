@@ -33,11 +33,22 @@ class Gate {
   bool open_ = false;
 };
 
-TEST(RequestSchedulerTest, InlineAtOneJob) {
+TEST(RequestSchedulerTest, OneJobNeverExecutesOnTheSubmitter) {
+  // jobs=1 must still hand work to a worker thread: the submitter is the
+  // event-loop (or stdio reader) thread, and executing a request inline
+  // would block every other session behind this one. The gated task proves
+  // it: try_submit returns while the task is still parked.
   RequestScheduler scheduler(/*jobs=*/1, /*queue_limit=*/4);
+  Gate gate;
   std::atomic<int> ran{0};
-  EXPECT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) { ++ran; }));
-  // jobs=1 executes on the submitting thread: complete before return.
+  EXPECT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) {
+    gate.wait();
+    ++ran;
+  }));
+  EXPECT_EQ(ran.load(), 0);  // accepted, parked, not run on this thread
+  EXPECT_EQ(scheduler.pending(), 1);
+  gate.open();
+  scheduler.drain();
   EXPECT_EQ(ran.load(), 1);
   EXPECT_EQ(scheduler.pending(), 0);
   EXPECT_EQ(scheduler.high_water(), 1);

@@ -147,8 +147,12 @@ TEST(SynthServerTest, ShutdownStopsTheSessionAndDrains) {
 
 TEST(SynthServerTest, StatsCommandReportsCountersAndCache) {
   SynthServer server(memory_options());
+  // `stats` drains in-flight work, so the stats between the two identical
+  // requests pins their order: request execution is asynchronous at any
+  // jobs count, and without the barrier the second request would race the
+  // first — sometimes a cache hit, sometimes a coalesced follower.
   const std::string transcript = run_session(
-      server, std::string(kRequestA) + kRequestA + "stats\n");
+      server, std::string(kRequestA) + "stats\n" + kRequestA + "stats\n");
   EXPECT_NE(transcript.find("sasynth-stats v1"), std::string::npos);
   EXPECT_NE(transcript.find("requests 2\n"), std::string::npos) << transcript;
   EXPECT_NE(transcript.find("ok 2\n"), std::string::npos);

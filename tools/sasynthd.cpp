@@ -21,6 +21,9 @@
 //                         (0 = none, the default)
 //     --io-timeout MS     per-read/write transport timeout for TCP sessions
 //                         (default 30000; 0 = never time out)
+//     --max-connections N open TCP connection bound (0 = unlimited, the
+//                         default); a client beyond it gets a retry response
+//                         and an immediate close
 //     --drain-timeout MS  bound on the SIGTERM/SIGINT graceful drain
 //                         (default 5000)
 //     --metrics-out FILE  dump the metrics registry at exit (.json = JSON,
@@ -53,6 +56,7 @@
 #include "faultinject/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/event_loop.h"
 #include "serve/server.h"
 #include "serve/tcp.h"
 #include "util/logging.h"
@@ -79,6 +83,10 @@ void print_usage(std::FILE* out) {
                "deadline_ms (0 = none)\n"
                "  --io-timeout MS     TCP per-read/write timeout (default "
                "30000; 0 = off)\n"
+               "  --max-connections N open TCP connection bound (0 = "
+               "unlimited); beyond it\n"
+               "                      clients get a retry response and a "
+               "close\n"
                "  --drain-timeout MS  SIGTERM/SIGINT graceful drain bound "
                "(default 5000)\n"
                "  --metrics-out FILE  dump metrics at exit (.json = JSON, "
@@ -125,15 +133,12 @@ std::atomic<int> g_signal{0};
 
 void on_signal(int sig) { g_signal.store(sig); }
 
-/// The TCP listener currently accepting (null in stdio mode); the drain
-/// watcher closes it so no new connection slips in mid-drain.
-std::atomic<TcpListener*> g_listener{nullptr};
-
-/// Polls g_signal (~50 ms) and runs the graceful drain when it fires:
-/// stop accepting, stop reading (begin_drain), wait up to drain_timeout_ms
-/// for in-flight requests, dump observability, exit. _Exit skips static
-/// destructors on purpose — session threads may still be parked on dead
-/// clients, and a clean drain must not hang on them.
+/// Polls g_signal (~50 ms) and runs the stdio-mode graceful drain when it
+/// fires: stop reading (begin_drain), wait up to drain_timeout_ms for
+/// in-flight requests, dump observability, exit. _Exit skips static
+/// destructors on purpose — the session may still be parked on a dead stdin,
+/// and a clean drain must not hang on it. (TCP mode drains through the event
+/// loop instead; see serve_tcp.)
 class DrainWatcher {
  public:
   DrainWatcher(SynthServer& server, std::int64_t drain_timeout_ms,
@@ -150,7 +155,6 @@ class DrainWatcher {
                            static_cast<long long>(drain_timeout_ms));
               std::fflush(stderr);
               server.begin_drain();
-              if (TcpListener* l = g_listener.load()) l->close_listener();
               const bool drained =
                   server.scheduler().drain_for(drain_timeout_ms);
               dump_observability(metrics_out, trace_out);
@@ -190,42 +194,62 @@ int serve_stdio(SynthServer& server, std::int64_t drain_timeout_ms,
   return 0;
 }
 
-int serve_tcp(SynthServer& server, int port, std::int64_t drain_timeout_ms,
-              const std::string& metrics_out, const std::string& trace_out) {
-  TcpListener listener;
+int serve_tcp(SynthServer& server, int port, std::int64_t max_connections,
+              std::int64_t drain_timeout_ms, const std::string& metrics_out,
+              const std::string& trace_out) {
+  EventLoopOptions loop_options;
+  loop_options.port = port;
+  loop_options.max_connections = max_connections;
+  loop_options.drain_timeout_ms = drain_timeout_ms;
+  EventLoopServer loop(server, loop_options);
   std::string error;
-  if (!listener.listen_on(port, &error)) {
+  if (!loop.start(&error)) {
     // One line, fatal: an operator restarting into EADDRINUSE needs the
     // reason and the errno, not a stack of log noise.
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  g_listener.store(&listener);
   // On stdout (not stderr) and flushed immediately: with --port 0 the
   // kernel-chosen port IS the program's output, and wrappers scrape it.
-  std::printf("sasynthd listening on 127.0.0.1:%d\n", listener.port());
+  std::printf("sasynthd listening on 127.0.0.1:%d\n", loop.port());
   std::fflush(stdout);
-  // Constructed after the listener, so the watcher is joined (or has
-  // _Exit-ed) before the listener it closes is destroyed.
-  DrainWatcher watcher(server, drain_timeout_ms, metrics_out, trace_out);
 
-  std::vector<std::thread> sessions;
-  for (;;) {
-    const int client = listener.accept_client();
-    if (client < 0) break;
-    sessions.emplace_back([&server, &listener, client] {
-      serve_fd_session(server, client);
-      // First session to process `shutdown` also unblocks the accept loop.
-      if (server.stop_requested()) listener.close_listener();
-    });
-    if (server.stop_requested()) {
-      listener.close_listener();
-      break;
+  // The signal watcher only announces the drain and hands it to the loop;
+  // the loop itself bounds it (drain_timeout_ms) and reports via run()'s
+  // status. A second signal while draining is absorbed — the bound, not the
+  // operator's patience, decides when a stuck drain gives up.
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&] {
+    while (!watcher_stop.load()) {
+      const int sig = g_signal.load();
+      if (sig != 0) {
+        std::fprintf(stderr,
+                     "sasynthd: received %s, draining (up to %lld ms)\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                     static_cast<long long>(drain_timeout_ms));
+        std::fflush(stderr);
+        loop.request_stop();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+  });
+  const int status = loop.run();
+  watcher_stop.store(true);
+  watcher.join();
+  if (g_signal.load() != 0) {
+    // The signal path owns its own exit: dump, report, _Exit. Skipping
+    // static destructors is deliberate — a forced drain (status 1) leaves
+    // pool workers mid-request, and exiting must not hang on them.
+    dump_observability(metrics_out, trace_out);
+    std::fprintf(stderr, status == 0
+                             ? "sasynthd: drained, exiting\n"
+                             : "sasynthd: drain timeout with work still in "
+                               "flight, exiting\n");
+    std::fflush(nullptr);
+    std::_Exit(status);
   }
-  listener.close_listener();
-  for (std::thread& t : sessions) t.join();
-  return 0;
+  return status;
 }
 
 }  // namespace
@@ -234,6 +258,7 @@ int main(int argc, char** argv) {
   ServeOptions options;
   options.io_timeout_ms = 30000;  // daemon default; library default stays 0
   int port = -1;                  // -1 = stdio
+  std::int64_t max_connections = 0;
   std::int64_t drain_timeout_ms = 5000;
   std::string metrics_out_path;
   std::string trace_out_path;
@@ -273,6 +298,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--io-timeout") {
       options.io_timeout_ms = std::atoll(next_value("--io-timeout").c_str());
       if (options.io_timeout_ms < 0) usage("bad --io-timeout");
+    } else if (arg == "--max-connections") {
+      max_connections = std::atoll(next_value("--max-connections").c_str());
+      if (max_connections < 0) usage("bad --max-connections");
     } else if (arg == "--drain-timeout") {
       drain_timeout_ms = std::atoll(next_value("--drain-timeout").c_str());
       if (drain_timeout_ms < 0) usage("bad --drain-timeout");
@@ -322,8 +350,8 @@ int main(int argc, char** argv) {
                                                    : options.cache_dir.c_str())
                       : "<disabled>");
   const int status =
-      port >= 0 ? serve_tcp(server, port, drain_timeout_ms, metrics_out_path,
-                            trace_out_path)
+      port >= 0 ? serve_tcp(server, port, max_connections, drain_timeout_ms,
+                            metrics_out_path, trace_out_path)
                 : serve_stdio(server, drain_timeout_ms, metrics_out_path,
                               trace_out_path);
   dump_observability(metrics_out_path, trace_out_path);
