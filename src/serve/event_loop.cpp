@@ -491,9 +491,16 @@ struct EventLoopServer::Impl {
     // Clean EOF delivers a trailing unterminated line first (FdLineReader
     // semantics), then ends input.
     if (!c.inbuf.empty()) {
+      const std::uint64_t id = c.id;
       std::string line = std::move(c.inbuf);
       c.inbuf.clear();
       dispatch_line(c, line);
+      // dispatch_line can reach try_write (bare command) and a failed write
+      // destroys the connection — re-resolve before ending input.
+      auto it = conns.find(id);
+      if (it == conns.end()) return;
+      end_input(*it->second);
+      return;
     }
     end_input(c);
   }
@@ -554,12 +561,20 @@ struct EventLoopServer::Impl {
       if (io_timeout_ms > 0) {
         c.read_deadline = Deadline::after_ms(io_timeout_ms);
       }
-      process_inbuf(c);
+      process_inbuf(id);  // may destroy c; the loop re-resolves by id
     }
   }
 
-  void process_inbuf(Connection& c) {
-    while (!c.read_closed) {
+  void process_inbuf(std::uint64_t id) {
+    for (;;) {
+      // Re-resolved every iteration: dispatch_line can reach try_write (a
+      // bare command answers inline) and a failed response write destroys
+      // the connection mid-call — the reference must never outlive one
+      // dispatch.
+      auto it = conns.find(id);
+      if (it == conns.end()) return;
+      Connection& c = *it->second;
+      if (c.read_closed) return;
       const std::size_t newline = c.inbuf.find('\n');
       if (newline == std::string::npos) return;
       std::string line = c.inbuf.substr(0, newline);
@@ -569,7 +584,8 @@ struct EventLoopServer::Impl {
       // stops further dispatch; leftover input is never read, exactly like
       // the blocking session loop's !stop && !draining guard.
       if (server.stop_requested() || server.draining()) {
-        if (conns.count(c.id) != 0) end_input(c);
+        auto again = conns.find(id);
+        if (again != conns.end()) end_input(*again->second);
         return;
       }
     }

@@ -126,6 +126,34 @@ Admission RequestScheduler::try_submit(Work work, Deadline deadline,
   return Admission::kAccepted;
 }
 
+void RequestScheduler::submit_followup(std::function<void()> fn) {
+  SchedMetrics& sm = SchedMetrics::get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    high_water_ = std::max(high_water_, pending_);
+    sm.queue_depth.set(pending_);
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      // Like a throwing work item: the slot must be released or every later
+      // drain() hangs; the error itself is the continuation's to handle.
+      SA_LOG_WARN << "scheduler: follow-up threw (" << e.what()
+                  << "), releasing its slot";
+      fault::note_degraded();
+    } catch (...) {
+      SA_LOG_WARN << "scheduler: follow-up threw, releasing its slot";
+      fault::note_degraded();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    SchedMetrics::get().queue_depth.set(pending_);
+    idle_.notify_all();
+  });
+}
+
 void RequestScheduler::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return pending_ == 0; });

@@ -52,6 +52,14 @@ class RequestScheduler {
   Admission try_submit(Work work, Deadline deadline = Deadline(),
                        CancelToken token = CancelToken());
 
+  /// Admission-exempt pool submission for internal continuations that must
+  /// leave the calling thread (e.g. a singleflight completion whose follower
+  /// callbacks may each re-execute a full request — running those on the
+  /// event-loop thread would stall every session). Always accepted, never
+  /// refused or shed, and counted in pending() so drain() covers it; it is
+  /// not a client admission, so `serve_admitted_total` is untouched.
+  void submit_followup(std::function<void()> fn);
+
   /// Blocks until every accepted work item has completed.
   void drain();
 

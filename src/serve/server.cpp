@@ -39,6 +39,12 @@ struct ServeMetrics {
   obs::Counter& ok;
   obs::Counter& errors;
   obs::Counter& timeouts;
+  /// Shared with SchedMetrics (the registry dedups by name): the scheduler
+  /// bumps these at its own refusal/shed points, but a coalesced follower
+  /// never enters the scheduler — its retry/shed verdicts are counted here
+  /// so `stats --format=prom|json` agrees with the legacy stats block.
+  obs::Counter& rejected;
+  obs::Counter& shed_expired;
   obs::Counter& commands;
   /// Requests answered by coalescing onto an identical in-flight request
   /// (singleflight followers) — the across-concurrency twin of cache_hits.
@@ -58,6 +64,8 @@ struct ServeMetrics {
           r.counter("serve_ok_total"),
           r.counter("serve_errors_total"),
           r.counter("serve_timeouts_total"),
+          r.counter("serve_rejected_total"),
+          r.counter("serve_shed_expired_total"),
           r.counter("serve_commands_total"),
           r.counter("serve_coalesced_total"),
           r.counter("serve_dse_runs_total"),
@@ -533,10 +541,19 @@ void SynthServer::submit_session_block(std::string block, bool is_deploy,
     ServeMetrics::get().requests.add(1);
     ServeMetrics::get().timeouts.add(1);
     post(seq, format_timeout_response(kTimeoutAtAdmission));
-    // A timeout is the leader's verdict only — followers re-execute.
+    // A timeout is the leader's verdict only — followers re-execute. That
+    // re-execution is a full handle() per unshared follower, so the
+    // completion must leave this thread: submit_session_block runs on the
+    // event-loop thread (or a session reader), and completing inline here
+    // would run every follower's DSE on it — stalling all sessions behind
+    // one dead-on-arrival request. The follow-up is counted in pending(),
+    // so drain() still covers the re-executions.
     if (coalescible) {
-      singleflight_.complete(canonical, format_timeout_response(
-                                            kTimeoutAtAdmission), false);
+      scheduler_.submit_followup([this, canonical] {
+        singleflight_.complete(canonical,
+                               format_timeout_response(kTimeoutAtAdmission),
+                               false);
+      });
     }
   }
 }
@@ -557,6 +574,7 @@ void SynthServer::deliver_coalesced(const std::string& block, bool is_deploy,
       counters_.shed_expired.fetch_add(1);
       sm.requests.add(1);
       sm.timeouts.add(1);
+      sm.shed_expired.add(1);
       post(seq, format_timeout_response(kTimeoutInQueue));
       return;
     }
@@ -568,6 +586,7 @@ void SynthServer::deliver_coalesced(const std::string& block, bool is_deploy,
       sm.ok.add(1);
     } else if (starts_with(response, magic + "retry")) {
       counters_.rejected.fetch_add(1);
+      sm.rejected.add(1);
     } else {
       counters_.errors.fetch_add(1);
       sm.errors.add(1);
@@ -714,9 +733,10 @@ void SynthServer::serve(const LineSource& read_line,
   scheduler_.drain();
   {
     // A coalesced follower's response arrives from its *leader's* thread,
-    // which drain() does not always cover (the admission-refusal completions
-    // run on the leader's session thread). Wait for every submitted seq to
-    // have posted before tearing down the frame `post` points into.
+    // which drain() does not always cover (the queue-full completion runs on
+    // the leader's session thread; the expired-at-admission completion runs
+    // as a pool follow-up). Wait for every submitted seq to have posted
+    // before tearing down the frame `post` points into.
     std::unique_lock<std::mutex> lock(mutex);
     ready_cv.wait(lock, [&] { return posted == next_seq; });
     done = true;

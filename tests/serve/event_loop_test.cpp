@@ -385,6 +385,95 @@ TEST_F(EventLoopTest, MaxConnectionsRejectsOverflowWithARetryResponse) {
   EXPECT_EQ(stop(), 0);
 }
 
+TEST_F(EventLoopTest, FailedCommandWriteClosesOnlyThatSession) {
+  ServeOptions options;
+  options.jobs = 1;
+  SynthServer server(options);
+  start(server);
+
+  // One injected write failure, consumed by the server's response write.
+  // The client writes with raw send(2) — write_all_fd fires the same fault
+  // site and would eat the window client-side.
+  fault::FaultSpec spec;
+  spec.kind = fault::ErrorKind::kError;
+  spec.after = 1;
+  spec.count = 1;
+  fault::arm(fault::kSiteTcpWrite, spec);
+
+  // Two commands in one burst: the first response write fails and destroys
+  // the connection while the second line is still buffered — the dispatch
+  // loop must re-resolve the connection and stop, never touch the freed
+  // state (the ASan regression for the process_inbuf use-after-free).
+  const int fd = connect_loopback(port());
+  ASSERT_GE(fd, 0);
+  const std::string script = "ping\nping\n";
+  ASSERT_EQ(::send(fd, script.data(), script.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(script.size()));
+  EXPECT_EQ(read_to_eof(fd).find("sasynth-pong"), std::string::npos);
+  ::close(fd);
+  EXPECT_GT(fault::site(fault::kSiteTcpWrite).injected(), 0);
+
+  // The fault window is spent; an unrelated session is served normally.
+  fault::disarm_all();
+  EXPECT_NE(run_client(port(), "ping\n").find("sasynth-pong v1"),
+            std::string::npos);
+  EXPECT_EQ(stop(), 0);
+}
+
+TEST_F(EventLoopTest, FailedWriteOfTheTrailingEofCommandIsContained) {
+  ServeOptions options;
+  options.jobs = 1;
+  SynthServer server(options);
+  start(server);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::ErrorKind::kError;
+  spec.after = 1;
+  spec.count = 1;
+  fault::arm(fault::kSiteTcpWrite, spec);
+
+  // An unterminated trailing command delivered at clean EOF: its response
+  // write fails and destroys the connection mid-handle_eof — ending input
+  // afterwards must re-resolve, not touch the freed connection.
+  const int fd = connect_loopback(port());
+  ASSERT_GE(fd, 0);
+  const std::string script = "ping";  // no newline: the EOF frames it
+  ASSERT_EQ(::send(fd, script.data(), script.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(script.size()));
+  ::shutdown(fd, SHUT_WR);
+  EXPECT_EQ(read_to_eof(fd).find("sasynth-pong"), std::string::npos);
+  ::close(fd);
+  EXPECT_GT(fault::site(fault::kSiteTcpWrite).injected(), 0);
+
+  fault::disarm_all();
+  EXPECT_NE(run_client(port(), "ping\n").find("sasynth-pong v1"),
+            std::string::npos);
+  EXPECT_EQ(stop(), 0);
+}
+
+TEST_F(EventLoopTest, ExpiredAtAdmissionRequestDoesNotLeakItsFlight) {
+  ServeOptions options;
+  options.jobs = 1;
+  SynthServer server(options);
+  start(server);
+  SynthServer reference({});
+  const std::string ref = reference.handle(request_block(0.5));
+
+  // deadline_ms 0: refused at admission on the loop thread. The flight it
+  // opened is completed through a scheduler follow-up — if it leaked, the
+  // identical request below would park forever as a follower of a leader
+  // that will never complete.
+  std::string expired = request_block(0.5);
+  expired.insert(expired.rfind("end\n"), "deadline_ms 0\n");
+  const std::string refused = run_client(port(), expired);
+  EXPECT_NE(refused.find("deadline expired before admission"),
+            std::string::npos)
+      << refused;
+
+  EXPECT_EQ(run_client(port(), request_block(0.5)), ref);
+  EXPECT_EQ(stop(), 0);
+}
+
 TEST_F(EventLoopTest, SlowLorisSessionIsDroppedByTheIoTimeout) {
   ServeOptions options;
   options.jobs = 1;

@@ -156,6 +156,31 @@ TEST(RequestSchedulerTest, DeadlineExpiringInQueueShedsAtDequeue) {
   EXPECT_EQ(scheduler.shed_expired(), 1);
 }
 
+TEST(RequestSchedulerTest, FollowUpIsAdmissionExemptRunsOffCallerAndDrains) {
+  RequestScheduler scheduler(/*jobs=*/2, /*queue_limit=*/1);
+  Gate gate;
+  std::atomic<int> ran{0};
+  ASSERT_EQ(Admission::kAccepted, scheduler.try_submit([&](bool) {
+    gate.wait();
+    ++ran;
+  }));
+  // The queue is at its limit, but a follow-up is an internal continuation,
+  // not a client admission: it must be accepted anyway, must not execute on
+  // the submitting thread (the event loop completes singleflight flights
+  // through this path), and must be covered by drain().
+  scheduler.submit_followup([&] {
+    gate.wait();
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 0);  // parked on workers, nothing ran inline
+  EXPECT_EQ(scheduler.pending(), 2);
+  EXPECT_EQ(scheduler.rejected(), 0);
+  gate.open();
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(scheduler.pending(), 0);
+}
+
 TEST(RequestSchedulerTest, DestructionDrainsInFlightWork) {
   std::atomic<int> ran{0};
   {

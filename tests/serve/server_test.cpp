@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdint>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace sasynth {
@@ -206,6 +209,92 @@ TEST(SynthServerTest, BackpressureAnswersRetryDeterministically) {
   EXPECT_NE(transcript.find("retry later"), std::string::npos);
   EXPECT_EQ(server.counters().rejected.load(), 1);
   EXPECT_EQ(server.counters().dse_runs.load(), 0);
+}
+
+/// `base` with `deadline_ms 0` spliced in before `end`: dead on arrival,
+/// same canonical key (deadline_ms is execution policy, never key material).
+std::string expired_block(const char* base) {
+  std::string block(base);
+  block.insert(block.rfind("end\n"), "deadline_ms 0\n");
+  return block;
+}
+
+TEST(SynthServerTest, CoalescedFollowerVerdictsUpdateTheGlobalRegistry) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const std::int64_t rejected_before =
+      reg.counter("serve_rejected_total").value();
+  const std::int64_t shed_before =
+      reg.counter("serve_shed_expired_total").value();
+
+  SynthServer server(memory_options());
+  const ParsedRequest peek = parse_request_block(kRequestA);
+  ASSERT_TRUE(peek.ok) << peek.error;
+  const std::string key = canonical_request_text(peek.request);
+  // The test holds the leader role so both submissions below park as
+  // followers and the flight closes exactly when the test completes it.
+  ASSERT_EQ(server.singleflight().join(key, {}), SingleFlight::Role::kLeader);
+
+  std::mutex mutex;
+  std::map<std::uint64_t, std::string> responses;
+  auto post = [&](std::uint64_t seq, std::string response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses[seq] = std::move(response);
+  };
+  server.submit_session_block(kRequestA, /*is_deploy=*/false, 0, post);
+  server.submit_session_block(expired_block(kRequestA), /*is_deploy=*/false, 1,
+                              post);
+  EXPECT_EQ(server.counters().coalesced.load(), 2);
+
+  // A shareable retry verdict: follower 0 receives it byte-for-byte;
+  // follower 1's own already-fired deadline outranks it (shed).
+  const std::string retry = format_retry_response("queue full, retry later");
+  EXPECT_EQ(server.singleflight().complete(key, retry, true), 2);
+  EXPECT_EQ(responses[0], retry);
+  EXPECT_NE(responses[1].find("deadline expired waiting in queue"),
+            std::string::npos)
+      << responses[1];
+
+  // The legacy stats block and the registry (stats --format=prom|json) must
+  // agree: each follower verdict bumps both or neither.
+  EXPECT_EQ(server.counters().rejected.load(), 1);
+  EXPECT_EQ(server.counters().shed_expired.load(), 1);
+  EXPECT_EQ(reg.counter("serve_rejected_total").value() - rejected_before, 1);
+  EXPECT_EQ(reg.counter("serve_shed_expired_total").value() - shed_before, 1);
+  EXPECT_EQ(server.counters().dse_runs.load(), 0);
+}
+
+TEST(SynthServerTest, ExpiredAtAdmissionLeaderStillClosesItsFlight) {
+  SynthServer server(memory_options());
+  std::mutex mutex;
+  std::map<std::uint64_t, std::string> responses;
+  auto post = [&](std::uint64_t seq, std::string response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses[seq] = std::move(response);
+  };
+  // Dead on arrival: the leader is answered inline, and its flight is
+  // completed through a scheduler follow-up — off the submitting thread,
+  // which in the TCP transport is the event loop — so followers' inline
+  // re-executions can never stall it. drain() covers the follow-up.
+  server.submit_session_block(expired_block(kRequestA), /*is_deploy=*/false, 0,
+                              post);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_NE(responses[0].find("deadline expired before admission"),
+              std::string::npos)
+        << responses[0];
+  }
+  server.scheduler().drain();
+  EXPECT_EQ(server.singleflight().inflight(), 0);
+
+  // The key is free again: the identical canonical text runs as a fresh
+  // leader instead of parking forever behind a leaked flight.
+  server.submit_session_block(kRequestA, /*is_deploy=*/false, 1, post);
+  server.scheduler().drain();
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_NE(responses[1].find("sasynth-response v1 ok"), std::string::npos)
+      << responses[1];
+  EXPECT_EQ(server.counters().coalesced.load(), 0);
 }
 
 // Satellite (d): the same request stream yields a byte-identical transcript
