@@ -1,0 +1,192 @@
+// Shard-tier benchmark: what fanning phase 1 out over worker daemons costs
+// (and buys) against single-node execution on the same machine.
+//
+// For each shard count the full AlexNet conv stream is replayed cold against
+// a fresh coordinator whose peers are in-process worker daemons on loopback
+// — the real TCP path, not a mock. Every sharded response must be
+// byte-identical to the single-node reference; a mismatch is an immediate
+// failure, since determinism is the tier's whole contract.
+//
+// Emits BENCH_shard.json with per-shard-count request counts, p50/p95
+// latency, and the degraded-range counter (which must be 0 on loopback).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/network.h"
+#include "obs/metrics.h"
+#include "serve/event_loop.h"
+#include "serve/server.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sasynth;
+
+constexpr int kMaxShards = 3;
+constexpr int kJobs = 4;
+
+std::vector<std::string> alexnet_request_stream() {
+  std::vector<std::string> blocks;
+  for (const ConvLayerDesc& layer : make_alexnet().layers) {
+    blocks.push_back(strformat(
+        "sasynth-request v1\n"
+        "layer %lld,%lld,%lld,%lld,%lld,%lld,%lld\n"
+        "device arria10_gt1150\n"
+        "option jobs %d\n"
+        "end\n",
+        static_cast<long long>(layer.in_maps),
+        static_cast<long long>(layer.out_maps),
+        static_cast<long long>(layer.out_rows),
+        static_cast<long long>(layer.out_cols),
+        static_cast<long long>(layer.kernel),
+        static_cast<long long>(layer.stride),
+        static_cast<long long>(layer.groups), kJobs));
+  }
+  return blocks;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// One in-process worker daemon on an ephemeral loopback port.
+class WorkerDaemon {
+ public:
+  WorkerDaemon() : server_({}) {
+    loop_ = std::make_unique<EventLoopServer>(server_, EventLoopOptions{});
+    std::string error;
+    if (!loop_->start(&error)) {
+      std::fprintf(stderr, "worker start failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    thread_ = std::thread([this] { loop_->run(); });
+  }
+  ~WorkerDaemon() {
+    loop_->request_stop();
+    thread_.join();
+  }
+  std::string peer() const {
+    return "127.0.0.1:" + std::to_string(loop_->port());
+  }
+
+ private:
+  SynthServer server_;
+  std::unique_ptr<EventLoopServer> loop_;
+  std::thread thread_;
+};
+
+struct Row {
+  int shards = 0;
+  std::size_t requests = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::int64_t degraded = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> stream = alexnet_request_stream();
+  obs::set_metrics_enabled(true);
+  obs::Counter& degraded_counter =
+      obs::MetricsRegistry::global().counter("shard_degraded_total");
+
+  // Single-node reference, also the shards=0 baseline row.
+  std::printf("--- shard benchmark: single-node reference (%zu layers) ---\n",
+              stream.size());
+  std::vector<std::string> reference;
+  std::vector<Row> rows;
+  {
+    Row row;
+    row.shards = 0;
+    std::vector<double> ms;
+    SynthServer single({});
+    for (const std::string& block : stream) {
+      std::string response;
+      ms.push_back(bench::timed_ms("bench.shard_single",
+                                   [&] { response = single.handle(block); }));
+      if (response.rfind("sasynth-response v1 ok", 0) != 0) {
+        std::printf("ERROR: reference request failed: %s\n", response.c_str());
+        return 1;
+      }
+      reference.push_back(std::move(response));
+    }
+    row.requests = stream.size();
+    row.p50_ms = percentile(ms, 0.50);
+    row.p95_ms = percentile(ms, 0.95);
+    rows.push_back(row);
+    std::printf("  p50 %.2f ms, p95 %.2f ms\n", row.p50_ms, row.p95_ms);
+  }
+
+  std::vector<std::unique_ptr<WorkerDaemon>> workers;
+  for (int i = 0; i < kMaxShards; ++i) {
+    workers.push_back(std::make_unique<WorkerDaemon>());
+  }
+
+  for (int shards = 1; shards <= kMaxShards; ++shards) {
+    std::printf("--- sharded pass: %d worker(s) ---\n", shards);
+    ServeOptions options;
+    for (int p = 0; p < shards; ++p) {
+      options.shard_peers.push_back(workers[p]->peer());
+    }
+    const std::int64_t degraded_before = degraded_counter.value();
+    // Fresh coordinator per shard count: a cold DesignCache keeps every
+    // request on the shard path.
+    SynthServer coordinator(options);
+    Row row;
+    row.shards = shards;
+    std::vector<double> ms;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      std::string response;
+      ms.push_back(bench::timed_ms(
+          "bench.shard_fanout", [&] { response = coordinator.handle(stream[i]); }));
+      if (response != reference[i]) {
+        std::printf("ERROR: shards=%d response %zu differs from single-node\n",
+                    shards, i);
+        return 1;
+      }
+    }
+    row.requests = stream.size();
+    row.p50_ms = percentile(ms, 0.50);
+    row.p95_ms = percentile(ms, 0.95);
+    row.degraded = degraded_counter.value() - degraded_before;
+    rows.push_back(row);
+    std::printf("  p50 %.2f ms, p95 %.2f ms, degraded %lld\n", row.p50_ms,
+                row.p95_ms, static_cast<long long>(row.degraded));
+    if (row.degraded != 0) {
+      std::printf("ERROR: loopback workers degraded %lld range(s)\n",
+                  static_cast<long long>(row.degraded));
+      return 1;
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_shard.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "  {\"shards\": %d, \"requests\": %zu, \"p50_ms\": %.4f, "
+                   "\"p95_ms\": %.4f, \"degraded\": %lld, "
+                   "\"byte_identical\": true}%s\n",
+                   r.shards, r.requests, r.p50_ms, r.p95_ms,
+                   static_cast<long long>(r.degraded),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_shard.json\n");
+  }
+  std::printf("all sharded responses byte-identical to single-node\n");
+  return 0;
+}

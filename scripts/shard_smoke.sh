@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Multi-process shard smoke for sasynthd: 3 worker daemons + 1 coordinator
+# on loopback, all separate processes (the unit tests cover the in-process
+# topology; this is the real deployment shape).
+#
+# Phase 1 (identity): a mixed request trace — several real AlexNet/GoogLeNet
+# layers at jobs 1 and 4 — is replayed against the coordinator and against a
+# plain single daemon; every response must be byte-identical.
+#
+# Phase 2 (degradation): one worker is SIGKILLed, then the trace is replayed
+# cold (fresh coordinator, so nothing is served from its DesignCache).
+# Every request must still get a terminal ok/timeout verdict with bytes
+# identical to single-node — a dead peer degrades, never corrupts.
+#
+# Finish line: SIGTERM to the coordinator with work in flight must drain
+# and exit 0.
+#
+# Usage: scripts/shard_smoke.sh [path/to/sasynthd]
+set -u
+
+BIN=${1:-build/tools/sasynthd}
+
+fail() { echo "shard_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$BIN" ] || fail "daemon binary not found: $BIN"
+
+workdir=$(mktemp -d)
+cleanup() {
+  for f in "$workdir"/*.pid; do
+    [ -f "$f" ] || continue
+    kill -KILL "$(cat "$f")" 2>/dev/null
+    wait "$(cat "$f")" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Starts a daemon with the given extra flags. Deliberately NOT called in a
+# $(...) substitution — the daemon must stay a child of this shell so `wait`
+# can collect its exit status; the port and pid come back via files, read
+# with daemon_port/daemon_pid <tag>.
+start_daemon() {
+  local tag=$1; shift
+  "$BIN" --port 0 --log-level warn "$@" \
+    > "$workdir/$tag.out" 2> "$workdir/$tag.err" &
+  local pid=$!
+  echo "$pid" > "$workdir/$tag.pid"
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^sasynthd listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+           "$workdir/$tag.out" | head -n 1)
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { cat "$workdir/$tag.err" >&2; fail "$tag never reported its port"; }
+  echo "$port" > "$workdir/$tag.port"
+}
+
+daemon_pid() { cat "$workdir/$1.pid"; }
+daemon_port() { cat "$workdir/$1.port"; }
+
+# One fresh connection: send the script, read one end-terminated block.
+talk() {
+  local port=$1 script=$2 out="" line
+  exec 3<>"/dev/tcp/127.0.0.1/$port" 2>/dev/null || return 1
+  printf '%b' "$script" >&3 2>/dev/null
+  while IFS= read -r -t 60 line <&3; do
+    out+=$line$'\n'
+    [ "$line" = "end" ] && break
+  done
+  exec 3<&- 3>&-
+  printf '%s' "$out"
+}
+
+# The mixed trace: real AlexNet conv1/conv2 and GoogLeNet layers x jobs 1,4.
+traces=(
+  'sasynth-request v1\nlayer 3,64,55,55,11,4,1\ndevice arria10_gt1150\noption jobs 1\nend\n'
+  'sasynth-request v1\nlayer 3,64,55,55,11,4,1\ndevice arria10_gt1150\noption jobs 4\nend\n'
+  'sasynth-request v1\nlayer 96,256,27,27,5,1,2\ndevice arria10_gt1150\noption jobs 4\nend\n'
+  'sasynth-request v1\nlayer 192,96,28,28,1\ndevice arria10_gt1150\noption jobs 1\nend\n'
+  'sasynth-request v1\nlayer 192,96,28,28,1\ndevice arria10_gt1150\noption jobs 4\nend\n'
+  'sasynth-request v1\nlayer 480,192,14,14,3\ndevice arria10_gt1150\noption jobs 4\nend\n'
+)
+
+start_daemon w1
+start_daemon w2
+start_daemon w3
+start_daemon single
+w1_port=$(daemon_port w1)
+w2_port=$(daemon_port w2)
+w3_port=$(daemon_port w3)
+single_port=$(daemon_port single)
+start_daemon coord \
+  --peers "127.0.0.1:$w1_port,127.0.0.1:$w2_port,127.0.0.1:$w3_port" \
+  --shard-io-timeout 10000
+coord_port=$(daemon_port coord)
+echo "shard_smoke: workers $w1_port $w2_port $w3_port, single $single_port, coordinator $coord_port"
+
+# --- phase 1: byte-identity over the mixed trace ---
+for i in "${!traces[@]}"; do
+  ref=$(talk "$single_port" "${traces[$i]}")
+  got=$(talk "$coord_port" "${traces[$i]}")
+  case $ref in
+    *"sasynth-response v1 ok"*) ;;
+    *) fail "single daemon failed trace $i: $ref" ;;
+  esac
+  [ "$got" = "$ref" ] || fail "trace $i differs between coordinator and single node"
+done
+echo "shard_smoke: identity pass done (${#traces[@]} requests byte-identical)"
+
+# --- phase 2: SIGKILL one worker, replay cold through a fresh coordinator ---
+kill -KILL "$(daemon_pid w2)"
+wait "$(daemon_pid w2)" 2>/dev/null || true
+rm -f "$workdir/w2.pid"
+start_daemon coord2 \
+  --peers "127.0.0.1:$w1_port,127.0.0.1:$w2_port,127.0.0.1:$w3_port" \
+  --shard-io-timeout 10000
+coord2_port=$(daemon_port coord2)
+for i in "${!traces[@]}"; do
+  ref=$(talk "$single_port" "${traces[$i]}")
+  got=$(talk "$coord2_port" "${traces[$i]}")
+  case $got in
+    *"sasynth-response v1 ok"*|*"sasynth-response v1 timeout"*) ;;
+    *) fail "trace $i got no terminal verdict after worker kill: $got" ;;
+  esac
+  [ "$got" = "$ref" ] || fail "trace $i differs from single node after worker kill"
+done
+echo "shard_smoke: degradation pass done (worker w2 dead, all verdicts terminal and identical)"
+
+# --- finish: drain the degraded coordinator with a request in flight ---
+( talk "$coord2_port" 'sasynth-request v1\nlayer 256,384,13,13,3\ndevice arria10_gt1150\noption jobs 4\nend\n' \
+    > "$workdir/inflight.txt" ) &
+inflight=$!
+sleep 0.2
+kill -TERM "$(daemon_pid coord2)"
+status=0
+wait "$(daemon_pid coord2)" || status=$?
+wait "$inflight" 2>/dev/null
+[ "$status" -eq 0 ] || { cat "$workdir/coord2.err" >&2; fail "coordinator exited $status after SIGTERM"; }
+grep -q 'drained, exiting' "$workdir/coord2.err" \
+  || fail "clean-drain message missing from coordinator stderr"
+grep -q 'sasynth-response v1' "$workdir/inflight.txt" \
+  || fail "in-flight request got no response across the drain"
+
+# No crash or sanitizer report in any daemon log.
+if grep -E -q 'AddressSanitizer|ThreadSanitizer|UndefinedBehaviorSanitizer|runtime error:|Segmentation fault' \
+     "$workdir"/*.out "$workdir"/*.err; then
+  grep -E 'AddressSanitizer|ThreadSanitizer|UndefinedBehaviorSanitizer|runtime error:|Segmentation fault' \
+    "$workdir"/*.err >&2 || true
+  fail "sanitizer/crash report in a daemon log"
+fi
+
+echo "shard_smoke: PASS"

@@ -638,7 +638,17 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
     enumerate_span.arg("mappings", static_cast<std::int64_t>(mappings.size()));
     enumerate_span.arg("work_items", static_cast<std::int64_t>(items.size()));
   }
-  st->work_items += static_cast<std::int64_t>(items.size());
+  // Execution window of the sharding tier (serve/shard.h). Items are
+  // enumerated in full on every node — indices are global — but only
+  // [wb, we) is evaluated here. The default window is the whole list.
+  const std::int64_t total_items = static_cast<std::int64_t>(items.size());
+  const std::int64_t wb =
+      std::clamp<std::int64_t>(options_.shard_begin, 0, total_items);
+  const std::int64_t we =
+      options_.shard_end < 0
+          ? total_items
+          : std::clamp<std::int64_t>(options_.shard_end, wb, total_items);
+  st->work_items += we - wb;
 
   const LeanModel model(nest, device_, dtype_, options_.assumed_freq_mhz);
   // Stride-1 access structure (every affine coefficient 0 or 1): the
@@ -772,7 +782,7 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   // decision — a pure function of the request at any jobs value and any cut
   // position.
   const bool prune =
-      options_.bound_prune && options_.top_k > 0 && !items.empty() &&
+      options_.bound_prune && options_.top_k > 0 && we > wb &&
       !options_.cancel.cancelled();
   std::vector<char> resolved(items.size(), 0);
   std::vector<double> bounds;
@@ -794,7 +804,10 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
       const std::size_t n = nest.num_loops();
       std::vector<std::int64_t> inner(n, 1);
       std::vector<std::int64_t> block(n, 0);
-      for (std::size_t i = 0; i < items.size(); ++i) {
+      // Window-only: bounds are read solely for window items (seed order and
+      // the parallel sweep both iterate [wb, we)).
+      for (std::size_t i = static_cast<std::size_t>(wb);
+           i < static_cast<std::size_t>(we); ++i) {
         const Phase1Item& item = items[i];
         std::fill(inner.begin(), inner.end(), 1);
         inner[item.mapping->row_loop] = item.shape.rows;
@@ -817,8 +830,12 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
       }
     }
     const std::size_t top_k = static_cast<std::size_t>(options_.top_k);
-    std::vector<std::int64_t> order(items.size());
-    std::iota(order.begin(), order.end(), std::int64_t{0});
+    // Seed (and prune) inside the window only: a windowed sweep's floor is a
+    // function of its own items, so its surviving candidate list is exactly
+    // the full sweep's list restricted to the window (same admissibility
+    // argument, applied per window).
+    std::vector<std::int64_t> order(static_cast<std::size_t>(we - wb));
+    std::iota(order.begin(), order.end(), wb);
     std::sort(order.begin(), order.end(),
               [&](std::int64_t a, std::int64_t b) {
                 const double pa = bounds[static_cast<std::size_t>(a)];
@@ -835,7 +852,7 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
     std::vector<double> contributions;
     contributions.reserve(top_k);
     std::size_t seed_n = 0;
-    while (seed_n < items.size() && contributions.size() < top_k) {
+    while (seed_n < order.size() && contributions.size() < top_k) {
       if (options_.cancel.cancelled()) {
         seed_stats.cancelled = true;
         break;
@@ -860,7 +877,7 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
     // shared cache happened to contain.
     if (memo != nullptr && options_.cancel.inert() &&
         options_.max_bram_util <= 1.0) {
-      const std::size_t hint_end = std::min(items.size(), seed_n + 4 * top_k);
+      const std::size_t hint_end = std::min(order.size(), seed_n + 4 * top_k);
       const std::int64_t bram_budget = static_cast<std::int64_t>(
           options_.max_bram_util * static_cast<double>(device_.bram_blocks));
       const std::size_t n = nest.num_loops();
@@ -925,7 +942,7 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   }
 
   pool.for_each(
-      static_cast<std::int64_t>(items.size()),
+      we - wb,
       [&](std::int64_t begin, std::int64_t end, int worker) {
         // One shard span per dequeued range (~8 per worker) — granular
         // enough to see load balance in the trace, far off the per-item
@@ -937,26 +954,30 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
         DseStats& ws = worker_stats[static_cast<std::size_t>(worker)];
         MiddleCandidateCache& cache = caches[static_cast<std::size_t>(worker)];
         for (std::int64_t i = begin; i < end; ++i) {
+          // The pool iterates window-relative indices; items are addressed
+          // by their global index so slots, bounds and the deterministic
+          // item cut agree across any window placement.
+          const std::int64_t idx = wb + i;
           // Cooperative cancellation poll, per work item: one relaxed load
           // (plus a clock read only when a deadline is armed) against an
-          // item that costs orders of magnitude more. cut(i) folds in the
+          // item that costs orders of magnitude more. cut(idx) folds in the
           // deterministic item cut, an expired deadline, and an explicit
           // request_cancel(); the rest of this shard — and, via the same
           // check at its own first item, every later shard — is skipped,
           // leaving the already-filled slots as the best-so-far partial.
-          if (options_.cancel.cut(i)) {
+          if (options_.cancel.cut(idx)) {
             ws.cancelled = true;
             break;
           }
-          if (resolved[static_cast<std::size_t>(i)]) continue;
+          if (resolved[static_cast<std::size_t>(idx)]) continue;
           // Branch-and-bound: strictly below the floor means no reuse
           // strategy of this item can enter the top-K (ties survive, so the
           // K-boundary ordering matches the exhaustive sweep bit for bit).
-          if (prune && bounds[static_cast<std::size_t>(i)] < floor_gops) {
+          if (prune && bounds[static_cast<std::size_t>(idx)] < floor_gops) {
             ++ws.items_pruned_bound;
             continue;
           }
-          evaluate_item(i, cache, ws, floor_gops);
+          evaluate_item(idx, cache, ws, floor_gops);
         }
         busy[static_cast<std::size_t>(worker)] += shard.elapsed_seconds();
       });
@@ -979,8 +1000,9 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   for (const double b : busy) st->phase1_cpu_seconds += b;
 
   std::vector<DseCandidate> candidates;
-  candidates.reserve(items.size());
-  for (std::optional<DseCandidate>& slot : slots) {
+  candidates.reserve(static_cast<std::size_t>(we - wb));
+  for (std::int64_t i = wb; i < we; ++i) {
+    std::optional<DseCandidate>& slot = slots[static_cast<std::size_t>(i)];
     if (slot.has_value()) candidates.push_back(std::move(*slot));
   }
   // stable_sort: slots arrive in item order, so candidates tied on both sort
@@ -999,6 +1021,19 @@ std::vector<DseCandidate> DesignSpaceExplorer::enumerate_phase1(
   phase1_span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
   publish_phase1_run(before, *st, candidates.size(), wall);
   return candidates;
+}
+
+std::int64_t DesignSpaceExplorer::count_phase1_items(
+    const LoopNest& nest) const {
+  const ReuseMatrix reuse = analyze_reuse(nest);
+  const std::vector<SystolicMapping> mappings =
+      enumerate_feasible_mappings(nest, reuse);
+  std::int64_t count = 0;
+  for (const SystolicMapping& mapping : mappings) {
+    count += static_cast<std::int64_t>(
+        enumerate_shapes(nest, mapping, device_, dtype_, options_).size());
+  }
+  return count;
 }
 
 void DesignSpaceExplorer::run_phase2(const LoopNest& nest,

@@ -81,6 +81,21 @@ struct DseOptions {
   /// from canonical_request_text(). Not owned; may be null.
   SweepMemo* sweep_memo = nullptr;
 
+  /// Phase-1 work-item execution window [shard_begin, shard_end), in the
+  /// deterministic item enumeration order (mappings in feasibility order,
+  /// shapes in row/col/vec order). The full item list is always enumerated —
+  /// indices are global and identical on every node — but only items inside
+  /// the window are evaluated (seeded, pruned, or swept). shard_end == -1
+  /// means "through the last item"; the default window covers everything,
+  /// which is the single-node sweep. Like `jobs` this is execution policy
+  /// for the sharding tier (serve/shard.h), not request identity: it never
+  /// enters canonical_request_text(). The windowed candidate list is exactly
+  /// the full sweep's candidate list restricted to the window, so a
+  /// deterministic top-K merge of disjoint windows reproduces the
+  /// single-node top-K bit for bit.
+  std::int64_t shard_begin = 0;
+  std::int64_t shard_end = -1;
+
   /// Worker threads for the phase-1 sweep and phase-2 re-ranking. 0 resolves
   /// through the SASYNTH_JOBS environment variable, then hardware
   /// concurrency; 1 forces the serial path. Results are bit-identical at any
@@ -209,6 +224,13 @@ class DesignSpaceExplorer {
   /// keeps only the best reuse strategy per (mapping, shape).
   std::vector<DseCandidate> enumerate_phase1(const LoopNest& nest,
                                              DseStats* stats) const;
+
+  /// Size of the phase-1 (mapping, shape) work-item list for `nest` under
+  /// these options — the quantity a shard coordinator partitions. Pure
+  /// enumeration (feasible mappings × surviving shapes); no reuse DFS, no
+  /// stats side effects. Deterministic, so every node that runs it against
+  /// the same request computes the same item count and index order.
+  std::int64_t count_phase1_items(const LoopNest& nest) const;
 
   /// Optimal middle bounds for a fixed (mapping, shape) — Problem 2 of §3.5.
   /// Returns false if no reuse strategy fits the BRAM budget.

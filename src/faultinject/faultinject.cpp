@@ -74,9 +74,10 @@ bool parse_kind(const std::string& name, ErrorKind* out) {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> kSites = {
-      kSiteTcpRead,    kSiteTcpWrite,     kSiteTcpAccept, kSiteCacheLoad,
-      kSiteCacheStore, kSiteCacheEvict,   kSiteSchedAdmit, kSitePoolTask,
-      kSiteDeployPlan, kSiteDeploySelect, kSiteLoopPoll,   kSiteLoopWakeup};
+      kSiteTcpRead,    kSiteTcpWrite,     kSiteTcpAccept,   kSiteCacheLoad,
+      kSiteCacheStore, kSiteCacheEvict,   kSiteSchedAdmit,  kSitePoolTask,
+      kSiteDeployPlan, kSiteDeploySelect, kSiteLoopPoll,    kSiteLoopWakeup,
+      kSiteShardConnect, kSiteShardRead,  kSiteShardWrite};
   return kSites;
 }
 

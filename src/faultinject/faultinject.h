@@ -95,6 +95,13 @@ inline constexpr const char* kSiteDeploySelect = "deploy.select";
 /// thread-per-session path, so the blocking fault sweep skips them.
 inline constexpr const char* kSiteLoopPoll = "loop.poll";
 inline constexpr const char* kSiteLoopWakeup = "loop.wakeup";
+/// Shard-coordinator peer I/O (serve/shard.h), one site per RPC step. Any
+/// injected kind fails that step, and a failed step never fails the request:
+/// the coordinator re-executes the peer's item range locally (counted in
+/// `shard_degraded_total` on top of the usual `degraded_total`).
+inline constexpr const char* kSiteShardConnect = "shard.connect";
+inline constexpr const char* kSiteShardRead = "shard.read";
+inline constexpr const char* kSiteShardWrite = "shard.write";
 
 /// Every site name above, in a stable order.
 const std::vector<std::string>& known_sites();

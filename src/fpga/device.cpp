@@ -120,4 +120,14 @@ const char* device_name_list() {
   return "arria10_gt1150|arria10_gx1150|ku060|vc709|stratixv|tiny";
 }
 
+const char* device_flag_name(const FpgaDevice& device) {
+  if (device.name == arria10_gt1150().name) return "arria10_gt1150";
+  if (device.name == arria10_gx1150().name) return "arria10_gx1150";
+  if (device.name == xilinx_ku060().name) return "ku060";
+  if (device.name == xilinx_vc709().name) return "vc709";
+  if (device.name == stratix_v().name) return "stratixv";
+  if (device.name == tiny_test_device().name) return "tiny";
+  return "";
+}
+
 }  // namespace sasynth

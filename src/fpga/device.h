@@ -71,4 +71,11 @@ bool parse_device_name(const std::string& name, FpgaDevice* out);
 /// The accepted names above, for usage/help text.
 const char* device_name_list();
 
+/// The inverse of parse_device_name: the canonical protocol token for a
+/// known device ("arria10_gt1150", ...), keyed on the display name. Returns
+/// "" for a device outside the named catalog — callers that serialize a
+/// device line must treat that as unserializable, not emit the display name
+/// (which the parser would reject).
+const char* device_flag_name(const FpgaDevice& device);
+
 }  // namespace sasynth

@@ -139,8 +139,8 @@ struct Connection {
 
   // Read side / framing.
   std::string inbuf;      ///< raw bytes, not yet framed into lines
-  bool in_block = false;  ///< accumulating a request/deploy block
-  bool is_deploy = false;
+  bool in_block = false;  ///< accumulating a request/deploy/shard block
+  SynthServer::BlockKind kind = SynthServer::BlockKind::kSynth;
   std::string block;        ///< partial block text
   bool read_closed = false; ///< EOF/error/timeout/drain: input is over
 
@@ -599,9 +599,14 @@ struct EventLoopServer::Impl {
       return;
     }
     if (command.empty()) return;
-    if (command == kRequestMagic || command == kDeployRequestMagic) {
+    if (command == kRequestMagic || command == kDeployRequestMagic ||
+        command == kShardRequestMagic) {
       c.in_block = true;
-      c.is_deploy = command == kDeployRequestMagic;
+      c.kind = command == kDeployRequestMagic
+                   ? SynthServer::BlockKind::kDeploy
+               : command == kShardRequestMagic
+                   ? SynthServer::BlockKind::kShard
+                   : SynthServer::BlockKind::kSynth;
       c.block = command + "\n";
       return;
     }
@@ -623,7 +628,7 @@ struct EventLoopServer::Impl {
     std::shared_ptr<Waker> w = waker;
     const std::uint64_t id = c.id;
     server.submit_session_block(
-        std::move(block), c.is_deploy, seq,
+        std::move(block), c.kind, seq,
         [w, id](std::uint64_t s, std::string response) {
           w->post(id, s, std::move(response));
         });

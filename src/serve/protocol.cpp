@@ -11,24 +11,15 @@ namespace sasynth {
 
 namespace {
 
+// The strict conversions live in util/strings (parse_*_strict) so the CLI
+// flag parsers share one posture with the wire protocol; these local names
+// just keep the call sites short.
 bool parse_int64(const std::string& token, std::int64_t* out) {
-  if (token.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(token.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
-  *out = v;
-  return true;
+  return parse_int64_strict(token, out);
 }
 
 bool parse_double(const std::string& token, double* out) {
-  if (token.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
-  *out = v;
-  return true;
+  return parse_double_strict(token, out);
 }
 
 bool parse_bool(const std::string& token, bool* out) {

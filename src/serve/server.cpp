@@ -103,6 +103,7 @@ bool response_is_shareable(const std::string& response) {
 
 SynthServer::SynthServer(ServeOptions options)
     : options_(std::move(options)),
+      shard_(ShardOptions{options_.shard_peers, options_.shard_io_timeout_ms}),
       cache_(options_.cache_enabled ? options_.cache_dir : std::string(),
              options_.cache_capacity),
       sweep_cache_(options_.sweep_cache_capacity),
@@ -167,9 +168,13 @@ std::string SynthServer::handle(const std::string& request_block,
                                             fnv1a64(canonical)))
                 << " layer=" << request.layer.summary();
   } else {
+    // With --peers configured, phase 1 fans out over the shard fleet; the
+    // coordinator's merge contract makes both paths byte-identical, so the
+    // choice is invisible to clients and to the cache.
     const DesignSpaceExplorer explorer(request.device, request.dtype,
                                        request.dse);
-    const DseResult result = explorer.explore(nest);
+    const DseResult result = shard_.enabled() ? shard_.explore(request, nest)
+                                              : explorer.explore(nest);
     counters_.dse_runs.fetch_add(1);
     counters_.dse_work_items.fetch_add(result.stats.work_items);
     sm.dse_runs.add(1);
@@ -345,6 +350,72 @@ std::string SynthServer::handle_deploy(const std::string& request_block,
   return finish(format_deploy_ok_response(evaluated));
 }
 
+std::string SynthServer::handle_shard(const std::string& request_block) {
+  return handle_shard(request_block, CancelToken());
+}
+
+std::string SynthServer::handle_shard(const std::string& request_block,
+                                      CancelToken cancel) {
+  obs::ScopedSpan span("serve.handle_shard", "serve");
+  ServeMetrics& sm = ServeMetrics::get();
+  counters_.requests.fetch_add(1);
+  sm.requests.add(1);
+
+  auto finish = [&](std::string response) {
+    const std::int64_t us =
+        static_cast<std::int64_t>(span.elapsed_seconds() * 1e6);
+    counters_.wall_us_total.fetch_add(us);
+    bump_max(counters_.wall_us_max, us);
+    sm.request_ms.observe(static_cast<double>(us) * 1e-3);
+    return response;
+  };
+
+  const ParsedShardRequest parsed = parse_shard_request_block(request_block);
+  if (!parsed.ok) {
+    counters_.errors.fetch_add(1);
+    sm.errors.add(1);
+    return finish(format_shard_error_response(parsed.error));
+  }
+  ServeRequest request = parsed.request.request;
+  request.dse.cancel = cancel;
+  // The worker's half of the one-logical-cache story: windowed sweeps read
+  // and warm the same SweepCache ordinary requests use, so shard traffic and
+  // direct traffic amortize each other's DFS work.
+  if (options_.sweep_cache_capacity > 0) {
+    request.dse.sweep_memo = &sweep_cache_;
+  }
+  // Relaxation is the coordinator's global decision (it pins min_util per
+  // round); a worker must never relax its own window.
+  request.dse.auto_relax_util = false;
+  request.dse.shard_begin = parsed.request.item_begin;
+  request.dse.shard_end = parsed.request.item_end;
+
+  const LoopNest nest = build_conv_nest(request.layer);
+  const DesignSpaceExplorer explorer(request.device, request.dtype,
+                                     request.dse);
+  ShardPartial partial;
+  partial.ok = true;
+  partial.total_items = explorer.count_phase1_items(nest);
+  DseStats stats;
+  std::vector<DseCandidate> candidates = explorer.enumerate_phase1(nest, &stats);
+  if (candidates.size() > static_cast<std::size_t>(request.dse.top_k)) {
+    candidates.resize(static_cast<std::size_t>(request.dse.top_k));
+  }
+  partial.work_items = stats.work_items;
+  partial.cancelled = stats.cancelled;
+  partial.designs.reserve(candidates.size());
+  for (const DseCandidate& candidate : candidates) {
+    partial.designs.push_back(candidate.design);
+  }
+  counters_.dse_runs.fetch_add(1);
+  counters_.dse_work_items.fetch_add(stats.work_items);
+  sm.dse_runs.add(1);
+  sm.dse_work_items.add(stats.work_items);
+  counters_.ok.fetch_add(1);
+  sm.ok.add(1);
+  return finish(format_shard_response(partial));
+}
+
 std::string SynthServer::stats_text() const {
   const DesignCacheStats cache = cache_.stats();
   std::string out = std::string(kStatsMagic) + "\n";
@@ -427,7 +498,7 @@ void SynthServer::begin_drain() {
   SA_LOG_INFO << "server: drain requested, sessions stop reading";
 }
 
-void SynthServer::submit_session_block(std::string block, bool is_deploy,
+void SynthServer::submit_session_block(std::string block, BlockKind kind,
                                        std::uint64_t seq, PostResponse post) {
   // Resolve the request's end-to-end budget up front: an explicit
   // deadline_ms wins, else --default-deadline, else unbounded. The block is
@@ -435,11 +506,18 @@ void SynthServer::submit_session_block(std::string block, bool is_deploy,
   // is noise next to a DSE or fleet selection. The same parse yields the
   // canonical text — the singleflight key, identical to the DesignCache key
   // material, so both dedup layers agree on what "the same request" means.
+  const bool is_deploy = kind == BlockKind::kDeploy;
   std::int64_t budget_ms = -1;
   std::int64_t requested_ms = -1;
   bool peek_ok = false;
   std::string canonical;
-  if (is_deploy) {
+  if (kind == BlockKind::kShard) {
+    // No canonical text on purpose: a shard window is not a whole request,
+    // so it must not coalesce with (or against) one.
+    const ParsedShardRequest peek = parse_shard_request_block(block);
+    peek_ok = peek.ok;
+    requested_ms = peek.request.request.deadline_ms;
+  } else if (is_deploy) {
     const ParsedDeployRequest peek = parse_deploy_request_block(block);
     peek_ok = peek.ok;
     requested_ms = peek.request.deadline_ms;
@@ -464,7 +542,8 @@ void SynthServer::submit_session_block(std::string block, bool is_deploy,
 
   // Coalesce parseable requests only: a malformed block has no canonical
   // text, and its error response is cheap enough to not be worth sharing.
-  const bool coalescible = peek_ok;
+  // Shard windows never coalesce — see above.
+  const bool coalescible = peek_ok && kind != BlockKind::kShard;
   if (coalescible) {
     const SingleFlight::Role role = singleflight_.join(
         canonical,
@@ -484,7 +563,7 @@ void SynthServer::submit_session_block(std::string block, bool is_deploy,
   }
 
   const Admission admission = scheduler_.try_submit(
-      [this, post, seq, token, is_deploy, coalescible, canonical,
+      [this, post, seq, token, kind, coalescible, canonical,
        block = std::move(block)](bool shed) {
         // Always post *something* for this seq: the ordered writer stalls
         // the whole session on a missing sequence number, so a throwing
@@ -501,8 +580,9 @@ void SynthServer::submit_session_block(std::string block, bool is_deploy,
         } else {
           try {
             fault::raise_if_armed(fault::kSitePoolTask);
-            response =
-                is_deploy ? handle_deploy(block, token) : handle(block, token);
+            response = kind == BlockKind::kDeploy ? handle_deploy(block, token)
+                       : kind == BlockKind::kShard ? handle_shard(block, token)
+                                                   : handle(block, token);
           } catch (const std::exception& e) {
             counters_.errors.fetch_add(1);
             ServeMetrics::get().errors.add(1);
@@ -716,14 +796,19 @@ void SynthServer::serve(const LineSource& read_line,
     const std::string command = trim(line);
     if (command.empty()) continue;
 
-    if (command == kRequestMagic || command == kDeployRequestMagic) {
-      const bool is_deploy = command == kDeployRequestMagic;
+    if (command == kRequestMagic || command == kDeployRequestMagic ||
+        command == kShardRequestMagic) {
+      const BlockKind kind = command == kDeployRequestMagic
+                                 ? BlockKind::kDeploy
+                             : command == kShardRequestMagic
+                                 ? BlockKind::kShard
+                                 : BlockKind::kSynth;
       std::string block = command + "\n";
       while (read_line(&line)) {
         block += line + "\n";
         if (trim(line) == kBlockEnd) break;
       }
-      submit_session_block(std::move(block), is_deploy, next_seq++, post);
+      submit_session_block(std::move(block), kind, next_seq++, post);
     } else {
       post(next_seq++, handle_command(command));
       if (command == "shutdown") break;

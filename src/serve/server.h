@@ -19,6 +19,7 @@
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
+#include "serve/shard.h"
 #include "serve/singleflight.h"
 #include "serve/sweep_cache.h"
 #include "util/deadline.h"
@@ -51,6 +52,14 @@ struct ServeOptions {
   /// session when the timer fires — the daemon and every other session keep
   /// going.
   std::int64_t io_timeout_ms = 0;
+  /// Shard-coordinator worker endpoints ("host:port" each, --peers). Empty
+  /// (the default) serves single-node; nonempty routes every cache-missing
+  /// synthesis request's phase 1 through the peer fleet (serve/shard.h),
+  /// with byte-identical responses either way.
+  std::vector<std::string> shard_peers;
+  /// Per-step (connect/write/read) bound on shard peer I/O, milliseconds;
+  /// 0 = unbounded (--shard-io-timeout).
+  std::int64_t shard_io_timeout_ms = 30000;
 };
 
 /// Monotonic per-server counters, exposed through the `stats` command.
@@ -106,6 +115,16 @@ class SynthServer {
   std::string handle_deploy(const std::string& request_block,
                             CancelToken cancel);
 
+  /// Handles one `sasynth-shard v1` block (serve/shard.h) — the worker side
+  /// of the shard tier: parse -> windowed phase-1 sweep (through the shared
+  /// SweepCache, so a fleet of daemons warms into one logical sweep cache)
+  /// -> partial top-K response. No DesignCache involvement: a windowed
+  /// partial is not a full response, and the coordinator owns the response
+  /// cache. Thread-safe.
+  std::string handle_shard(const std::string& request_block);
+  std::string handle_shard(const std::string& request_block,
+                           CancelToken cancel);
+
   /// Runs one session: frames request blocks and commands from `read_line`
   /// (false = EOF), fans requests through the scheduler, and emits responses
   /// through `write_response` in request order from a dedicated writer
@@ -119,6 +138,13 @@ class SynthServer {
   using PostResponse =
       std::function<void(std::uint64_t seq, std::string response)>;
 
+  /// What a session block is, decided by its magic line at framing time.
+  enum class BlockKind {
+    kSynth,   ///< sasynth-request v1
+    kDeploy,  ///< sasynth-deploy v1
+    kShard,   ///< sasynth-shard v1 (worker side of the shard tier)
+  };
+
   /// Session-block admission shared by the blocking serve() session and the
   /// event loop (serve/event_loop.h): resolves the request's end-to-end
   /// budget (explicit deadline_ms wins, else --default-deadline, else
@@ -129,9 +155,19 @@ class SynthServer {
   /// another thread. A coalesced follower costs no scheduler slot; it is
   /// answered from the leader's completion (shareable verdicts) or by
   /// re-executing under its own cancel token (the leader timed out — a
-  /// timeout reflects the leader's budget, never the follower's).
-  void submit_session_block(std::string block, bool is_deploy,
+  /// timeout reflects the leader's budget, never the follower's). Shard
+  /// blocks are never coalesced: two windows of one request are distinct
+  /// work, and the coordinator already dedups at the request level.
+  void submit_session_block(std::string block, BlockKind kind,
                             std::uint64_t seq, PostResponse post);
+
+  /// Back-compat spelling (pre-shard callers and tests): true = deploy.
+  void submit_session_block(std::string block, bool is_deploy,
+                            std::uint64_t seq, PostResponse post) {
+    submit_session_block(std::move(block),
+                         is_deploy ? BlockKind::kDeploy : BlockKind::kSynth,
+                         seq, std::move(post));
+  }
 
   /// Dispatches one bare protocol command (`ping`, `health`, `stats`,
   /// `stats --format=prom|json`, `shutdown`, or unknown) and returns its
@@ -175,6 +211,7 @@ class SynthServer {
                          bool shared);
 
   ServeOptions options_;
+  ShardCoordinator shard_;
   DesignCache cache_;
   SweepCache sweep_cache_;
   ServerCounters counters_;

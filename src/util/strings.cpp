@@ -1,8 +1,11 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sasynth {
 
@@ -126,6 +129,32 @@ std::string format_trimmed(double v, int digits) {
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
   return s;
+}
+
+bool parse_int64_strict(const std::string& token, std::int64_t* out) {
+  // strtoll/strtod skip leading whitespace; "whole token consumed" means
+  // leading space is garbage too, so reject it up front.
+  if (token.empty() || std::isspace(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_strict(const std::string& token, double* out) {
+  if (token.empty() || std::isspace(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace sasynth

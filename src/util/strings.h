@@ -2,6 +2,7 @@
 // report writers. Kept dependency-free; all functions are pure.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,5 +44,17 @@ std::string indent(std::string_view s, int spaces);
 /// Formats a double with `digits` significant decimals, trimming trailing
 /// zeros ("12.50" -> "12.5", "3.00" -> "3").
 std::string format_trimmed(double v, int digits);
+
+/// Strict base-10 int64 conversion (the serve-protocol posture): the entire
+/// token must be consumed — non-numeric input, trailing garbage, overflow
+/// (ERANGE) and the empty string all reject with *out untouched. The strict
+/// posture exists because std::atoi's silent 0 turns "--port abc" into "bind
+/// an ephemeral port"; every flag and protocol integer goes through this.
+bool parse_int64_strict(const std::string& token, std::int64_t* out);
+
+/// Strict double conversion, same posture: entire token consumed,
+/// empty/garbage/overflow reject. Accepts whatever strtod accepts otherwise
+/// (including inf/nan spellings) — callers range-check.
+bool parse_double_strict(const std::string& token, double* out);
 
 }  // namespace sasynth

@@ -241,8 +241,11 @@ TEST_F(FaultSweepTest, EverySiteTimesEveryKindDegradesGracefully) {
     // The loop.* sites only exist on the event-loop transport; this sweep
     // drives the blocking thread-per-session path, where they never fire
     // (the EXPECT_GT(injected, 0) assertions would be vacuously wrong).
-    // event_loop_test.cpp sweeps them against the real loop.
+    // event_loop_test.cpp sweeps them against the real loop. Likewise the
+    // shard.* sites only exist on a coordinator's peer RPCs;
+    // serve/shard_test.cpp sweeps them against a real worker fleet.
     if (site_name.rfind("loop.", 0) == 0) continue;
+    if (site_name.rfind("shard.", 0) == 0) continue;
     for (const fault::ErrorKind kind : kinds) {
       SCOPED_TRACE(site_name + ":" + fault::kind_name(kind));
       fault::disarm_all();

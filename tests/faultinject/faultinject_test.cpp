@@ -206,11 +206,12 @@ TEST_F(FaultInjectTest, KnownSitesCoverEveryConstant) {
         fault::kSiteCacheLoad, fault::kSiteCacheStore, fault::kSiteCacheEvict,
         fault::kSiteSchedAdmit, fault::kSitePoolTask, fault::kSiteDeployPlan,
         fault::kSiteDeploySelect, fault::kSiteLoopPoll,
-        fault::kSiteLoopWakeup}) {
+        fault::kSiteLoopWakeup, fault::kSiteShardConnect,
+        fault::kSiteShardRead, fault::kSiteShardWrite}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), name), sites.end())
         << name;
   }
-  EXPECT_EQ(sites.size(), 12u);
+  EXPECT_EQ(sites.size(), 15u);
 }
 
 }  // namespace

@@ -77,5 +77,49 @@ TEST(FormatTrimmed, TrimsZeros) {
   EXPECT_EQ(format_trimmed(100.0, 0), "100");
 }
 
+TEST(ParseInt64Strict, AcceptsWholeTokensOnly) {
+  std::int64_t v = -1;
+  EXPECT_TRUE(parse_int64_strict("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_int64_strict("8080", &v));
+  EXPECT_EQ(v, 8080);
+  EXPECT_TRUE(parse_int64_strict("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parse_int64_strict("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(ParseInt64Strict, RejectsTheSilentAtoiFamily) {
+  // Every input here is one std::atoi would quietly turn into 0 or truncate
+  // — the bug class that made "--port abc" bind an ephemeral port.
+  std::int64_t v = 42;
+  EXPECT_FALSE(parse_int64_strict("abc", &v));
+  EXPECT_FALSE(parse_int64_strict("", &v));
+  EXPECT_FALSE(parse_int64_strict("12abc", &v));     // trailing garbage
+  EXPECT_FALSE(parse_int64_strict("12 ", &v));       // trailing space
+  EXPECT_FALSE(parse_int64_strict(" 12", &v));       // tokens come pre-trimmed
+  EXPECT_FALSE(parse_int64_strict("1.5", &v));
+  EXPECT_FALSE(parse_int64_strict("9223372036854775808", &v));   // overflow
+  EXPECT_FALSE(parse_int64_strict("-9223372036854775809", &v));  // underflow
+  EXPECT_EQ(v, 42);  // *out untouched on every reject
+}
+
+TEST(ParseDoubleStrict, AcceptsAndRejects) {
+  double d = -1.0;
+  EXPECT_TRUE(parse_double_strict("0.5", &d));
+  EXPECT_EQ(d, 0.5);
+  EXPECT_TRUE(parse_double_strict("-2e3", &d));
+  EXPECT_EQ(d, -2000.0);
+  EXPECT_TRUE(parse_double_strict("280", &d));
+  EXPECT_EQ(d, 280.0);
+
+  double keep = 7.0;
+  EXPECT_FALSE(parse_double_strict("", &keep));
+  EXPECT_FALSE(parse_double_strict("banana", &keep));
+  EXPECT_FALSE(parse_double_strict("1.5x", &keep));
+  EXPECT_FALSE(parse_double_strict("1e9999", &keep));  // overflow (ERANGE)
+  EXPECT_EQ(keep, 7.0);
+}
+
 }  // namespace
 }  // namespace sasynth

@@ -1,0 +1,55 @@
+// Strict command-line flag conversion shared by sasynthd and sasynth_cli.
+//
+// std::atoi returns 0 on garbage, so "--port abc" used to sail through the
+// 0..65535 range check and bind a kernel-chosen ephemeral port — the silent-
+// atoi bug family. Every numeric flag now goes through the same strict
+// parser the wire protocol uses (util/strings parse_*_strict: whole token
+// consumed, overflow rejects), and a violation exits 2 through the tool's
+// usage() with a message naming the flag and the offending value:
+//
+//   error: bad --port value 'abc' (expected an integer in 0..65535)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/strings.h"
+
+namespace sasynth {
+
+/// The tool's [[noreturn]] usage(message) entry. Taken as a plain function
+/// pointer so this header stays independent of either tool's internals.
+using FlagFail = void (*)(const char*);
+
+/// Strict int64 flag conversion with an inclusive range check. Non-numeric
+/// input, trailing garbage, overflow and out-of-range values all exit 2
+/// through `fail` with the flag and value named.
+inline std::int64_t require_int_flag(const char* flag, const std::string& value,
+                                     std::int64_t lo, std::int64_t hi,
+                                     FlagFail fail) {
+  std::int64_t parsed = 0;
+  if (!parse_int64_strict(value, &parsed) || parsed < lo || parsed > hi) {
+    fail(strformat("bad %s value '%s' (expected an integer in %lld..%lld)",
+                   flag, value.c_str(), static_cast<long long>(lo),
+                   static_cast<long long>(hi))
+             .c_str());
+  }
+  return parsed;
+}
+
+/// Strict double flag conversion. Rejects non-numeric input, trailing
+/// garbage and overflow with the flag and value named; range constraints
+/// stay at the call site (they differ per flag and deserve their own
+/// messages).
+inline double require_double_flag(const char* flag, const std::string& value,
+                                  FlagFail fail) {
+  double parsed = 0.0;
+  if (!parse_double_strict(value, &parsed)) {
+    fail(strformat("bad %s value '%s' (expected a number)", flag,
+                   value.c_str())
+             .c_str());
+  }
+  return parsed;
+}
+
+}  // namespace sasynth

@@ -48,6 +48,7 @@
 
 #include "codegen/host_gen.h"
 #include "codegen/report_gen.h"
+#include "flag_parse.h"
 #include "deploy/fleet.h"
 #include "deploy/fold.h"
 #include "loopnest/conv_nest.h"
@@ -175,19 +176,23 @@ int main(int argc, char** argv) {
         usage("unknown dtype");
       }
     } else if (arg == "--freq") {
-      options.dse.assumed_freq_mhz = std::atof(next_value("--freq").c_str());
-      if (options.dse.assumed_freq_mhz <= 0.0) usage("bad --freq");
+      options.dse.assumed_freq_mhz =
+          require_double_flag("--freq", next_value("--freq"), usage);
+      if (options.dse.assumed_freq_mhz <= 0.0) {
+        usage("--freq must be > 0 (MHz)");
+      }
     } else if (arg == "--min-util") {
-      options.dse.min_dsp_util = std::atof(next_value("--min-util").c_str());
+      options.dse.min_dsp_util =
+          require_double_flag("--min-util", next_value("--min-util"), usage);
       if (options.dse.min_dsp_util < 0.0 || options.dse.min_dsp_util > 1.0) {
         usage("--min-util must be in [0, 1]");
       }
     } else if (arg == "--top-k") {
-      options.dse.top_k = std::atoi(next_value("--top-k").c_str());
-      if (options.dse.top_k < 1) usage("bad --top-k");
+      options.dse.top_k = static_cast<int>(require_int_flag(
+          "--top-k", next_value("--top-k"), 1, 1 << 20, usage));
     } else if (arg == "--jobs") {
-      options.dse.jobs = std::atoi(next_value("--jobs").c_str());
-      if (options.dse.jobs < 0) usage("bad --jobs");
+      options.dse.jobs = static_cast<int>(require_int_flag(
+          "--jobs", next_value("--jobs"), 0, 1 << 20, usage));
     } else if (arg == "--design-cache") {
       design_cache_dir = next_value("--design-cache");
     } else if (arg == "--out") {
@@ -203,8 +208,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--deploy") {
       deploy_mix = next_value("--deploy");
     } else if (arg == "--fleet") {
-      fleet_size = std::atoi(next_value("--fleet").c_str());
-      if (fleet_size < 1) usage("bad --fleet");
+      fleet_size = static_cast<int>(require_int_flag(
+          "--fleet", next_value("--fleet"), 1, 1 << 20, usage));
     } else if (arg == "--layer") {
       layer_spec = next_value("--layer");
     } else if (arg == "--print-kernel") {
@@ -293,9 +298,13 @@ int main(int argc, char** argv) {
                   .c_str());
       }
       if (fields.size() == 2) {
-        entry.weight = std::atof(trim(fields[1]).c_str());
-        if (!(entry.weight > 0.0)) {
-          usage(("--deploy: bad weight in '" + part + "'").c_str());
+        // Strict like every flag number: "alexnet:banana" must not silently
+        // become weight 0 (atof) and then read as a range error.
+        if (!parse_double_strict(trim(fields[1]), &entry.weight) ||
+            !(entry.weight > 0.0)) {
+          usage(("--deploy: bad weight '" + trim(fields[1]) + "' in '" + part +
+                 "' (expected a number > 0)")
+                    .c_str());
         }
       }
       workload.push_back(std::move(entry));

@@ -21,6 +21,13 @@
 //                         (0 = none, the default)
 //     --io-timeout MS     per-read/write transport timeout for TCP sessions
 //                         (default 30000; 0 = never time out)
+//     --peers LIST        shard-coordinator mode: comma-separated worker
+//                         daemons ("host:port,..."); phase 1 of every cache-
+//                         missing request fans out over them, byte-identical
+//                         to single-node (docs/SERVING.md "Sharding")
+//     --shard-io-timeout MS  per connect/write/read bound on shard peer I/O
+//                         (default 30000; 0 = unbounded); a slower peer's
+//                         range is re-executed locally
 //     --max-connections N open TCP connection bound (0 = unlimited, the
 //                         default); a client beyond it gets a retry response
 //                         and an immediate close
@@ -49,11 +56,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "faultinject/faultinject.h"
+#include "flag_parse.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/event_loop.h"
@@ -83,6 +92,13 @@ void print_usage(std::FILE* out) {
                "deadline_ms (0 = none)\n"
                "  --io-timeout MS     TCP per-read/write timeout (default "
                "30000; 0 = off)\n"
+               "  --peers LIST        shard worker daemons "
+               "(\"host:port,...\"); phase 1 fans\n"
+               "                      out over them, byte-identical to "
+               "single-node\n"
+               "  --shard-io-timeout MS  per-step shard peer I/O bound "
+               "(default 30000;\n"
+               "                      0 = unbounded)\n"
                "  --max-connections N open TCP connection bound (0 = "
                "unlimited); beyond it\n"
                "                      clients get a retry response and a "
@@ -270,40 +286,53 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--port") {
-      port = std::atoi(next_value("--port").c_str());
-      if (port < 0 || port > 65535) usage("bad --port");
+      port = static_cast<int>(
+          require_int_flag("--port", next_value("--port"), 0, 65535, usage));
     } else if (arg == "--cache") {
       options.cache_dir = next_value("--cache");
     } else if (arg == "--cache-capacity") {
-      const int capacity = std::atoi(next_value("--cache-capacity").c_str());
-      if (capacity < 1) usage("bad --cache-capacity");
-      options.cache_capacity = static_cast<std::size_t>(capacity);
+      // Through int64 end to end (no int intermediate): capacities ≥ 2^31
+      // must widen into size_t instead of wrapping.
+      options.cache_capacity = static_cast<std::size_t>(
+          require_int_flag("--cache-capacity", next_value("--cache-capacity"),
+                           1, std::numeric_limits<std::int64_t>::max(), usage));
     } else if (arg == "--sweep-cache-capacity") {
-      const long long capacity =
-          std::atoll(next_value("--sweep-cache-capacity").c_str());
-      if (capacity < 0) usage("bad --sweep-cache-capacity");
-      options.sweep_cache_capacity = static_cast<std::size_t>(capacity);
+      options.sweep_cache_capacity = static_cast<std::size_t>(require_int_flag(
+          "--sweep-cache-capacity", next_value("--sweep-cache-capacity"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage));
     } else if (arg == "--no-cache") {
       options.cache_enabled = false;
     } else if (arg == "--jobs") {
-      options.jobs = std::atoi(next_value("--jobs").c_str());
-      if (options.jobs < 0) usage("bad --jobs");
+      options.jobs = static_cast<int>(require_int_flag(
+          "--jobs", next_value("--jobs"), 0, 1 << 20, usage));
     } else if (arg == "--queue") {
-      options.queue_limit = std::atoll(next_value("--queue").c_str());
-      if (options.queue_limit < 1) usage("bad --queue");
+      options.queue_limit =
+          require_int_flag("--queue", next_value("--queue"), 1,
+                           std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--default-deadline") {
-      options.default_deadline_ms =
-          std::atoll(next_value("--default-deadline").c_str());
-      if (options.default_deadline_ms < 0) usage("bad --default-deadline");
+      options.default_deadline_ms = require_int_flag(
+          "--default-deadline", next_value("--default-deadline"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--io-timeout") {
-      options.io_timeout_ms = std::atoll(next_value("--io-timeout").c_str());
-      if (options.io_timeout_ms < 0) usage("bad --io-timeout");
+      options.io_timeout_ms =
+          require_int_flag("--io-timeout", next_value("--io-timeout"), 0,
+                           std::numeric_limits<std::int64_t>::max(), usage);
+    } else if (arg == "--peers") {
+      const std::string error =
+          parse_peer_list(next_value("--peers"), &options.shard_peers);
+      if (!error.empty()) usage(error.c_str());
+    } else if (arg == "--shard-io-timeout") {
+      options.shard_io_timeout_ms = require_int_flag(
+          "--shard-io-timeout", next_value("--shard-io-timeout"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--max-connections") {
-      max_connections = std::atoll(next_value("--max-connections").c_str());
-      if (max_connections < 0) usage("bad --max-connections");
+      max_connections = require_int_flag(
+          "--max-connections", next_value("--max-connections"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--drain-timeout") {
-      drain_timeout_ms = std::atoll(next_value("--drain-timeout").c_str());
-      if (drain_timeout_ms < 0) usage("bad --drain-timeout");
+      drain_timeout_ms = require_int_flag(
+          "--drain-timeout", next_value("--drain-timeout"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--metrics-out") {
       metrics_out_path = next_value("--metrics-out");
     } else if (arg == "--trace-out") {
@@ -343,6 +372,10 @@ int main(int argc, char** argv) {
   }
 
   SynthServer server(options);
+  if (!options.shard_peers.empty()) {
+    SA_LOG_INFO << "sasynthd: shard coordinator over "
+                << options.shard_peers.size() << " worker peer(s)";
+  }
   SA_LOG_INFO << "sasynthd: jobs=" << server.scheduler().jobs()
               << " queue=" << options.queue_limit << " cache="
               << (options.cache_enabled
