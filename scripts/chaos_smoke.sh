@@ -1,0 +1,242 @@
+#!/usr/bin/env bash
+# Fleet-resilience chaos smoke for sasynthd: 3 worker daemons + 1 coordinator
+# with circuit breakers, hedging, and the background re-admission prober all
+# armed (docs/SERVING.md "Peer health"). scripts/shard_smoke.sh covers the
+# one-shot kill; this script flaps a worker and asserts the full breaker
+# lifecycle end to end:
+#
+# Phase 1 (healthy identity): the mixed trace replays byte-identical between
+# the coordinator and a plain single daemon.
+#
+# Phase 2 (SIGSTOP): one worker is frozen mid-fleet. Requests keep getting
+# terminal, byte-identical responses (hedged local re-execution races the
+# stalled RPC); after --peer-failure-threshold failures the peer's breaker
+# opens in `health`.
+#
+# Phase 3 (SIGCONT): the worker thaws; the prober's ping moves it to
+# half-open and the next request's single-flight probe closes the breaker —
+# automatic re-admission, no restart.
+#
+# Phase 4 (SIGKILL + same-port restart): the worker is killed outright, the
+# breaker re-opens, a fresh worker binds the same port, and the prober
+# re-admits it within one backoff step. The full trace then replays
+# byte-identical again.
+#
+# Finish line: breaker/probe/hedge counters visible in stats --format=prom,
+# SIGTERM drain exits 0, and no daemon log carries a sanitizer report.
+#
+# Usage: scripts/chaos_smoke.sh [path/to/sasynthd]
+set -u
+
+BIN=${1:-build/tools/sasynthd}
+
+fail() { echo "chaos_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$BIN" ] || fail "daemon binary not found: $BIN"
+
+workdir=$(mktemp -d)
+cleanup() {
+  for f in "$workdir"/*.pid; do
+    [ -f "$f" ] || continue
+    kill -CONT "$(cat "$f")" 2>/dev/null
+    kill -KILL "$(cat "$f")" 2>/dev/null
+    wait "$(cat "$f")" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Starts a daemon on the given port (0 = ephemeral) with extra flags. NOT
+# called in $(...) — the daemon must stay a child of this shell so `wait`
+# can collect it; port/pid come back via files (daemon_port/daemon_pid).
+start_daemon() {
+  local tag=$1 port=$2; shift 2
+  "$BIN" --port "$port" --log-level warn "$@" \
+    > "$workdir/$tag.out" 2> "$workdir/$tag.err" &
+  local pid=$!
+  echo "$pid" > "$workdir/$tag.pid"
+  local got=""
+  for _ in $(seq 1 100); do
+    got=$(sed -n 's/^sasynthd listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+          "$workdir/$tag.out" | head -n 1)
+    [ -n "$got" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  [ -n "$got" ] || { cat "$workdir/$tag.err" >&2; fail "$tag never reported its port"; }
+  echo "$got" > "$workdir/$tag.port"
+}
+
+daemon_pid() { cat "$workdir/$1.pid"; }
+daemon_port() { cat "$workdir/$1.port"; }
+
+# One fresh connection: send the script, read one end-terminated block.
+talk() {
+  local port=$1 script=$2 out="" line
+  exec 3<>"/dev/tcp/127.0.0.1/$port" 2>/dev/null || return 1
+  printf '%b' "$script" >&3 2>/dev/null
+  while IFS= read -r -t 60 line <&3; do
+    out+=$line$'\n'
+    [ "$line" = "end" ] && break
+  done
+  exec 3<&- 3>&-
+  printf '%s' "$out"
+}
+
+# One per-peer breaker field from the coordinator's `health` rows
+# (peer<i>_<field> <value>; server.cpp health_text).
+health_field() {
+  local port=$1 peer=$2 field=$3
+  talk "$port" 'health\n' | sed -n "s/^peer${peer}_${field} //p" | head -n 1
+}
+
+# Polls health_field until it equals the wanted value. Generous bound
+# (~30 s) so TSan-built daemons and backed-off probe schedules both fit.
+wait_for_state() {
+  local port=$1 peer=$2 want=$3 what=$4 state=""
+  for _ in $(seq 1 120); do
+    state=$(health_field "$port" "$peer" state)
+    [ "$state" = "$want" ] && return 0
+    sleep 0.25
+  done
+  talk "$port" 'health\n' >&2
+  fail "$what: peer$peer never reached state '$want' (last: '$state')"
+}
+
+# The request must shard, degrade, or hedge — never hang or corrupt: assert
+# a terminal verdict byte-identical to the single-node reference.
+check_identical() {
+  local trace=$1 what=$2
+  local ref got
+  ref=$(talk "$single_port" "$trace")
+  got=$(talk "$coord_port" "$trace")
+  case $got in
+    *"sasynth-response v1 ok"*|*"sasynth-response v1 timeout"*) ;;
+    *) fail "$what: no terminal verdict: $got" ;;
+  esac
+  [ "$got" = "$ref" ] || fail "$what: response differs from single node"
+}
+
+# The mixed trace (same layers as shard_smoke.sh): AlexNet conv1/conv2 and
+# GoogLeNet layers across jobs 1 and 4.
+traces=(
+  'sasynth-request v1\nlayer 3,64,55,55,11,4,1\ndevice arria10_gt1150\noption jobs 1\nend\n'
+  'sasynth-request v1\nlayer 96,256,27,27,5,1,2\ndevice arria10_gt1150\noption jobs 4\nend\n'
+  'sasynth-request v1\nlayer 192,96,28,28,1\ndevice arria10_gt1150\noption jobs 4\nend\n'
+  'sasynth-request v1\nlayer 480,192,14,14,3\ndevice arria10_gt1150\noption jobs 4\nend\n'
+)
+
+start_daemon w1 0
+start_daemon w2 0
+start_daemon w3 0
+start_daemon single 0
+w1_port=$(daemon_port w1)
+w2_port=$(daemon_port w2)
+w3_port=$(daemon_port w3)
+single_port=$(daemon_port single)
+# --no-cache so every request re-enters the fan-out (a DesignCache hit would
+# bypass the breakers we are here to exercise). Short io-timeout bounds each
+# failure; threshold 2 opens after two bad requests; probe every 500 ms;
+# hedge stalled peers after 200 ms.
+start_daemon coord 0 \
+  --peers "127.0.0.1:$w1_port,127.0.0.1:$w2_port,127.0.0.1:$w3_port" \
+  --no-cache --shard-io-timeout 1000 --peer-failure-threshold 2 \
+  --peer-probe-interval 500 --shard-hedge-ms 200
+coord_port=$(daemon_port coord)
+echo "chaos_smoke: workers $w1_port $w2_port $w3_port, single $single_port, coordinator $coord_port"
+
+# --- phase 1: healthy byte-identity ---
+for i in "${!traces[@]}"; do
+  check_identical "${traces[$i]}" "healthy trace $i"
+done
+[ "$(health_field "$coord_port" 1 state)" = "closed" ] \
+  || fail "peer1 not closed after the healthy pass"
+echo "chaos_smoke: healthy pass done (${#traces[@]} requests byte-identical)"
+
+# --- phase 2: SIGSTOP w2 — hedged responses, then the breaker opens ---
+kill -STOP "$(daemon_pid w2)"
+for i in "${!traces[@]}"; do
+  check_identical "${traces[$i]}" "stopped-worker trace $i"
+done
+wait_for_state "$coord_port" 1 open "after SIGSTOP"
+echo "chaos_smoke: breaker open for frozen w2 (responses stayed identical)"
+
+# --- phase 3: SIGCONT w2 — prober re-admits without a restart ---
+kill -CONT "$(daemon_pid w2)"
+for _ in $(seq 1 120); do
+  state=$(health_field "$coord_port" 1 state)
+  [ "$state" = "closed" ] && break
+  # half-open: the next request carries the single-flight probe RPC.
+  check_identical "${traces[0]}" "re-admission probe request"
+  sleep 0.25
+done
+[ "$(health_field "$coord_port" 1 state)" = "closed" ] \
+  || fail "thawed w2 was never re-admitted"
+check_identical "${traces[1]}" "post-re-admission request"
+echo "chaos_smoke: thawed w2 re-admitted (breaker closed again)"
+
+# --- phase 4: SIGKILL w2, restart on the same port, automatic re-admission ---
+kill -KILL "$(daemon_pid w2)"
+wait "$(daemon_pid w2)" 2>/dev/null
+rm -f "$workdir/w2.pid"
+for i in "${!traces[@]}"; do
+  check_identical "${traces[$i]}" "killed-worker trace $i"
+done
+wait_for_state "$coord_port" 1 open "after SIGKILL"
+opens=$(health_field "$coord_port" 1 breaker_opens)
+[ "${opens:-0}" -ge 2 ] || fail "expected >= 2 breaker opens for w2, got '$opens'"
+
+start_daemon w2b "$w2_port"
+# The prober's next successful ping flips open -> half-open; one request
+# then closes it. Backoff is capped at 16x the 500 ms base, so the generous
+# wait_for_state bound covers the worst-case schedule.
+for _ in $(seq 1 120); do
+  state=$(health_field "$coord_port" 1 state)
+  [ "$state" = "closed" ] && break
+  [ "$state" = "half_open" ] && check_identical "${traces[0]}" "restart probe request"
+  sleep 0.25
+done
+[ "$(health_field "$coord_port" 1 state)" = "closed" ] \
+  || fail "restarted w2 was never re-admitted"
+for i in "${!traces[@]}"; do
+  check_identical "${traces[$i]}" "post-restart trace $i"
+done
+echo "chaos_smoke: killed w2 restarted on port $w2_port and re-admitted"
+
+# --- counters: the lifecycle must be visible in the registry ---
+prom=$(talk "$coord_port" 'stats --format=prom\n')
+prom_value() { printf '%s\n' "$prom" | awk -v n="sasynth_$1" '$1 == n { print $2 }'; }
+[ "$(prom_value shard_breaker_opens_total)" -ge 2 ] 2>/dev/null \
+  || fail "shard_breaker_opens_total not >= 2: $(prom_value shard_breaker_opens_total)"
+[ "$(prom_value shard_probes_total)" -ge 1 ] 2>/dev/null \
+  || fail "shard_probes_total not >= 1: $(prom_value shard_probes_total)"
+[ "$(prom_value shard_hedges_total)" -ge 1 ] 2>/dev/null \
+  || fail "shard_hedges_total not >= 1: $(prom_value shard_hedges_total)"
+[ "$(prom_value shard_hedge_wins_total)" -ge 1 ] 2>/dev/null \
+  || fail "shard_hedge_wins_total not >= 1: $(prom_value shard_hedge_wins_total)"
+echo "chaos_smoke: breaker/probe/hedge counters all visible in prom stats"
+
+# --- finish: drain the coordinator with a request in flight ---
+( talk "$coord_port" 'sasynth-request v1\nlayer 256,384,13,13,3\ndevice arria10_gt1150\noption jobs 4\nend\n' \
+    > "$workdir/inflight.txt" ) &
+inflight=$!
+sleep 0.2
+kill -TERM "$(daemon_pid coord)"
+status=0
+wait "$(daemon_pid coord)" || status=$?
+wait "$inflight" 2>/dev/null
+[ "$status" -eq 0 ] || { cat "$workdir/coord.err" >&2; fail "coordinator exited $status after SIGTERM"; }
+grep -q 'drained, exiting' "$workdir/coord.err" \
+  || fail "clean-drain message missing from coordinator stderr"
+grep -q 'sasynth-response v1' "$workdir/inflight.txt" \
+  || fail "in-flight request got no response across the drain"
+
+# No crash or sanitizer report in any daemon log.
+if grep -E -q 'AddressSanitizer|ThreadSanitizer|UndefinedBehaviorSanitizer|runtime error:|Segmentation fault' \
+     "$workdir"/*.out "$workdir"/*.err; then
+  grep -E 'AddressSanitizer|ThreadSanitizer|UndefinedBehaviorSanitizer|runtime error:|Segmentation fault' \
+    "$workdir"/*.err >&2 || true
+  fail "sanitizer/crash report in a daemon log"
+fi
+
+echo "chaos_smoke: PASS"

@@ -77,7 +77,7 @@ const std::vector<std::string>& known_sites() {
       kSiteTcpRead,    kSiteTcpWrite,     kSiteTcpAccept,   kSiteCacheLoad,
       kSiteCacheStore, kSiteCacheEvict,   kSiteSchedAdmit,  kSitePoolTask,
       kSiteDeployPlan, kSiteDeploySelect, kSiteLoopPoll,    kSiteLoopWakeup,
-      kSiteShardConnect, kSiteShardRead,  kSiteShardWrite};
+      kSiteShardConnect, kSiteShardRead,  kSiteShardWrite, kSiteShardProbe};
   return kSites;
 }
 

@@ -103,6 +103,11 @@ inline constexpr const char* kSiteShardConnect = "shard.connect";
 inline constexpr const char* kSiteShardRead = "shard.read";
 inline constexpr const char* kSiteShardWrite = "shard.write";
 
+/// Background health probe of an open-breaker peer (serve/peer_health.h).
+/// Any injected kind fails the probe: the peer stays open and the next
+/// probe backs off one more step — no request is ever touched.
+inline constexpr const char* kSiteShardProbe = "shard.probe";
+
 /// Every site name above, in a stable order.
 const std::vector<std::string>& known_sites();
 

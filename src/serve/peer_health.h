@@ -1,0 +1,195 @@
+// Per-peer lifecycle tracking for the shard fleet: circuit breakers with a
+// deterministic exponential backoff schedule, a background health prober,
+// and last-error/latency bookkeeping — the memory the PR-9 coordinator was
+// missing. Without it a dead peer cost every request a full connect/read
+// stall before degrading, and a recovered peer was never deliberately
+// re-admitted.
+//
+// The state machine per peer:
+//
+//            N consecutive failures
+//   closed ──────────────────────────▶ open
+//     ▲                                 │ background `ping` probe succeeds
+//     │ one request-probe succeeds      ▼ (fault site shard.probe)
+//     └──────────────────────────── half-open
+//
+//   * closed    — healthy; every request fans out to the peer normally.
+//   * open      — the breaker tripped: the coordinator skips the doomed
+//                 connect entirely and re-executes the peer's range locally,
+//                 so a dead peer costs the fleet one timeout total, not one
+//                 per request. The background prober pings the peer off the
+//                 request path on the backoff schedule.
+//   * half-open — the prober got a pong; the peer is *probably* back. The
+//                 next shard request to it is admitted as a single-flight
+//                 probe (exactly one in flight — a second concurrent request
+//                 still takes the local fallback). Success closes the
+//                 breaker (re-admission); failure re-opens it with the next
+//                 backoff step.
+//
+// Backoff is deterministic, never randomized: after the k-th consecutive
+// failed probe cycle the next background probe waits
+// backoff_ms(opts, k) = min(probe_interval_ms << k, probe_interval_ms * 16)
+// milliseconds. The same failure history always yields the same schedule,
+// which is what makes the chaos tests' re-admission bound assertable.
+//
+// Determinism contract (the PR-1/5/9 invariant): the registry only ever
+// decides *where* a range executes — peer RPC or local re-execution — never
+// which candidates a range yields. The windowed enumeration is identical on
+// both paths, so responses stay byte-identical to single-node at any peer
+// state or flap pattern.
+//
+// Observability (docs/OBSERVABILITY.md): `shard_peer_state_p<i>` gauges
+// (0 = closed, 1 = half-open, 2 = open, indexed in --peers order),
+// `shard_breaker_opens_total`, `shard_probes_total`, and per-peer rows in
+// the `health` command.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sasynth {
+
+enum class PeerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+/// "closed" / "half_open" / "open" — the spelling used by the `health`
+/// command rows and the chaos smoke script.
+const char* peer_state_name(PeerState state);
+
+struct PeerHealthOptions {
+  /// Consecutive request-path failures that trip the breaker closed -> open.
+  int failure_threshold = 3;
+  /// Base backoff step and prober cadence, milliseconds. 0 disables the
+  /// background prober entirely: breakers still open, but an open peer is
+  /// only re-admitted by an operator restart — probe_due_peers() can still
+  /// be driven manually (tests do).
+  std::int64_t probe_interval_ms = 1000;
+  /// Per-probe I/O bound (connect + ping + pong), milliseconds. Also caps
+  /// how long stop_prober() can block behind a stalled probe.
+  std::int64_t probe_timeout_ms = 2000;
+};
+
+/// One peer's publicly visible health, for `health` rows and tests.
+struct PeerHealthSnapshot {
+  std::string peer;               ///< "host:port" as configured
+  PeerState state = PeerState::kClosed;
+  int consecutive_failures = 0;   ///< request-path failures since last success
+  std::int64_t breaker_opens = 0; ///< closed/half-open -> open transitions
+  std::int64_t probes = 0;        ///< background pings attempted
+  std::string last_error;         ///< most recent failure text; "" = none
+  std::int64_t last_probe_age_ms = -1;  ///< ms since last background ping; -1 = never
+  std::int64_t next_probe_in_ms = -1;   ///< ms until next scheduled ping; -1 = none
+  std::int64_t last_latency_us = -1;    ///< last successful RPC round-trip; -1 = none
+};
+
+/// Splits "host:port" and validates both halves (numeric IPv4 or
+/// "localhost" — no DNS, a resolver stall inside a request would be an
+/// unbounded hidden timeout). Returns an error message or "".
+std::string split_peer_host_port(const std::string& peer, std::string* host,
+                                 int* port);
+
+/// Bounded TCP connect to "host:port": non-blocking connect + poll(POLLOUT),
+/// then the fd is restored to blocking (FdLineReader / write_all_fd bound
+/// the subsequent I/O). Returns -1 with a message in `error`. Fires no fault
+/// site — callers own their site (shard.connect on the request path,
+/// shard.probe on the prober).
+int connect_peer_fd(const std::string& peer, std::int64_t timeout_ms,
+                    std::string* error);
+
+/// One health probe: connect, send `ping`, expect `sasynth-pong v1`, all
+/// bounded by `timeout_ms`. Fires the shard.probe fault site (any injected
+/// kind fails the probe; the peer stays open until a later clean probe).
+bool probe_peer_ping(const std::string& peer, std::int64_t timeout_ms,
+                     std::string* error);
+
+/// The shared per-peer lifecycle registry. All methods are thread-safe; the
+/// coordinator consults admit() before every fan-out and reports every RPC
+/// outcome (including hedge losers — a slow-but-alive peer that eventually
+/// answers keeps its breaker closed), while the background prober owns the
+/// open -> half-open transition off the request path.
+///
+/// Time is passed in explicitly (steady_clock) so the state machine is a
+/// pure function of (event sequence, timestamps) — tests drive it with
+/// synthetic clocks and assert the exact backoff schedule.
+class PeerHealthRegistry {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PeerHealthRegistry(std::vector<std::string> peers, PeerHealthOptions opts);
+  ~PeerHealthRegistry();  ///< stop_prober()
+
+  PeerHealthRegistry(const PeerHealthRegistry&) = delete;
+  PeerHealthRegistry& operator=(const PeerHealthRegistry&) = delete;
+
+  /// What the coordinator may do with a range owned by this peer.
+  enum class Admit {
+    kSend,   ///< closed: normal RPC
+    kProbe,  ///< half-open: this request carries the (single) probe RPC
+    kSkip,   ///< open, or half-open with a probe already in flight: go
+             ///< straight to the local_window fallback
+  };
+
+  /// Consult before dispatching peer `i`'s range. A kProbe ticket claims the
+  /// half-open probe slot; the caller MUST report the outcome through
+  /// on_success/on_failure with was_probe = true to release it.
+  Admit admit(std::size_t peer, Clock::time_point now);
+
+  /// A peer RPC produced a usable partial. Closes the breaker from any
+  /// state (re-admission when it was not closed), resets the failure count
+  /// and the backoff schedule.
+  void on_success(std::size_t peer, bool was_probe, std::int64_t latency_us,
+                  Clock::time_point now);
+
+  /// A peer RPC failed (transport error, malformed partial, item-count
+  /// mismatch). In closed state counts toward the threshold; a failed probe
+  /// re-opens with the next backoff step. Failures reported while already
+  /// open (late hedge losers) only refresh the error bookkeeping.
+  void on_failure(std::size_t peer, bool was_probe, const std::string& error,
+                  Clock::time_point now);
+
+  /// The prober's transition: a background ping result for an open peer.
+  /// ok moves it to half-open; failure schedules the next ping one backoff
+  /// step later. Public so tests can drive the machine without sockets.
+  void record_probe_result(std::size_t peer, bool ok, const std::string& error,
+                           Clock::time_point now);
+
+  /// Pings every open peer whose backoff expired at `now` (off the request
+  /// path; one sequential pass). Returns the number of probes attempted.
+  /// The prober thread calls this; tests may call it directly.
+  int probe_due_peers(Clock::time_point now);
+
+  /// The deterministic backoff schedule: min(interval << round,
+  /// interval * 16), clamped to at least 1 ms. Exposed for tests and docs.
+  static std::int64_t backoff_ms(const PeerHealthOptions& opts,
+                                 std::int64_t round);
+
+  /// Spawns the background prober thread (no-op when probe_interval_ms == 0
+  /// or there are no peers). stop_prober() is idempotent and joins; the
+  /// server calls it at drain/shutdown so the prober never outlives the
+  /// transports.
+  void start_prober();
+  void stop_prober();
+
+  std::size_t size() const;  ///< configured peer count
+  std::vector<PeerHealthSnapshot> snapshot(Clock::time_point now) const;
+
+ private:
+  struct Peer;
+
+  void to_open(Peer& peer, Clock::time_point now);  ///< locked
+  void prober_loop();
+
+  const PeerHealthOptions opts_;
+  mutable std::mutex mutex_;
+  std::vector<Peer> peers_;
+
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+};
+
+}  // namespace sasynth

@@ -103,7 +103,10 @@ bool response_is_shareable(const std::string& response) {
 
 SynthServer::SynthServer(ServeOptions options)
     : options_(std::move(options)),
-      shard_(ShardOptions{options_.shard_peers, options_.shard_io_timeout_ms}),
+      shard_(ShardOptions{options_.shard_peers, options_.shard_io_timeout_ms,
+                          options_.shard_failure_threshold,
+                          options_.shard_probe_interval_ms,
+                          options_.shard_hedge_ms}),
       cache_(options_.cache_enabled ? options_.cache_dir : std::string(),
              options_.cache_capacity),
       sweep_cache_(options_.sweep_cache_capacity),
@@ -489,12 +492,39 @@ std::string SynthServer::health_text() const {
   out += strformat("shed_expired %lld\n",
                    static_cast<long long>(counters_.shed_expired.load()));
   out += strformat("shedding %d\n", pending >= limit ? 1 : 0);
+  if (const PeerHealthRegistry* health = shard_.health()) {
+    // Per-peer breaker rows (peer_health.h): `peer<i>_<field> <value>`,
+    // indexed in --peers order. The error text goes last on its line so it
+    // may contain spaces; "-" means no error recorded.
+    out += strformat("peers %lld\n", static_cast<long long>(health->size()));
+    const std::vector<PeerHealthSnapshot> snaps =
+        health->snapshot(PeerHealthRegistry::Clock::now());
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      const PeerHealthSnapshot& s = snaps[i];
+      out += strformat("peer%zu_addr %s\n", i, s.peer.c_str());
+      out += strformat("peer%zu_state %s\n", i, peer_state_name(s.state));
+      out += strformat("peer%zu_failures %d\n", i, s.consecutive_failures);
+      out += strformat("peer%zu_breaker_opens %lld\n", i,
+                       static_cast<long long>(s.breaker_opens));
+      out += strformat("peer%zu_probes %lld\n", i,
+                       static_cast<long long>(s.probes));
+      out += strformat("peer%zu_last_probe_age_ms %lld\n", i,
+                       static_cast<long long>(s.last_probe_age_ms));
+      out += strformat("peer%zu_last_latency_us %lld\n", i,
+                       static_cast<long long>(s.last_latency_us));
+      out += strformat("peer%zu_last_error %s\n", i,
+                       s.last_error.empty() ? "-" : s.last_error.c_str());
+    }
+  }
   out += std::string(kBlockEnd) + "\n";
   return out;
 }
 
 void SynthServer::begin_drain() {
   draining_.store(true);
+  // The prober must not outlive the transports it probes through; draining
+  // also means no new fan-outs, so re-admission bookkeeping is moot.
+  shard_.stop_health_prober();
   SA_LOG_INFO << "server: drain requested, sessions stop reading";
 }
 
@@ -727,6 +757,7 @@ std::string SynthServer::handle_command(const std::string& command) {
     counters_.commands.fetch_add(1);
     sm.commands.add(1);
     stop_.store(true);
+    shard_.stop_health_prober();  // no transports survive a shutdown
     scheduler_.drain();  // graceful: finish accepted work first
     return "sasynth-bye v1\nend\n";
   }

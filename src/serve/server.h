@@ -60,6 +60,15 @@ struct ServeOptions {
   /// Per-step (connect/write/read) bound on shard peer I/O, milliseconds;
   /// 0 = unbounded (--shard-io-timeout).
   std::int64_t shard_io_timeout_ms = 30000;
+  /// Consecutive peer failures that open that peer's circuit breaker
+  /// (--peer-failure-threshold; serve/peer_health.h).
+  int shard_failure_threshold = 3;
+  /// Background health-prober cadence and backoff base, milliseconds
+  /// (--peer-probe-interval); 0 disables automatic re-admission probing.
+  std::int64_t shard_probe_interval_ms = 1000;
+  /// Hedge delay for slow shard peers, milliseconds (--shard-hedge-ms);
+  /// 0 disables hedging.
+  std::int64_t shard_hedge_ms = 0;
 };
 
 /// Monotonic per-server counters, exposed through the `stats` command.

@@ -1,18 +1,14 @@
 #include "serve/shard.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <climits>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
-#include <cstring>
-#include <thread>
+#include <memory>
+#include <mutex>
 
 #include "core/design_io.h"
 #include "core/perf_model.h"
@@ -42,6 +38,8 @@ bool parse_int64(const std::string& token, std::int64_t* out) {
 struct ShardMetrics {
   obs::Counter& requests;        ///< peer RPCs issued
   obs::Counter& degraded;        ///< ranges re-executed locally
+  obs::Counter& hedges;          ///< local re-executions started on slow RPCs
+  obs::Counter& hedge_wins;      ///< hedged ranges answered by the local copy
   obs::Histogram& peer_latency_ms;  ///< successful RPC round-trip
 
   static ShardMetrics& get() {
@@ -50,100 +48,14 @@ struct ShardMetrics {
       return new ShardMetrics{
           r.counter("shard_requests_total"),
           r.counter("shard_degraded_total"),
+          r.counter("shard_hedges_total"),
+          r.counter("shard_hedge_wins_total"),
           r.histogram("shard_peer_latency_ms"),
       };
     }();
     return *m;
   }
 };
-
-/// Splits "host:port" and validates both halves. The host must be a numeric
-/// IPv4 address or "localhost" — the shard tier does no DNS (a resolver
-/// stall inside a request would be an unbounded hidden timeout).
-std::string split_host_port(const std::string& peer, std::string* host,
-                            int* port) {
-  const std::size_t colon = peer.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= peer.size()) {
-    return "bad peer '" + peer + "' (expected host:port)";
-  }
-  *host = peer.substr(0, colon);
-  std::int64_t p = 0;
-  if (!parse_int64(peer.substr(colon + 1), &p) || p < 1 || p > 65535) {
-    return "bad peer '" + peer + "' (port must be an integer in 1..65535)";
-  }
-  in_addr probe{};
-  const std::string numeric = *host == "localhost" ? "127.0.0.1" : *host;
-  if (inet_pton(AF_INET, numeric.c_str(), &probe) != 1) {
-    return "bad peer host '" + *host +
-           "' (expected a numeric IPv4 address or localhost)";
-  }
-  *port = static_cast<int>(p);
-  return "";
-}
-
-/// Bounded TCP connect: non-blocking connect + poll(POLLOUT), then the fd is
-/// restored to blocking for FdLineReader / write_all_fd (whose own timeouts
-/// bound the I/O). Returns -1 with a message in `error`.
-int connect_peer(const std::string& peer, std::int64_t timeout_ms,
-                 std::string* error) {
-  std::string host;
-  int port = 0;
-  const std::string parse_error = split_host_port(peer, &host, &port);
-  if (!parse_error.empty()) {
-    *error = parse_error;
-    return -1;
-  }
-  static fault::Site& connect_site = fault::site(fault::kSiteShardConnect);
-  if (connect_site.fire() != fault::ErrorKind::kNone) {
-    *error = "injected fault at shard.connect";
-    return -1;
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
-    return -1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
-  ::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr);
-
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-  if (rc != 0 && errno == EINPROGRESS) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    const int wait_ms =
-        timeout_ms > 0
-            ? static_cast<int>(std::min<std::int64_t>(timeout_ms, INT_MAX))
-            : -1;
-    const int pr = ::poll(&pfd, 1, wait_ms);
-    if (pr <= 0) {
-      ::close(fd);
-      *error = pr == 0 ? "connect timed out"
-                       : std::string("poll: ") + std::strerror(errno);
-      return -1;
-    }
-    int so_error = 0;
-    socklen_t len = sizeof(so_error);
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
-    if (so_error != 0) {
-      ::close(fd);
-      *error = std::string("connect: ") + std::strerror(so_error);
-      return -1;
-    }
-  } else if (rc != 0) {
-    ::close(fd);
-    *error = std::string("connect: ") + std::strerror(errno);
-    return -1;
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  return fd;
-}
 
 /// The stable-merge order of the phase-1 candidate sort (dse.cpp): higher
 /// estimated throughput first, fewer BRAM blocks on ties. Strictly-better
@@ -167,7 +79,7 @@ std::string parse_peer_list(const std::string& spec,
     }
     std::string host;
     int port = 0;
-    const std::string error = split_host_port(peer, &host, &port);
+    const std::string error = split_peer_host_port(peer, &host, &port);
     if (!error.empty()) return error;
     out->push_back(peer);
   }
@@ -357,7 +269,32 @@ ShardPartial parse_shard_response(const std::string& text,
 }
 
 ShardCoordinator::ShardCoordinator(ShardOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.peers.empty()) return;
+  // Register the shard instruments up front so `stats --format=prom|json`
+  // shows the rows (at zero) before the first RPC, not after.
+  ShardMetrics::get();
+  PeerHealthOptions health_opts;
+  health_opts.failure_threshold = options_.failure_threshold;
+  health_opts.probe_interval_ms = options_.probe_interval_ms;
+  // Probes stay bounded even with unbounded request I/O (io_timeout 0):
+  // stop_prober() joins through at most one probe, so a stalled peer must
+  // not be able to hold shutdown for the full request timeout.
+  health_opts.probe_timeout_ms =
+      options_.io_timeout_ms > 0
+          ? std::min<std::int64_t>(options_.io_timeout_ms, 2000)
+          : 2000;
+  health_ = std::make_unique<PeerHealthRegistry>(options_.peers, health_opts);
+  rpc_pool_ = std::make_unique<ThreadPool>(
+      static_cast<int>(options_.peers.size()), /*inline_single=*/false);
+  health_->start_prober();
+}
+
+ShardCoordinator::~ShardCoordinator() { stop_health_prober(); }
+
+void ShardCoordinator::stop_health_prober() {
+  if (health_ != nullptr) health_->stop_prober();
+}
 
 ShardPartial ShardCoordinator::call_peer(const std::string& peer,
                                          const std::string& block,
@@ -368,8 +305,12 @@ ShardPartial ShardCoordinator::call_peer(const std::string& peer,
 
   ShardPartial result;
   std::string error;
-  const int fd = connect_peer(peer, options_.io_timeout_ms, &error);
+  static fault::Site& connect_site = fault::site(fault::kSiteShardConnect);
+  const int fd = connect_site.fire() != fault::ErrorKind::kNone
+                     ? -1
+                     : connect_peer_fd(peer, options_.io_timeout_ms, &error);
   if (fd < 0) {
+    if (error.empty()) error = "injected fault at shard.connect";
     result.error = "peer " + peer + ": " + error;
     return result;
   }
@@ -459,75 +400,173 @@ std::vector<DseCandidate> ShardCoordinator::run_round(
       deadline.unbounded() ? -1
                            : std::max<std::int64_t>(0, deadline.remaining_ms());
 
-  struct Range {
+  // Heap-owned per-range state: a hedge-loser RPC task may still be running
+  // after run_round returns (its result only matters to the breaker by
+  // then), so the task and the collector share ownership.
+  struct RangeState {
     std::int64_t begin = 0;
     std::int64_t end = 0;
+    bool attempted = false;  ///< an RPC task was dispatched
+    bool skipped = false;    ///< breaker open: straight to local fallback
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;       ///< partial is valid (guarded by m)
     ShardPartial partial;
-    bool attempted = false;
   };
-  std::vector<Range> ranges(peers);
+  std::vector<std::shared_ptr<RangeState>> ranges;
+  ranges.reserve(peers);
   for (std::size_t p = 0; p < peers; ++p) {
+    auto state = std::make_shared<RangeState>();
     // Deterministic contiguous split — floor(p*N/P) boundaries, independent
     // of peer health or load by construction.
-    ranges[p].begin = total * static_cast<std::int64_t>(p) /
-                      static_cast<std::int64_t>(peers);
-    ranges[p].end = total * static_cast<std::int64_t>(p + 1) /
-                    static_cast<std::int64_t>(peers);
+    state->begin = total * static_cast<std::int64_t>(p) /
+                   static_cast<std::int64_t>(peers);
+    state->end = total * static_cast<std::int64_t>(p + 1) /
+                 static_cast<std::int64_t>(peers);
+    ranges.push_back(std::move(state));
   }
 
-  std::vector<std::thread> rpcs;
+  const auto dispatched_at = PeerHealthRegistry::Clock::now();
   if (!request.dse.cancel.cancelled()) {
     for (std::size_t p = 0; p < peers; ++p) {
-      Range& range = ranges[p];
-      if (range.end <= range.begin) continue;
-      range.attempted = true;
-      rpcs.emplace_back([this, &range, &worker_request, &nest, remaining_ms,
-                         peer = options_.peers[p]] {
-        range.partial =
-            call_peer(peer,
-                      format_shard_request_block(worker_request, range.begin,
-                                                 range.end, remaining_ms),
-                      nest);
+      const std::shared_ptr<RangeState>& state = ranges[p];
+      if (state->end <= state->begin) continue;
+      // Consult the breaker: an open peer's range never pays the doomed
+      // connect; a half-open peer gets exactly one probe request in flight.
+      const PeerHealthRegistry::Admit verdict =
+          health_->admit(p, dispatched_at);
+      if (verdict == PeerHealthRegistry::Admit::kSkip) {
+        state->skipped = true;
+        continue;
+      }
+      state->attempted = true;
+      const bool was_probe = verdict == PeerHealthRegistry::Admit::kProbe;
+      // The task copies everything it touches (block text, nest, peer name):
+      // if the collector hedges past it, only `state` and the registry may
+      // still be shared.
+      rpc_pool_->submit([this, state, p, was_probe, total, nest,
+                         peer = options_.peers[p],
+                         block = format_shard_request_block(
+                             worker_request, state->begin, state->end,
+                             remaining_ms)] {
+        const auto rpc_start = PeerHealthRegistry::Clock::now();
+        ShardPartial partial = call_peer(peer, block, nest);
+        const auto rpc_end = PeerHealthRegistry::Clock::now();
+        const bool usable = partial.ok && partial.total_items == total;
+        if (usable) {
+          health_->on_success(
+              p, was_probe,
+              std::chrono::duration_cast<std::chrono::microseconds>(rpc_end -
+                                                                    rpc_start)
+                  .count(),
+              rpc_end);
+        } else {
+          health_->on_failure(p, was_probe,
+                              partial.error.empty() ? "item-count mismatch"
+                                                    : partial.error,
+                              rpc_end);
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->m);
+          state->partial = std::move(partial);
+          state->done = true;
+        }
+        state->cv.notify_all();
       });
     }
   }
-  for (std::thread& t : rpcs) t.join();
+
+  // One absolute hedge deadline for the whole fan-out: every range's RPC
+  // started (logically) at dispatched_at, so they all convert to local
+  // re-execution at the same instant regardless of collection order.
+  const auto hedge_deadline =
+      dispatched_at + std::chrono::milliseconds(options_.hedge_ms);
 
   std::vector<std::vector<DseCandidate>> lists(peers);
+  auto convert = [&](const ShardPartial& partial,
+                     std::vector<DseCandidate>* out) {
+    if (partial.cancelled) *cancelled = true;
+    out->reserve(partial.designs.size());
+    for (const DesignPoint& design : partial.designs) {
+      // Recompute the estimate and resource model locally: the models are
+      // pure functions of (nest, design, device, dtype), so this matches
+      // the worker's own numbers bit for bit without ever round-tripping
+      // a float through the wire.
+      DseCandidate candidate;
+      candidate.design = design;
+      candidate.estimate = estimate_performance(
+          nest, design, request.device, request.dtype, opts.assumed_freq_mhz);
+      candidate.resources =
+          model_resources(nest, design, request.device, request.dtype);
+      out->push_back(std::move(candidate));
+    }
+  };
+  auto degrade = [&](const RangeState& state, const std::string& reason) {
+    // A real peer failure (dead, slow, faulted, malformed, breaker-skipped,
+    // or a version-skewed item count): degrade, never fail the request.
+    SA_LOG_WARN << "shard: range [" << state.begin << "," << state.end
+                << ") degrading to local execution: " << reason;
+    ShardMetrics::get().degraded.add(1);
+    fault::note_degraded();
+  };
   for (std::size_t p = 0; p < peers; ++p) {
-    Range& range = ranges[p];
-    if (range.end <= range.begin) continue;
-    ShardPartial& partial = range.partial;
-    const bool usable = range.attempted && partial.ok &&
-                        partial.total_items == total;
-    if (usable) {
-      if (partial.cancelled) *cancelled = true;
-      lists[p].reserve(partial.designs.size());
-      for (const DesignPoint& design : partial.designs) {
-        // Recompute the estimate and resource model locally: the models are
-        // pure functions of (nest, design, device, dtype), so this matches
-        // the worker's own numbers bit for bit without ever round-tripping
-        // a float through the wire.
-        DseCandidate candidate;
-        candidate.design = design;
-        candidate.estimate = estimate_performance(
-            nest, design, request.device, request.dtype, opts.assumed_freq_mhz);
-        candidate.resources =
-            model_resources(nest, design, request.device, request.dtype);
-        lists[p].push_back(std::move(candidate));
+    RangeState& state = *ranges[p];
+    if (state.end <= state.begin) continue;
+    if (state.skipped) {
+      degrade(state, "breaker open for peer " + options_.peers[p]);
+      lists[p] = local_window(request, nest, util, state.begin, state.end,
+                              cancelled);
+      continue;
+    }
+    if (!state.attempted) {
+      // Cancelled before dispatch: the bounded local sweep yields the
+      // best-so-far cut, same as in-process. Not a peer failure.
+      lists[p] = local_window(request, nest, util, state.begin, state.end,
+                              cancelled);
+      continue;
+    }
+    bool done;
+    {
+      std::unique_lock<std::mutex> lock(state.m);
+      if (options_.hedge_ms > 0) {
+        done = state.cv.wait_until(lock, hedge_deadline,
+                                   [&state] { return state.done; });
+      } else {
+        state.cv.wait(lock, [&state] { return state.done; });
+        done = true;
       }
+    }
+    if (!done) {
+      // Hedge: the peer is slow (but maybe alive). Run the range locally
+      // and take whichever finished first — both sites enumerate the
+      // identical window, so the choice cannot change a response byte.
+      ShardMetrics::get().hedges.add(1);
+      bool local_cancelled = false;
+      std::vector<DseCandidate> local = local_window(
+          request, nest, util, state.begin, state.end, &local_cancelled);
+      std::lock_guard<std::mutex> lock(state.m);
+      if (state.done && state.partial.ok && state.partial.total_items == total) {
+        // The peer finished while we hedged: its partial wins the race
+        // bookkeeping (the hedge was started but not needed).
+        convert(state.partial, &lists[p]);
+      } else {
+        if (state.done) {
+          degrade(state, state.partial.error.empty() ? "item-count mismatch"
+                                                     : state.partial.error);
+        }
+        if (local_cancelled) *cancelled = true;
+        lists[p] = std::move(local);
+        ShardMetrics::get().hedge_wins.add(1);
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(state.m);
+    if (state.partial.ok && state.partial.total_items == total) {
+      convert(state.partial, &lists[p]);
     } else {
-      if (range.attempted) {
-        // A real peer failure (dead, slow, faulted, malformed, or a
-        // version-skewed item count): degrade, never fail the request.
-        SA_LOG_WARN << "shard: range [" << range.begin << "," << range.end
-                    << ") degrading to local execution: "
-                    << (partial.error.empty() ? "item-count mismatch"
-                                              : partial.error);
-        ShardMetrics::get().degraded.add(1);
-        fault::note_degraded();
-      }
-      lists[p] = local_window(request, nest, util, range.begin, range.end,
+      degrade(state, state.partial.error.empty() ? "item-count mismatch"
+                                                 : state.partial.error);
+      lists[p] = local_window(request, nest, util, state.begin, state.end,
                               cancelled);
     }
   }

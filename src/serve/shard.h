@@ -55,14 +55,26 @@
 // never fails the request — the coordinator re-executes that peer's range
 // locally under the request's remaining deadline budget, counted in
 // `shard_degraded_total` (and `degraded_total` via fault::note_degraded).
+//
+// Resilience tier (serve/peer_health.h): every RPC outcome feeds a per-peer
+// circuit breaker. An open breaker skips the doomed connect entirely (the
+// range goes straight to local re-execution, so a dead peer costs the fleet
+// one timeout total, not one per request); a half-open peer gets exactly one
+// in-flight probe request; and with hedge_ms > 0 a slow-but-alive peer is
+// hedged — after the delay the coordinator re-executes the range locally and
+// takes whichever finishes first. None of this can change a response byte:
+// both execution sites enumerate the identical window.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/dse.h"
+#include "serve/peer_health.h"
 #include "serve/protocol.h"
+#include "util/thread_pool.h"
 
 namespace sasynth {
 
@@ -126,6 +138,18 @@ struct ShardOptions {
   /// 0 = unbounded. A stalled peer costs at most this much before its range
   /// degrades to local re-execution.
   std::int64_t io_timeout_ms = 30000;
+  /// Consecutive request-path failures that open a peer's circuit breaker
+  /// (--peer-failure-threshold).
+  int failure_threshold = 3;
+  /// Background prober cadence and backoff base, milliseconds
+  /// (--peer-probe-interval); 0 disables the prober (breakers still open,
+  /// but only an operator restart re-admits a peer).
+  std::int64_t probe_interval_ms = 1000;
+  /// Hedge delay, milliseconds (--shard-hedge-ms): how long the coordinator
+  /// waits on a peer RPC before starting local re-execution of the same
+  /// range and taking whichever finishes first. 0 disables hedging (wait
+  /// for the RPC's own io timeouts, the pre-hedge behavior).
+  std::int64_t hedge_ms = 0;
 };
 
 /// Validates and splits a "host:port,host:port,..." flag value. Returns an
@@ -135,16 +159,26 @@ std::string parse_peer_list(const std::string& spec,
 
 /// The coordinator: a drop-in replacement for DesignSpaceExplorer::explore
 /// that fans phase 1 out over the peer fleet and runs phase 2 locally on
-/// the merged top-K. Stateless beyond its options; explore() is thread-safe
-/// and callable from scheduler pool tasks (it spawns one short-lived thread
-/// per nonempty range).
+/// the merged top-K. explore() is thread-safe and callable from scheduler
+/// pool tasks; RPCs run on a persistent worker pool sized to the peer count
+/// (not one short-lived thread per range per request), and every outcome
+/// feeds the shared PeerHealthRegistry.
 class ShardCoordinator {
  public:
   explicit ShardCoordinator(ShardOptions options);
+  ~ShardCoordinator();
 
   bool enabled() const { return !options_.peers.empty(); }
   int num_peers() const { return static_cast<int>(options_.peers.size()); }
   const ShardOptions& options() const { return options_; }
+
+  /// The per-peer breaker registry; null when the tier is disabled (no
+  /// peers). Exposed for health/stats surfacing and tests.
+  PeerHealthRegistry* health() const { return health_.get(); }
+
+  /// Joins the background prober thread. Idempotent; the server calls it at
+  /// drain/shutdown so the prober never outlives the transports.
+  void stop_health_prober();
 
   /// Sharded two-phase DSE for one resolved request. Mirrors
   /// DesignSpaceExplorer::explore exactly — including the auto_relax_util
@@ -157,9 +191,9 @@ class ShardCoordinator {
   DseResult explore(const ServeRequest& request, const LoopNest& nest) const;
 
  private:
-  /// One utilization round: split, fan out, degrade failed ranges to local
-  /// re-execution, merge. Appends `cancelled` into *cancelled (never
-  /// clears it).
+  /// One utilization round: split, consult the breaker registry, fan out,
+  /// degrade skipped/failed ranges to local re-execution (hedging slow
+  /// ones), merge. Appends `cancelled` into *cancelled (never clears it).
   std::vector<DseCandidate> run_round(const ServeRequest& request,
                                       const LoopNest& nest, double util,
                                       DseStats* stats, bool* cancelled) const;
@@ -176,6 +210,12 @@ class ShardCoordinator {
                                          bool* cancelled) const;
 
   ShardOptions options_;
+  // health_ before rpc_pool_: the pool destructs (and joins its in-flight
+  // RPC tasks, which report into the registry) first. Both are null when
+  // the tier is disabled. Mutable because explore() is const — the breaker
+  // bookkeeping is execution policy, never response content.
+  mutable std::unique_ptr<PeerHealthRegistry> health_;
+  mutable std::unique_ptr<ThreadPool> rpc_pool_;
 };
 
 }  // namespace sasynth

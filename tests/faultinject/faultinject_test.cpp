@@ -207,11 +207,12 @@ TEST_F(FaultInjectTest, KnownSitesCoverEveryConstant) {
         fault::kSiteSchedAdmit, fault::kSitePoolTask, fault::kSiteDeployPlan,
         fault::kSiteDeploySelect, fault::kSiteLoopPoll,
         fault::kSiteLoopWakeup, fault::kSiteShardConnect,
-        fault::kSiteShardRead, fault::kSiteShardWrite}) {
+        fault::kSiteShardRead, fault::kSiteShardWrite,
+        fault::kSiteShardProbe}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), name), sites.end())
         << name;
   }
-  EXPECT_EQ(sites.size(), 15u);
+  EXPECT_EQ(sites.size(), 16u);
 }
 
 }  // namespace

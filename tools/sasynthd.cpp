@@ -28,6 +28,15 @@
 //     --shard-io-timeout MS  per connect/write/read bound on shard peer I/O
 //                         (default 30000; 0 = unbounded); a slower peer's
 //                         range is re-executed locally
+//     --peer-failure-threshold N  consecutive peer failures that open its
+//                         circuit breaker (default 3); an open peer's
+//                         ranges skip the connect and run locally until a
+//                         health probe re-admits it
+//     --peer-probe-interval MS  background re-admission probe cadence and
+//                         backoff base (default 1000; 0 = no prober)
+//     --shard-hedge-ms MS hedge delay for slow peers: after MS the range is
+//                         also run locally and the first result wins
+//                         (default 0 = no hedging)
 //     --max-connections N open TCP connection bound (0 = unlimited, the
 //                         default); a client beyond it gets a retry response
 //                         and an immediate close
@@ -99,6 +108,14 @@ void print_usage(std::FILE* out) {
                "  --shard-io-timeout MS  per-step shard peer I/O bound "
                "(default 30000;\n"
                "                      0 = unbounded)\n"
+               "  --peer-failure-threshold N  consecutive failures that open "
+               "a peer's\n"
+               "                      circuit breaker (default 3)\n"
+               "  --peer-probe-interval MS  re-admission probe cadence / "
+               "backoff base\n"
+               "                      (default 1000; 0 = no prober)\n"
+               "  --shard-hedge-ms MS hedge delay for slow peers (default 0 "
+               "= off)\n"
                "  --max-connections N open TCP connection bound (0 = "
                "unlimited); beyond it\n"
                "                      clients get a retry response and a "
@@ -324,6 +341,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--shard-io-timeout") {
       options.shard_io_timeout_ms = require_int_flag(
           "--shard-io-timeout", next_value("--shard-io-timeout"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
+    } else if (arg == "--peer-failure-threshold") {
+      options.shard_failure_threshold = static_cast<int>(require_int_flag(
+          "--peer-failure-threshold", next_value("--peer-failure-threshold"),
+          1, 1 << 20, usage));
+    } else if (arg == "--peer-probe-interval") {
+      options.shard_probe_interval_ms = require_int_flag(
+          "--peer-probe-interval", next_value("--peer-probe-interval"), 0,
+          std::numeric_limits<std::int64_t>::max(), usage);
+    } else if (arg == "--shard-hedge-ms") {
+      options.shard_hedge_ms = require_int_flag(
+          "--shard-hedge-ms", next_value("--shard-hedge-ms"), 0,
           std::numeric_limits<std::int64_t>::max(), usage);
     } else if (arg == "--max-connections") {
       max_connections = require_int_flag(
